@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errW bytes.Buffer
+	args := []string{"-exp", "table4", "-datasets", "ItalyPower",
+		"-scale", "0.2", "-lengths", "5", "-queries", "2", "-repeats", "1", "-quiet"}
+	if err := run(args, &out, &errW); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 4") {
+		t.Errorf("output missing table: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "ItalyPower") {
+		t.Error("output missing dataset row")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errW bytes.Buffer
+	err := run([]string{"-exp", "fig99"}, &out, &errW)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	var out, errW bytes.Buffer
+	err := run([]string{"-exp", "table4", "-datasets", "Bogus", "-quiet"}, &out, &errW)
+	if err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestRunBadFlagValues(t *testing.T) {
+	cases := [][]string{
+		{"-st", "-1", "-exp", "table4"},
+		{"-scale", "0", "-exp", "table4"},
+		{"-queries", "1", "-exp", "table4"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		var out, errW bytes.Buffer
+		if err := run(args, &out, &errW); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestRunProgressGoesToStderr(t *testing.T) {
+	var out, errW bytes.Buffer
+	args := []string{"-exp", "fig6", "-datasets", "ItalyPower",
+		"-scale", "0.2", "-lengths", "4", "-queries", "2", "-repeats", "1"}
+	if err := run(args, &out, &errW); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errW.String(), "ST=") {
+		t.Error("expected progress lines on stderr")
+	}
+	if strings.Contains(out.String(), "…") {
+		t.Error("progress leaked into stdout")
+	}
+}

@@ -1,0 +1,323 @@
+// Command onex-server exposes an ONEX base over HTTP — the service form of
+// the paper's interactive exploration tool. It loads or generates a dataset,
+// builds the base once (the paper's one-time preprocessing step), and
+// answers the query classes as JSON.
+//
+// Usage:
+//
+//	onex-server [-addr :8080] [-data file.tsv | -generate ECG] [-st 0.2] [-lengths 16] [-scale 0.25]
+//
+// Endpoints (all GET unless noted):
+//
+//	POST /match      {"query":[...], "mode":"any|exact", "k":5}  → best match(es)
+//	POST /range      {"query":[...], "length":24, "radius":0.2}  → all within radius
+//	GET  /seasonal?series=3&length=24                            → recurring patterns of a series
+//	GET  /seasonal?length=24                                     → dataset-wide patterns
+//	GET  /recommend?degree=S&length=-1                           → threshold range
+//	GET  /stats                                                  → base statistics
+//	GET  /healthz                                                → liveness
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"onex"
+	"onex/internal/dataset"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("data", "", "UCR-format dataset file")
+		genName  = flag.String("generate", "ECG", "synthetic dataset to generate when -data is unset")
+		st       = flag.Float64("st", 0.2, "similarity threshold")
+		lengths  = flag.Int("lengths", 16, "number of indexed lengths")
+		scale    = flag.Float64("scale", 0.25, "synthetic dataset scale")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*dataPath, *genName, *st, *lengths, *scale, *seed)
+	if err != nil {
+		log.Fatal("onex-server: ", err)
+	}
+	log.Printf("onex-server: base ready (%d representatives), listening on %s",
+		srv.base.Stats().Representatives, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server holds the immutable base; handlers are safe for concurrent use.
+type server struct {
+	base    *onex.Base
+	name    string
+	started time.Time
+}
+
+func newServer(dataPath, genName string, st float64, lengths int, scale float64, seed int64) (*server, error) {
+	var series []onex.Series
+	var name string
+	if dataPath != "" {
+		d, err := dataset.LoadUCRFile(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		name = d.Name
+		for _, s := range d.Series {
+			series = append(series, onex.Series{Label: s.Label, Values: s.Values})
+		}
+	} else {
+		sp, ok := dataset.ByName(genName)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q", genName)
+		}
+		d := sp.Scaled(scale).Generate(seed)
+		name = sp.Name
+		for _, s := range d.Series {
+			series = append(series, onex.Series{Label: s.Label, Values: s.Values})
+		}
+	}
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	base, err := onex.Build(name, series, onex.Options{
+		ST:      st,
+		Lengths: spreadLengths(maxLen, lengths),
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{base: base, name: name, started: time.Now()}, nil
+}
+
+func spreadLengths(max, count int) []int {
+	if count <= 0 || max < 2 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	prev := 0
+	for i := 0; i < count; i++ {
+		l := 2 + i*(max-2)/count
+		if count > 1 {
+			l = 2 + i*(max-2)/(count-1)
+		}
+		if l != prev {
+			out = append(out, l)
+			prev = l
+		}
+	}
+	return out
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /match", s.handleMatch)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("GET /seasonal", s.handleSeasonal)
+	mux.HandleFunc("GET /recommend", s.handleRecommend)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("onex-server: encode: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var he httpError
+	if errors.As(err, &he) {
+		writeJSON(w, he.code, map[string]string{"error": he.msg})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+type matchRequest struct {
+	Query []float64 `json:"query"`
+	Mode  string    `json:"mode"` // "any" (default) or "exact"
+	K     int       `json:"k"`    // 0/1 = best match; >1 = k-NN
+}
+
+type matchResponse struct {
+	SeriesID int       `json:"seriesId"`
+	Start    int       `json:"start"`
+	Length   int       `json:"length"`
+	Distance float64   `json:"distance"`
+	Values   []float64 `json:"values,omitempty"`
+}
+
+func toMatchResponse(m onex.Match, withValues bool) matchResponse {
+	r := matchResponse{
+		SeriesID: m.SeriesID, Start: m.Start, Length: m.Length, Distance: m.Distance,
+	}
+	if withValues {
+		r.Values = m.Values
+	}
+	return r
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req matchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+		return
+	}
+	mode := onex.MatchAny
+	switch req.Mode {
+	case "", "any":
+	case "exact":
+		mode = onex.MatchExact
+	default:
+		writeErr(w, httpError{http.StatusBadRequest, `mode must be "any" or "exact"`})
+		return
+	}
+	withValues := r.URL.Query().Get("values") == "true"
+	if req.K > 1 {
+		ms, err := s.base.BestKMatches(req.Query, mode, req.K)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := make([]matchResponse, 0, len(ms))
+		for _, m := range ms {
+			out = append(out, toMatchResponse(m, withValues))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+		return
+	}
+	m, err := s.base.BestMatch(req.Query, mode)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMatchResponse(m, withValues))
+}
+
+type rangeRequest struct {
+	Query  []float64 `json:"query"`
+	Length int       `json:"length"`
+	Radius float64   `json:"radius"`
+}
+
+func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+		return
+	}
+	ms, err := s.base.RangeSearch(req.Query, req.Length, req.Radius)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type rangeResponse struct {
+		matchResponse
+		Guaranteed bool `json:"guaranteed"`
+	}
+	out := make([]rangeResponse, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, rangeResponse{toMatchResponse(m.Match, false), m.Guaranteed})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "results": out})
+}
+
+func (s *server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	length, err := strconv.Atoi(q.Get("length"))
+	if err != nil {
+		writeErr(w, httpError{http.StatusBadRequest, "length must be an integer"})
+		return
+	}
+	var patterns []onex.Pattern
+	if sid := q.Get("series"); sid != "" {
+		id, err := strconv.Atoi(sid)
+		if err != nil {
+			writeErr(w, httpError{http.StatusBadRequest, "series must be an integer"})
+			return
+		}
+		patterns, err = s.base.Seasonal(id, length)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+	} else {
+		patterns, err = s.base.SeasonalAll(length)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(patterns), "patterns": patterns})
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var deg onex.Degree
+	switch q.Get("degree") {
+	case "S", "s":
+		deg = onex.Strict
+	case "M", "m":
+		deg = onex.Medium
+	case "L", "l":
+		deg = onex.Loose
+	default:
+		writeErr(w, httpError{http.StatusBadRequest, "degree must be S, M or L"})
+		return
+	}
+	length := -1
+	if ls := q.Get("length"); ls != "" {
+		var err error
+		if length, err = strconv.Atoi(ls); err != nil {
+			writeErr(w, httpError{http.StatusBadRequest, "length must be an integer"})
+			return
+		}
+	}
+	rng, err := s.base.RecommendThreshold(deg, length)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"degree": deg.String(), "low": rng.Low, "high": rng.High,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.base.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":         s.name,
+		"st":              s.base.ST(),
+		"representatives": st.Representatives,
+		"subsequences":    st.Subsequences,
+		"indexBytes":      st.IndexBytes,
+		"buildSeconds":    st.BuildTime.Seconds(),
+		"stHalf":          st.STHalf,
+		"stFinal":         st.STFinal,
+		"lengths":         s.base.Lengths(),
+		"uptimeSeconds":   time.Since(s.started).Seconds(),
+	})
+}

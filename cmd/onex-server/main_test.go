@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer("", "ItalyPower", 0.25, 6, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.routes())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: code %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any, wantCode int) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: code %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerHealthAndStats(t *testing.T) {
+	_, hs := testServer(t)
+	health := getJSON(t, hs.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+	stats := getJSON(t, hs.URL+"/stats", http.StatusOK)
+	if stats["dataset"] != "ItalyPower" {
+		t.Errorf("stats dataset = %v", stats["dataset"])
+	}
+	if reps, ok := stats["representatives"].(float64); !ok || reps <= 0 {
+		t.Errorf("stats representatives = %v", stats["representatives"])
+	}
+}
+
+func TestServerMatch(t *testing.T) {
+	srv, hs := testServer(t)
+	// Use an indexed length for an exact match.
+	lengths := srv.base.Lengths()
+	l := lengths[len(lengths)/2]
+	q := make([]float64, l)
+	for i := range q {
+		q[i] = 0.5
+	}
+	out := postJSON(t, hs.URL+"/match", matchRequest{Query: q, Mode: "exact"}, http.StatusOK)
+	if out["length"].(float64) != float64(l) {
+		t.Errorf("match length = %v, want %d", out["length"], l)
+	}
+	if _, ok := out["distance"].(float64); !ok {
+		t.Errorf("match distance missing: %v", out)
+	}
+	// k-NN.
+	out = postJSON(t, hs.URL+"/match", matchRequest{Query: q, Mode: "any", K: 3}, http.StatusOK)
+	ms, ok := out["matches"].([]any)
+	if !ok || len(ms) != 3 {
+		t.Errorf("k-NN returned %v", out)
+	}
+}
+
+func TestServerMatchErrors(t *testing.T) {
+	_, hs := testServer(t)
+	postJSON(t, hs.URL+"/match", matchRequest{Query: nil}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/match", matchRequest{Query: []float64{1}, Mode: "bogus"}, http.StatusBadRequest)
+	// Raw garbage body.
+	resp, err := http.Post(hs.URL+"/match", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: code %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(hs.URL + "/match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /match: code %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerRange(t *testing.T) {
+	srv, hs := testServer(t)
+	lengths := srv.base.Lengths()
+	l := lengths[len(lengths)/2]
+	q := make([]float64, l)
+	for i := range q {
+		q[i] = 0.5
+	}
+	out := postJSON(t, hs.URL+"/range", rangeRequest{Query: q, Length: l, Radius: 0.5}, http.StatusOK)
+	if _, ok := out["count"].(float64); !ok {
+		t.Errorf("range response missing count: %v", out)
+	}
+	postJSON(t, hs.URL+"/range", rangeRequest{Query: q, Length: l, Radius: -1}, http.StatusBadRequest)
+}
+
+func TestServerSeasonalAndRecommend(t *testing.T) {
+	srv, hs := testServer(t)
+	lengths := srv.base.Lengths()
+	l := lengths[len(lengths)/2]
+	out := getJSON(t, fmt.Sprintf("%s/seasonal?length=%d", hs.URL, l), http.StatusOK)
+	if _, ok := out["count"].(float64); !ok {
+		t.Errorf("seasonal response: %v", out)
+	}
+	out = getJSON(t, fmt.Sprintf("%s/seasonal?series=0&length=%d", hs.URL, l), http.StatusOK)
+	if _, ok := out["patterns"]; !ok {
+		t.Errorf("seasonal sample response: %v", out)
+	}
+	getJSON(t, hs.URL+"/seasonal?length=abc", http.StatusBadRequest)
+	getJSON(t, fmt.Sprintf("%s/seasonal?series=xyz&length=%d", hs.URL, l), http.StatusBadRequest)
+
+	out = getJSON(t, hs.URL+"/recommend?degree=S", http.StatusOK)
+	if out["degree"] != "S" || out["low"].(float64) != 0 {
+		t.Errorf("recommend = %v", out)
+	}
+	getJSON(t, hs.URL+"/recommend?degree=Q", http.StatusBadRequest)
+	getJSON(t, hs.URL+"/recommend?degree=M&length=abc", http.StatusBadRequest)
+	getJSON(t, fmt.Sprintf("%s/recommend?degree=M&length=%d", hs.URL, l), http.StatusOK)
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, err := newServer("", "NotADataset", 0.2, 6, 0.2, 1); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+	if _, err := newServer("/no/such/file.tsv", "", 0.2, 6, 0.2, 1); err == nil {
+		t.Error("missing file: want error")
+	}
+	if _, err := newServer("", "ECG", -1, 6, 0.2, 1); err == nil {
+		t.Error("bad ST: want error")
+	}
+}

@@ -1,0 +1,41 @@
+package onex
+
+// Paper-to-code glossary. The implementation follows the paper's notation
+// (Neamtu et al., PVLDB 10(3), 2016) wherever Go allows; this table maps the
+// paper's symbols to the identifiers that realize them.
+//
+//	Paper                         Code
+//	-----                         ----
+//	X = (x1…xn), dataset D        ts.Series, ts.Dataset
+//	(Xp)^i_j  (Def. 1)            ts.Subseq{Series p, Start j, Length i};
+//	                              grouping.Member inside groups
+//	ED, ED̄ (Defs. 2, 5)           dist.ED, dist.NormalizedED
+//	DTW, DTW̄ (Defs. 3, 6)         dist.DTW, dist.NormalizedDTW (÷2·max(n,m))
+//	warping path P, w(P)          dist.DTWPath, dist.PathPoint
+//	similarity threshold ST       Options.ST / Base.ST()
+//	similarity group G^i_k        grouping.Group (Def. 8: same length,
+//	                              ED̄ to rep ≤ ST/2, nearest rep)
+//	representative R^i_k (Def. 7) grouping.Group.Rep (point-wise average)
+//	R-Space (Def. 9)              rspace.Base
+//	Dc (Def. 10)                  rspace.LengthEntry.Dc
+//	GTI (Sec. 4.3)                rspace.LengthEntry (group vector, Dc,
+//	                              Sums/SumOrder/MedianOrder, STHalf/STFinal)
+//	LSI (Sec. 4.3)                grouping.Group.Members (ED-sorted) +
+//	                              rspace.LengthEntry.Envelopes
+//	SP-Space, SThalf/STfinal      rspace SThalf/STFinal per length;
+//	(Sec. 4.2, Fig. 1)            Base.RecommendThreshold, Base.DegreeOf
+//	S/M/L similarity degrees      onex.Strict / Medium / Loose
+//	Algorithm 1                   grouping.Build (+ grouping.Extend for
+//	                              incremental maintenance)
+//	Algorithm 2.A (Q1)            Base.BestMatch / BestKMatches
+//	Algorithm 2.B (Q2)            Base.Seasonal / SeasonalAll
+//	Algorithm 2.C (vary ST′)      Base.WithThreshold
+//	Lemma 1                       tested in grouping (pairwise ≤ ST)
+//	Lemma 2 (ED↔DTW triangle)     the MatchAny early-stop rule and
+//	                              RangeSearch wholesale admission
+//	LB_Kim, LB_Keogh (Sec. 5.3)   dist.LBKim, dist.LBKeogh(+Ordered)
+//	early abandoning (Sec. 5.3)   dist.Workspace.DTWEarlyAbandon,
+//	                              dist.SquaredEDEarlyAbandon
+//	Trillion [22]                 baseline.Trillion
+//	PAA / PDTW [19]               baseline.PAA
+//	Standard DTW                  baseline.BruteForce

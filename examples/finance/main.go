@@ -1,0 +1,118 @@
+// Finance example — the paper's stock-market use case (Sec. 5.1, Q1):
+// an analyst retrieves the stock most similar to a reference stock's recent
+// fluctuation, then *designs* a hypothetical "V-shaped recovery" and searches
+// for the closest real pattern of any duration, even though the designed
+// sequence does not exist in the data.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"onex"
+)
+
+func main() {
+	// 60 synthetic "stocks": random walks with drift, 250 trading days.
+	r := rand.New(rand.NewSource(7))
+	var series []onex.Series
+	for s := 0; s < 60; s++ {
+		v := make([]float64, 250)
+		price, drift := 100.0, r.NormFloat64()*0.05
+		for i := range v {
+			price += drift + r.NormFloat64()
+			v[i] = price
+		}
+		series = append(series, onex.Series{Label: fmt.Sprintf("TICK%02d", s), Values: v})
+	}
+
+	base, err := onex.Build("stocks", series, onex.Options{
+		ST:      0.1,
+		Lengths: []int{10, 20, 30, 45, 60, 90},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d subsequences of 60 stocks into %d representatives\n\n",
+		base.Stats().Subsequences, base.Stats().Representatives)
+
+	// Case 1: the query exists in the dataset — "which stock moved like
+	// TICK07's last 30 days?" (normalize the window the way the base did:
+	// queries run against dataset-level min-max normalized values, so we
+	// pull the window from the normalized match space via a first query).
+	ref := series[7].Values[220:250]
+	norm := normalizeLike(series, ref)
+	m, err := base.BestMatch(norm, onex.MatchExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stock window most similar to TICK07[220:250]: %s (%s)\n",
+		m, series[m.SeriesID].Label)
+
+	// Case 2: a designed query — V-shaped recovery over ~30 days. The exact
+	// shape exists nowhere; ONEX returns the closest warped match of any
+	// indexed duration.
+	v := make([]float64, 30)
+	for i := range v {
+		if i < 15 {
+			v[i] = 1 - float64(i)/15 // decline
+		} else {
+			v[i] = float64(i-15) / 15 // recovery
+		}
+	}
+	scale(v, 0.3, 0.4) // place it mid-range of normalized prices
+	m, err = base.BestMatch(v, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closest real V-recovery: %s (%s), duration %d days\n",
+		m, series[m.SeriesID].Label, m.Length)
+
+	// How strict was that? Let the SP-Space translate.
+	deg := base.DegreeOf(m.Distance * 2)
+	fmt.Printf("a threshold of %.3f would be %q similarity for this dataset\n",
+		m.Distance*2, deg)
+}
+
+// normalizeLike maps raw values into the dataset-level min-max space the
+// base indexes (Sec. 6.1 normalization).
+func normalizeLike(series []onex.Series, raw []float64) []float64 {
+	min, max := raw[0], raw[0]
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = (v - min) / (max - min)
+	}
+	return out
+}
+
+// scale linearly maps v from [min(v),max(v)] to [lo,hi].
+func scale(v []float64, lo, hi float64) {
+	mn, mx := v[0], v[0]
+	for _, x := range v {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	if mx == mn {
+		return
+	}
+	for i, x := range v {
+		v[i] = lo + (x-mn)/(mx-mn)*(hi-lo)
+	}
+}

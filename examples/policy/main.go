@@ -1,0 +1,114 @@
+// Policy example — the paper's motivating scenario (Sec. 1.1): analysts
+// studying a proposed tax repeal compare economic indicators of different
+// lengths and alignments across states, design a growth-rate timeline
+// indicating a positive outcome, and need guidance choosing similarity
+// thresholds across heterogeneous domains.
+//
+//	go run ./examples/policy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"onex"
+)
+
+func main() {
+	// Synthetic indicators for 25 "states": quarterly growth rates reported
+	// over different intervals (lengths 40–80), seasonal + trend + shock.
+	r := rand.New(rand.NewSource(2013)) // the year of the Massachusetts repeal
+	var series []onex.Series
+	for s := 0; s < 25; s++ {
+		n := 40 + r.Intn(41)
+		v := make([]float64, n)
+		trend := r.NormFloat64() * 0.02
+		shockAt := -1
+		if r.Intn(3) == 0 { // a third of the states saw a tax shock
+			shockAt = n/3 + r.Intn(n/3)
+		}
+		level := 2 + r.NormFloat64()
+		for i := range v {
+			level += trend
+			season := 0.5 * math.Sin(2*math.Pi*float64(i)/4)
+			shock := 0.0
+			if shockAt >= 0 && i >= shockAt {
+				shock = -1.5 * math.Exp(-float64(i-shockAt)/6)
+			}
+			v[i] = level + season + shock + 0.1*r.NormFloat64()
+		}
+		series = append(series, onex.Series{Label: fmt.Sprintf("state-%02d", s), Values: v})
+	}
+
+	// Indicators live on different scales → per-series normalization.
+	base, err := onex.Build("growth-rates", series, onex.Options{
+		ST:        0.2,
+		Lengths:   []int{8, 12, 16, 24, 32},
+		Normalize: onex.NormalizePerSeries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d states (%d subsequences, %d representatives)\n\n",
+		len(series), base.Stats().Subsequences, base.Stats().Representatives)
+
+	// Step 1 — threshold guidance (Q3): what do strict/medium/loose mean on
+	// THIS data? (Sec. 4.2: demographic data needs different thresholds
+	// than growth rates.)
+	for _, deg := range []onex.Degree{onex.Strict, onex.Medium, onex.Loose} {
+		rng, err := base.RecommendThreshold(deg, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q3 %s similarity: %s\n", deg, rng)
+	}
+
+	// Step 2 — the designed query (Q1): a "recovery after tax change"
+	// timeline — dip then steady growth over ~4 years (16 quarters). This
+	// exact sequence exists in no state; close matches show states with
+	// similar short-term impacts.
+	design := make([]float64, 16)
+	for i := range design {
+		base := 0.35
+		if i < 5 {
+			design[i] = base - 0.25*float64(5-i)/5 // dip
+		} else {
+			design[i] = base + 0.4*float64(i-5)/10 // recovery
+		}
+	}
+	m, err := base.BestMatch(design, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ1 closest real outcome to the designed recovery: %s over %d quarters (dist %.4f)\n",
+		series[m.SeriesID].Label, m.Length, m.Distance)
+
+	// Step 3 — recurring impacts (Q2): does any state show the same
+	// 12-quarter pattern twice (e.g. seasonal budget cycles)?
+	recurring := 0
+	for sid := range series {
+		ps, err := base.Seasonal(sid, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ps) > 0 {
+			recurring++
+		}
+	}
+	fmt.Printf("Q2 states with recurring 12-quarter growth patterns: %d of %d\n",
+		recurring, len(series))
+
+	// Step 4 — explore a looser similarity without rebuilding (Sec. 5.2).
+	loose, err := base.WithThreshold(0.45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := loose.BestMatch(design, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat ST'=0.45 the base compacts to %d representatives; the match becomes %s\n",
+		loose.Stats().Representatives, series[m2.SeriesID].Label)
+}

@@ -1,0 +1,78 @@
+// Quickstart: build an ONEX base over a small synthetic dataset, then run
+// one query from each of the three classes the paper supports (Sec. 5.1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"onex"
+)
+
+func main() {
+	// 40 noisy sinusoids with different phases — stand-ins for any
+	// collection of related measurements.
+	var series []onex.Series
+	for s := 0; s < 40; s++ {
+		v := make([]float64, 64)
+		for i := range v {
+			v[i] = math.Sin(2*math.Pi*float64(i)/16+float64(s)*0.15) +
+				0.05*math.Sin(float64(7*i+s))
+		}
+		series = append(series, onex.Series{Label: "sensor", Values: v})
+	}
+
+	// One-time preprocessing: group all subsequences of the chosen lengths
+	// by Euclidean distance (radius ST/2) and index the representatives.
+	base, err := onex.Build("quickstart", series, onex.Options{
+		ST:      0.2,
+		Lengths: []int{8, 16, 24, 32},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := base.Stats()
+	fmt.Printf("base ready: %d representatives summarize %d subsequences (%.2f MB, built in %v)\n\n",
+		st.Representatives, st.Subsequences, float64(st.IndexBytes)/(1<<20), st.BuildTime)
+
+	// Class I — similarity query: design a target shape and find the most
+	// similar subsequence of any length, compared by DTW.
+	query := make([]float64, 16)
+	for i := range query {
+		query[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	match, err := base.BestMatch(query, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1 best match: %s\n", match)
+
+	// Class II — seasonal similarity: where does series 0 repeat itself?
+	patterns, err := base.Seasonal(0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2 series 0 has %d recurring length-16 pattern(s)", len(patterns))
+	if len(patterns) > 0 {
+		fmt.Printf("; first recurs %d times", len(patterns[0].Occurrences))
+	}
+	fmt.Println()
+
+	// Class III — threshold recommendation: what does "strict" mean here?
+	rng, err := base.RecommendThreshold(onex.Strict, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q3 strict-similarity thresholds: %s\n", rng)
+
+	// Sec. 5.2 — explore a looser notion of similarity without rebuilding.
+	looser, err := base.WithThreshold(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adapted to ST'=0.5: %d representatives (was %d)\n",
+		looser.Stats().Representatives, st.Representatives)
+}

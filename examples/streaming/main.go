@@ -1,0 +1,113 @@
+// Streaming example — incremental base maintenance: new series arrive in
+// batches (sensors coming online, fresh trading days) and join the existing
+// ONEX base through the Algorithm 1 assignment rule without rebuilding.
+// The paper defers maintenance to its tech report; this demonstrates the
+// repository's implementation of it (grouping.Extend / Base.Extend).
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"onex"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(99))
+	makeSensor := func(kind int) onex.Series {
+		v := make([]float64, 96)
+		for i := range v {
+			switch kind {
+			case 0: // daily cycle
+				v[i] = math.Sin(2*math.Pi*float64(i)/24) + 0.05*r.NormFloat64()
+			case 1: // sawtooth load
+				v[i] = math.Mod(float64(i), 16)/16 + 0.05*r.NormFloat64()
+			default: // square duty cycle — appears only in late batches
+				if (i/12)%2 == 0 {
+					v[i] = 1
+				}
+				v[i] += 0.05 * r.NormFloat64()
+			}
+		}
+		return onex.Series{Label: fmt.Sprintf("sensor-kind-%d", kind), Values: v}
+	}
+
+	// Initial fleet: 30 sensors of two kinds.
+	var initial []onex.Series
+	for i := 0; i < 30; i++ {
+		initial = append(initial, makeSensor(i%2))
+	}
+	start := time.Now()
+	base, err := onex.Build("fleet", initial, onex.Options{
+		ST:      0.25,
+		Lengths: []int{12, 24, 48},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial build: %d series → %d representatives in %v\n",
+		len(initial), base.Stats().Representatives, time.Since(start))
+
+	// A square-wave query: nothing like it is indexed yet.
+	q := make([]float64, 24)
+	for i := range q {
+		if (i/12)%2 == 0 {
+			q[i] = 1
+		}
+	}
+	before, err := base.BestMatch(q, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("square-wave query before streaming: dist %.4f (kind %s)\n",
+		before.Distance, initial[before.SeriesID].Label)
+
+	// Stream three batches; the third introduces the square-wave kind.
+	labels := make([]string, 0, 48)
+	for _, s := range initial {
+		labels = append(labels, s.Label)
+	}
+	for batch := 0; batch < 3; batch++ {
+		var arrivals []onex.Series
+		for i := 0; i < 6; i++ {
+			kind := i % 2
+			if batch == 2 {
+				kind = 2
+			}
+			arrivals = append(arrivals, makeSensor(kind))
+		}
+		for _, s := range arrivals {
+			labels = append(labels, s.Label)
+		}
+		start = time.Now()
+		base, err = base.Extend(arrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: +%d series in %v → %d representatives\n",
+			batch+1, len(arrivals), time.Since(start), base.Stats().Representatives)
+	}
+
+	after, err := base.BestMatch(q, onex.MatchAny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("square-wave query after streaming:  dist %.4f (%s, series %d)\n",
+		after.Distance, labels[after.SeriesID], after.SeriesID)
+	if after.SeriesID >= len(initial) {
+		fmt.Println("→ an incrementally added sensor is now the best match")
+	}
+
+	// Seasonal check on a streamed series: batch-3 sensors recur.
+	newest := after.SeriesID
+	patterns, err := base.Seasonal(newest, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recurring length-24 patterns in streamed series %d: %d\n", newest, len(patterns))
+}

@@ -1,0 +1,231 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sec. 6). Each experiment is registered under the paper's
+// label (fig2 … fig8, table1 … table4) and prints the same rows/series the
+// paper reports, measured on this implementation.
+//
+// Scale: the paper runs on full UCR datasets (Symbols alone has 78.6M
+// subsequences). Default configs shrink each dataset to a per-dataset bench
+// cardinality (series count only — series length and therefore per-length
+// structure are preserved) and index an evenly spaced subset of lengths so
+// the whole suite completes in minutes; Config.Full restores paper scale.
+// All systems always share the same data and candidate length set, so the
+// paper's relative claims (who wins, by what factor) are preserved —
+// EXPERIMENTS.md records paper-vs-measured for every experiment.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// ST is the build threshold for the main experiments (the paper's
+	// per-dataset sweet spot ≈ 0.2, Sec. 6.3).
+	ST float64
+	// Seed drives dataset generation, workload choice and grouping.
+	Seed int64
+	// Scale multiplies the per-dataset default bench cardinalities
+	// (1.0 = defaults; ignored when Full is set).
+	Scale float64
+	// Full runs paper-scale datasets and all lengths 2..n. Hours, not
+	// minutes.
+	Full bool
+	// LengthCount is how many evenly spaced subsequence lengths are
+	// indexed (0 = 16; ignored when Full — all lengths are used).
+	LengthCount int
+	// Queries is the number of similarity queries per dataset; half are
+	// in-dataset, half out-of-dataset (0 = 20, the paper's count).
+	Queries int
+	// Repeats is how many times each query is re-run when timing
+	// (0 = 3; the paper uses 5).
+	Repeats int
+	// Datasets restricts which of the six paper datasets run (nil = all).
+	Datasets []string
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+// DefaultConfig returns the settings the committed EXPERIMENTS.md numbers
+// were produced with.
+func DefaultConfig() Config {
+	return Config{ST: 0.2, Seed: 1, Scale: 1}
+}
+
+func (c *Config) fillDefaults() {
+	if c.ST == 0 {
+		c.ST = 0.2
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.LengthCount == 0 {
+		c.LengthCount = 16
+	}
+	if c.Queries == 0 {
+		c.Queries = 20
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+}
+
+func (c Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Session caches shared computation (workloads, system results) across
+// experiments run in one process, mirroring how the paper reuses one query
+// workload for Fig. 2 and Tables 1–3.
+type Session struct {
+	cfg      Config
+	simCache map[string]*SimilarityResult
+}
+
+// NewSession validates the config and prepares a cache.
+func NewSession(cfg Config) (*Session, error) {
+	cfg.fillDefaults()
+	if cfg.ST <= 0 {
+		return nil, fmt.Errorf("bench: invalid ST %v", cfg.ST)
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("bench: invalid scale %v", cfg.Scale)
+	}
+	if cfg.Queries < 2 {
+		return nil, fmt.Errorf("bench: need at least 2 queries, got %d", cfg.Queries)
+	}
+	return &Session{cfg: cfg, simCache: make(map[string]*SimilarityResult)}, nil
+}
+
+// Config returns the session's effective configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Table is one printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title))); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	// ID is the paper label: "fig2" … "fig8", "table1" … "table4".
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(s *Session) ([]Table, error)
+}
+
+// Experiments lists every reproducible table and figure in paper order.
+var Experiments = []Experiment{
+	{"fig2", "Time response for similarity queries (4 systems × 6 datasets)", runFig2},
+	{"fig3", "Time response varying the number of time series (StarLightCurves)", runFig3},
+	{"fig4", "Time response for seasonal similarity queries", runFig4},
+	{"fig5", "Offline construction time varying ST", runFig5},
+	{"fig6", "Number of representatives varying ST", runFig6},
+	{"fig7", "Accuracy vs time trade-off varying ST (ItalyPower, ECG)", runFig7},
+	{"fig8", "Accuracy vs time trade-off varying ST (Face, Wafer)", runFig8},
+	{"table1", "Time response, similarity solution same length as query", runTable1},
+	{"table2", "Accuracy, similarity solution same length as query", runTable2},
+	{"table3", "Accuracy, similarity solution of any length", runTable3},
+	{"table4", "Representatives, subsequences and index size per dataset", runTable4},
+	{"datasets", "Dataset statistics (tech-report table)", runDatasets},
+}
+
+// ByID finds an experiment by its paper label.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment labels in registry order.
+func IDs() []string {
+	out := make([]string, len(Experiments))
+	for i, e := range Experiments {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment, writing each table to w.
+func RunAll(s *Session, w io.Writer) error {
+	for _, e := range Experiments {
+		s.cfg.progressf("== %s: %s", e.ID, e.Title)
+		tables, err := e.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Format(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+var errUnknownDataset = errors.New("bench: unknown dataset name")
+
+// selectedDatasets resolves cfg.Datasets against the paper list.
+func (s *Session) selectedDatasets() ([]string, error) {
+	all := []string{"ItalyPower", "ECG", "Face", "Wafer", "Symbols", "TwoPattern"}
+	if s.cfg.Datasets == nil {
+		return all, nil
+	}
+	allowed := make(map[string]bool, len(all))
+	for _, n := range all {
+		allowed[n] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range s.cfg.Datasets {
+		if !allowed[n] {
+			return nil, fmt.Errorf("%w: %q", errUnknownDataset, n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return indexOf(all, out[i]) < indexOf(all, out[j])
+	})
+	return out, nil
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return len(xs)
+}

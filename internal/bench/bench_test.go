@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"onex/internal/dataset"
+)
+
+// tinyConfig keeps smoke tests fast: one small dataset, few queries.
+func tinyConfig() Config {
+	return Config{
+		ST:          0.2,
+		Seed:        1,
+		Scale:       0.3,
+		LengthCount: 6,
+		Queries:     4,
+		Repeats:     1,
+		Datasets:    []string{"ItalyPower"},
+	}
+}
+
+func tinySession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	bad := []Config{
+		{ST: -1},
+		{ST: 0.2, Scale: -2},
+		{ST: 0.2, Queries: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSession(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+	s, err := NewSession(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Config()
+	if c.ST != 0.2 || c.Queries != 20 || c.Repeats != 3 || c.LengthCount != 16 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+}
+
+func TestSelectedDatasets(t *testing.T) {
+	s := tinySession(t)
+	names, err := s.selectedDatasets()
+	if err != nil || len(names) != 1 || names[0] != "ItalyPower" {
+		t.Errorf("selectedDatasets = %v, %v", names, err)
+	}
+	s2, _ := NewSession(Config{ST: 0.2})
+	all, err := s2.selectedDatasets()
+	if err != nil || len(all) != 6 {
+		t.Errorf("all datasets = %v, %v", all, err)
+	}
+	s3, _ := NewSession(Config{ST: 0.2, Datasets: []string{"Nope"}})
+	if _, err := s3.selectedDatasets(); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+	// Order normalizes to paper order regardless of input order.
+	s4, _ := NewSession(Config{ST: 0.2, Datasets: []string{"Wafer", "ECG", "ECG"}})
+	got, err := s4.selectedDatasets()
+	if err != nil || len(got) != 2 || got[0] != "ECG" || got[1] != "Wafer" {
+		t.Errorf("ordering/dedup = %v, %v", got, err)
+	}
+}
+
+func TestSpreadLengths(t *testing.T) {
+	ls := spreadLengths(100, 5)
+	if len(ls) != 5 || ls[0] != 2 || ls[len(ls)-1] != 100 {
+		t.Errorf("spreadLengths(100,5) = %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Errorf("not strictly increasing: %v", ls)
+		}
+	}
+	if got := spreadLengths(5, 100); len(got) != 4 { // 2,3,4,5
+		t.Errorf("spreadLengths(5,100) = %v", got)
+	}
+	if got := spreadLengths(1, 4); got != nil {
+		t.Errorf("spreadLengths(1,4) = %v, want nil", got)
+	}
+}
+
+func TestBuildWorkloadStructure(t *testing.T) {
+	s := tinySession(t)
+	sp, ok := dataset.ByName("ItalyPower")
+	if !ok {
+		t.Fatal("ItalyPower spec missing")
+	}
+	w, err := buildWorkload(sp, s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 4 {
+		t.Fatalf("queries = %d, want 4", len(w.Queries))
+	}
+	nIn, nOut := 0, 0
+	for _, q := range w.Queries {
+		if len(q.Values) < 2 {
+			t.Errorf("degenerate query of length %d", len(q.Values))
+		}
+		if q.InDataset {
+			nIn++
+		} else {
+			nOut++
+		}
+	}
+	if nIn != 2 || nOut != 2 {
+		t.Errorf("in/out split = %d/%d, want 2/2", nIn, nOut)
+	}
+	// Out-of-dataset sources were removed: 2 series gone.
+	wantN := int(float64(benchN["ItalyPower"]) * 0.3)
+	if w.Data.N() != wantN-2 {
+		t.Errorf("data N = %d, want %d", w.Data.N(), wantN-2)
+	}
+	// Normalized space.
+	min, max := w.Data.MinMax()
+	if min < -1e-9 || max > 1+1e-9 {
+		t.Errorf("workload data not normalized: [%v, %v]", min, max)
+	}
+	// Deterministic.
+	w2, err := buildWorkload(sp, s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		if len(w.Queries[i].Values) != len(w2.Queries[i].Values) {
+			t.Fatal("workload not deterministic")
+		}
+		for j := range w.Queries[i].Values {
+			if w.Queries[i].Values[j] != w2.Queries[i].Values[j] {
+				t.Fatal("workload not deterministic")
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table1", "table2", "table3", "table4", "datasets"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) missing", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID(fig99) should miss")
+	}
+}
+
+func TestSimilaritySuiteSmoke(t *testing.T) {
+	s := tinySession(t)
+	r, err := s.similarity("ItalyPower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dataset != "ItalyPower" {
+		t.Errorf("dataset = %q", r.Dataset)
+	}
+	for name, v := range map[string]float64{
+		"TimeONEX": r.TimeONEX, "TimeTrillion": r.TimeTrillion,
+		"TimePAA": r.TimePAA, "TimeStd": r.TimeStd, "TimeONEXSame": r.TimeONEXSame,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	for name, v := range map[string]float64{
+		"AccONEX": r.AccONEX, "AccPAA": r.AccPAA, "AccTrillionAny": r.AccTrillionAny,
+		"AccONEXSame": r.AccONEXSame, "AccTrillionSame": r.AccTrillionSame,
+	} {
+		if v < 0 || v > 100 {
+			t.Errorf("%s = %v, outside [0,100]", name, v)
+		}
+	}
+	if len(r.ExactAny) != 4 {
+		t.Errorf("ExactAny holds %d entries", len(r.ExactAny))
+	}
+	// Cache hit returns the identical pointer.
+	r2, err := s.similarity("ItalyPower")
+	if err != nil || r2 != r {
+		t.Error("similarity cache miss on second call")
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	// Every registered experiment must run end-to-end on the tiny config
+	// and produce non-empty tables.
+	s := tinySession(t)
+	for _, e := range Experiments {
+		if e.ID == "fig3" {
+			continue // separate, smaller smoke test below
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 || len(tab.Header) == 0 {
+					t.Errorf("table %q empty", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Errorf("table %q: row width %d != header %d", tab.Title, len(row), len(tab.Header))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tab.Format(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(buf.String(), tab.Title) {
+					t.Error("Format dropped the title")
+				}
+			}
+		})
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 smoke is the slowest bench test")
+	}
+	cfg := tinyConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the size ladder indirectly: tiny config already limits queries;
+	// run as-is but accept the cost (N ≤ 500, length 100).
+	tables, err := runFig3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) != 5 {
+		t.Fatalf("fig3 tables malformed: %d tables", len(tables))
+	}
+	// Times must grow (weakly) with N for the exhaustive scanner.
+	prev := -1.0
+	for _, row := range tables[0].Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && v < prev/4 {
+			t.Errorf("STANDARD-DTW time shrank sharply with N: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRunAllTinyWritesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	s := tinySession(t)
+	var buf bytes.Buffer
+	if err := RunAll(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"Fig 2a", "Fig 4", "Fig 5", "Table 4"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("RunAll output missing %q", id)
+		}
+	}
+}

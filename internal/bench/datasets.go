@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"onex/internal/dataset"
+	"onex/internal/stats"
+)
+
+// runDatasets regenerates the dataset-statistics table the paper keeps in
+// its tech report ("Statistics of our datasets can be found in our Tech
+// Report", Sec. 6.1): per dataset the series count, length, class count,
+// value range, and total subsequence cardinality, at paper shape.
+func runDatasets(s *Session) ([]Table, error) {
+	names, err := s.selectedDatasets()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: "Dataset statistics (paper shapes; tech-report table)",
+		Header: []string{"Dataset", "N", "Length", "Classes",
+			"Raw min", "Raw max", "Subsequences (all lengths)"},
+	}
+	for _, name := range names {
+		sp, _ := dataset.ByName(name)
+		// Generate a small sample to measure the raw value range; the
+		// range is a property of the generator, not of N.
+		sample := sp.Scaled(0.02).Generate(s.cfg.Seed)
+		var lo, hi float64
+		first := true
+		for _, ser := range sample.Series {
+			mn, mx := stats.Min(ser.Values), stats.Max(ser.Values)
+			if first {
+				lo, hi = mn, mx
+				first = false
+				continue
+			}
+			if mn < lo {
+				lo = mn
+			}
+			if mx > hi {
+				hi = mx
+			}
+		}
+		// Paper-shape subsequence count without materializing the data:
+		// N·L(L−1)/2.
+		subseq := int64(sp.N) * int64(sp.Length) * int64(sp.Length-1) / 2
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", sp.N),
+			fmt.Sprintf("%d", sp.Length),
+			fmt.Sprintf("%d", sp.Classes),
+			fmt.Sprintf("%.2f", lo),
+			fmt.Sprintf("%.2f", hi),
+			fmt.Sprintf("%d", subseq),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strconv"
+
+	"onex/internal/dataset"
+)
+
+// runFig3 regenerates Fig. 3: similarity-query time as the number of
+// StarLightCurves series grows, for all four systems (3a) and the
+// ONEX-vs-Trillion zoom (3b). The paper subsets length-100 series and varies
+// N from 1000 to 4000/5000; bench scale uses 100..500 so the brute-force
+// series stays tractable (Full restores the paper range).
+func runFig3(s *Session) ([]Table, error) {
+	sizes := []int{100, 200, 300, 400, 500}
+	if s.cfg.Full {
+		sizes = []int{1000, 2000, 3000, 4000, 5000}
+	}
+	const seriesLen = 100
+	nQueries := s.cfg.Queries / 2 // scalability uses a lighter workload
+	if nQueries < 2 {
+		nQueries = 2
+	}
+
+	a := Table{
+		Title:  "Fig 3a: similarity query time (s) varying number of time series (StarLightCurves, len 100)",
+		Header: []string{"N", "ONEX", "TRILLION", "PAA", "STANDARD-DTW"},
+	}
+	b := Table{
+		Title:  "Fig 3b: zoom, ONEX vs TRILLION",
+		Header: []string{"N", "ONEX", "TRILLION", "Trillion/ONEX"},
+	}
+	for _, n := range sizes {
+		s.cfg.progressf("  StarLight N=%d…", n)
+		// The workload removes the out-of-dataset query sources, so
+		// generate enough extra series to keep N searched series.
+		sp := dataset.StarLight(n+nQueries/2, seriesLen)
+		cfg := s.cfg
+		cfg.Full = true // the spec already carries the exact N; don't rescale
+		cfg.Queries = nQueries
+		w, err := buildWorkload(sp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runSimilaritySuite(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		nStr := strconv.Itoa(n)
+		a.Rows = append(a.Rows, []string{nStr, secs(r.TimeONEX), secs(r.TimeTrillion), secs(r.TimePAA), secs(r.TimeStd)})
+		b.Rows = append(b.Rows, []string{nStr, secs(r.TimeONEX), secs(r.TimeTrillion), ratio(r.TimeTrillion, r.TimeONEX)})
+	}
+	return []Table{a, b}, nil
+}

@@ -1,0 +1,209 @@
+// Package core composes the ONEX subsystems — grouping (Algorithm 1),
+// rspace (the GTI/LSI/SP-Space indexes) and query (Algorithm 2) — into one
+// engine with a single build entry point. The public onex package wraps this
+// engine with the stable exported API; the benchmark harness drives it
+// directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"onex/internal/grouping"
+	"onex/internal/query"
+	"onex/internal/rspace"
+	"onex/internal/ts"
+)
+
+// NormalizeMode selects how the dataset is normalized before indexing.
+type NormalizeMode int
+
+const (
+	// NormalizeDataset applies the paper's scheme: min-max over the whole
+	// dataset (Sec. 6.1). This is the default.
+	NormalizeDataset NormalizeMode = iota
+	// NormalizePerSeries min-max scales each series independently.
+	NormalizePerSeries
+	// NormalizeNone indexes the raw values (the caller already normalized).
+	NormalizeNone
+)
+
+// BuildConfig aggregates every knob of a build.
+type BuildConfig struct {
+	// ST is the similarity threshold (normalized-ED units). The paper's
+	// experiments use the per-dataset sweet spot ≈ 0.2 (Sec. 6.3).
+	ST float64
+	// Lengths restricts the indexed subsequence lengths; nil indexes all
+	// lengths 2..max as in the paper.
+	Lengths []int
+	// Seed makes builds reproducible.
+	Seed int64
+	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Normalize selects the input normalization.
+	Normalize NormalizeMode
+	// Query carries the online-processor options.
+	Query query.Options
+}
+
+// Engine is a built ONEX base plus its query processor.
+type Engine struct {
+	// Base is the immutable R-Space with its indexes.
+	Base *rspace.Base
+	// Proc answers online queries.
+	Proc *query.Processor
+	// BuildTime records the offline construction cost (Fig. 5).
+	BuildTime time.Duration
+
+	cfg BuildConfig
+	// normMin/normMax record the dataset-level scaling applied at build so
+	// incrementally added series land in the same value space.
+	normMin, normMax float64
+	grouped          *grouping.Result
+}
+
+// Build normalizes (a copy of) the dataset per cfg, constructs the
+// similarity groups, wraps them in the R-Space indexes and returns a ready
+// engine. The input dataset is never modified.
+func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
+	if d == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	work := d
+	var normMin, normMax float64
+	switch cfg.Normalize {
+	case NormalizeDataset:
+		normMin, normMax = d.MinMax()
+		work = d.Clone()
+		if err := work.NormalizeMinMax(); err != nil {
+			return nil, err
+		}
+	case NormalizePerSeries:
+		work = d.Clone()
+		if err := work.NormalizeMinMaxPerSeries(); err != nil {
+			return nil, err
+		}
+	case NormalizeNone:
+		// Index raw values as provided.
+	default:
+		return nil, fmt.Errorf("core: unknown normalize mode %d", cfg.Normalize)
+	}
+
+	start := time.Now()
+	gr, err := grouping.Build(work, grouping.Config{
+		ST:      cfg.ST,
+		Lengths: cfg.Lengths,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := rspace.New(work, gr, rspace.Options{})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	proc, err := query.New(base, cfg.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Base: base, Proc: proc, BuildTime: elapsed,
+		cfg: cfg, normMin: normMin, normMax: normMax, grouped: gr,
+	}, nil
+}
+
+// Extend performs incremental base maintenance: the new series join the
+// existing similarity groups via the Algorithm 1 assignment rule (only the
+// new subsequences are clustered — no rebuild of existing groups), then the
+// GTI/LSI/SP-Space indexes are re-derived. The receiver stays valid and
+// unchanged; a new engine over the extended base is returned.
+//
+// Normalization: with NormalizeDataset the new series are scaled with the
+// *original* dataset's min/max so all values stay commensurate (values
+// outside the original range map outside [0,1], which is harmless);
+// NormalizePerSeries scales each new series by itself; NormalizeNone
+// appends raw values.
+func (e *Engine) Extend(newSeries []*ts.Series) (*Engine, error) {
+	if len(newSeries) == 0 {
+		return nil, errors.New("core: no series to add")
+	}
+	if e.grouped == nil {
+		return nil, errors.New("core: threshold-adapted engines cannot be extended; extend the original base first")
+	}
+	work := e.Base.Dataset.Clone()
+	from := work.N()
+	for _, s := range newSeries {
+		if s == nil || s.Len() == 0 {
+			return nil, errors.New("core: empty new series")
+		}
+		values := append([]float64(nil), s.Values...)
+		switch e.cfg.Normalize {
+		case NormalizeDataset:
+			scale := 1 / (e.normMax - e.normMin)
+			for i, v := range values {
+				values[i] = (v - e.normMin) * scale
+			}
+		case NormalizePerSeries:
+			min, max := math.Inf(1), math.Inf(-1)
+			for _, v := range values {
+				min = math.Min(min, v)
+				max = math.Max(max, v)
+			}
+			if max == min {
+				return nil, ts.ErrConstantData
+			}
+			scale := 1 / (max - min)
+			for i, v := range values {
+				values[i] = (v - min) * scale
+			}
+		}
+		work.Append(s.Label, values)
+	}
+
+	start := time.Now()
+	gr, err := grouping.Extend(work, e.grouped, from, grouping.Config{
+		ST:      e.cfg.ST,
+		Seed:    e.cfg.Seed,
+		Workers: e.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := rspace.New(work, gr, rspace.Options{})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	proc, err := query.New(base, e.cfg.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Base: base, Proc: proc, BuildTime: elapsed,
+		cfg: e.cfg, normMin: e.normMin, normMax: e.normMax, grouped: gr,
+	}, nil
+}
+
+// WithThreshold adapts the engine to a new similarity threshold via the
+// Sec. 5.2 split/merge rules, returning a new engine over the adapted view.
+// The receiver is unchanged. Adapted engines answer every query class but
+// cannot be Extended (extend the original base, then re-adapt).
+func (e *Engine) WithThreshold(stPrime float64) (*Engine, error) {
+	start := time.Now()
+	proc, err := e.Proc.AdaptThreshold(stPrime)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Base: proc.Base(), Proc: proc, BuildTime: time.Since(start),
+		cfg: e.cfg, normMin: e.normMin, normMax: e.normMax,
+	}, nil
+}

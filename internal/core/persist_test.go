@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"onex/internal/query"
+)
+
+func buildPersistFixture(t *testing.T) *Engine {
+	t.Helper()
+	d := fixture(t)
+	eng, err := Build(d, BuildConfig{
+		ST: 0.2, Lengths: []int{6, 12}, Seed: 3,
+		Query: query.Options{CandidateLimit: 7, Patience: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	eng := buildPersistFixture(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure identical.
+	if loaded.Base.ST != eng.Base.ST {
+		t.Errorf("ST %v != %v", loaded.Base.ST, eng.Base.ST)
+	}
+	if loaded.Base.TotalGroups() != eng.Base.TotalGroups() {
+		t.Errorf("groups %d != %d", loaded.Base.TotalGroups(), eng.Base.TotalGroups())
+	}
+	if loaded.Base.TotalSubseq != eng.Base.TotalSubseq {
+		t.Errorf("subseq %d != %d", loaded.Base.TotalSubseq, eng.Base.TotalSubseq)
+	}
+	if loaded.Base.GlobalSTHalf != eng.Base.GlobalSTHalf ||
+		loaded.Base.GlobalSTFinal != eng.Base.GlobalSTFinal {
+		t.Error("SP-Space thresholds differ after round trip")
+	}
+	// Queries agree bit-for-bit.
+	q := append([]float64(nil), eng.Base.Dataset.Series[1].Values[3:15]...)
+	m1, err := eng.Proc.BestMatch(q, query.MatchExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := loaded.Proc.BestMatch(q, query.MatchExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("query answers differ after round trip: %+v vs %+v", m1, m2)
+	}
+	// Loaded engines remain extendable (grouped state survived).
+	if _, err := loaded.Extend(fixture(t).Series[:1]); err != nil {
+		t.Errorf("loaded engine not extendable: %v", err)
+	}
+}
+
+func TestSaveAdaptedEngineRefused(t *testing.T) {
+	eng := buildPersistFixture(t)
+	adapted, err := eng.WithThreshold(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adapted.Save(io.Discard); err == nil {
+		t.Error("saving adapted engine should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"wrong magic", []byte("NOTANONEXBASE___________")},
+		{"truncated magic", []byte("ONEX")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(c.data)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	eng := buildPersistFixture(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(persistMagic)] = 99 // bump version byte
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	eng := buildPersistFixture(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the middle of the payload.
+	data[len(data)/2] ^= 0xFF
+	_, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted stream loaded without error")
+	}
+	// Either the checksum catches it or a range check does; both are fine,
+	// but silent success is not.
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	eng := buildPersistFixture(t)
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 2} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d loaded without error", cut)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+func TestPaperSpecShapesMatchTable4(t *testing.T) {
+	// The paper's Table 4 subsequence counts pin down each dataset's N and
+	// series length (DESIGN.md §4); verify our specs regenerate those counts.
+	cases := []struct {
+		spec Spec
+		want int64
+	}{
+		{ItalyPower, 18492 * 67 / 67}, // 67·24·23/2 = 18492
+		{Face, 4768400},               // 560·131·130/2
+		{Wafer, 11476000},             // 1000·152·151/2
+		{Symbols, 78607985},           // 995·398·397/2
+	}
+	for _, c := range cases {
+		t.Run(c.spec.Name, func(t *testing.T) {
+			d := c.spec.Generate(1)
+			if got := d.SubseqCount(nil); got != c.want {
+				t.Errorf("SubseqCount = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	for _, sp := range PaperSpecs {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			small := sp.Scaled(0.02)
+			d1 := small.Generate(42)
+			d2 := small.Generate(42)
+			if d1.N() != small.N {
+				t.Fatalf("N = %d, want %d", d1.N(), small.N)
+			}
+			for i, s := range d1.Series {
+				if s.Len() != sp.Length {
+					t.Fatalf("series %d length = %d, want %d", i, s.Len(), sp.Length)
+				}
+				for j, v := range s.Values {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("series %d has non-finite value at %d", i, j)
+					}
+					if v != d2.Series[i].Values[j] {
+						t.Fatalf("generation not deterministic at series %d idx %d", i, j)
+					}
+				}
+			}
+			if err := d1.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := ItalyPower.Generate(1)
+	b := ItalyPower.Generate(2)
+	same := true
+	for i := range a.Series[0].Values {
+		if a.Series[0].Values[i] != b.Series[0].Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first series")
+	}
+}
+
+// Intra-class series must be closer to each other than to other classes on
+// average — the property that makes grouping meaningful (DESIGN.md §4).
+func TestClassStructureIsClusterable(t *testing.T) {
+	for _, sp := range []Spec{ItalyPower, ECG, Wafer, TwoPattern} {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			small := sp
+			small.N = 40
+			d := small.Generate(7)
+			var intra, inter float64
+			var nIntra, nInter int
+			for i := 0; i < d.N(); i++ {
+				for j := i + 1; j < d.N(); j++ {
+					dd := dist.DTW(d.Series[i].Values, d.Series[j].Values)
+					if d.Series[i].Label == d.Series[j].Label {
+						intra += dd
+						nIntra++
+					} else {
+						inter += dd
+						nInter++
+					}
+				}
+			}
+			if nIntra == 0 || nInter == 0 {
+				t.Skip("degenerate class split")
+			}
+			intra /= float64(nIntra)
+			inter /= float64(nInter)
+			if intra >= inter {
+				t.Errorf("mean intra-class DTW %v >= inter-class %v", intra, inter)
+			}
+		})
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Wafer.Scaled(0.1)
+	if s.N != 100 {
+		t.Errorf("Scaled(0.1).N = %d, want 100", s.N)
+	}
+	if s.Length != Wafer.Length {
+		t.Errorf("Scaled changed Length to %d", s.Length)
+	}
+	if tiny := Wafer.Scaled(0.000001); tiny.N != 8 {
+		t.Errorf("Scaled floor = %d, want 8", tiny.N)
+	}
+	if over := Wafer.Scaled(5); over.N != Wafer.N {
+		t.Errorf("Scaled(5).N = %d, want %d", over.N, Wafer.N)
+	}
+}
+
+func TestByName(t *testing.T) {
+	sp, ok := ByName("ECG")
+	if !ok || sp.Name != "ECG" {
+		t.Errorf("ByName(ECG) = %v,%v", sp.Name, ok)
+	}
+	sl, ok := ByName("StarLightCurves")
+	if !ok || sl.N != 9236 || sl.Length != 1024 {
+		t.Errorf("ByName(StarLightCurves) = %dx%d,%v", sl.N, sl.Length, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+	if len(Names()) != 7 {
+		t.Errorf("Names() = %v, want 7 entries", Names())
+	}
+}
+
+func TestStarLightClasses(t *testing.T) {
+	sp := StarLight(9, 64)
+	d := sp.Generate(3)
+	if d.N() != 9 {
+		t.Fatalf("N = %d", d.N())
+	}
+	labels := map[string]bool{}
+	for _, s := range d.Series {
+		labels[s.Label] = true
+	}
+	if len(labels) != 3 {
+		t.Errorf("classes seen = %d, want 3", len(labels))
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	d := RandomWalk("stocks", 5, 50).Generate(11)
+	if d.N() != 5 || d.Series[0].Len() != 50 {
+		t.Fatalf("shape %dx%d", d.N(), d.Series[0].Len())
+	}
+	// A random walk must actually move.
+	s := d.Series[0].Values
+	if s[0] == s[len(s)-1] {
+		t.Error("random walk did not move")
+	}
+}
+
+func TestLoadUCR(t *testing.T) {
+	const input = `1,0.5,1.5,2.5
+2.0000000e+00,3,4,5
+
+1	6	7	8`
+	d, err := LoadUCR("toy", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d, want 3", d.N())
+	}
+	if d.Series[0].Label != "1" || d.Series[1].Label != "2" || d.Series[2].Label != "1" {
+		t.Errorf("labels = %q,%q,%q", d.Series[0].Label, d.Series[1].Label, d.Series[2].Label)
+	}
+	if got := d.Series[1].Values[2]; got != 5 {
+		t.Errorf("series 1 value[2] = %v, want 5", got)
+	}
+	if got := d.Series[2].Values[0]; got != 6 {
+		t.Errorf("tab-separated value = %v, want 6", got)
+	}
+}
+
+func TestLoadUCRErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"label only", "1"},
+		{"bad value", "1,abc"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadUCR("bad", strings.NewReader(c.in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestGeneratedDatasetNormalizes(t *testing.T) {
+	d := ECG.Scaled(0.05).Generate(1)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	min, max := d.MinMax()
+	if min < 0 || max > 1 {
+		t.Errorf("normalized range [%v,%v] outside [0,1]", min, max)
+	}
+	var _ *ts.Dataset = d
+}

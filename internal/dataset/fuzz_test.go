@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadUCR asserts the parser never panics and never returns a
+// structurally invalid dataset, whatever bytes arrive. The seed corpus runs
+// as part of the normal test suite; `go test -fuzz=FuzzLoadUCR` explores
+// further.
+func FuzzLoadUCR(f *testing.F) {
+	seeds := []string{
+		"",
+		"1,2,3",
+		"1\t2\t3\n2\t4\t5",
+		"1.0000000e+00, 0.5, -0.5",
+		"label,notanumber",
+		"1,2,3\n\n\n2,4",
+		"1," + strings.Repeat("9,", 500) + "9",
+		"\x00\x01\x02",
+		"1,Inf\n",
+		"1,NaN\n",
+		strings.Repeat("1,2\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := LoadUCR("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if d.N() == 0 {
+			t.Fatal("LoadUCR returned an empty dataset without error")
+		}
+		for _, s := range d.Series {
+			if s.Len() == 0 {
+				t.Fatal("LoadUCR produced an empty series without error")
+			}
+		}
+	})
+}

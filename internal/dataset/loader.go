@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"onex/internal/ts"
+)
+
+// LoadUCR reads a dataset in the UCR Time Series Archive text format: one
+// series per line, fields separated by commas, tabs, or spaces, with the
+// first field being the integer class label. Rows may have different
+// lengths (variable-length archives); blank lines are skipped.
+func LoadUCR(name string, r io.Reader) (*ts.Dataset, error) {
+	d := &ts.Dataset{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := splitUCRFields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, need label plus at least one value", lineNo, len(fields))
+		}
+		label := fields[0]
+		// UCR labels are integers, often formatted as floats ("1.0000000e+00").
+		if f, err := strconv.ParseFloat(label, 64); err == nil {
+			label = strconv.Itoa(int(f))
+		}
+		values := make([]float64, 0, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", lineNo, i+2, err)
+			}
+			values = append(values, v)
+		}
+		d.Append(label, values)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", name, err)
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("dataset: %s contains no series", name)
+	}
+	return d, nil
+}
+
+// LoadUCRFile opens path and parses it with LoadUCR, deriving the dataset
+// name from the file name.
+func LoadUCRFile(path string) (*ts.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return LoadUCR(name, f)
+}
+
+func splitUCRFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}

@@ -1,0 +1,128 @@
+// Package dataset supplies the evaluation data substrate. The paper runs on
+// UCR Time Series Archive datasets, which cannot be redistributed here, so
+// this package provides (a) a loader for the UCR file format for users who
+// have the archive, and (b) synthetic generators that reproduce each paper
+// dataset's exact N×length shape and class structure (noisy variations
+// around a small set of class templates — the same structure that makes the
+// UCR classification sets clusterable). DESIGN.md §4 documents why this
+// substitution preserves the experiments' behaviour.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"onex/internal/ts"
+)
+
+// Generator produces one raw series of the given length for the given class,
+// using r for all randomness so datasets are reproducible from a seed.
+type Generator func(r *rand.Rand, class, length int) []float64
+
+// Spec describes a synthetic dataset family: its shape (N series of Length
+// points, paper Table 4), its class count, and its waveform generator.
+type Spec struct {
+	Name    string
+	N       int
+	Length  int
+	Classes int
+	Gen     Generator
+}
+
+// Generate materializes the dataset with deterministic randomness, cycling
+// classes so every class has ⌈N/Classes⌉ or ⌊N/Classes⌋ members. Values are
+// raw; callers normalize (the paper min-max normalizes per dataset).
+func (sp Spec) Generate(seed int64) *ts.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := &ts.Dataset{Name: sp.Name}
+	for i := 0; i < sp.N; i++ {
+		class := i % sp.Classes
+		d.Append(fmt.Sprintf("%d", class), sp.Gen(r, class, sp.Length))
+	}
+	return d
+}
+
+// Scaled returns a copy of the spec with N reduced to max(minN, N·frac).
+// Length is never scaled: per-length structure (group counts, envelope
+// behaviour) is what the experiments exercise, so only cardinality shrinks.
+func (sp Spec) Scaled(frac float64) Spec {
+	const minN = 8
+	n := int(float64(sp.N) * frac)
+	if n < minN {
+		n = minN
+	}
+	if n > sp.N {
+		n = sp.N
+	}
+	out := sp
+	out.N = n
+	return out
+}
+
+// The six paper datasets (Table 4 shapes; see DESIGN.md §4 for the
+// derivation of each N×Length from the paper's subsequence counts).
+var (
+	// ItalyPower mirrors ItalyPowerDemand: 67 daily electricity-demand
+	// curves of 24 hourly readings, two seasonal classes.
+	ItalyPower = Spec{Name: "ItalyPower", N: 67, Length: 24, Classes: 2, Gen: genItalyPower}
+
+	// ECG mirrors ECG200: 200 heartbeats of 96 samples, normal vs abnormal.
+	ECG = Spec{Name: "ECG", N: 200, Length: 96, Classes: 2, Gen: genECG}
+
+	// Face mirrors FaceAll: 560 head-profile contours of 131 points,
+	// 14 subject classes.
+	Face = Spec{Name: "Face", N: 560, Length: 131, Classes: 14, Gen: genFace}
+
+	// Wafer mirrors Wafer: 1000 semiconductor process traces of 152 points,
+	// normal vs abnormal.
+	Wafer = Spec{Name: "Wafer", N: 1000, Length: 152, Classes: 2, Gen: genWafer}
+
+	// Symbols mirrors Symbols: 995 pen trajectories of 398 points, 6 glyphs.
+	Symbols = Spec{Name: "Symbols", N: 995, Length: 398, Classes: 6, Gen: genSymbols}
+
+	// TwoPattern mirrors TwoPatterns: 4000 series of 128 points with the
+	// classic four up/down pattern-pair classes.
+	TwoPattern = Spec{Name: "TwoPattern", N: 4000, Length: 128, Classes: 4, Gen: genTwoPattern}
+)
+
+// PaperSpecs lists the six datasets of Figs. 2, 4–8 and Tables 1–4 in the
+// paper's presentation order.
+var PaperSpecs = []Spec{ItalyPower, ECG, Face, Wafer, Symbols, TwoPattern}
+
+// StarLight returns the scalability dataset of Fig. 3: StarLightCurves-like
+// folded light curves. The paper subsets it to n series of length 100; the
+// full archive shape is 9236×1024.
+func StarLight(n, length int) Spec {
+	return Spec{Name: "StarLightCurves", N: n, Length: length, Classes: 3, Gen: genStarLight}
+}
+
+// RandomWalk returns a random-walk dataset, the standard stand-in for stock
+// price histories in the finance examples.
+func RandomWalk(name string, n, length int) Spec {
+	return Spec{Name: name, N: n, Length: length, Classes: 1, Gen: genRandomWalk}
+}
+
+// ByName looks up a paper spec (or StarLightCurves at full shape) by name.
+func ByName(name string) (Spec, bool) {
+	for _, sp := range PaperSpecs {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	if name == "StarLightCurves" {
+		return StarLight(9236, 1024), true
+	}
+	return Spec{}, false
+}
+
+// Names returns the registered spec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(PaperSpecs)+1)
+	for _, sp := range PaperSpecs {
+		out = append(out, sp.Name)
+	}
+	out = append(out, "StarLightCurves")
+	sort.Strings(out)
+	return out
+}

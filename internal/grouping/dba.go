@@ -1,0 +1,119 @@
+package grouping
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+// DBA computes a DTW Barycenter Average of the sequences: starting from
+// init, each iteration aligns every sequence to the current center with an
+// optimal warping path and replaces each center coordinate by the mean of
+// all data points warped onto it (Petitjean et al., the method the paper
+// contrasts ONEX's point-wise averages against in Sec. 7). All sequences
+// and init must share one length; iterations ≤ 0 defaults to 10. The result
+// has the same length as init.
+func DBA(seqs [][]float64, init []float64, iterations int) []float64 {
+	if iterations <= 0 {
+		iterations = 10
+	}
+	center := append([]float64(nil), init...)
+	if len(center) == 0 || len(seqs) == 0 {
+		return center
+	}
+	sums := make([]float64, len(center))
+	counts := make([]int, len(center))
+	for it := 0; it < iterations; it++ {
+		for i := range sums {
+			sums[i] = 0
+			counts[i] = 0
+		}
+		for _, s := range seqs {
+			path, _ := dist.DTWPath(center, s)
+			for _, p := range path {
+				sums[p.I] += s[p.J]
+				counts[p.I]++
+			}
+		}
+		changed := false
+		for i := range center {
+			if counts[i] == 0 {
+				continue // unreachable center point keeps its value
+			}
+			next := sums[i] / float64(counts[i])
+			if math.Abs(next-center[i]) > 1e-12 {
+				changed = true
+			}
+			center[i] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	return center
+}
+
+// MeanDTWToCenter returns the average DTW from the center to each sequence
+// — the quantity DBA descends; exported for the representative-quality
+// ablation.
+func MeanDTWToCenter(center []float64, seqs [][]float64) float64 {
+	if len(seqs) == 0 {
+		return 0
+	}
+	var w dist.Workspace
+	var sum float64
+	for _, s := range seqs {
+		sum += w.DTW(center, s)
+	}
+	return sum / float64(len(seqs))
+}
+
+// RefineRepresentativesDBA returns a copy of the grouping result whose
+// representatives were re-estimated with DBA (seeded from the point-wise
+// average) and whose member LSI orders were recomputed against the new
+// representatives. Group membership is unchanged — this isolates the
+// representative strategy, the exact design choice the paper debates
+// against [21]. The input result is not modified.
+func RefineRepresentativesDBA(d *ts.Dataset, prev *Result, iterations int) (*Result, error) {
+	if d == nil || prev == nil {
+		return nil, errors.New("grouping: nil dataset or result")
+	}
+	next := &Result{
+		ST:          prev.ST,
+		Lengths:     append([]int(nil), prev.Lengths...),
+		ByLength:    make(map[int]*LengthGroups, len(prev.Lengths)),
+		TotalSubseq: prev.TotalSubseq,
+	}
+	for _, l := range prev.Lengths {
+		src := prev.ByLength[l]
+		lg := &LengthGroups{Length: l, Groups: make([]*Group, len(src.Groups))}
+		invSqrtL := 1 / math.Sqrt(float64(l))
+		for gi, g := range src.Groups {
+			seqs := make([][]float64, g.Count())
+			for mi, m := range g.Members {
+				seqs[mi] = d.Series[m.SeriesIdx].Values[m.Start : m.Start+l]
+			}
+			rep := DBA(seqs, g.Rep, iterations)
+			ng := &Group{
+				Length:  l,
+				ID:      gi,
+				Rep:     rep,
+				Members: append([]Member(nil), g.Members...),
+			}
+			for mi := range ng.Members {
+				m := &ng.Members[mi]
+				v := d.Series[m.SeriesIdx].Values[m.Start : m.Start+l]
+				m.EDToRep = dist.ED(v, rep) * invSqrtL
+			}
+			sort.Slice(ng.Members, func(a, b int) bool {
+				return ng.Members[a].EDToRep < ng.Members[b].EDToRep
+			})
+			lg.Groups[gi] = ng
+		}
+		next.ByLength[l] = lg
+	}
+	return next, nil
+}

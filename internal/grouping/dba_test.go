@@ -1,0 +1,106 @@
+package grouping
+
+import (
+	"math"
+	"testing"
+
+	"onex/internal/dataset"
+)
+
+func TestDBAIdenticalSequences(t *testing.T) {
+	s := []float64{1, 2, 3, 2, 1}
+	seqs := [][]float64{s, s, s}
+	got := DBA(seqs, s, 10)
+	for i := range s {
+		if math.Abs(got[i]-s[i]) > 1e-12 {
+			t.Fatalf("DBA of identical sequences moved: %v", got)
+		}
+	}
+}
+
+func TestDBADegenerate(t *testing.T) {
+	if got := DBA(nil, []float64{1, 2}, 5); got[0] != 1 || got[1] != 2 {
+		t.Errorf("no sequences: %v", got)
+	}
+	if got := DBA([][]float64{{1}}, nil, 5); len(got) != 0 {
+		t.Errorf("empty init: %v", got)
+	}
+}
+
+func TestDBAReducesMeanDTW(t *testing.T) {
+	// The point of DBA: its center is at least as DTW-central as the
+	// point-wise average for warped sequences.
+	shift := func(phase int) []float64 {
+		v := make([]float64, 32)
+		for i := range v {
+			v[i] = math.Sin(2 * math.Pi * float64(i+phase) / 16)
+		}
+		return v
+	}
+	seqs := [][]float64{shift(0), shift(2), shift(4), shift(6)}
+	avg := make([]float64, 32)
+	for _, s := range seqs {
+		for i, v := range s {
+			avg[i] += v / float64(len(seqs))
+		}
+	}
+	dba := DBA(seqs, avg, 15)
+	before := MeanDTWToCenter(avg, seqs)
+	after := MeanDTWToCenter(dba, seqs)
+	if after > before+1e-9 {
+		t.Errorf("DBA increased mean DTW: %v → %v", before, after)
+	}
+	if after >= before*0.95 {
+		t.Logf("note: DBA improvement small (%v → %v)", before, after)
+	}
+}
+
+func TestRefineRepresentativesDBA(t *testing.T) {
+	d := dataset.ItalyPower.Scaled(0.3).Generate(8)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, Config{ST: 0.25, Lengths: []int{8}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineRepresentativesDBA(d, res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Membership unchanged.
+	if len(refined.ByLength[8].Groups) != len(res.ByLength[8].Groups) {
+		t.Fatal("refinement changed the group count")
+	}
+	var dbaBetter, total int
+	for gi, g := range res.ByLength[8].Groups {
+		rg := refined.ByLength[8].Groups[gi]
+		if rg.Count() != g.Count() {
+			t.Fatalf("group %d membership changed: %d vs %d", gi, rg.Count(), g.Count())
+		}
+		// LSI order intact.
+		for i := 1; i < rg.Count(); i++ {
+			if rg.Members[i-1].EDToRep > rg.Members[i].EDToRep {
+				t.Fatalf("group %d unsorted after refinement", gi)
+			}
+		}
+		if g.Count() < 2 {
+			continue
+		}
+		seqs := make([][]float64, g.Count())
+		for mi, m := range g.Members {
+			seqs[mi] = MemberValues(d, g, m)
+		}
+		total++
+		if MeanDTWToCenter(rg.Rep, seqs) <= MeanDTWToCenter(g.Rep, seqs)+1e-9 {
+			dbaBetter++
+		}
+	}
+	if total > 0 && dbaBetter*2 < total {
+		t.Errorf("DBA centers better on only %d of %d multi-member groups", dbaBetter, total)
+	}
+	// Original untouched.
+	if _, err := RefineRepresentativesDBA(nil, res, 3); err == nil {
+		t.Error("nil dataset: want error")
+	}
+}

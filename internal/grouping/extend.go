@@ -1,0 +1,172 @@
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+// Extend implements incremental ONEX-base maintenance (the paper defers the
+// discussion to its tech report; the natural rule follows directly from
+// Algorithm 1): subsequences of newly arrived series are pushed through the
+// same nearest-representative assignment against the existing groups — they
+// join a group when within ST/2 of its representative (updating the running
+// average) and found new groups otherwise. Only the new subsequences are
+// processed, so maintenance costs O(new-subsequences × g × L) instead of a
+// full rebuild.
+//
+// d must be the dataset already containing the new series appended after
+// index fromSeries; prev must have been built over d.Series[:fromSeries]
+// with the same ST. prev is not modified: groups are deep-copied, extended,
+// and returned as a fresh Result (existing bases stay valid).
+func Extend(d *ts.Dataset, prev *Result, fromSeries int, cfg Config) (*Result, error) {
+	if d == nil || prev == nil {
+		return nil, errors.New("grouping: nil dataset or previous result")
+	}
+	if cfg.ST != prev.ST {
+		return nil, fmt.Errorf("grouping: extension threshold %v differs from base %v", cfg.ST, prev.ST)
+	}
+	if fromSeries < 0 || fromSeries > d.N() {
+		return nil, fmt.Errorf("grouping: fromSeries %d out of range [0,%d]", fromSeries, d.N())
+	}
+	newSeries := d.Series[fromSeries:]
+	for _, s := range newSeries {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("grouping: new series %d is empty", s.ID)
+		}
+	}
+
+	next := &Result{
+		ST:       prev.ST,
+		Lengths:  append([]int(nil), prev.Lengths...),
+		ByLength: make(map[int]*LengthGroups, len(prev.Lengths)),
+	}
+
+	results := make([]*LengthGroups, len(prev.Lengths))
+	counts := make([]int64, len(prev.Lengths))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prev.Lengths) {
+		workers = len(prev.Lengths)
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				l := prev.Lengths[idx]
+				results[idx], counts[idx] = extendLength(d, prev.ByLength[l], newSeries, prev.ST, cfg.Seed+int64(l)*1_000_003)
+			}
+		}()
+	}
+	for idx := range prev.Lengths {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+
+	next.TotalSubseq = prev.TotalSubseq
+	for i, lg := range results {
+		next.ByLength[lg.Length] = lg
+		next.TotalSubseq += counts[i]
+	}
+	return next, nil
+}
+
+// extendLength deep-copies one length's groups and streams the new series'
+// subsequences through the Algorithm 1 assignment rule.
+func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, st float64, seed int64) (*LengthGroups, int64) {
+	length := prevLG.Length
+	lg := &LengthGroups{Length: length, Groups: make([]*Group, len(prevLG.Groups))}
+	touched := make([]bool, len(prevLG.Groups))
+	for i, g := range prevLG.Groups {
+		sum := make([]float64, length)
+		for j, v := range g.Rep {
+			sum[j] = v * float64(g.Count())
+		}
+		lg.Groups[i] = &Group{
+			Length:  length,
+			ID:      i,
+			Rep:     append([]float64(nil), g.Rep...),
+			Members: append([]Member(nil), g.Members...),
+			sum:     sum,
+		}
+	}
+
+	var positions []position
+	for _, s := range newSeries {
+		for j := 0; j+length <= s.Len(); j++ {
+			positions = append(positions, position{seriesIdx: s.ID, start: j})
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(positions), func(i, j int) {
+		positions[i], positions[j] = positions[j], positions[i]
+	})
+
+	radiusSq := float64(length) * st * st / 4 // (√L·ST/2)² in raw-ED² units
+	for _, pos := range positions {
+		values := d.Series[pos.seriesIdx].Values[pos.start : pos.start+length]
+		bestSq := math.Inf(1)
+		bestIdx := -1
+		for gi, g := range lg.Groups {
+			cutoff := radiusSq
+			if bestSq < cutoff {
+				cutoff = bestSq
+			}
+			sq := dist.SquaredEDEarlyAbandon(values, g.Rep, cutoff)
+			if sq < bestSq {
+				bestSq = sq
+				bestIdx = gi
+			}
+		}
+		if bestIdx >= 0 && bestSq <= radiusSq {
+			lg.Groups[bestIdx].add(pos.seriesIdx, pos.start, values)
+			touched[bestIdx] = true
+		} else {
+			g := &Group{
+				Length: length,
+				ID:     len(lg.Groups),
+				Rep:    append([]float64(nil), values...),
+				sum:    append([]float64(nil), values...),
+			}
+			g.Members = append(g.Members, Member{SeriesIdx: pos.seriesIdx, Start: pos.start})
+			lg.Groups = append(lg.Groups, g)
+			touched = append(touched, false) // fresh single-member group needs no refinalize
+		}
+	}
+
+	// Refinalize touched groups: their representative drifted, so member
+	// distances and the LSI sort order must be recomputed. Untouched groups
+	// keep their existing (already finalized) members. New single-member
+	// groups get a trivial finalize.
+	invSqrtL := 1 / math.Sqrt(float64(length))
+	for gi, g := range lg.Groups {
+		isNew := gi >= len(prevLG.Groups)
+		if !isNew && !touched[gi] {
+			g.sum = nil
+			continue
+		}
+		for mi := range g.Members {
+			m := &g.Members[mi]
+			v := d.Series[m.SeriesIdx].Values[m.Start : m.Start+length]
+			m.EDToRep = dist.ED(v, g.Rep) * invSqrtL
+		}
+		sort.Slice(g.Members, func(a, b int) bool {
+			return g.Members[a].EDToRep < g.Members[b].EDToRep
+		})
+		g.sum = nil
+	}
+	return lg, int64(len(positions))
+}

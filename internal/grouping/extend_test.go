@@ -1,0 +1,153 @@
+package grouping
+
+import (
+	"math"
+	"testing"
+
+	"onex/internal/dataset"
+	"onex/internal/ts"
+)
+
+// extendFixture builds a base over the first part of a dataset and returns
+// the full dataset, the partial result, and the split point.
+func extendFixture(t *testing.T, st float64, lengths []int) (*ts.Dataset, *Result, int) {
+	t.Helper()
+	full := dataset.ItalyPower.Scaled(0.5).Generate(11)
+	if err := full.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	from := full.N() - 8
+	partial := &ts.Dataset{Name: full.Name}
+	for _, s := range full.Series[:from] {
+		partial.Append(s.Label, s.Values)
+	}
+	res, err := Build(partial, Config{ST: st, Lengths: lengths, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, res, from
+}
+
+func TestExtendValidation(t *testing.T) {
+	full, res, from := extendFixture(t, 0.2, []int{6})
+	if _, err := Extend(nil, res, from, Config{ST: 0.2}); err == nil {
+		t.Error("nil dataset: want error")
+	}
+	if _, err := Extend(full, nil, from, Config{ST: 0.2}); err == nil {
+		t.Error("nil result: want error")
+	}
+	if _, err := Extend(full, res, from, Config{ST: 0.4}); err == nil {
+		t.Error("mismatched ST: want error")
+	}
+	if _, err := Extend(full, res, -1, Config{ST: 0.2}); err == nil {
+		t.Error("negative fromSeries: want error")
+	}
+	if _, err := Extend(full, res, full.N()+1, Config{ST: 0.2}); err == nil {
+		t.Error("out-of-range fromSeries: want error")
+	}
+	bad := full.Clone()
+	bad.Append("x", nil)
+	if _, err := Extend(bad, res, from, Config{ST: 0.2}); err == nil {
+		t.Error("empty new series: want error")
+	}
+}
+
+func TestExtendCoversAllNewSubsequences(t *testing.T) {
+	full, res, from := extendFixture(t, 0.2, []int{5, 9})
+	ext, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.TotalSubseq != full.SubseqCount([]int{5, 9}) {
+		t.Errorf("TotalSubseq = %d, want %d", ext.TotalSubseq, full.SubseqCount([]int{5, 9}))
+	}
+	// Partition invariant over the full dataset.
+	for _, l := range ext.Lengths {
+		seen := map[position]int{}
+		for _, g := range ext.ByLength[l].Groups {
+			for _, m := range g.Members {
+				seen[position{m.SeriesIdx, m.Start}]++
+			}
+		}
+		want := 0
+		for _, s := range full.Series {
+			if n := s.Len() - l + 1; n > 0 {
+				want += n
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("length %d: %d distinct members, want %d", l, len(seen), want)
+		}
+		for pos, c := range seen {
+			if c != 1 {
+				t.Fatalf("length %d: %+v appears %d times", l, pos, c)
+			}
+		}
+	}
+}
+
+func TestExtendLeavesOriginalUntouched(t *testing.T) {
+	full, res, from := extendFixture(t, 0.2, []int{6})
+	beforeGroups := len(res.ByLength[6].Groups)
+	beforeCounts := make([]int, beforeGroups)
+	for i, g := range res.ByLength[6].Groups {
+		beforeCounts[i] = g.Count()
+	}
+	if _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByLength[6].Groups) != beforeGroups {
+		t.Error("Extend mutated the original group count")
+	}
+	for i, g := range res.ByLength[6].Groups {
+		if g.Count() != beforeCounts[i] {
+			t.Errorf("Extend mutated members of original group %d", i)
+		}
+	}
+}
+
+func TestExtendRepsStayAverages(t *testing.T) {
+	full, res, from := extendFixture(t, 0.25, []int{7})
+	ext, err := Extend(full, res, from, Config{ST: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ext.ByLength[7].Groups {
+		avg := make([]float64, 7)
+		for _, m := range g.Members {
+			for i, v := range MemberValues(full, g, m) {
+				avg[i] += v
+			}
+		}
+		for i := range avg {
+			avg[i] /= float64(g.Count())
+			if math.Abs(avg[i]-g.Rep[i]) > 1e-9 {
+				t.Fatalf("group %d rep[%d]=%v, want %v", g.ID, i, g.Rep[i], avg[i])
+			}
+		}
+		for i := 1; i < g.Count(); i++ {
+			if g.Members[i-1].EDToRep > g.Members[i].EDToRep {
+				t.Fatalf("group %d members unsorted after extend", g.ID)
+			}
+		}
+	}
+}
+
+func TestExtendMatchesScaleOfFullBuild(t *testing.T) {
+	// Incremental maintenance is order-dependent (as is Algorithm 1), so
+	// group sets differ from a from-scratch build — but the group count
+	// must stay in the same ballpark.
+	full, res, from := extendFixture(t, 0.2, []int{6})
+	ext, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(full, Config{ST: 0.2, Lengths: []int{6}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, f := len(ext.ByLength[6].Groups), len(fresh.ByLength[6].Groups)
+	if e < f/2 || e > f*2 {
+		t.Errorf("extended build has %d groups vs fresh %d — structurally off", e, f)
+	}
+}

@@ -1,0 +1,297 @@
+// Package grouping implements Algorithm 1 of the paper: the one-pass
+// construction of ONEX similarity groups. Subsequences of each length are
+// visited in randomized order; each joins the group whose representative is
+// nearest in (normalized) Euclidean distance provided that distance is
+// within ST/2, and otherwise founds a new group with itself as the first
+// representative. Representatives are maintained as running point-wise
+// averages (Def. 7).
+//
+// The three Def. 8 properties hold by construction for the radius test; note
+// that, exactly as in the paper, representatives drift as members join, so
+// property (2) is enforced against the representative at insertion time.
+// Lemma 1's pairwise bound is validated statistically in the tests.
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+// Config controls a build.
+type Config struct {
+	// ST is the similarity threshold in normalized-ED units (Def. 5); the
+	// grouping radius is ST/2. Must be > 0.
+	ST float64
+	// Lengths lists the subsequence lengths to decompose into. nil means
+	// every length from 2 to the longest series, the paper's default.
+	Lengths []int
+	// Seed drives RANDOMIZE-IN-PLACE and all tie-breaking; builds are
+	// deterministic given (dataset, Config).
+	Seed int64
+	// Workers bounds construction parallelism across lengths.
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Member identifies one subsequence (Xp)^i_j inside a group and caches its
+// normalized ED to the group's final representative (the LSI sort key,
+// Sec. 4.3).
+type Member struct {
+	// SeriesIdx indexes the dataset's Series slice (the paper's p).
+	SeriesIdx int
+	// Start is the subsequence's starting position (the paper's j).
+	Start int
+	// EDToRep is the normalized ED to the final representative.
+	EDToRep float64
+}
+
+// Group is one ONEX similarity group G^i_k: same-length subsequences within
+// ST/2 of their point-wise-average representative.
+type Group struct {
+	// Length is the subsequence length i shared by every member.
+	Length int
+	// ID is the group's index within its length (the paper's k).
+	ID int
+	// Rep is the representative R^i_k: the point-wise average of members.
+	Rep []float64
+	// Members lists the subsequences, sorted ascending by EDToRep after
+	// Finalize (the LSI order used by the Sec. 5.3 pivot search).
+	Members []Member
+
+	sum []float64 // running point-wise sum backing Rep
+}
+
+// Count returns the number of member subsequences.
+func (g *Group) Count() int { return len(g.Members) }
+
+// add inserts the subsequence and folds its values into the running average.
+func (g *Group) add(seriesIdx, start int, values []float64) {
+	g.Members = append(g.Members, Member{SeriesIdx: seriesIdx, Start: start})
+	for i, v := range values {
+		g.sum[i] += v
+	}
+	n := float64(len(g.Members))
+	for i := range g.Rep {
+		g.Rep[i] = g.sum[i] / n
+	}
+}
+
+// LengthGroups holds every group of one subsequence length.
+type LengthGroups struct {
+	Length int
+	Groups []*Group
+}
+
+// Result is the full panorama of groups for all requested lengths — the raw
+// material of the ONEX base (rspace wraps it with the GTI/LSI indexes).
+type Result struct {
+	// ST echoes the build threshold.
+	ST float64
+	// Lengths lists the built lengths in increasing order.
+	Lengths []int
+	// ByLength maps a length to its groups.
+	ByLength map[int]*LengthGroups
+	// TotalSubseq counts every subsequence placed into a group.
+	TotalSubseq int64
+}
+
+// TotalGroups returns the number of groups across all lengths (the paper's
+// "number of representatives", Fig. 6 / Table 4).
+func (r *Result) TotalGroups() int {
+	total := 0
+	for _, lg := range r.ByLength {
+		total += len(lg.Groups)
+	}
+	return total
+}
+
+// Build runs Algorithm 1 over the dataset. Lengths are processed in
+// parallel; the per-length group construction is sequential because the
+// algorithm is order-dependent (each length gets its own seeded source, so
+// results do not depend on scheduling).
+func Build(d *ts.Dataset, cfg Config) (*Result, error) {
+	if d == nil || d.N() == 0 {
+		return nil, errors.New("grouping: empty dataset")
+	}
+	if cfg.ST <= 0 || math.IsNaN(cfg.ST) || math.IsInf(cfg.ST, 0) {
+		return nil, fmt.Errorf("grouping: similarity threshold must be positive, got %v", cfg.ST)
+	}
+	lengths, err := resolveLengths(d, cfg.Lengths)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ST:       cfg.ST,
+		Lengths:  lengths,
+		ByLength: make(map[int]*LengthGroups, len(lengths)),
+	}
+	results := make([]*LengthGroups, len(lengths))
+	counts := make([]int64, len(lengths))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(lengths) {
+		workers = len(lengths)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				l := lengths[idx]
+				lg, n := buildLength(d, l, cfg.ST, cfg.Seed+int64(l)*1_000_003)
+				results[idx] = lg
+				counts[idx] = n
+			}
+		}()
+	}
+	for idx := range lengths {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	for i, lg := range results {
+		res.ByLength[lg.Length] = lg
+		res.TotalSubseq += counts[i]
+	}
+	return res, nil
+}
+
+// resolveLengths validates and normalizes the requested length set.
+func resolveLengths(d *ts.Dataset, requested []int) ([]int, error) {
+	maxLen := d.MaxLen()
+	if requested == nil {
+		if maxLen < 2 {
+			return nil, errors.New("grouping: dataset series too short to decompose (need length ≥ 2)")
+		}
+		all := make([]int, 0, maxLen-1)
+		for l := 2; l <= maxLen; l++ {
+			all = append(all, l)
+		}
+		return all, nil
+	}
+	seen := make(map[int]bool, len(requested))
+	out := make([]int, 0, len(requested))
+	for _, l := range requested {
+		if l < 1 {
+			return nil, fmt.Errorf("grouping: invalid subsequence length %d", l)
+		}
+		if l > maxLen {
+			continue // no series long enough; harmless to skip
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("grouping: no usable subsequence lengths")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// position identifies a candidate subsequence during construction.
+type position struct {
+	seriesIdx int
+	start     int
+}
+
+// buildLength runs the Algorithm 1 loop for a single length.
+func buildLength(d *ts.Dataset, length int, st float64, seed int64) (*LengthGroups, int64) {
+	positions := enumerate(d, length)
+	r := rand.New(rand.NewSource(seed))
+	// RANDOMIZE-IN-PLACE (Algorithm 1, line 3): Fisher–Yates.
+	r.Shuffle(len(positions), func(i, j int) {
+		positions[i], positions[j] = positions[j], positions[i]
+	})
+
+	lg := &LengthGroups{Length: length}
+	radiusSq := float64(length) * st * st / 4 // (√L·ST/2)² in raw-ED² units
+	for _, pos := range positions {
+		values := d.Series[pos.seriesIdx].Values[pos.start : pos.start+length]
+		bestSq := math.Inf(1)
+		bestIdx := -1
+		for gi, g := range lg.Groups {
+			// Only representatives within the radius can win, and only a
+			// distance below the current best matters: abandon above both.
+			cutoff := radiusSq
+			if bestSq < cutoff {
+				cutoff = bestSq
+			}
+			sq := dist.SquaredEDEarlyAbandon(values, g.Rep, cutoff)
+			if sq < bestSq {
+				bestSq = sq
+				bestIdx = gi
+			}
+		}
+		if bestIdx >= 0 && bestSq <= radiusSq {
+			lg.Groups[bestIdx].add(pos.seriesIdx, pos.start, values)
+		} else {
+			g := &Group{
+				Length: length,
+				ID:     len(lg.Groups),
+				Rep:    append([]float64(nil), values...),
+				sum:    append([]float64(nil), values...),
+			}
+			g.Members = append(g.Members, Member{SeriesIdx: pos.seriesIdx, Start: pos.start})
+			lg.Groups = append(lg.Groups, g)
+		}
+	}
+	finalize(d, lg)
+	return lg, int64(len(positions))
+}
+
+// enumerate lists every subsequence position of the given length.
+func enumerate(d *ts.Dataset, length int) []position {
+	var total int
+	for _, s := range d.Series {
+		if n := s.Len() - length + 1; n > 0 {
+			total += n
+		}
+	}
+	positions := make([]position, 0, total)
+	for si, s := range d.Series {
+		for j := 0; j+length <= s.Len(); j++ {
+			positions = append(positions, position{seriesIdx: si, start: j})
+		}
+	}
+	return positions
+}
+
+// finalize freezes representatives, recomputes member distances against the
+// final representative (the running average drifted during insertion), and
+// sorts members into the LSI order.
+func finalize(d *ts.Dataset, lg *LengthGroups) {
+	invSqrtL := 1 / math.Sqrt(float64(lg.Length))
+	for _, g := range lg.Groups {
+		for mi := range g.Members {
+			m := &g.Members[mi]
+			v := d.Series[m.SeriesIdx].Values[m.Start : m.Start+lg.Length]
+			m.EDToRep = dist.ED(v, g.Rep) * invSqrtL
+		}
+		sort.Slice(g.Members, func(a, b int) bool {
+			return g.Members[a].EDToRep < g.Members[b].EDToRep
+		})
+		g.sum = nil // construction scratch; the rep is frozen now
+	}
+}
+
+// MemberValues returns the raw window of a member subsequence.
+func MemberValues(d *ts.Dataset, g *Group, m Member) []float64 {
+	return d.Series[m.SeriesIdx].Values[m.Start : m.Start+g.Length]
+}

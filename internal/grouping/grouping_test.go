@@ -1,0 +1,319 @@
+package grouping
+
+import (
+	"math"
+	"testing"
+
+	"onex/internal/dataset"
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+func buildSmall(t *testing.T, st float64, lengths []int) (*ts.Dataset, *Result) {
+	t.Helper()
+	d := dataset.ItalyPower.Scaled(0.5).Generate(1)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, Config{ST: st, Lengths: lengths, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, res
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := ts.NewDataset("t", [][]float64{{1, 2, 3}})
+	cases := []struct {
+		name string
+		d    *ts.Dataset
+		cfg  Config
+	}{
+		{"nil dataset", nil, Config{ST: 0.2}},
+		{"empty dataset", &ts.Dataset{}, Config{ST: 0.2}},
+		{"zero ST", d, Config{ST: 0}},
+		{"negative ST", d, Config{ST: -1}},
+		{"NaN ST", d, Config{ST: math.NaN()}},
+		{"bad length", d, Config{ST: 0.2, Lengths: []int{0}}},
+		{"no usable lengths", d, Config{ST: 0.2, Lengths: []int{99}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Build(c.d, c.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestBuildTooShortForDefaultLengths(t *testing.T) {
+	d := ts.NewDataset("t", [][]float64{{1}})
+	if _, err := Build(d, Config{ST: 0.2}); err == nil {
+		t.Error("want error for length-1 series with default lengths")
+	}
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	// Def. 8: every subsequence is in one and only one group of its length.
+	d, res := buildSmall(t, 0.2, []int{4, 8, 12})
+	for _, l := range res.Lengths {
+		lg := res.ByLength[l]
+		seen := make(map[position]int)
+		for _, g := range lg.Groups {
+			if g.Length != l {
+				t.Fatalf("group of length %d filed under %d", g.Length, l)
+			}
+			for _, m := range g.Members {
+				seen[position{m.SeriesIdx, m.Start}]++
+			}
+		}
+		want := 0
+		for _, s := range d.Series {
+			if n := s.Len() - l + 1; n > 0 {
+				want += n
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("length %d: %d distinct subsequences grouped, want %d", l, len(seen), want)
+		}
+		for pos, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("length %d: subsequence %+v appears %d times", l, pos, cnt)
+			}
+		}
+	}
+}
+
+func TestGroupsNonEmptyAndRepLengths(t *testing.T) {
+	_, res := buildSmall(t, 0.2, []int{6})
+	lg := res.ByLength[6]
+	if len(lg.Groups) == 0 {
+		t.Fatal("no groups built")
+	}
+	for _, g := range lg.Groups {
+		if g.Count() == 0 {
+			t.Error("empty group")
+		}
+		if len(g.Rep) != 6 {
+			t.Errorf("rep length %d, want 6", len(g.Rep))
+		}
+	}
+}
+
+func TestRepresentativeIsPointwiseAverage(t *testing.T) {
+	// Def. 7: R = avg of members, point-wise.
+	d, res := buildSmall(t, 0.2, []int{5})
+	for _, g := range res.ByLength[5].Groups {
+		avg := make([]float64, g.Length)
+		for _, m := range g.Members {
+			for i, v := range MemberValues(d, g, m) {
+				avg[i] += v
+			}
+		}
+		for i := range avg {
+			avg[i] /= float64(g.Count())
+			if math.Abs(avg[i]-g.Rep[i]) > 1e-9 {
+				t.Fatalf("group %d rep[%d] = %v, want average %v", g.ID, i, g.Rep[i], avg[i])
+			}
+		}
+	}
+}
+
+func TestLemma1PairwiseBound(t *testing.T) {
+	// Lemma 1 as an exact conditional property: whenever two members are
+	// both within ST/2 of the (final) representative, their pairwise
+	// normalized ED is within ST. (Representative drift can push a member
+	// beyond ST/2 of the final rep — the paper has the same behaviour — so
+	// the premise is checked explicitly.)
+	const st = 0.3
+	d, res := buildSmall(t, st, []int{6, 10})
+	checked := 0
+	for _, l := range res.Lengths {
+		for _, g := range res.ByLength[l].Groups {
+			for a := 0; a < g.Count(); a++ {
+				if g.Members[a].EDToRep > st/2 {
+					continue
+				}
+				va := MemberValues(d, g, g.Members[a])
+				for b := a + 1; b < g.Count(); b++ {
+					if g.Members[b].EDToRep > st/2 {
+						continue
+					}
+					vb := MemberValues(d, g, g.Members[b])
+					if got := dist.NormalizedED(va, vb); got > st+1e-9 {
+						t.Fatalf("Lemma 1 violated: members %d,%d of group %d/%d at normalized ED %v > ST %v",
+							a, b, l, g.ID, got, st)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no member pairs satisfied the premise; test is vacuous")
+	}
+}
+
+func TestMostMembersWithinRadius(t *testing.T) {
+	// Drift is bounded in practice: the overwhelming majority of members
+	// must still be within ST/2 of the final representative.
+	const st = 0.3
+	_, res := buildSmall(t, st, []int{8})
+	within, total := 0, 0
+	for _, g := range res.ByLength[8].Groups {
+		for _, m := range g.Members {
+			total++
+			if m.EDToRep <= st/2+1e-9 {
+				within++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no members")
+	}
+	if frac := float64(within) / float64(total); frac < 0.95 {
+		t.Errorf("only %.1f%% of members within ST/2 of final rep", 100*frac)
+	}
+}
+
+func TestMembersSortedByEDToRep(t *testing.T) {
+	_, res := buildSmall(t, 0.2, []int{7})
+	for _, g := range res.ByLength[7].Groups {
+		for i := 1; i < g.Count(); i++ {
+			if g.Members[i-1].EDToRep > g.Members[i].EDToRep {
+				t.Fatalf("group %d members not sorted at %d", g.ID, i)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := dataset.ItalyPower.Scaled(0.3).Generate(5)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ST: 0.25, Lengths: []int{4, 9}, Seed: 77}
+	a, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalGroups() != b.TotalGroups() || a.TotalSubseq != b.TotalSubseq {
+		t.Fatalf("parallel vs serial build differ: %d/%d groups, %d/%d subseq",
+			a.TotalGroups(), b.TotalGroups(), a.TotalSubseq, b.TotalSubseq)
+	}
+	for _, l := range a.Lengths {
+		ga, gb := a.ByLength[l], b.ByLength[l]
+		if len(ga.Groups) != len(gb.Groups) {
+			t.Fatalf("length %d: %d vs %d groups", l, len(ga.Groups), len(gb.Groups))
+		}
+		for i := range ga.Groups {
+			if ga.Groups[i].Count() != gb.Groups[i].Count() {
+				t.Fatalf("length %d group %d: %d vs %d members", l, i,
+					ga.Groups[i].Count(), gb.Groups[i].Count())
+			}
+			for j := range ga.Groups[i].Rep {
+				if ga.Groups[i].Rep[j] != gb.Groups[i].Rep[j] {
+					t.Fatalf("length %d group %d rep differs", l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLargerSTGivesFewerGroups(t *testing.T) {
+	// Fig. 6's monotone trend: higher threshold → fewer representatives.
+	d := dataset.ECG.Scaled(0.1).Generate(3)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{16, 32}
+	var prev int
+	for i, st := range []float64{0.05, 0.2, 0.8} {
+		res, err := Build(d, Config{ST: st, Lengths: lengths, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := res.TotalGroups()
+		if i > 0 && g > prev {
+			t.Errorf("ST=%v produced %d groups, more than %d at the smaller ST", st, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestTinyThresholdIsolatesDistinctSubsequences(t *testing.T) {
+	// With a near-zero ST every distinct subsequence becomes its own group.
+	d := ts.NewDataset("t", [][]float64{{0, 1, 0, 1}, {10, 20, 10, 20}})
+	res, err := Build(d, Config{ST: 1e-9, Lengths: []int{2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsequences of length 2: (0,1),(1,0),(0,1) and (10,20),(20,10),(10,20):
+	// 4 distinct values → 4 groups.
+	if got := len(res.ByLength[2].Groups); got != 4 {
+		t.Errorf("groups = %d, want 4", got)
+	}
+}
+
+func TestHugeThresholdGivesOneGroupPerLength(t *testing.T) {
+	d, res := buildSmall(t, 100, []int{5})
+	_ = d
+	if got := len(res.ByLength[5].Groups); got != 1 {
+		t.Errorf("groups = %d, want 1 with huge ST", got)
+	}
+}
+
+func TestResolveLengthsDedupAndSort(t *testing.T) {
+	d := ts.NewDataset("t", [][]float64{make([]float64, 10)})
+	got, err := resolveLengths(d, []int{9, 3, 3, 11, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("lengths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lengths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTotalSubseqMatchesFormula(t *testing.T) {
+	d := dataset.ItalyPower.Scaled(0.2).Generate(2)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, Config{ST: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSubseq != d.SubseqCount(nil) {
+		t.Errorf("TotalSubseq = %d, want %d", res.TotalSubseq, d.SubseqCount(nil))
+	}
+}
+
+func TestMixedLengthSeries(t *testing.T) {
+	// Series shorter than a requested length simply contribute nothing.
+	d := ts.NewDataset("t", [][]float64{
+		{1, 2, 3, 4, 5, 6},
+		{1, 2, 3},
+	})
+	res, err := Build(d, Config{ST: 0.5, Lengths: []int{5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range res.ByLength[5].Groups {
+		total += g.Count()
+	}
+	if total != 2 { // only the length-6 series has length-5 subsequences (2 of them)
+		t.Errorf("members = %d, want 2", total)
+	}
+}

@@ -1,0 +1,173 @@
+package grouping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onex/internal/dist"
+	"onex/internal/ts"
+)
+
+// randomDataset builds a small random dataset from a quick-generated seed.
+func randomDataset(seed int64, n, length int) *ts.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	d := &ts.Dataset{Name: "prop"}
+	for i := 0; i < n; i++ {
+		v := make([]float64, length)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		d.Append("", v)
+	}
+	return d
+}
+
+// TestPropertyPartitionAndRadius drives Algorithm 1 with random data,
+// thresholds and lengths, asserting the Def. 8 structural invariants.
+func TestPropertyPartitionAndRadius(t *testing.T) {
+	f := func(seed int64, stRaw, lenRaw uint8) bool {
+		st := 0.05 + float64(stRaw%40)/40 // (0.05, 1.05)
+		length := 2 + int(lenRaw%8)       // 2..9
+		d := randomDataset(seed, 6, 16)
+		res, err := Build(d, Config{ST: st, Lengths: []int{length}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		lg := res.ByLength[length]
+		seen := map[position]bool{}
+		for _, g := range lg.Groups {
+			if g.Count() == 0 || g.Length != length {
+				return false
+			}
+			for _, m := range g.Members {
+				p := position{m.SeriesIdx, m.Start}
+				if seen[p] {
+					return false // duplicate assignment
+				}
+				seen[p] = true
+				// Stored ED matches a recomputation against the final rep.
+				v := d.Series[m.SeriesIdx].Values[m.Start : m.Start+length]
+				if math.Abs(dist.NormalizedED(v, g.Rep)-m.EDToRep) > 1e-9 {
+					return false
+				}
+			}
+			// LSI sorted.
+			for i := 1; i < g.Count(); i++ {
+				if g.Members[i-1].EDToRep > g.Members[i].EDToRep {
+					return false
+				}
+			}
+		}
+		return len(seen) == 6*(16-length+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySingletonGroupsHaveZeroED: a new group's founder is its own
+// representative, so single-member groups must sit at distance zero.
+func TestPropertySingletonGroupsHaveZeroED(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed, 4, 12)
+		res, err := Build(d, Config{ST: 0.1, Lengths: []int{5}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, g := range res.ByLength[5].Groups {
+			if g.Count() == 1 && g.Members[0].EDToRep > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLemma2EndToEnd verifies the retrieval guarantee the whole
+// system rests on: whenever normalized DTW(query, rep) ≤ ST/2, every member
+// with ED̄(member, rep) ≤ ST/2 satisfies normalized DTW(query, member) ≤ ST.
+func TestPropertyLemma2EndToEnd(t *testing.T) {
+	f := func(seed int64) bool {
+		const st = 0.4
+		d := randomDataset(seed, 5, 14)
+		if err := d.NormalizeMinMax(); err != nil {
+			return true // constant random data: skip
+		}
+		res, err := Build(d, Config{ST: st, Lengths: []int{6}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed ^ 0x5ee5))
+		// Random same-length query in data range.
+		q := make([]float64, 6)
+		for i := range q {
+			q[i] = r.Float64()
+		}
+		var w dist.Workspace
+		div := dist.NormalizedDTWDivisor(6, 6)
+		for _, g := range res.ByLength[6].Groups {
+			repDTW := w.DTW(q, g.Rep) / div
+			if repDTW > st/2 {
+				continue
+			}
+			for _, m := range g.Members {
+				if m.EDToRep > st/2 {
+					continue // Lemma premise not met (rep drift)
+				}
+				v := d.Series[m.SeriesIdx].Values[m.Start : m.Start+6]
+				if w.DTW(q, v)/div > st+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtendEquivalentToMembership: after Extend, the new
+// subsequences obey the same radius rule as originals (within ST/2 of their
+// rep at insertion; allow the drift tolerance used elsewhere).
+func TestPropertyExtendKeepsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed, 6, 12)
+		partial := &ts.Dataset{Name: d.Name}
+		for _, s := range d.Series[:4] {
+			partial.Append(s.Label, s.Values)
+		}
+		res, err := Build(partial, Config{ST: 0.3, Lengths: []int{4}, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ext, err := Extend(d, res, 4, Config{ST: 0.3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := map[position]bool{}
+		for _, g := range ext.ByLength[4].Groups {
+			for i := 1; i < g.Count(); i++ {
+				if g.Members[i-1].EDToRep > g.Members[i].EDToRep {
+					return false
+				}
+			}
+			for _, m := range g.Members {
+				p := position{m.SeriesIdx, m.Start}
+				if seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return len(seen) == 6*(12-4+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

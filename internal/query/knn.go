@@ -1,0 +1,203 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"onex/internal/dist"
+	"onex/internal/rspace"
+)
+
+// BestKMatches answers the k-nearest-neighbour extension of query class I:
+// the k subsequences most similar to q under normalized DTW, ordered best
+// first. The paper's processor returns the single best match (k=1); k-NN is
+// the natural generalization its range/NN-search related work discusses
+// (Sec. 7) and falls out of the same group exploration: representatives are
+// visited in the Sec. 5.3 order and the k-th best distance replaces the
+// best-so-far as the pruning/early-abandon cutoff.
+//
+// Results can span multiple groups: after mining the best representative's
+// group, the processor continues through remaining representatives whose
+// lower bounds beat the current k-th distance.
+func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
+	}
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	var ws dist.Workspace
+	order := dist.QueryOrder(q)
+	heap := newTopK(k)
+
+	var lengths []int
+	switch mode {
+	case MatchExact:
+		if p.base.Entry(len(q)) == nil {
+			return nil, fmt.Errorf("query: length %d not indexed", len(q))
+		}
+		lengths = []int{len(q)}
+	case MatchAny:
+		lengths = p.lengthOrder(len(q))
+		if len(lengths) == 0 {
+			return nil, fmt.Errorf("query: base has no indexed lengths")
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown match mode %d", mode)
+	}
+
+	for _, l := range lengths {
+		p.searchLengthK(q, order, p.base.Entry(l), &ws, heap)
+	}
+	out := heap.sorted()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: no candidates found")
+	}
+	return out, nil
+}
+
+// searchLengthK mines every group of one length whose representative's
+// lower bounds beat the current k-th distance. Unlike the 1-NN path it
+// cannot stop at the single best representative: a group whose rep is
+// slightly farther can still hold top-k members, so groups are visited in
+// increasing rep-DTW order until the rep's own DTW exceeds the k-th
+// distance plus the group radius (in raw units) — a heuristic cut mirroring
+// the paper's ST/2-based guarantee.
+func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
+	ws *dist.Workspace, heap *topK) {
+
+	if e == nil || len(e.Groups) == 0 {
+		return
+	}
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	sameLen := e.Length == len(q)
+	radiusRaw := p.base.ST / 2 * math.Sqrt(float64(e.Length)) // group radius in raw-ED units
+
+	type repDist struct {
+		k int
+		d float64
+	}
+	reps := make([]repDist, 0, len(e.Groups))
+	for _, k := range e.MedianOrder {
+		cutoff := heap.kth()*divisor + radiusRaw
+		rep := e.Groups[k].Rep
+		if !p.opts.DisableLowerBounds {
+			if dist.LBKim(q, rep) >= cutoff {
+				continue
+			}
+			if sameLen {
+				env := e.Envelopes[k]
+				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb >= cutoff {
+					continue
+				}
+			}
+		}
+		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
+		if !math.IsInf(d, 1) {
+			reps = append(reps, repDist{k: k, d: d})
+		}
+	}
+	sort.Slice(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
+
+	for _, rd := range reps {
+		// Re-check against the (possibly tightened) k-th distance.
+		if rd.d > heap.kth()*divisor+radiusRaw {
+			break
+		}
+		g := e.Groups[rd.k]
+		for _, m := range g.Members {
+			v := p.base.MemberValues(g, m)
+			cutoff := heap.kth() * divisor
+			if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
+				continue
+			}
+			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
+			if math.IsInf(d, 1) {
+				continue
+			}
+			heap.push(Match{
+				SeriesID: m.SeriesIdx,
+				Start:    m.Start,
+				Length:   e.Length,
+				Dist:     d / divisor,
+				RawDTW:   d,
+				GroupID:  rd.k,
+			})
+		}
+	}
+}
+
+// topK keeps the k best matches seen, worst at the root.
+type topK struct {
+	k       int
+	matches []Match // max-heap by Dist
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// kth returns the current k-th best normalized distance (+Inf until k
+// matches accumulated) — the pruning cutoff.
+func (t *topK) kth() float64 {
+	if len(t.matches) < t.k {
+		return math.Inf(1)
+	}
+	return t.matches[0].Dist
+}
+
+func (t *topK) push(m Match) {
+	// Reject duplicates of the same subsequence (can arrive via adapted
+	// views or repeated mining).
+	for _, ex := range t.matches {
+		if ex.SeriesID == m.SeriesID && ex.Start == m.Start && ex.Length == m.Length {
+			return
+		}
+	}
+	if len(t.matches) < t.k {
+		t.matches = append(t.matches, m)
+		t.up(len(t.matches) - 1)
+		return
+	}
+	if m.Dist >= t.matches[0].Dist {
+		return
+	}
+	t.matches[0] = m
+	t.down(0)
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.matches[parent].Dist >= t.matches[i].Dist {
+			break
+		}
+		t.matches[parent], t.matches[i] = t.matches[i], t.matches[parent]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	n := len(t.matches)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.matches[l].Dist > t.matches[largest].Dist {
+			largest = l
+		}
+		if r < n && t.matches[r].Dist > t.matches[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.matches[i], t.matches[largest] = t.matches[largest], t.matches[i]
+		i = largest
+	}
+}
+
+// sorted returns the collected matches best-first.
+func (t *topK) sorted() []Match {
+	out := append([]Match(nil), t.matches...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}

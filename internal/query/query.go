@@ -1,0 +1,330 @@
+// Package query implements the ONEX online query processor (Algorithm 2,
+// Sec. 5): similarity queries over the representative space with time-warped
+// matching, seasonal-similarity queries, similarity-threshold
+// recommendations, and the varying-threshold group adaptation of Sec. 5.2.
+//
+// All Sec. 5.3 optimizations are implemented:
+//
+//   - length ordering for Match=Any: the query's own length first, then
+//     decreasing lengths, then increasing;
+//   - median-sum representative ordering: scanning starts at the
+//     representative whose Dc row-sum is the median and expands alternately
+//     left/right through the sum-sorted GTI array;
+//   - the cascading lower-bound chain LB_Kim → LB_Keogh (reordered, early
+//     abandoning) → early-abandoning DTW against the best-so-far;
+//   - the in-group pivot search: members are visited in order of
+//     |ED(member, rep) − DTW(query, rep)| over the ED-sorted LSI array.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"onex/internal/dist"
+	"onex/internal/rspace"
+)
+
+// MatchMode selects the Q1 MATCH clause.
+type MatchMode int
+
+const (
+	// MatchExact searches only subsequences of the query's own length.
+	MatchExact MatchMode = iota
+	// MatchAny searches subsequences of every indexed length.
+	MatchAny
+)
+
+// Options tunes the processor. The zero value reproduces the paper's
+// behaviour.
+type Options struct {
+	// DisableEarlyStop turns off the Sec. 5.3 stop rule for Match=Any
+	// (stop once a representative within ST/2 has been explored) and scans
+	// every indexed length instead.
+	DisableEarlyStop bool
+	// CandidateLimit bounds how many members of the selected group are
+	// verified with DTW (pivot-ordered). 0 means no fixed limit; the walk
+	// is then bounded by Patience alone.
+	CandidateLimit int
+	// Patience reproduces the paper's bounded pivot walk (Sec. 5.3: expand
+	// from the pivot "until we find the best match"): mining stops after
+	// this many consecutive non-improving members. 0 selects
+	// DefaultPatience; negative values disable the cut (exhaustive group
+	// verification). Large groups at loose thresholds make the exhaustive
+	// walk degenerate toward a linear scan, inverting the paper's
+	// time-vs-ST trend, so the bounded walk is the default.
+	Patience int
+	// DisableLowerBounds turns off the LB_Kim/LB_Keogh cascade (for
+	// ablation benchmarks); DTW early abandoning remains.
+	DisableLowerBounds bool
+}
+
+// DefaultPatience is the non-improving-member budget of the in-group pivot
+// walk when Options.Patience is 0.
+const DefaultPatience = 32
+
+// Processor executes online queries against an immutable base. It is safe
+// for concurrent use; per-query scratch lives on the stack of each call.
+type Processor struct {
+	base *rspace.Base
+	opts Options
+}
+
+// New builds a processor over a base.
+func New(b *rspace.Base, opts Options) (*Processor, error) {
+	if b == nil {
+		return nil, errors.New("query: nil base")
+	}
+	if opts.CandidateLimit < 0 {
+		return nil, fmt.Errorf("query: negative candidate limit %d", opts.CandidateLimit)
+	}
+	return &Processor{base: b, opts: opts}, nil
+}
+
+// Base returns the underlying base (read-only).
+func (p *Processor) Base() *rspace.Base { return p.base }
+
+// Match is a similarity-query answer: the best-matching subsequence found.
+type Match struct {
+	// SeriesID, Start, Length locate the matched subsequence (Xp)^i_j.
+	SeriesID, Start, Length int
+	// Dist is the normalized DTW (Def. 6) between query and match — the
+	// value the paper's accuracy metric compares.
+	Dist float64
+	// RawDTW is the unnormalized Def. 3 distance.
+	RawDTW float64
+	// GroupID identifies the ONEX group the match came from.
+	GroupID int
+}
+
+// Found reports whether the match is populated (a search over an empty
+// length set yields a zero Match with Found()==false).
+func (m Match) Found() bool { return m.Length > 0 }
+
+// Trace counts the work a query performed, for the ablation benchmarks.
+type Trace struct {
+	RepsExamined   int // representatives considered
+	PrunedByKim    int // skipped after LB_Kim
+	PrunedByKeogh  int // skipped after LB_Keogh
+	DTWComputed    int // full or early-abandoned DTW evaluations
+	MembersTested  int // group members verified with DTW
+	LengthsVisited int // lengths visited in Match=Any mode
+}
+
+func validateQuery(q []float64) error {
+	if len(q) == 0 {
+		return errors.New("query: empty query sequence")
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("query: non-finite value %v at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// BestMatch answers query class I (Q1): the subsequence most similar to q
+// under DTW. With MatchExact only subsequences of len(q) are considered and
+// an error is returned if that length is not indexed; with MatchAny every
+// indexed length is searched in the Sec. 5.3 order.
+func (p *Processor) BestMatch(q []float64, mode MatchMode) (Match, error) {
+	m, _, err := p.BestMatchTraced(q, mode)
+	return m, err
+}
+
+// BestMatchTraced is BestMatch plus the work counters.
+func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, error) {
+	var tr Trace
+	if err := validateQuery(q); err != nil {
+		return Match{}, tr, err
+	}
+	var ws dist.Workspace
+	order := dist.QueryOrder(q)
+
+	switch mode {
+	case MatchExact:
+		e := p.base.Entry(len(q))
+		if e == nil {
+			return Match{}, tr, fmt.Errorf("query: length %d not indexed", len(q))
+		}
+		best := Match{Dist: math.Inf(1)}
+		p.searchLength(q, order, e, &ws, &best, &tr)
+		if !best.Found() {
+			return Match{}, tr, errors.New("query: no candidate found (empty length entry)")
+		}
+		return best, tr, nil
+	case MatchAny:
+		lengths := p.lengthOrder(len(q))
+		if len(lengths) == 0 {
+			return Match{}, tr, errors.New("query: base has no indexed lengths")
+		}
+		best := Match{Dist: math.Inf(1)}
+		for _, l := range lengths {
+			tr.LengthsVisited++
+			e := p.base.Entry(l)
+			repNorm := p.searchLength(q, order, e, &ws, &best, &tr)
+			// Sec. 5.3 stop rule: a representative within ST/2 guarantees
+			// (Lemma 2) its group's members are within ST of the query.
+			if !p.opts.DisableEarlyStop && repNorm <= p.base.ST/2 {
+				break
+			}
+		}
+		if !best.Found() {
+			return Match{}, tr, errors.New("query: no candidate found")
+		}
+		return best, tr, nil
+	default:
+		return Match{}, tr, fmt.Errorf("query: unknown match mode %d", mode)
+	}
+}
+
+// lengthOrder yields indexed lengths in the paper's search order: the
+// query's own length first (if indexed), then strictly smaller lengths in
+// decreasing order, then larger lengths in increasing order.
+func (p *Processor) lengthOrder(queryLen int) []int {
+	ls := p.base.Lengths // ascending
+	out := make([]int, 0, len(ls))
+	if p.base.Entry(queryLen) != nil {
+		out = append(out, queryLen)
+	}
+	for i := len(ls) - 1; i >= 0; i-- {
+		if ls[i] < queryLen {
+			out = append(out, ls[i])
+		}
+	}
+	for _, l := range ls {
+		if l > queryLen {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// searchLength finds the best-matching representative of one length (the
+// compareRep step of Algorithm 2.A), then mines its group (getKSim),
+// updating best in place. It returns the normalized DTW of the chosen
+// representative (+Inf if the entry is empty) for the early-stop rule.
+func (p *Processor) searchLength(q []float64, order []int, e *rspace.LengthEntry,
+	ws *dist.Workspace, best *Match, tr *Trace) float64 {
+
+	if e == nil || len(e.Groups) == 0 {
+		return math.Inf(1)
+	}
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	sameLen := e.Length == len(q)
+
+	bestRep := -1
+	bestRepRaw := math.Inf(1)
+	for _, k := range e.MedianOrder {
+		tr.RepsExamined++
+		rep := e.Groups[k].Rep
+		if !p.opts.DisableLowerBounds {
+			if dist.LBKim(q, rep) >= bestRepRaw {
+				tr.PrunedByKim++
+				continue
+			}
+			if sameLen {
+				env := e.Envelopes[k]
+				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, bestRepRaw); lb >= bestRepRaw {
+					tr.PrunedByKeogh++
+					continue
+				}
+			}
+		}
+		tr.DTWComputed++
+		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, bestRepRaw)
+		if d < bestRepRaw {
+			bestRepRaw = d
+			bestRep = k
+		}
+	}
+	if bestRep < 0 {
+		return math.Inf(1)
+	}
+	p.mineGroup(q, e, bestRep, bestRepRaw/divisor, ws, best, tr)
+	return bestRepRaw / divisor
+}
+
+// mineGroup verifies members of group k against the query in pivot order:
+// the LSI array is sorted by ED-to-rep, and the paper starts from the member
+// whose ED is closest to DTW(query, rep), expanding alternately to smaller
+// and larger EDs. Verified with early-abandoning DTW against the best so
+// far.
+func (p *Processor) mineGroup(q []float64, e *rspace.LengthEntry, k int, repNormDTW float64,
+	ws *dist.Workspace, best *Match, tr *Trace) {
+
+	g := e.Groups[k]
+	n := g.Count()
+	if n == 0 {
+		return
+	}
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+
+	// Locate the pivot: first member with EDToRep ≥ repNormDTW (binary
+	// search over the sorted LSI array).
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Members[mid].EDToRep < repNormDTW {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+
+	limit := p.opts.CandidateLimit
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	patience := p.opts.Patience
+	if patience == 0 {
+		patience = DefaultPatience
+	}
+	bestRaw := best.Dist * divisor // +Inf-safe: Inf*x = Inf
+	left, right := lo-1, lo
+	sinceImprove := 0
+	for tested := 0; tested < limit; tested++ {
+		if patience > 0 && sinceImprove >= patience {
+			return
+		}
+		// Pick the next member whose EDToRep is closest to the pivot value.
+		var idx int
+		switch {
+		case left < 0 && right >= n:
+			return
+		case left < 0:
+			idx, right = right, right+1
+		case right >= n:
+			idx, left = left, left-1
+		case repNormDTW-g.Members[left].EDToRep <= g.Members[right].EDToRep-repNormDTW:
+			idx, left = left, left-1
+		default:
+			idx, right = right, right+1
+		}
+		m := g.Members[idx]
+		v := p.base.MemberValues(g, m)
+		tr.MembersTested++
+		// LB_Kim is O(1) and admissible for any warping path; it skips the
+		// bulk of hopeless members once a good best-so-far exists.
+		if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= bestRaw {
+			sinceImprove++
+			continue
+		}
+		tr.DTWComputed++
+		d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, bestRaw)
+		if d < bestRaw {
+			bestRaw = d
+			sinceImprove = 0
+			*best = Match{
+				SeriesID: m.SeriesIdx,
+				Start:    m.Start,
+				Length:   e.Length,
+				Dist:     d / divisor,
+				RawDTW:   d,
+				GroupID:  k,
+			}
+		} else {
+			sinceImprove++
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"onex/internal/dist"
+)
+
+// RangeResult is one subsequence returned by a range search.
+type RangeResult struct {
+	Match
+	// Guaranteed is true when the match was admitted wholesale through the
+	// Lemma 2 guarantee (its group representative was within ST/2 of the
+	// query) without computing its individual DTW. Guaranteed results
+	// report the ST upper bound in Dist instead of an exact distance.
+	Guaranteed bool
+}
+
+// RangeSearch answers range queries (a target class the paper's related
+// work highlights, Sec. 7): every subsequence of the given length whose
+// normalized DTW (Def. 6) to q is within radius. This is where the paper's
+// ED↔DTW triangle inequality pays off directly, in both directions:
+//
+//   - Admission (Lemma 2): when radius ≥ ST and DTW̄(q, R) ≤ ST/2, every
+//     member of R's group is within ST ≤ radius — the whole group is
+//     admitted with zero member DTW computations (Guaranteed=true).
+//
+//   - Pruning (the same path argument, reversed): for an optimal warping
+//     path P of DTW(q, y′) — which is also a valid path of the q×R matrix,
+//     R and y′ having equal length — Minkowski's inequality gives
+//     DTW(q, R) ≤ DTW(q, y′) + √m·ED(R, y′), m = len(q), since a path
+//     revisits any column at most m times. Therefore
+//     DTW(q, y′) ≥ DTW(q, R) − √m·ED(R, y′): a group whose representative
+//     is farther than rawRadius + √m·maxMemberED cannot contain a match and
+//     is skipped without touching its members.
+//
+// Members of the remaining groups are verified individually with
+// early-abandoning DTW and carry exact distances. Results are unordered.
+func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("query: invalid range radius %v", radius)
+	}
+	e := p.base.Entry(length)
+	if e == nil {
+		return nil, fmt.Errorf("query: length %d not indexed", length)
+	}
+	var out []RangeResult
+	var ws dist.Workspace
+	divisor := dist.NormalizedDTWDivisor(len(q), length)
+	sqrtM := math.Sqrt(float64(len(q)))
+	sqrtL := math.Sqrt(float64(length))
+	wholesale := radius >= p.base.ST
+
+	for k, g := range e.Groups {
+		n := g.Count()
+		if n == 0 {
+			continue
+		}
+		// Widest member deviation in raw-ED units (LSI is sorted ascending).
+		maxRawED := g.Members[n-1].EDToRep * sqrtL
+		pruneCutoff := radius*divisor + sqrtM*maxRawED
+		repRaw := ws.DTWEarlyAbandon(q, g.Rep, dist.Unconstrained, pruneCutoff)
+		if math.IsInf(repRaw, 1) {
+			continue // no member can reach the radius
+		}
+
+		verifyFrom := 0
+		if wholesale && repRaw/divisor <= p.base.ST/2 {
+			// Lemma 2 requires ED̄(member, R) ≤ ST/2; representatives drift
+			// during construction, so admit exactly the sorted prefix that
+			// satisfies the premise and verify any stragglers individually.
+			for verifyFrom < n && g.Members[verifyFrom].EDToRep <= p.base.ST/2 {
+				m := g.Members[verifyFrom]
+				out = append(out, RangeResult{
+					Match: Match{
+						SeriesID: m.SeriesIdx,
+						Start:    m.Start,
+						Length:   length,
+						Dist:     p.base.ST, // Lemma 2 upper bound
+						RawDTW:   p.base.ST * divisor,
+						GroupID:  k,
+					},
+					Guaranteed: true,
+				})
+				verifyFrom++
+			}
+		}
+
+		for _, m := range g.Members[verifyFrom:] {
+			v := p.base.MemberValues(g, m)
+			if dist.LBKim(q, v) > radius*divisor {
+				continue
+			}
+			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, radius*divisor)
+			if nd := d / divisor; nd <= radius {
+				out = append(out, RangeResult{
+					Match: Match{
+						SeriesID: m.SeriesIdx,
+						Start:    m.Start,
+						Length:   length,
+						Dist:     nd,
+						RawDTW:   d,
+						GroupID:  k,
+					},
+				})
+			}
+		}
+	}
+	return out, nil
+}

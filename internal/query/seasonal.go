@@ -1,0 +1,62 @@
+package query
+
+import (
+	"fmt"
+
+	"onex/internal/grouping"
+)
+
+// SeasonalGroup is one answer unit of query class II: an ONEX similarity
+// group whose listed members recur (all mutually similar, Lemma 1).
+type SeasonalGroup struct {
+	// Length and GroupID identify the source group G^Length_GroupID.
+	Length, GroupID int
+	// Members are the recurring subsequences (≥ 2 of them).
+	Members []grouping.Member
+	// Rep is the group representative, useful for display.
+	Rep []float64
+}
+
+// SeasonalSample answers the user-driven class II query (Algorithm 2.B,
+// queryType=Single): all groups of the given length containing at least two
+// subsequences of the sample series — i.e. the sample's recurring intra-
+// series similarity patterns.
+func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error) {
+	e := p.base.Entry(length)
+	if e == nil {
+		return nil, fmt.Errorf("query: length %d not indexed", length)
+	}
+	if seriesID < 0 || seriesID >= p.base.Dataset.N() {
+		return nil, fmt.Errorf("query: series %d out of range [0,%d)", seriesID, p.base.Dataset.N())
+	}
+	var out []SeasonalGroup
+	for k, g := range e.Groups {
+		var mine []grouping.Member
+		for _, m := range g.Members {
+			if m.SeriesIdx == seriesID {
+				mine = append(mine, m)
+			}
+		}
+		if len(mine) >= 2 {
+			out = append(out, SeasonalGroup{Length: length, GroupID: k, Members: mine, Rep: g.Rep})
+		}
+	}
+	return out, nil
+}
+
+// SeasonalAll answers the data-driven class II query (Algorithm 2.B,
+// queryType=NULL): every group of the given length holding at least two
+// subsequences — the dataset's recurring similarity patterns at that scale.
+func (p *Processor) SeasonalAll(length int) ([]SeasonalGroup, error) {
+	e := p.base.Entry(length)
+	if e == nil {
+		return nil, fmt.Errorf("query: length %d not indexed", length)
+	}
+	var out []SeasonalGroup
+	for k, g := range e.Groups {
+		if g.Count() >= 2 {
+			out = append(out, SeasonalGroup{Length: length, GroupID: k, Members: g.Members, Rep: g.Rep})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+// Package rspace materializes the ONEX base of Sec. 4: the Representative
+// Space (Def. 9) wrapped in the paper's two index layers —
+//
+//   - the Global Time Index (GTI): per length, the group vector, the
+//     pairwise Inter-Representative Distance matrix Dc (Def. 10), the
+//     representatives sorted by their Dc row sums (the Sec. 5.3 median-sum
+//     search order), and the SThalf/STfinal merge thresholds of the
+//     Similarity Parameter Space (Sec. 4.2);
+//   - the Local Sequence Index (LSI): per group, members sorted by ED to the
+//     representative (built by grouping.finalize), the representative
+//     vector, and its LB_Keogh envelope for pruning (Sec. 4.3).
+package rspace
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"onex/internal/dist"
+	"onex/internal/grouping"
+	"onex/internal/ts"
+)
+
+// Base is the complete in-memory ONEX base for one dataset and one build
+// threshold ST. It is immutable after New and safe for concurrent readers.
+type Base struct {
+	// Dataset is the (normalized) data the base was built over. Group
+	// members reference windows of these series.
+	Dataset *ts.Dataset
+	// ST is the build similarity threshold in normalized-ED units.
+	ST float64
+	// Lengths lists the indexed subsequence lengths, ascending.
+	Lengths []int
+	// Entries holds the per-length GTI entry for each indexed length.
+	Entries map[int]*LengthEntry
+	// GlobalSTHalf and GlobalSTFinal are the dataset-wide critical
+	// thresholds: the maxima of the per-length values (Fig. 1).
+	GlobalSTHalf, GlobalSTFinal float64
+	// TotalSubseq counts all indexed subsequences (Table 4).
+	TotalSubseq int64
+}
+
+// LengthEntry is one GTI slot: everything the query processor needs for a
+// specific subsequence length.
+type LengthEntry struct {
+	Length int
+	// Groups are the ONEX similarity groups of this length; Groups[k].ID==k.
+	Groups []*grouping.Group
+	// Dc[k][l] is the Inter-Representative Distance (normalized ED) between
+	// representatives k and l (Def. 10).
+	Dc [][]float64
+	// Sums[k] is ΣₗDc[k][l]; SumOrder lists group indices sorted ascending
+	// by Sums — the array S_i(k, sum_k) of Sec. 4.3.
+	Sums     []float64
+	SumOrder []int
+	// MedianOrder is SumOrder re-traversed from the median outward
+	// (median, median−1, median+1, …) — the Sec. 5.3 representative visit
+	// order, precomputed since it is static per entry.
+	MedianOrder []int
+	// STHalf and STFinal are this length's local critical thresholds: the
+	// smallest ST′ at which half of (respectively all) groups have merged.
+	STHalf, STFinal float64
+	// Envelopes[k] is the LB_Keogh envelope around representative k.
+	Envelopes []Envelope
+}
+
+// Envelope is an LB_Keogh upper/lower envelope pair around a representative.
+type Envelope struct {
+	Upper, Lower []float64
+}
+
+// Options configures base materialization.
+type Options struct {
+	// EnvelopeRadius returns the LB_Keogh radius for a given length.
+	// nil means full radius (admissible for the paper's unconstrained DTW).
+	EnvelopeRadius func(length int) int
+}
+
+// New wraps a grouping result with the GTI/LSI index layers.
+func New(d *ts.Dataset, gr *grouping.Result, opts Options) (*Base, error) {
+	if d == nil || gr == nil {
+		return nil, errors.New("rspace: nil dataset or grouping result")
+	}
+	radius := opts.EnvelopeRadius
+	if radius == nil {
+		radius = func(length int) int { return length }
+	}
+	b := &Base{
+		Dataset:     d,
+		ST:          gr.ST,
+		Lengths:     append([]int(nil), gr.Lengths...),
+		Entries:     make(map[int]*LengthEntry, len(gr.Lengths)),
+		TotalSubseq: gr.TotalSubseq,
+	}
+	for _, l := range gr.Lengths {
+		entry := newLengthEntry(gr.ByLength[l], gr.ST, radius(l))
+		b.Entries[l] = entry
+		if entry.STHalf > b.GlobalSTHalf {
+			b.GlobalSTHalf = entry.STHalf
+		}
+		if entry.STFinal > b.GlobalSTFinal {
+			b.GlobalSTFinal = entry.STFinal
+		}
+	}
+	return b, nil
+}
+
+func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int) *LengthEntry {
+	g := len(lg.Groups)
+	e := &LengthEntry{
+		Length:    lg.Length,
+		Groups:    lg.Groups,
+		Dc:        make([][]float64, g),
+		Sums:      make([]float64, g),
+		SumOrder:  make([]int, g),
+		Envelopes: make([]Envelope, g),
+	}
+	invSqrtL := 1 / math.Sqrt(float64(lg.Length))
+	for k := range e.Dc {
+		e.Dc[k] = make([]float64, g)
+	}
+	for k := 0; k < g; k++ {
+		for l := k + 1; l < g; l++ {
+			d := dist.ED(lg.Groups[k].Rep, lg.Groups[l].Rep) * invSqrtL
+			e.Dc[k][l] = d
+			e.Dc[l][k] = d
+		}
+	}
+	for k := 0; k < g; k++ {
+		var sum float64
+		for l := 0; l < g; l++ {
+			sum += e.Dc[k][l]
+		}
+		e.Sums[k] = sum
+		e.SumOrder[k] = k
+	}
+	sort.Slice(e.SumOrder, func(a, b int) bool {
+		return e.Sums[e.SumOrder[a]] < e.Sums[e.SumOrder[b]]
+	})
+	e.MedianOrder = medianExpand(e.SumOrder)
+	for k, grp := range lg.Groups {
+		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
+		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
+	}
+	e.STHalf, e.STFinal = mergeThresholds(e.Dc, st)
+	return e
+}
+
+// medianExpand reorders sum-sorted indices to start at the median and
+// alternate left/right (Sec. 5.3's median-representative strategy).
+func medianExpand(sumOrder []int) []int {
+	n := len(sumOrder)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	mid := n / 2
+	out = append(out, sumOrder[mid])
+	for step := 1; len(out) < n; step++ {
+		if l := mid - step; l >= 0 {
+			out = append(out, sumOrder[l])
+		}
+		if r := mid + step; r < n {
+			out = append(out, sumOrder[r])
+		}
+	}
+	return out
+}
+
+// mergeThresholds simulates the Sec. 4.2 merge process: groups k and l merge
+// once ST′ ≥ ST + Dc(k,l). Processing edges in increasing Dc order with a
+// union-find gives the exact ST′ at which the number of surviving groups
+// first reaches ⌈g/2⌉ (STHalf) and 1 (STFinal) — these are minimum-spanning-
+// tree edge weights plus ST.
+func mergeThresholds(dc [][]float64, st float64) (stHalf, stFinal float64) {
+	g := len(dc)
+	if g <= 1 {
+		return st, st
+	}
+	type edge struct {
+		k, l int
+		d    float64
+	}
+	edges := make([]edge, 0, g*(g-1)/2)
+	for k := 0; k < g; k++ {
+		for l := k + 1; l < g; l++ {
+			edges = append(edges, edge{k, l, dc[k][l]})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].d < edges[b].d })
+
+	parent := make([]int, g)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	components := g
+	halfTarget := (g + 1) / 2
+	stHalf, stFinal = st, st
+	haveHalf := g <= 1
+	for _, ed := range edges {
+		rk, rl := find(ed.k), find(ed.l)
+		if rk == rl {
+			continue
+		}
+		parent[rk] = rl
+		components--
+		if !haveHalf && components <= halfTarget {
+			stHalf = st + ed.d
+			haveHalf = true
+		}
+		if components == 1 {
+			stFinal = st + ed.d
+			break
+		}
+	}
+	if !haveHalf {
+		stHalf = stFinal
+	}
+	return stHalf, stFinal
+}
+
+// Entry returns the GTI entry for a length, or nil if the length is not
+// indexed — the constant-time getgroups(L) of Algorithm 2.
+func (b *Base) Entry(length int) *LengthEntry {
+	return b.Entries[length]
+}
+
+// TotalGroups returns the total representative count across lengths
+// (Fig. 6 / Table 4).
+func (b *Base) TotalGroups() int {
+	total := 0
+	for _, e := range b.Entries {
+		total += len(e.Groups)
+	}
+	return total
+}
+
+// SizeBytes estimates the resident size of the index structures, mirroring
+// the paper's Table 4 accounting: GTI (group identifier vector, Dc matrix,
+// sum array, thresholds) plus LSI (member identifiers with their EDs,
+// representative vectors, envelopes).
+func (b *Base) SizeBytes() int64 {
+	const (
+		intSize   = 8
+		floatSize = 8
+	)
+	var total int64
+	for _, e := range b.Entries {
+		g := int64(len(e.Groups))
+		total += g * intSize               // group identifier vector
+		total += g * g * floatSize         // Dc matrix
+		total += g * (intSize + floatSize) // sum-sorted S_i array
+		total += 2 * floatSize             // STHalf, STFinal
+		for k, grp := range e.Groups {
+			total += int64(grp.Count()) * (2*intSize + floatSize) // member ids + ED
+			total += int64(len(grp.Rep)) * floatSize              // representative
+			total += int64(len(e.Envelopes[k].Upper)+len(e.Envelopes[k].Lower)) * floatSize
+		}
+	}
+	return total
+}
+
+// MemberValues returns the raw window of member m of group g.
+func (b *Base) MemberValues(g *grouping.Group, m grouping.Member) []float64 {
+	return b.Dataset.Series[m.SeriesIdx].Values[m.Start : m.Start+g.Length]
+}
+
+// Degree labels a similarity threshold per the Sec. 4.2 scale:
+// Strict below GlobalSTHalf, Medium between the two critical values,
+// Loose at or above GlobalSTFinal.
+type Degree int
+
+// Similarity degrees (Sec. 4.2).
+const (
+	Strict Degree = iota
+	Medium
+	Loose
+)
+
+// String implements fmt.Stringer with the paper's S/M/L letters.
+func (d Degree) String() string {
+	switch d {
+	case Strict:
+		return "S"
+	case Medium:
+		return "M"
+	case Loose:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// DegreeOf classifies a threshold against the base's global critical values.
+func (b *Base) DegreeOf(st float64) Degree {
+	switch {
+	case st < b.GlobalSTHalf:
+		return Strict
+	case st < b.GlobalSTFinal:
+		return Medium
+	default:
+		return Loose
+	}
+}
+
+// Recommend returns the threshold range for a similarity degree (query
+// class III, Sec. 5.1). length < 0 uses the global critical values;
+// otherwise the length-local ones. The upper bound of Loose is reported as
+// +Inf since any larger threshold behaves identically.
+func (b *Base) Recommend(d Degree, length int) (lo, hi float64, err error) {
+	half, final := b.GlobalSTHalf, b.GlobalSTFinal
+	if length >= 0 {
+		e := b.Entry(length)
+		if e == nil {
+			return 0, 0, errors.New("rspace: length not indexed")
+		}
+		half, final = e.STHalf, e.STFinal
+	}
+	switch d {
+	case Strict:
+		return 0, half, nil
+	case Medium:
+		return half, final, nil
+	case Loose:
+		return final, math.Inf(1), nil
+	default:
+		return 0, 0, errors.New("rspace: unknown similarity degree")
+	}
+}

@@ -1,0 +1,337 @@
+package rspace
+
+import (
+	"math"
+	"testing"
+
+	"onex/internal/dataset"
+	"onex/internal/dist"
+	"onex/internal/grouping"
+	"onex/internal/ts"
+)
+
+func buildBase(t *testing.T, st float64, lengths []int) *Base {
+	t.Helper()
+	d := dataset.ItalyPower.Scaled(0.5).Generate(4)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := grouping.Build(d, grouping.Config{ST: st, Lengths: lengths, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, Options{}); err == nil {
+		t.Error("want error for nil inputs")
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	b := buildBase(t, 0.2, []int{5, 9})
+	if e := b.Entry(5); e == nil || e.Length != 5 {
+		t.Error("Entry(5) missing")
+	}
+	if e := b.Entry(6); e != nil {
+		t.Error("Entry(6) should be nil")
+	}
+}
+
+func TestDcMatrixProperties(t *testing.T) {
+	b := buildBase(t, 0.2, []int{6})
+	e := b.Entry(6)
+	g := len(e.Groups)
+	for k := 0; k < g; k++ {
+		if e.Dc[k][k] != 0 {
+			t.Errorf("Dc[%d][%d] = %v, want 0", k, k, e.Dc[k][k])
+		}
+		for l := 0; l < g; l++ {
+			if e.Dc[k][l] != e.Dc[l][k] {
+				t.Errorf("Dc not symmetric at %d,%d", k, l)
+			}
+			if k != l && e.Dc[k][l] <= 0 {
+				t.Errorf("Dc[%d][%d] = %v, want > 0 for distinct reps", k, l, e.Dc[k][l])
+			}
+			want := dist.NormalizedED(e.Groups[k].Rep, e.Groups[l].Rep)
+			if math.Abs(e.Dc[k][l]-want) > 1e-12 {
+				t.Errorf("Dc[%d][%d] = %v, want %v", k, l, e.Dc[k][l], want)
+			}
+		}
+	}
+}
+
+func TestDistinctRepsAreFartherThanST(t *testing.T) {
+	// Construction guarantee: a subsequence farther than ST/2 from every
+	// representative founds a new group, so by induction any two reps
+	// *started* at distance > ST/2; with drift they may move, but typical
+	// pairs remain separated — verify the median inter-rep distance exceeds
+	// the grouping radius (sanity of the Dc scale).
+	b := buildBase(t, 0.3, []int{8})
+	e := b.Entry(8)
+	if len(e.Groups) < 2 {
+		t.Skip("need ≥2 groups")
+	}
+	var ds []float64
+	for k := 0; k < len(e.Groups); k++ {
+		for l := k + 1; l < len(e.Groups); l++ {
+			ds = append(ds, e.Dc[k][l])
+		}
+	}
+	above := 0
+	for _, d := range ds {
+		if d > 0.15 { // ST/2
+			above++
+		}
+	}
+	if frac := float64(above) / float64(len(ds)); frac < 0.5 {
+		t.Errorf("only %.0f%% of inter-rep distances exceed ST/2", frac*100)
+	}
+}
+
+func TestSumOrderSorted(t *testing.T) {
+	b := buildBase(t, 0.2, []int{7})
+	e := b.Entry(7)
+	if len(e.SumOrder) != len(e.Groups) {
+		t.Fatalf("SumOrder length %d != groups %d", len(e.SumOrder), len(e.Groups))
+	}
+	seen := map[int]bool{}
+	for i, k := range e.SumOrder {
+		if seen[k] {
+			t.Fatalf("SumOrder repeats %d", k)
+		}
+		seen[k] = true
+		if i > 0 && e.Sums[e.SumOrder[i-1]] > e.Sums[k] {
+			t.Fatalf("SumOrder not ascending at %d", i)
+		}
+	}
+}
+
+func TestMedianExpand(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{nil, nil},
+		{[]int{7}, []int{7}},
+		{[]int{1, 2}, []int{2, 1}},
+		{[]int{1, 2, 3}, []int{2, 1, 3}},
+		{[]int{1, 2, 3, 4, 5}, []int{3, 2, 4, 1, 5}},
+	}
+	for _, c := range cases {
+		got := medianExpand(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("medianExpand(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("medianExpand(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMedianOrderPrecomputed(t *testing.T) {
+	b := buildBase(t, 0.2, []int{7})
+	e := b.Entry(7)
+	if len(e.MedianOrder) != len(e.Groups) {
+		t.Fatalf("MedianOrder length %d != groups %d", len(e.MedianOrder), len(e.Groups))
+	}
+	seen := map[int]bool{}
+	for _, k := range e.MedianOrder {
+		if seen[k] {
+			t.Fatalf("MedianOrder repeats %d", k)
+		}
+		seen[k] = true
+	}
+	if len(e.Groups) > 0 && e.MedianOrder[0] != e.SumOrder[len(e.SumOrder)/2] {
+		t.Error("MedianOrder does not start at the median-sum representative")
+	}
+}
+
+func TestEnvelopesContainRep(t *testing.T) {
+	b := buildBase(t, 0.2, []int{6})
+	e := b.Entry(6)
+	for k, grp := range e.Groups {
+		env := e.Envelopes[k]
+		if len(env.Upper) != grp.Length || len(env.Lower) != grp.Length {
+			t.Fatalf("envelope %d wrong length", k)
+		}
+		for i := range grp.Rep {
+			if env.Lower[i] > grp.Rep[i] || grp.Rep[i] > env.Upper[i] {
+				t.Fatalf("envelope %d does not contain rep at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestFullRadiusEnvelopeAdmissibleForDTW(t *testing.T) {
+	// LB_Keogh with the default full-radius envelopes must lower-bound the
+	// unconstrained DTW used online (Sec. 5.3 cascade correctness).
+	b := buildBase(t, 0.2, []int{10})
+	e := b.Entry(10)
+	q := b.Dataset.Series[0].Values[:10]
+	var w dist.Workspace
+	for k, grp := range e.Groups {
+		lb := dist.LBKeogh(q, e.Envelopes[k].Upper, e.Envelopes[k].Lower, math.Inf(1))
+		d := w.DTW(q, grp.Rep)
+		if lb > d+1e-9 {
+			t.Fatalf("group %d: LBKeogh %v > DTW %v", k, lb, d)
+		}
+	}
+}
+
+func TestMergeThresholds(t *testing.T) {
+	// Hand-crafted Dc: 4 groups in a line at distances 1,2,4.
+	// Kruskal order: (0,1)=1, (1,2)=2, (2,3)=4.
+	// components: 4 →(1)→ 3 →(2)→ 2 →(4)→ 1.
+	// halfTarget = 2 → STHalf = ST+2; STFinal = ST+4.
+	dc := [][]float64{
+		{0, 1, 3, 7},
+		{1, 0, 2, 6},
+		{3, 2, 0, 4},
+		{7, 6, 4, 0},
+	}
+	half, final := mergeThresholds(dc, 0.5)
+	if math.Abs(half-2.5) > 1e-12 {
+		t.Errorf("STHalf = %v, want 2.5", half)
+	}
+	if math.Abs(final-4.5) > 1e-12 {
+		t.Errorf("STFinal = %v, want 4.5", final)
+	}
+}
+
+func TestMergeThresholdsDegenerate(t *testing.T) {
+	if h, f := mergeThresholds(nil, 0.3); h != 0.3 || f != 0.3 {
+		t.Errorf("empty: %v,%v want 0.3,0.3", h, f)
+	}
+	if h, f := mergeThresholds([][]float64{{0}}, 0.3); h != 0.3 || f != 0.3 {
+		t.Errorf("single group: %v,%v want 0.3,0.3", h, f)
+	}
+	// Two groups: half target is 1, reached by the single merge; both
+	// thresholds coincide.
+	dc := [][]float64{{0, 2}, {2, 0}}
+	h, f := mergeThresholds(dc, 0.1)
+	if math.Abs(h-2.1) > 1e-12 || math.Abs(f-2.1) > 1e-12 {
+		t.Errorf("two groups: %v,%v want 2.1,2.1", h, f)
+	}
+}
+
+func TestSTHalfNeverExceedsSTFinal(t *testing.T) {
+	b := buildBase(t, 0.2, nil)
+	for _, l := range b.Lengths {
+		e := b.Entry(l)
+		if e.STHalf > e.STFinal {
+			t.Errorf("length %d: STHalf %v > STFinal %v", l, e.STHalf, e.STFinal)
+		}
+		if e.STHalf < b.ST-1e-12 {
+			t.Errorf("length %d: STHalf %v below build ST %v", l, e.STHalf, b.ST)
+		}
+	}
+	if b.GlobalSTHalf > b.GlobalSTFinal {
+		t.Errorf("global STHalf %v > STFinal %v", b.GlobalSTHalf, b.GlobalSTFinal)
+	}
+}
+
+func TestGlobalThresholdsAreMaxima(t *testing.T) {
+	b := buildBase(t, 0.2, []int{4, 8, 12})
+	var wantHalf, wantFinal float64
+	for _, l := range b.Lengths {
+		e := b.Entry(l)
+		wantHalf = math.Max(wantHalf, e.STHalf)
+		wantFinal = math.Max(wantFinal, e.STFinal)
+	}
+	if b.GlobalSTHalf != wantHalf || b.GlobalSTFinal != wantFinal {
+		t.Errorf("global = %v,%v want %v,%v", b.GlobalSTHalf, b.GlobalSTFinal, wantHalf, wantFinal)
+	}
+}
+
+func TestDegreeAndRecommend(t *testing.T) {
+	b := buildBase(t, 0.2, []int{6})
+	if d := b.DegreeOf(0); d != Strict {
+		t.Errorf("DegreeOf(0) = %v, want S", d)
+	}
+	if d := b.DegreeOf(b.GlobalSTFinal + 1); d != Loose {
+		t.Errorf("DegreeOf(huge) = %v, want L", d)
+	}
+	lo, hi, err := b.Recommend(Strict, -1)
+	if err != nil || lo != 0 || hi != b.GlobalSTHalf {
+		t.Errorf("Recommend(S) = %v,%v,%v", lo, hi, err)
+	}
+	lo, hi, err = b.Recommend(Medium, 6)
+	e := b.Entry(6)
+	if err != nil || lo != e.STHalf || hi != e.STFinal {
+		t.Errorf("Recommend(M,6) = %v,%v,%v", lo, hi, err)
+	}
+	lo, hi, err = b.Recommend(Loose, -1)
+	if err != nil || lo != b.GlobalSTFinal || !math.IsInf(hi, 1) {
+		t.Errorf("Recommend(L) = %v,%v,%v", lo, hi, err)
+	}
+	if _, _, err := b.Recommend(Strict, 999); err == nil {
+		t.Error("Recommend on unindexed length should fail")
+	}
+	if _, _, err := b.Recommend(Degree(42), -1); err == nil {
+		t.Error("Recommend with bogus degree should fail")
+	}
+}
+
+func TestDegreeString(t *testing.T) {
+	if Strict.String() != "S" || Medium.String() != "M" || Loose.String() != "L" || Degree(9).String() != "?" {
+		t.Error("Degree.String mismatch")
+	}
+}
+
+func TestSizeBytesPositiveAndMonotone(t *testing.T) {
+	small := buildBase(t, 0.2, []int{5})
+	big := buildBase(t, 0.2, []int{5, 6, 7, 8})
+	if small.SizeBytes() <= 0 {
+		t.Error("SizeBytes <= 0")
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Errorf("more lengths should grow the index: %d vs %d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+func TestTotalGroupsMatchesGrouping(t *testing.T) {
+	d := dataset.ItalyPower.Scaled(0.3).Generate(4)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := grouping.Build(d, grouping.Config{ST: 0.2, Lengths: []int{4, 6}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalGroups() != gr.TotalGroups() {
+		t.Errorf("TotalGroups %d != grouping %d", b.TotalGroups(), gr.TotalGroups())
+	}
+	if b.TotalSubseq != gr.TotalSubseq {
+		t.Errorf("TotalSubseq %d != grouping %d", b.TotalSubseq, gr.TotalSubseq)
+	}
+}
+
+func TestMemberValuesWindow(t *testing.T) {
+	d := ts.NewDataset("t", [][]float64{{0, 1, 2, 3, 4}})
+	gr, err := grouping.Build(d, grouping.Config{ST: 10, Lengths: []int{3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Entry(3).Groups[0]
+	for _, m := range g.Members {
+		v := b.MemberValues(g, m)
+		if len(v) != 3 || v[0] != float64(m.Start) {
+			t.Errorf("MemberValues(%+v) = %v", m, v)
+		}
+	}
+}

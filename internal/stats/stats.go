@@ -1,0 +1,101 @@
+// Package stats holds the small numeric helpers the benchmark harness
+// shares: aggregation and the paper's accuracy metric (Sec. 6.2.1).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest value (+Inf for an empty slice).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (-Inf for an empty slice).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. It returns an error for an empty
+// input or out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Accuracy computes the paper's solution-accuracy metric: for each query the
+// error is the difference between the system's solution distance and the
+// exact (brute-force) solution distance; accuracy = (1 − mean(error))·100.
+// Distances are the normalized DTW values between each solution and the
+// query. Inputs must be equal-length and pairwise valid (system ≥ exact).
+func Accuracy(system, exact []float64) (float64, error) {
+	if len(system) != len(exact) {
+		return 0, fmt.Errorf("stats: accuracy inputs differ in length: %d vs %d", len(system), len(exact))
+	}
+	if len(system) == 0 {
+		return 0, errors.New("stats: accuracy of zero queries")
+	}
+	var sum float64
+	for i := range system {
+		if math.IsNaN(system[i]) || math.IsNaN(exact[i]) {
+			return 0, fmt.Errorf("stats: NaN distance at query %d", i)
+		}
+		err := system[i] - exact[i]
+		if err < 0 {
+			// A "better than exact" distance indicates a measurement bug
+			// upstream; clamp tiny negative noise, reject real violations.
+			if err < -1e-9 {
+				return 0, fmt.Errorf("stats: system distance %v below exact %v at query %d",
+					system[i], exact[i], i)
+			}
+			err = 0
+		}
+		sum += err
+	}
+	return (1 - sum/float64(len(system))) * 100, nil
+}

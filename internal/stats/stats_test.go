@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) = %v", Mean(nil))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max sentinels wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("p<0: want error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("p>100: want error")
+	}
+	one, err := Percentile([]float64{7}, 99)
+	if err != nil || one != 7 {
+		t.Errorf("single element percentile = %v, %v", one, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	// Perfect system: accuracy 100.
+	got, err := Accuracy([]float64{0.1, 0.2}, []float64{0.1, 0.2})
+	if err != nil || got != 100 {
+		t.Errorf("perfect accuracy = %v, %v", got, err)
+	}
+	// Mean error 0.05 → 95.
+	got, err = Accuracy([]float64{0.15, 0.25}, []float64{0.1, 0.2})
+	if err != nil || math.Abs(got-95) > 1e-9 {
+		t.Errorf("accuracy = %v, want 95 (%v)", got, err)
+	}
+}
+
+func TestAccuracyErrors(t *testing.T) {
+	if _, err := Accuracy([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := Accuracy([]float64{math.NaN()}, []float64{0}); err == nil {
+		t.Error("NaN: want error")
+	}
+	if _, err := Accuracy([]float64{0.1}, []float64{0.5}); err == nil {
+		t.Error("system below exact: want error")
+	}
+	// Tiny negative noise is clamped, not an error.
+	got, err := Accuracy([]float64{0.1 - 1e-12}, []float64{0.1})
+	if err != nil || got != 100 {
+		t.Errorf("noise clamp: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,118 @@
+package ts
+
+import (
+	"errors"
+	"math"
+)
+
+// MinMax returns the minimum and maximum value across every series of the
+// dataset. It returns (+Inf, -Inf) for an empty dataset so callers can detect
+// the degenerate case.
+func (d *Dataset) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, s := range d.Series {
+		for _, v := range s.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return min, max
+}
+
+// ErrConstantData is returned when normalization is requested but every value
+// in the scope (dataset or window) is identical, making the scale undefined.
+var ErrConstantData = errors.New("ts: cannot normalize constant data (max == min)")
+
+// NormalizeMinMax rescales every value to [0,1] using the dataset-level
+// minimum and maximum, the scheme the paper uses for all experiments
+// (Sec. 6.1: x_i → (x_i − min)/(max − min) with min/max over the dataset).
+// The dataset is modified in place; use Clone first to keep the raw data.
+func (d *Dataset) NormalizeMinMax() error {
+	min, max := d.MinMax()
+	if math.IsInf(min, 1) {
+		return errors.New("ts: cannot normalize empty dataset")
+	}
+	if max == min {
+		return ErrConstantData
+	}
+	scale := 1 / (max - min)
+	for _, s := range d.Series {
+		for i, v := range s.Values {
+			s.Values[i] = (v - min) * scale
+		}
+	}
+	return nil
+}
+
+// NormalizeMinMaxPerSeries rescales each series independently to [0,1].
+// Offered for analysts whose series live on unrelated scales (the motivating
+// example mixes tax rates with growth percentages); the paper's experiments
+// use the dataset-level variant.
+func (d *Dataset) NormalizeMinMaxPerSeries() error {
+	for _, s := range d.Series {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range s.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if math.IsInf(min, 1) || max == min {
+			return ErrConstantData
+		}
+		scale := 1 / (max - min)
+		for i, v := range s.Values {
+			s.Values[i] = (v - min) * scale
+		}
+	}
+	return nil
+}
+
+// ZNormalize writes the z-normalized form of src into dst ((x−μ)/σ) and
+// returns dst. If dst is nil or too small a new slice is allocated. A window
+// with zero variance normalizes to all zeros rather than NaN, the convention
+// the UCR suite uses for constant windows.
+func ZNormalize(dst, src []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	mean, std := MeanStd(src)
+	if std == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	inv := 1 / std
+	for i, v := range src {
+		dst[i] = (v - mean) * inv
+	}
+	return dst
+}
+
+// MeanStd returns the mean and population standard deviation of x.
+// Both are 0 for an empty slice.
+func MeanStd(x []float64) (mean, std float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(x))
+	mean = sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 { // guard against catastrophic cancellation
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}

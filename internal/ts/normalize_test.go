@@ -1,0 +1,130 @@
+package ts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNormalizeMinMaxDatasetLevel(t *testing.T) {
+	// Per Sec. 6.1 the min/max are dataset-wide, not per series.
+	d := NewDataset("t", [][]float64{{0, 10}, {5, 20}})
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 0.5}, {0.25, 1}}
+	for i, s := range d.Series {
+		for j, v := range s.Values {
+			if !almostEqual(v, want[i][j], 1e-12) {
+				t.Errorf("series %d[%d] = %v, want %v", i, j, v, want[i][j])
+			}
+		}
+	}
+}
+
+func TestNormalizeMinMaxErrors(t *testing.T) {
+	empty := &Dataset{}
+	if err := empty.NormalizeMinMax(); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	constant := NewDataset("t", [][]float64{{3, 3}, {3}})
+	if err := constant.NormalizeMinMax(); err != ErrConstantData {
+		t.Errorf("constant dataset: got %v, want ErrConstantData", err)
+	}
+}
+
+func TestNormalizeMinMaxPerSeries(t *testing.T) {
+	d := NewDataset("t", [][]float64{{0, 10}, {5, 20}})
+	if err := d.NormalizeMinMaxPerSeries(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 1}, {0, 1}}
+	for i, s := range d.Series {
+		for j, v := range s.Values {
+			if !almostEqual(v, want[i][j], 1e-12) {
+				t.Errorf("series %d[%d] = %v, want %v", i, j, v, want[i][j])
+			}
+		}
+	}
+	constant := NewDataset("t", [][]float64{{1, 2}, {3, 3}})
+	if err := constant.NormalizeMinMaxPerSeries(); err != ErrConstantData {
+		t.Errorf("constant series: got %v, want ErrConstantData", err)
+	}
+}
+
+func TestNormalizeMinMaxRangeProperty(t *testing.T) {
+	// After normalization every value is in [0,1] and the extremes are hit.
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		for _, v := range raw {
+			// Skip non-finite and near-overflow inputs: max−min must not
+			// overflow for the scale to be defined.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		d := NewDataset("q", [][]float64{raw})
+		if err := d.NormalizeMinMax(); err != nil {
+			return err == ErrConstantData
+		}
+		min, max := d.MinMax()
+		if min < -1e-12 || max > 1+1e-12 {
+			return false
+		}
+		return almostEqual(min, 0, 1e-9) && almostEqual(max, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	src := []float64{1, 2, 3, 4, 5}
+	out := ZNormalize(nil, src)
+	mean, std := MeanStd(out)
+	if !almostEqual(mean, 0, 1e-12) || !almostEqual(std, 1, 1e-12) {
+		t.Errorf("z-normalized mean,std = %v,%v; want 0,1", mean, std)
+	}
+}
+
+func TestZNormalizeConstantWindow(t *testing.T) {
+	out := ZNormalize(nil, []float64{7, 7, 7})
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("constant window z-norm[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestZNormalizeReusesBuffer(t *testing.T) {
+	buf := make([]float64, 8)
+	out := ZNormalize(buf, []float64{1, 2, 3})
+	if &out[0] != &buf[0] {
+		t.Error("ZNormalize did not reuse the provided buffer")
+	}
+	if len(out) != 3 {
+		t.Errorf("len(out) = %d, want 3", len(out))
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	cases := []struct {
+		in       []float64
+		mean, sd float64
+	}{
+		{nil, 0, 0},
+		{[]float64{5}, 5, 0},
+		{[]float64{1, 3}, 2, 1},
+		{[]float64{2, 4, 4, 4, 5, 5, 7, 9}, 5, 2},
+	}
+	for _, c := range cases {
+		m, s := MeanStd(c.in)
+		if !almostEqual(m, c.mean, 1e-12) || !almostEqual(s, c.sd, 1e-12) {
+			t.Errorf("MeanStd(%v) = %v,%v; want %v,%v", c.in, m, s, c.mean, c.sd)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package ts provides the time-series substrate for ONEX: series and dataset
+// types, zero-copy subsequence views, and the normalization schemes used by
+// the paper (dataset-level min-max scaling, Sec. 6.1) and by the Trillion
+// baseline (per-window z-normalization).
+//
+// Conventions follow the paper's Definition 1: a subsequence (Xp)^i_j is the
+// run of length i starting at 0-based position j of series Xp. All values are
+// float64; series inside a Dataset may have different lengths.
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a single time series: an ordered sequence of real values with an
+// identifier unique within its Dataset and an optional class label (UCR
+// datasets carry one; synthetic generators use it to record the template).
+type Series struct {
+	// ID is the index of the series within its dataset.
+	ID int
+	// Label is an optional class label (e.g. the UCR class column).
+	Label string
+	// Values holds the observations in time order.
+	Values []float64
+}
+
+// Len returns the number of observations in the series.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Sub returns the subsequence view (s)^length_start. It panics if the range
+// is out of bounds, mirroring slice semantics; callers that work with
+// untrusted indices should validate with CheckRange first.
+func (s *Series) Sub(start, length int) Subseq {
+	if start < 0 || length <= 0 || start+length > len(s.Values) {
+		panic(fmt.Sprintf("ts: subsequence [%d:%d+%d) out of range for series %d of length %d",
+			start, start, length, s.ID, len(s.Values)))
+	}
+	return Subseq{Series: s, Start: start, Length: length}
+}
+
+// CheckRange reports whether [start, start+length) is a valid subsequence
+// range for the series.
+func (s *Series) CheckRange(start, length int) bool {
+	return start >= 0 && length > 0 && start+length <= len(s.Values)
+}
+
+// Subseq is a zero-copy view of a contiguous run of a parent series. The
+// ONEX base stores millions of these, so the representation is deliberately
+// three words plus a pointer: no value data is duplicated.
+type Subseq struct {
+	Series *Series
+	Start  int
+	Length int
+}
+
+// Values returns the underlying data window. The slice aliases the parent
+// series; callers must not mutate it.
+func (ss Subseq) Values() []float64 {
+	return ss.Series.Values[ss.Start : ss.Start+ss.Length]
+}
+
+// End returns the exclusive end position of the view in the parent series.
+func (ss Subseq) End() int { return ss.Start + ss.Length }
+
+// String implements fmt.Stringer using the paper's (Xp)^i_j notation.
+func (ss Subseq) String() string {
+	return fmt.Sprintf("(X%d)^%d_%d", ss.Series.ID, ss.Length, ss.Start)
+}
+
+// Dataset is a collection of series, optionally normalized. The zero value
+// is an empty dataset ready to use.
+type Dataset struct {
+	// Name identifies the dataset in reports (e.g. "ItalyPower").
+	Name string
+	// Series holds the member series; Series[i].ID == i is maintained by
+	// NewDataset and Append.
+	Series []*Series
+}
+
+// NewDataset builds a dataset from raw value rows, assigning IDs by position.
+func NewDataset(name string, rows [][]float64) *Dataset {
+	d := &Dataset{Name: name, Series: make([]*Series, 0, len(rows))}
+	for _, row := range rows {
+		d.Append("", row)
+	}
+	return d
+}
+
+// Append adds a series, assigning the next ID, and returns it.
+func (d *Dataset) Append(label string, values []float64) *Series {
+	s := &Series{ID: len(d.Series), Label: label, Values: values}
+	d.Series = append(d.Series, s)
+	return s
+}
+
+// N returns the number of series in the dataset.
+func (d *Dataset) N() int { return len(d.Series) }
+
+// MaxLen returns the length of the longest series (0 for an empty dataset).
+func (d *Dataset) MaxLen() int {
+	m := 0
+	for _, s := range d.Series {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// MinLen returns the length of the shortest series (0 for an empty dataset).
+func (d *Dataset) MinLen() int {
+	if len(d.Series) == 0 {
+		return 0
+	}
+	m := d.Series[0].Len()
+	for _, s := range d.Series[1:] {
+		if s.Len() < m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// SubseqCount returns the total number of subsequences of the given lengths
+// across all series — the cardinality the paper's Table 4 reports. A nil
+// lengths slice counts every length from 2 to each series' length, matching
+// the paper's N·n(n−1)/2 accounting.
+func (d *Dataset) SubseqCount(lengths []int) int64 {
+	var total int64
+	for _, s := range d.Series {
+		n := s.Len()
+		if lengths == nil {
+			// sum over i=2..n of (n-i+1) = n(n-1)/2
+			total += int64(n) * int64(n-1) / 2
+			continue
+		}
+		for _, l := range lengths {
+			if l >= 1 && l <= n {
+				total += int64(n - l + 1)
+			}
+		}
+	}
+	return total
+}
+
+// Validate checks the dataset for conditions that would corrupt a build:
+// no series, empty series, or non-finite values.
+func (d *Dataset) Validate() error {
+	if len(d.Series) == 0 {
+		return errors.New("ts: dataset has no series")
+	}
+	for _, s := range d.Series {
+		if s.Len() == 0 {
+			return fmt.Errorf("ts: series %d is empty", s.ID)
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ts: series %d has non-finite value %v at index %d", s.ID, v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the dataset. Normalization helpers operate on
+// copies so the raw data can be retained alongside the normalized view.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Series: make([]*Series, len(d.Series))}
+	for i, s := range d.Series {
+		v := make([]float64, len(s.Values))
+		copy(v, s.Values)
+		out.Series[i] = &Series{ID: s.ID, Label: s.Label, Values: v}
+	}
+	return out
+}

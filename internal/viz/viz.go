@@ -1,0 +1,152 @@
+// Package viz renders time series as terminal text: one-line sparklines for
+// compact listings and multi-row block plots for inspecting matches — the
+// terminal stand-in for the paper's Qt charting frontend.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eighth-block glyphs, shortest to tallest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders x as a single line of block glyphs, scaled to the
+// series' own min/max. Constant or empty series render as mid-height bars.
+func Sparkline(x []float64) string {
+	if len(x) == 0 {
+		return ""
+	}
+	min, max := minMax(x)
+	var b strings.Builder
+	b.Grow(len(x) * 3) // runes are 3 bytes each
+	span := max - min
+	for _, v := range x {
+		idx := len(sparkRunes) / 2
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// SparklineScaled renders x against an explicit [lo, hi] range so several
+// series can share one scale (e.g. a query next to its match).
+func SparklineScaled(x []float64, lo, hi float64) string {
+	if len(x) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(x) * 3)
+	span := hi - lo
+	for _, v := range x {
+		idx := len(sparkRunes) / 2
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Plot renders x as a rows×width character plot with axis labels. Values
+// are column-averaged down to width points when the series is longer.
+func Plot(x []float64, width, rows int) string {
+	if len(x) == 0 || width < 1 || rows < 1 {
+		return ""
+	}
+	cols := resample(x, width)
+	min, max := minMax(cols)
+	span := max - min
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(cols)))
+	}
+	for c, v := range cols {
+		row := 0
+		if span > 0 {
+			row = int((v - min) / span * float64(rows-1))
+		}
+		grid[rows-1-row][c] = '*'
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", max)
+		case rows - 1:
+			label = fmt.Sprintf("%7.3f ", min)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 8))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", len(cols)))
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Compare renders a query and a match on one shared scale, labelled.
+func Compare(query, match []float64, dist float64) string {
+	lo := math.Min(minOf(query), minOf(match))
+	hi := math.Max(maxOf(query), maxOf(match))
+	var b strings.Builder
+	fmt.Fprintf(&b, "query  %s\n", SparklineScaled(query, lo, hi))
+	fmt.Fprintf(&b, "match  %s  (dist %.4f)\n", SparklineScaled(match, lo, hi), dist)
+	return b.String()
+}
+
+// resample column-averages x down to width points (or returns it as-is).
+func resample(x []float64, width int) []float64 {
+	if len(x) <= width {
+		return x
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(x) / width
+		hi := (c + 1) * len(x) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range x[lo:hi] {
+			sum += v
+		}
+		out[c] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func minMax(x []float64) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+func minOf(x []float64) float64 { m, _ := minMax(x); return m }
+func maxOf(x []float64) float64 { _, m := minMax(x); return m }

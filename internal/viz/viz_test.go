@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1})
+	if utf8.RuneCountInString(got) != 2 {
+		t.Fatalf("rune count = %d, want 2", utf8.RuneCountInString(got))
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[1] != '█' {
+		t.Errorf("Sparkline(0,1) = %q, want lowest+highest glyphs", got)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	// Constant series renders mid-height without panicking.
+	flat := Sparkline([]float64{5, 5, 5})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Errorf("flat series = %q", flat)
+	}
+}
+
+func TestSparklineMonotone(t *testing.T) {
+	// A ramp must render non-decreasing glyph heights.
+	ramp := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	got := []rune(Sparkline(ramp))
+	rank := map[rune]int{}
+	for i, r := range sparkRunes {
+		rank[r] = i
+	}
+	for i := 1; i < len(got); i++ {
+		if rank[got[i]] < rank[got[i-1]] {
+			t.Fatalf("ramp rendered non-monotonically: %q", string(got))
+		}
+	}
+}
+
+func TestSparklineScaledClamps(t *testing.T) {
+	// Values outside [lo,hi] clamp to the extreme glyphs instead of
+	// panicking.
+	got := []rune(SparklineScaled([]float64{-10, 0.5, 10}, 0, 1))
+	if got[0] != '▁' || got[2] != '█' {
+		t.Errorf("clamping failed: %q", string(got))
+	}
+}
+
+func TestPlot(t *testing.T) {
+	out := Plot([]float64{0, 1, 2, 3, 2, 1, 0}, 7, 4)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 rows + axis
+		t.Fatalf("plot has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot contains no points")
+	}
+	if !strings.Contains(lines[0], "3.000") || !strings.Contains(lines[3], "0.000") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if Plot(nil, 10, 4) != "" || Plot([]float64{1}, 0, 4) != "" {
+		t.Error("degenerate plots should be empty")
+	}
+}
+
+func TestPlotResamplesLongSeries(t *testing.T) {
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i % 50)
+	}
+	out := Plot(long, 40, 6)
+	lines := strings.Split(out, "\n")
+	// Every plot row must be the label + "|" + ≤40 columns.
+	for _, l := range lines {
+		if i := strings.IndexByte(l, '|'); i >= 0 && len(l)-i-1 > 40 {
+			t.Fatalf("row wider than 40 columns: %q", l)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	out := Compare([]float64{0, 1, 0}, []float64{0, 0.9, 0.1}, 0.123)
+	if !strings.Contains(out, "query") || !strings.Contains(out, "match") {
+		t.Errorf("Compare output missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1230") {
+		t.Errorf("Compare output missing distance:\n%s", out)
+	}
+}
+
+func TestResample(t *testing.T) {
+	out := resample([]float64{1, 1, 3, 3}, 2)
+	if len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Errorf("resample = %v, want [1 3]", out)
+	}
+	same := []float64{1, 2}
+	if got := resample(same, 5); &got[0] != &same[0] {
+		t.Error("short input should be returned as-is")
+	}
+}

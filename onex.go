@@ -1,0 +1,263 @@
+// Package onex is a Go implementation of ONEX — "Interactive Time Series
+// Exploration Powered by the Marriage of Similarity Distances" (Neamtu,
+// Ahsan, Rundensteiner, Sarkozy; PVLDB 10(3), 2016).
+//
+// ONEX answers time-warped similarity queries interactively by splitting the
+// work between two distances: an offline pass clusters every subsequence of
+// the dataset into compact similarity groups using the cheap Euclidean
+// distance, and online queries then explore only the group representatives
+// with Dynamic Time Warping. A proven ED↔DTW triangle inequality (paper
+// Lemma 2) guarantees that a representative within ST/2 of the query vouches
+// for its whole group.
+//
+// # Quick start
+//
+//	base, err := onex.Build("demo", series, onex.Options{ST: 0.2})
+//	if err != nil { ... }
+//	match, err := base.BestMatch(query, onex.MatchAny)       // Q1
+//	patterns, err := base.Seasonal(seriesID, 30)             // Q2
+//	rng, err := base.RecommendThreshold(onex.Strict, -1)     // Q3
+//	looser, err := base.WithThreshold(0.4)                   // Sec. 5.2
+//
+// The package is stdlib-only and safe for concurrent queries against a
+// built Base.
+package onex
+
+import (
+	"errors"
+	"io"
+
+	"onex/internal/core"
+	"onex/internal/query"
+	"onex/internal/rspace"
+	"onex/internal/ts"
+)
+
+// Series is one input time series: an optional label and its observations.
+type Series struct {
+	// Label is free-form metadata (class label, ticker symbol, …).
+	Label string
+	// Values holds the observations in time order.
+	Values []float64
+}
+
+// Build constructs an ONEX base over the given series. The input is copied
+// and (by default) min-max normalized dataset-wide before indexing, exactly
+// as the paper's experiments do; callers keep their raw slices.
+func Build(name string, series []Series, opts Options) (*Base, error) {
+	if len(series) == 0 {
+		return nil, errors.New("onex: no input series")
+	}
+	d := &ts.Dataset{Name: name}
+	for _, s := range series {
+		d.Append(s.Label, append([]float64(nil), s.Values...))
+	}
+	return buildDataset(d, opts)
+}
+
+// buildDataset is the shared entry for Build and the internal harness.
+func buildDataset(d *ts.Dataset, opts Options) (*Base, error) {
+	cfg, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Build(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{eng: eng, opts: opts}, nil
+}
+
+// Base is a built ONEX knowledge base: the similarity groups of every
+// indexed subsequence length, their representatives, the GTI/LSI index
+// layers, and the Similarity Parameter Space. A Base is immutable and safe
+// for concurrent queries.
+type Base struct {
+	eng  *core.Engine
+	opts Options
+}
+
+// ST returns the similarity threshold the base was built with.
+func (b *Base) ST() float64 { return b.eng.Base.ST }
+
+// Lengths returns the indexed subsequence lengths in increasing order.
+func (b *Base) Lengths() []int {
+	return append([]int(nil), b.eng.Base.Lengths...)
+}
+
+// BestMatch answers similarity queries (class I, Q1): the subsequence most
+// similar to q under DTW. MatchExact restricts candidates to len(q);
+// MatchAny searches every indexed length with the paper's length-ordering
+// and early-stop optimizations.
+func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
+	m, err := b.eng.Proc.BestMatch(q, query.MatchMode(mode))
+	if err != nil {
+		return Match{}, err
+	}
+	return b.toPublicMatch(m), nil
+}
+
+func (b *Base) toPublicMatch(m query.Match) Match {
+	values := b.eng.Base.Dataset.Series[m.SeriesID].Values[m.Start : m.Start+m.Length]
+	return Match{
+		SeriesID: m.SeriesID,
+		Start:    m.Start,
+		Length:   m.Length,
+		Distance: m.Dist,
+		Values:   append([]float64(nil), values...),
+	}
+}
+
+// BestKMatches generalizes BestMatch to the k nearest subsequences, ordered
+// best first. Fewer than k results are returned only when the base holds
+// fewer candidates.
+func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
+	ms, err := b.eng.Proc.BestKMatches(q, query.MatchMode(mode), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, b.toPublicMatch(m))
+	}
+	return out, nil
+}
+
+// RangeMatch is one RangeSearch result.
+type RangeMatch struct {
+	Match
+	// Guaranteed marks matches admitted wholesale by the paper's Lemma 2
+	// guarantee (group representative within ST/2 of the query) — their
+	// Distance is the ST upper bound, not an exact value.
+	Guaranteed bool
+}
+
+// RangeSearch returns every subsequence of the given length whose
+// normalized DTW to q is within radius. When radius ≥ the build threshold,
+// whole groups are admitted through the Lemma 2 triangle inequality without
+// per-member DTW computations.
+func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatch, error) {
+	rs, err := b.eng.Proc.RangeSearch(q, length, radius)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RangeMatch, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, RangeMatch{Match: b.toPublicMatch(r.Match), Guaranteed: r.Guaranteed})
+	}
+	return out, nil
+}
+
+// Extend incrementally adds series to the base: only the new subsequences
+// are clustered (joining existing groups or founding new ones per
+// Algorithm 1's assignment rule) and the indexes are re-derived — no full
+// rebuild. The receiver stays valid; the extended base is returned. New
+// series IDs continue after the existing ones.
+func (b *Base) Extend(series []Series) (*Base, error) {
+	in := make([]*ts.Series, 0, len(series))
+	for _, s := range series {
+		in = append(in, &ts.Series{Label: s.Label, Values: append([]float64(nil), s.Values...)})
+	}
+	eng, err := b.eng.Extend(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{eng: eng, opts: b.opts}, nil
+}
+
+// Seasonal answers the user-driven class II query: the recurring similarity
+// patterns of one series — every group of the given length holding two or
+// more subsequences of that series.
+func (b *Base) Seasonal(seriesID, length int) ([]Pattern, error) {
+	gs, err := b.eng.Proc.SeasonalSample(seriesID, length)
+	if err != nil {
+		return nil, err
+	}
+	return b.toPatterns(gs), nil
+}
+
+// SeasonalAll answers the data-driven class II query: every recurring
+// similarity pattern of the given length across the whole dataset.
+func (b *Base) SeasonalAll(length int) ([]Pattern, error) {
+	gs, err := b.eng.Proc.SeasonalAll(length)
+	if err != nil {
+		return nil, err
+	}
+	return b.toPatterns(gs), nil
+}
+
+func (b *Base) toPatterns(gs []query.SeasonalGroup) []Pattern {
+	out := make([]Pattern, 0, len(gs))
+	for _, g := range gs {
+		p := Pattern{
+			Length:         g.Length,
+			Representative: append([]float64(nil), g.Rep...),
+		}
+		for _, m := range g.Members {
+			p.Occurrences = append(p.Occurrences, Occurrence{
+				SeriesID: m.SeriesIdx,
+				Start:    m.Start,
+			})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// RecommendThreshold answers class III queries: the similarity-threshold
+// range realizing a similarity degree (Strict/Medium/Loose, Sec. 4.2).
+// length < 0 uses the dataset-global critical values; otherwise the values
+// local to that subsequence length.
+func (b *Base) RecommendThreshold(d Degree, length int) (Range, error) {
+	lo, hi, err := b.eng.Base.Recommend(rspace.Degree(d), length)
+	if err != nil {
+		return Range{}, err
+	}
+	return Range{Low: lo, High: hi}, nil
+}
+
+// DegreeOf classifies a threshold on the base's Strict/Medium/Loose scale.
+func (b *Base) DegreeOf(st float64) Degree {
+	return Degree(b.eng.Base.DegreeOf(st))
+}
+
+// WithThreshold derives a base for a different similarity threshold using
+// the Sec. 5.2 split/merge adaptation — no reclustering of the raw data.
+// The receiver is unchanged.
+func (b *Base) WithThreshold(stPrime float64) (*Base, error) {
+	eng, err := b.eng.WithThreshold(stPrime)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{eng: eng, opts: b.opts}, nil
+}
+
+// Save serializes the base (normalized data, similarity groups, build
+// configuration) to w so it can be reopened with Load without re-running
+// the offline construction. Threshold-adapted bases cannot be saved — save
+// the original and re-adapt after loading.
+func (b *Base) Save(w io.Writer) error {
+	return b.eng.Save(w)
+}
+
+// Load reopens a base written by Save. The derived index layers are rebuilt
+// from the stored groups; queries answer identically to the saved base.
+func Load(r io.Reader) (*Base, error) {
+	eng, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{eng: eng}, nil
+}
+
+// Stats reports the size and construction cost of the base (Table 4).
+func (b *Base) Stats() Stats {
+	return Stats{
+		Representatives: b.eng.Base.TotalGroups(),
+		Subsequences:    b.eng.Base.TotalSubseq,
+		IndexBytes:      b.eng.Base.SizeBytes(),
+		BuildTime:       b.eng.BuildTime,
+		STHalf:          b.eng.Base.GlobalSTHalf,
+		STFinal:         b.eng.Base.GlobalSTFinal,
+	}
+}

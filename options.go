@@ -1,0 +1,113 @@
+package onex
+
+import (
+	"fmt"
+	"math"
+
+	"onex/internal/core"
+	"onex/internal/query"
+)
+
+// Options configures Build. The zero value is NOT usable: ST must be
+// positive. Everything else defaults to the paper's settings.
+type Options struct {
+	// ST is the similarity threshold in normalized-ED units; the grouping
+	// radius is ST/2. The paper's experiments use the per-dataset sweet
+	// spot, around 0.2 (Sec. 6.3). Required.
+	ST float64
+	// Lengths restricts which subsequence lengths are indexed. nil indexes
+	// every length from 2 to the longest series — the paper's default and
+	// by far the most expensive choice; pass a subset for large data.
+	Lengths []int
+	// Seed drives the randomized insertion order of Algorithm 1. Builds
+	// are deterministic given the same data, options and seed.
+	Seed int64
+	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Normalize selects input normalization; default is the paper's
+	// dataset-wide min-max scaling.
+	Normalize NormalizeMode
+	// SearchAllLengths disables the Sec. 5.3 early-stop rule for MatchAny
+	// queries, scanning every indexed length.
+	SearchAllLengths bool
+	// CandidateLimit bounds how many members of the selected group a
+	// similarity query verifies with DTW (0 = no fixed limit; the pivot
+	// walk is then bounded by Patience).
+	CandidateLimit int
+	// Patience bounds the in-group pivot walk: mining stops after this
+	// many consecutive non-improving members (0 = a paper-faithful default
+	// of 32; negative = exhaustive verification of the chosen group).
+	Patience int
+}
+
+func (o Options) toCore() (core.BuildConfig, error) {
+	if o.ST <= 0 || math.IsNaN(o.ST) || math.IsInf(o.ST, 0) {
+		return core.BuildConfig{}, fmt.Errorf("onex: Options.ST must be positive, got %v", o.ST)
+	}
+	if o.CandidateLimit < 0 {
+		return core.BuildConfig{}, fmt.Errorf("onex: Options.CandidateLimit must be ≥ 0, got %d", o.CandidateLimit)
+	}
+	return core.BuildConfig{
+		ST:        o.ST,
+		Lengths:   o.Lengths,
+		Seed:      o.Seed,
+		Workers:   o.Workers,
+		Normalize: core.NormalizeMode(o.Normalize),
+		Query: query.Options{
+			DisableEarlyStop: o.SearchAllLengths,
+			CandidateLimit:   o.CandidateLimit,
+			Patience:         o.Patience,
+		},
+	}, nil
+}
+
+// NormalizeMode selects how input data is normalized before indexing.
+type NormalizeMode int
+
+const (
+	// NormalizeDataset min-max scales using the dataset-wide min and max —
+	// the paper's scheme (Sec. 6.1) and the default.
+	NormalizeDataset NormalizeMode = NormalizeMode(core.NormalizeDataset)
+	// NormalizePerSeries min-max scales each series independently; useful
+	// when series live on unrelated scales (tax rates vs growth rates).
+	NormalizePerSeries NormalizeMode = NormalizeMode(core.NormalizePerSeries)
+	// NormalizeNone indexes the values as given.
+	NormalizeNone NormalizeMode = NormalizeMode(core.NormalizeNone)
+)
+
+// MatchMode selects the MATCH clause of similarity queries (Q1).
+type MatchMode int
+
+const (
+	// MatchExact considers only subsequences of the query's own length.
+	MatchExact MatchMode = MatchMode(query.MatchExact)
+	// MatchAny considers subsequences of every indexed length.
+	MatchAny MatchMode = MatchMode(query.MatchAny)
+)
+
+// Degree is the paper's similarity-strength scale (Sec. 4.2).
+type Degree int
+
+const (
+	// Strict similarity: thresholds below the point where half the
+	// precomputed groups would merge.
+	Strict Degree = iota
+	// Medium similarity: between the half-merge and all-merge thresholds.
+	Medium
+	// Loose similarity: at or beyond the threshold merging all groups.
+	Loose
+)
+
+// String returns the paper's S/M/L letter.
+func (d Degree) String() string {
+	switch d {
+	case Strict:
+		return "S"
+	case Medium:
+		return "M"
+	case Loose:
+		return "L"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,85 @@
+package onex
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPublicSaveLoad(t *testing.T) {
+	b := buildFixture(t, Options{})
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ST() != b.ST() {
+		t.Errorf("ST %v != %v", loaded.ST(), b.ST())
+	}
+	if loaded.Stats().Representatives != b.Stats().Representatives {
+		t.Error("representative count changed across save/load")
+	}
+	q := make([]float64, 16)
+	for i := range q {
+		q[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	m1, err := b.BestMatch(q, MatchAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := loaded.BestMatch(q, MatchAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.SeriesID != m2.SeriesID || m1.Start != m2.Start || m1.Distance != m2.Distance {
+		t.Errorf("answers differ: %v vs %v", m1, m2)
+	}
+	// All query classes work on the loaded base.
+	if _, err := loaded.Seasonal(0, 16); err != nil {
+		t.Errorf("Seasonal after load: %v", err)
+	}
+	if _, err := loaded.RecommendThreshold(Strict, -1); err != nil {
+		t.Errorf("Recommend after load: %v", err)
+	}
+	if _, err := loaded.WithThreshold(0.4); err != nil {
+		t.Errorf("WithThreshold after load: %v", err)
+	}
+	if _, err := loaded.RangeSearch(q, 16, 0.1); err != nil {
+		t.Errorf("RangeSearch after load: %v", err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a base"))); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestPublicRangeSearch(t *testing.T) {
+	b := buildFixture(t, Options{})
+	q := make([]float64, 16)
+	for i := range q {
+		q[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	ms, err := b.RangeSearch(q, 16, b.ST())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no range results at radius=ST for a shape present in the data")
+	}
+	for _, m := range ms {
+		if !m.Guaranteed && m.Distance > b.ST()+1e-9 {
+			t.Errorf("verified result outside radius: %v", m.Distance)
+		}
+		if len(m.Values) != 16 {
+			t.Errorf("result window length %d", len(m.Values))
+		}
+	}
+	if _, err := b.RangeSearch(q, 16, -1); err == nil {
+		t.Error("negative radius: want error")
+	}
+}

@@ -1,0 +1,66 @@
+package onex
+
+import (
+	"fmt"
+	"time"
+)
+
+// Match is a similarity-query answer.
+type Match struct {
+	// SeriesID and Start locate the matched subsequence in the input; the
+	// SeriesID is the index of the series in the Build call.
+	SeriesID, Start, Length int
+	// Distance is the normalized DTW (paper Def. 6) between the query and
+	// the match, measured on the normalized data the base indexes.
+	Distance float64
+	// Values is a copy of the matched (normalized) window.
+	Values []float64
+}
+
+// String summarizes the match in the paper's (Xp)^i_j notation.
+func (m Match) String() string {
+	return fmt.Sprintf("(X%d)^%d_%d dist=%.4f", m.SeriesID, m.Length, m.Start, m.Distance)
+}
+
+// Occurrence locates one recurrence of a seasonal pattern.
+type Occurrence struct {
+	SeriesID, Start int
+}
+
+// Pattern is a seasonal-similarity answer: a group of mutually similar
+// subsequences (every pair within ST by Lemma 1) that recurs.
+type Pattern struct {
+	// Length is the subsequence length of every occurrence.
+	Length int
+	// Occurrences lists where the pattern recurs (≥ 2 entries).
+	Occurrences []Occurrence
+	// Representative is the group's point-wise average shape.
+	Representative []float64
+}
+
+// Range is a recommended similarity-threshold interval.
+type Range struct {
+	Low, High float64
+}
+
+// Contains reports whether st falls inside the recommendation.
+func (r Range) Contains(st float64) bool { return st >= r.Low && st <= r.High }
+
+// String formats the range.
+func (r Range) String() string { return fmt.Sprintf("[%.4f, %.4f]", r.Low, r.High) }
+
+// Stats reports base size and construction cost (the quantities of the
+// paper's Table 4 and Figs. 5–6).
+type Stats struct {
+	// Representatives counts the groups across all indexed lengths.
+	Representatives int
+	// Subsequences counts every indexed subsequence.
+	Subsequences int64
+	// IndexBytes estimates the resident size of the GTI+LSI structures.
+	IndexBytes int64
+	// BuildTime is the offline construction time.
+	BuildTime time.Duration
+	// STHalf and STFinal are the global critical thresholds of the
+	// Similarity Parameter Space (Sec. 4.2).
+	STHalf, STFinal float64
+}
