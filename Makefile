@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml so contributors run the same gate
+# locally before pushing: `make ci`.
+
+GO ?= go
+
+.PHONY: fmt fmt-check vet build test bench ci
+
+fmt: ## Reformat all Go sources in place
+	gofmt -w .
+
+fmt-check: ## Fail if any file needs gofmt (CI's formatting gate)
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+vet: ## Static analysis
+	$(GO) vet ./...
+
+build: ## Compile every package and binary
+	$(GO) build ./...
+
+test: ## Full test suite with the race detector (CI's main job)
+	$(GO) test -race ./...
+
+bench: ## Run every benchmark once (CI's bench-smoke job)
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci: fmt-check vet build test bench ## The full local gate, same order as CI

@@ -1,3 +1,32 @@
+// Package onex reproduces ONEX (Neamtu et al., PVLDB 10(3), 2016):
+// interactive time-series exploration powered by the marriage of
+// similarity distances — cheap Euclidean-distance grouping offline,
+// DTW-based exploration online.
+//
+// # Quick start
+//
+// CI (.github/workflows/ci.yml, "CI" badge once the repo has a canonical
+// remote): every push runs gofmt, go vet, the race-enabled test suite on
+// Go 1.22/1.23, and a one-iteration benchmark smoke pass.
+//
+// Build and test from a clean checkout (no dependencies beyond the Go
+// toolchain):
+//
+//	go build ./...      # compile every package and binary
+//	go test ./...       # full test suite
+//	make ci             # the exact CI gate: fmt-check, vet, build,
+//	                    # race tests, bench smoke
+//
+// Explore a dataset end to end:
+//
+//	go run ./examples/quickstart
+//
+// The distance kernel everything sits on lives in internal/dist: ED/DTW
+// with the paper's normalizations, LB_Kim/LB_Keogh lower bounds with
+// early abandoning, warping envelopes, and an allocation-reusing DTW
+// workspace. Run its benchmarks with:
+//
+//	go test -bench . -run '^$' ./internal/dist
 package onex
 
 // Paper-to-code glossary. The implementation follows the paper's notation

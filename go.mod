@@ -1,0 +1,3 @@
+module onex
+
+go 1.22

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"onex/internal/dist"
 	"onex/internal/ts"
@@ -108,6 +109,24 @@ func (bf *BruteForce) BestMatchScale(q []float64, lengths []int, scale Scale) (M
 			lengths = append(lengths, l)
 		}
 	}
+	// Visit lengths nearest the query's own length first: the closest
+	// candidates tend to live there, so the early-abandon cutoff tightens
+	// immediately instead of after a long scan of degenerate lengths. The
+	// scan stays exact — only the abandon effectiveness changes.
+	lengths = append([]int(nil), lengths...)
+	sort.Slice(lengths, func(a, b int) bool {
+		da, db := lengths[a]-len(q), lengths[b]-len(q)
+		if da < 0 {
+			da = -da
+		}
+		if db < 0 {
+			db = -db
+		}
+		if da != db {
+			return da < db
+		}
+		return lengths[a] < lengths[b]
+	})
 	var ws dist.Workspace
 	best := Match{Dist: math.Inf(1)}
 	for _, l := range lengths {

@@ -260,17 +260,27 @@ func TestFig3Smoke(t *testing.T) {
 	if len(tables) != 2 || len(tables[0].Rows) != 5 {
 		t.Fatalf("fig3 tables malformed: %d tables", len(tables))
 	}
-	// Times must grow (weakly) with N for the exhaustive scanner.
-	prev := -1.0
+	// Exhaustive-scanner cost must trend upward with N. Per-row times are
+	// not monotone: the scan early-abandons against the best-so-far, so a
+	// workload whose query has a near-identical match (tight cutoff) is
+	// much cheaper than a smaller workload without one. Compare aggregate
+	// halves instead, which tracks the N-scaling of the underlying window
+	// count without being hostage to per-workload cutoff luck.
+	var times []float64
 	for _, row := range tables[0].Rows {
 		v, err := strconv.ParseFloat(row[4], 64)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev > 0 && v < prev/4 {
-			t.Errorf("STANDARD-DTW time shrank sharply with N: %v after %v", v, prev)
+		if v <= 0 {
+			t.Errorf("STANDARD-DTW time %v not positive", v)
 		}
-		prev = v
+		times = append(times, v)
+	}
+	firstHalf := times[0] + times[1]
+	lastHalf := times[len(times)-2] + times[len(times)-1]
+	if lastHalf < firstHalf/4 {
+		t.Errorf("STANDARD-DTW time collapsed with N: first rows %v, last rows %v", firstHalf, lastHalf)
 	}
 }
 

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEDGolden(t *testing.T) {
+	if got := ED([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("ED = %v, want 5", got)
+	}
+	if got := ED(nil, nil); got != 0 {
+		t.Errorf("ED(nil,nil) = %v, want 0", got)
+	}
+	a := []float64{1.5, -2, 0.25}
+	if got := ED(a, a); got != 0 {
+		t.Errorf("ED(a,a) = %v, want 0", got)
+	}
+}
+
+func TestEDPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ED with mismatched lengths did not panic")
+		}
+	}()
+	ED([]float64{1, 2}, []float64{1})
+}
+
+func TestNormalizedED(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1, 1, 1, 1}
+	// ED = 2, √L = 2.
+	if got := NormalizedED(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NormalizedED = %v, want 1", got)
+	}
+	if got := NormalizedED(nil, nil); got != 0 {
+		t.Errorf("NormalizedED(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestSquaredEDEarlyAbandon(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, 2}
+	exact := 9.0 // 1 + 4 + 4
+	if got := SquaredEDEarlyAbandon(a, b, math.Inf(1)); got != exact {
+		t.Errorf("no-cutoff result = %v, want %v", got, exact)
+	}
+	// A sum equal to the cutoff must survive (group assignment compares ≤).
+	if got := SquaredEDEarlyAbandon(a, b, exact); got != exact {
+		t.Errorf("cutoff==sum result = %v, want %v", got, exact)
+	}
+	if got := SquaredEDEarlyAbandon(a, b, exact-0.5); !math.IsInf(got, 1) {
+		t.Errorf("cutoff below sum = %v, want +Inf", got)
+	}
+	// Abandon must trigger mid-scan, not only at the end.
+	long := make([]float64, 1000)
+	far := make([]float64, 1000)
+	for i := range far {
+		far[i] = 10
+	}
+	if got := SquaredEDEarlyAbandon(long, far, 1); !math.IsInf(got, 1) {
+		t.Errorf("far sequences = %v, want +Inf", got)
+	}
+}
+
+func TestSquaredEDEarlyAbandonMatchesED(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		a, b := randSeries(r, n), randSeries(r, n)
+		want := ED(a, b)
+		got := SquaredEDEarlyAbandon(a, b, math.Inf(1))
+		if math.Abs(math.Sqrt(got)-want) > 1e-9 {
+			t.Fatalf("√SquaredED %v != ED %v", math.Sqrt(got), want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package dist
+
+import "math"
+
+// Unconstrained disables the Sakoe-Chiba band: every warping path over the
+// full n×m alignment matrix is admitted (the paper's Def. 3 DTW). Pass a
+// non-negative half-width w instead to constrain paths to |i−j| ≤ w.
+const Unconstrained = -1
+
+// NormalizedDTWDivisor returns the Def. 6 normalization divisor 2·max(n,m)
+// for a length-n query and a length-m candidate. Normalized DTW is
+// DTW(x,y) divided by this value — the scale the ST/2 retrieval guarantee
+// (Lemma 2) is stated in.
+func NormalizedDTWDivisor(n, m int) float64 {
+	if m > n {
+		n = m
+	}
+	return 2 * float64(n)
+}
+
+// NormalizedDTW is the length-normalized DTW of Def. 6:
+// DTW(a,b) / (2·max(len(a),len(b))).
+func NormalizedDTW(a, b []float64) float64 {
+	return DTW(a, b) / NormalizedDTWDivisor(len(a), len(b))
+}
+
+// DTW returns the unconstrained Dynamic Time Warping distance of Def. 3:
+// the minimum over warping paths P of √Σ_{(i,j)∈P}(aᵢ−bⱼ)². Sequences may
+// have different lengths. For scratch reuse across many calls, use
+// Workspace.DTW.
+func DTW(a, b []float64) float64 {
+	var w Workspace
+	return w.DTW(a, b)
+}
+
+// Workspace holds reusable scratch for the two-row DTW dynamic program so
+// tight query loops allocate only once. The zero value is ready to use. A
+// Workspace is not safe for concurrent use; give each goroutine its own.
+type Workspace struct {
+	prev, curr []float64
+}
+
+// rows returns the two DP rows, each of length n, growing the backing
+// arrays only when a larger candidate arrives.
+func (w *Workspace) rows(n int) (prev, curr []float64) {
+	if cap(w.prev) < n {
+		w.prev = make([]float64, n)
+		w.curr = make([]float64, n)
+	}
+	return w.prev[:n], w.curr[:n]
+}
+
+// DTW is the unconstrained DTW distance using the workspace's scratch.
+func (w *Workspace) DTW(a, b []float64) float64 {
+	return w.DTWEarlyAbandon(a, b, Unconstrained, math.Inf(1))
+}
+
+// DTWEarlyAbandon computes the Sakoe-Chiba-banded DTW distance with
+// UCR-suite-style early abandoning: the O(n·m) dynamic program runs over
+// two rows of squared costs, and as soon as every cell of a row — i.e.
+// every prefix any warping path could extend — is at least cutoff², no
+// path can finish below cutoff and +Inf is returned. A finite return value
+// is always the exact banded DTW distance, even when it is ≥ cutoff.
+//
+// window is the band half-width (|i−j| ≤ window); Unconstrained disables
+// it. When the sequences' lengths differ, the band is widened to at least
+// |len(q)−len(c)| so the corner-to-corner path stays feasible.
+func (w *Workspace) DTWEarlyAbandon(q, c []float64, window int, cutoff float64) float64 {
+	n, m := len(q), len(c)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	band := window
+	if band >= 0 {
+		if d := n - m; d > band || -d > band {
+			if d < 0 {
+				d = -d
+			}
+			band = d
+		}
+	}
+	cutoffSq := cutoff * cutoff // +Inf cutoff stays +Inf
+
+	inf := math.Inf(1)
+	prev, curr := w.rows(m + 1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		jLo, jHi := 1, m
+		if band >= 0 {
+			if lo := i - band; lo > jLo {
+				jLo = lo
+			}
+			if hi := i + band; hi < jHi {
+				jHi = hi
+			}
+		}
+		// Cells just outside the band must read as unreachable for the
+		// next row (which may look one column left or right).
+		curr[jLo-1] = inf
+		if jHi < m {
+			curr[jHi+1] = inf
+		}
+		rowMin := inf
+		qi := q[i-1]
+		for j := jLo; j <= jHi; j++ {
+			best := prev[j]               // q advances alone
+			if v := prev[j-1]; v < best { // both advance
+				best = v
+			}
+			if v := curr[j-1]; v < best { // c advances alone
+				best = v
+			}
+			d := qi - c[j-1]
+			acc := best + d*d
+			curr[j] = acc
+			if acc < rowMin {
+				rowMin = acc
+			}
+		}
+		if rowMin > cutoffSq {
+			return inf
+		}
+		prev, curr = curr, prev
+	}
+	w.prev, w.curr = prev[:cap(prev)], curr[:cap(curr)]
+	return math.Sqrt(prev[m])
+}
+
+// PathPoint is one cell of a warping path: the first sequence's index I
+// aligned with the second sequence's index J.
+type PathPoint struct {
+	I, J int
+}
+
+// DTWPath returns an optimal unconstrained warping path between a and b —
+// from (0,0) to (len(a)−1, len(b)−1), each step advancing I, J, or both —
+// together with the DTW distance along it. Ties prefer the diagonal step,
+// keeping paths short. Used by DBA to warp member points onto the center.
+func DTWPath(a, b []float64) ([]PathPoint, float64) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil, 0
+	}
+	inf := math.Inf(1)
+	// Full cumulative matrix with a sentinel row/column of +Inf.
+	acc := make([]float64, (n+1)*(m+1))
+	for j := 0; j <= m; j++ {
+		acc[j] = inf
+	}
+	for i := 1; i <= n; i++ {
+		acc[i*(m+1)] = inf
+	}
+	acc[0] = 0
+	for i := 1; i <= n; i++ {
+		row := acc[i*(m+1):]
+		up := acc[(i-1)*(m+1):]
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			best := up[j-1] // diagonal
+			if up[j] < best {
+				best = up[j]
+			}
+			if row[j-1] < best {
+				best = row[j-1]
+			}
+			d := ai - b[j-1]
+			row[j] = best + d*d
+		}
+	}
+	// Backtrack, preferring the diagonal on ties.
+	path := make([]PathPoint, 0, n+m-1)
+	i, j := n, m
+	for i > 1 || j > 1 {
+		path = append(path, PathPoint{I: i - 1, J: j - 1})
+		diag, upv, left := inf, inf, inf
+		if i > 1 && j > 1 {
+			diag = acc[(i-1)*(m+1)+j-1]
+		}
+		if i > 1 {
+			upv = acc[(i-1)*(m+1)+j]
+		}
+		if j > 1 {
+			left = acc[i*(m+1)+j-1]
+		}
+		switch {
+		case diag <= upv && diag <= left:
+			i, j = i-1, j-1
+		case upv <= left:
+			i--
+		default:
+			j--
+		}
+	}
+	path = append(path, PathPoint{I: 0, J: 0})
+	// Reverse into forward order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, math.Sqrt(acc[n*(m+1)+m])
+}

@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDTW is an independent full-matrix reference implementation: no row
+// reuse, no early abandoning, band applied directly — the golden oracle
+// for the optimized kernel. window < 0 means unconstrained; like the
+// kernel, the band is widened to |n−m| so the corner path stays feasible.
+func naiveDTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	band := window
+	if band >= 0 {
+		if d := n - m; d > band {
+			band = d
+		} else if -d > band {
+			band = -d
+		}
+	}
+	inf := math.Inf(1)
+	acc := make([][]float64, n)
+	for i := range acc {
+		acc[i] = make([]float64, m)
+		for j := range acc[i] {
+			acc[i][j] = inf
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if band >= 0 && (i-j > band || j-i > band) {
+				continue
+			}
+			d := a[i] - b[j]
+			cost := d * d
+			switch {
+			case i == 0 && j == 0:
+				acc[i][j] = cost
+			case i == 0:
+				acc[i][j] = acc[i][j-1] + cost
+			case j == 0:
+				acc[i][j] = acc[i-1][j] + cost
+			default:
+				best := acc[i-1][j-1]
+				if acc[i-1][j] < best {
+					best = acc[i-1][j]
+				}
+				if acc[i][j-1] < best {
+					best = acc[i][j-1]
+				}
+				acc[i][j] = best + cost
+			}
+		}
+	}
+	return math.Sqrt(acc[n-1][m-1])
+}
+
+func randSeries(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestDTWGolden(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{0, 1, 2}, []float64{0, 2}, 1},       // warp 1↔2 alignment
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}, 0},    // identical
+		{[]float64{0, 0}, []float64{3, 4}, 5},          // no warp helps
+		{[]float64{5}, []float64{2}, 3},                // single points
+		{[]float64{1, 1, 1, 1}, []float64{1}, 0},       // constant collapse
+		{[]float64{0, 1, 1, 2}, []float64{0, 1, 2}, 0}, // duplicate absorbed
+	}
+	for i, c := range cases {
+		if got := DTW(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: DTW = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDTWMatchesNaiveReference(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var w Workspace
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		m := 1 + r.Intn(40)
+		a, b := randSeries(r, n), randSeries(r, m)
+		want := naiveDTW(a, b, Unconstrained)
+		if got := w.DTW(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d m=%d): DTW = %v, naive = %v", trial, n, m, got, want)
+		}
+		if got := DTW(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: package DTW = %v, naive = %v", trial, got, want)
+		}
+	}
+}
+
+func TestDTWBandedMatchesNaiveReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var w Workspace
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(30)
+		m := 1 + r.Intn(30)
+		window := r.Intn(12)
+		a, b := randSeries(r, n), randSeries(r, m)
+		want := naiveDTW(a, b, window)
+		if got := w.DTWEarlyAbandon(a, b, window, math.Inf(1)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d m=%d w=%d): banded DTW = %v, naive = %v",
+				trial, n, m, window, got, want)
+		}
+	}
+}
+
+func TestDTWEarlyAbandonExactOrInf(t *testing.T) {
+	// A finite result must be the exact distance; +Inf must only appear
+	// when the true distance genuinely exceeds the cutoff.
+	r := rand.New(rand.NewSource(11))
+	var w Workspace
+	abandoned, kept := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(30)
+		m := 2 + r.Intn(30)
+		a, b := randSeries(r, n), randSeries(r, m)
+		want := naiveDTW(a, b, Unconstrained)
+		cutoff := want * (0.25 + 1.5*r.Float64()) // straddle the true value
+		got := w.DTWEarlyAbandon(a, b, Unconstrained, cutoff)
+		if math.IsInf(got, 1) {
+			abandoned++
+			if want <= cutoff-1e-9 {
+				t.Fatalf("trial %d: abandoned although DTW %v ≤ cutoff %v", trial, want, cutoff)
+			}
+		} else {
+			kept++
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: finite result %v != exact %v", trial, got, want)
+			}
+		}
+	}
+	if abandoned == 0 || kept == 0 {
+		t.Fatalf("degenerate trial mix: %d abandoned, %d kept", abandoned, kept)
+	}
+}
+
+func TestDTWEarlyAbandonKeepsResultEqualToCutoff(t *testing.T) {
+	// Range searches with radius 0 rely on a result exactly at the cutoff
+	// surviving: cutoff 0 must still find an identical subsequence.
+	var w Workspace
+	a := []float64{0.3, 0.7, 0.1}
+	if got := w.DTWEarlyAbandon(a, a, Unconstrained, 0); got != 0 {
+		t.Errorf("cutoff-0 self distance = %v, want 0", got)
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := randSeries(r, 1+r.Intn(25))
+		b := randSeries(r, 1+r.Intn(25))
+		if d1, d2 := DTW(a, b), DTW(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("DTW not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestDTWAtMostED(t *testing.T) {
+	// The diagonal is a valid warping path, so DTW ≤ ED for equal lengths.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(30)
+		a, b := randSeries(r, n), randSeries(r, n)
+		if dtw, ed := DTW(a, b), ED(a, b); dtw > ed+1e-9 {
+			t.Fatalf("DTW %v > ED %v", dtw, ed)
+		}
+	}
+}
+
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	// Growing and shrinking candidates must not leave stale state behind.
+	r := rand.New(rand.NewSource(9))
+	var w Workspace
+	for _, n := range []int{50, 5, 80, 1, 33} {
+		a := randSeries(r, n)
+		b := randSeries(r, n/2+1)
+		want := naiveDTW(a, b, Unconstrained)
+		if got := w.DTW(a, b); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("size %d: reused workspace %v != naive %v", n, got, want)
+		}
+	}
+}
+
+func TestNormalizedDTW(t *testing.T) {
+	if d := NormalizedDTWDivisor(6, 10); d != 20 {
+		t.Errorf("divisor(6,10) = %v, want 20", d)
+	}
+	if d := NormalizedDTWDivisor(10, 6); d != 20 {
+		t.Errorf("divisor(10,6) = %v, want 20", d)
+	}
+	a := []float64{0, 1, 2}
+	b := []float64{0, 2}
+	want := 1.0 / 6 // DTW = 1, divisor = 2·3
+	if got := NormalizedDTW(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalizedDTW = %v, want %v", got, want)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if d := DTW(nil, nil); d != 0 {
+		t.Errorf("DTW(nil,nil) = %v, want 0", d)
+	}
+	if d := DTW([]float64{1}, nil); !math.IsInf(d, 1) {
+		t.Errorf("DTW(x,nil) = %v, want +Inf", d)
+	}
+}
+
+func TestDTWPathProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(20)
+		m := 1 + r.Intn(20)
+		a, b := randSeries(r, n), randSeries(r, m)
+		path, d := DTWPath(a, b)
+		if len(path) == 0 {
+			t.Fatal("empty path for non-empty inputs")
+		}
+		if path[0] != (PathPoint{0, 0}) {
+			t.Fatalf("path starts at %v, want (0,0)", path[0])
+		}
+		if last := path[len(path)-1]; last != (PathPoint{n - 1, m - 1}) {
+			t.Fatalf("path ends at %v, want (%d,%d)", last, n-1, m-1)
+		}
+		var cost float64
+		for i, p := range path {
+			diff := a[p.I] - b[p.J]
+			cost += diff * diff
+			if i == 0 {
+				continue
+			}
+			di, dj := p.I-path[i-1].I, p.J-path[i-1].J
+			if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+				t.Fatalf("illegal step %v -> %v", path[i-1], p)
+			}
+		}
+		if math.Abs(math.Sqrt(cost)-d) > 1e-9 {
+			t.Fatalf("path cost %v != reported %v", math.Sqrt(cost), d)
+		}
+		if want := naiveDTW(a, b, Unconstrained); math.Abs(d-want) > 1e-9 {
+			t.Fatalf("path distance %v != DTW %v", d, want)
+		}
+	}
+}
+
+func TestDTWPathEmpty(t *testing.T) {
+	if path, d := DTWPath(nil, []float64{1}); path != nil || d != 0 {
+		t.Errorf("DTWPath with empty input = %v, %v", path, d)
+	}
+}

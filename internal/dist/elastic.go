@@ -1,0 +1,80 @@
+package dist
+
+import "math"
+
+// LCSSDistance is the Longest-Common-Subsequence dissimilarity:
+// 1 − LCSS(x,y)/min(n,m), in [0,1]. Points match when |xᵢ−yⱼ| ≤ epsilon
+// and, if delta ≥ 0, additionally |i−j| ≤ delta (the temporal matching
+// window; pass a negative delta for no window). One of the elastic
+// distances the paper's related work weighs against DTW (Sec. 7).
+func LCSSDistance(x, y []float64, epsilon float64, delta int) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return 1
+	}
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		xi := x[i-1]
+		for j := 1; j <= m; j++ {
+			inWindow := delta < 0 || abs(i-j) <= delta
+			if inWindow && math.Abs(xi-y[j-1]) <= epsilon {
+				curr[j] = prev[j-1] + 1
+			} else if prev[j] >= curr[j-1] {
+				curr[j] = prev[j]
+			} else {
+				curr[j] = curr[j-1]
+			}
+		}
+		prev, curr = curr, prev
+	}
+	shorter := n
+	if m < shorter {
+		shorter = m
+	}
+	return 1 - float64(prev[m])/float64(shorter)
+}
+
+// ERP is the Edit distance with Real Penalty (Chen & Ng): an L1 edit
+// distance where a gap aligns a point against the constant g. Unlike DTW
+// it is a metric (it satisfies the triangle inequality), at the price of
+// sensitivity to the choice of g; g = 0 is conventional for normalized
+// data.
+func ERP(x, y []float64, g float64) float64 {
+	n, m := len(x), len(y)
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + math.Abs(y[j-1]-g)
+	}
+	for i := 1; i <= n; i++ {
+		xi := x[i-1]
+		gapX := math.Abs(xi - g)
+		curr[0] = prev[0] + gapX
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + math.Abs(xi-y[j-1])
+			skipX := prev[j] + gapX
+			skipY := curr[j-1] + math.Abs(y[j-1]-g)
+			best := match
+			if skipX < best {
+				best = skipX
+			}
+			if skipY < best {
+				best = skipY
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLCSSDistanceGolden(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := LCSSDistance(a, a, 0.01, -1); got != 0 {
+		t.Errorf("identical LCSS distance = %v, want 0", got)
+	}
+	far := []float64{100, 200, 300, 400}
+	if got := LCSSDistance(a, far, 0.5, -1); got != 1 {
+		t.Errorf("disjoint LCSS distance = %v, want 1", got)
+	}
+	// Huge epsilon matches everything.
+	if got := LCSSDistance(a, far, 1e6, -1); got != 0 {
+		t.Errorf("epsilon=∞ LCSS distance = %v, want 0", got)
+	}
+	// a shares the prefix (1,2) with b under ε=0.1: LCSS=2, min length 3.
+	b := []float64{1, 2, 50}
+	if got, want := LCSSDistance(a, b, 0.1, -1), 1-2.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("prefix LCSS distance = %v, want %v", got, want)
+	}
+}
+
+func TestLCSSDistanceDeltaWindow(t *testing.T) {
+	// The matching pair sits 3 positions apart: visible without a window,
+	// invisible with delta=1.
+	a := []float64{5, 0, 0, 0}
+	b := []float64{0, 0, 0, 5}
+	if got := LCSSDistance(a, b, 0.1, -1); got >= 1 {
+		t.Errorf("unwindowed LCSS distance = %v, want < 1", got)
+	}
+	unwindowed := LCSSDistance(a, b, 0.1, -1)
+	windowed := LCSSDistance(a, b, 0.1, 1)
+	if windowed < unwindowed {
+		t.Errorf("delta window increased the common subsequence: %v < %v", windowed, unwindowed)
+	}
+}
+
+func TestLCSSDistanceRangeAndSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		a := randSeries(r, 1+r.Intn(25))
+		b := randSeries(r, 1+r.Intn(25))
+		eps := r.Float64()
+		d1 := LCSSDistance(a, b, eps, -1)
+		if d1 < 0 || d1 > 1 {
+			t.Fatalf("LCSS distance %v outside [0,1]", d1)
+		}
+		if d2 := LCSSDistance(b, a, eps, -1); math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("LCSS not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestLCSSDistanceEmpty(t *testing.T) {
+	if got := LCSSDistance(nil, nil, 0.1, -1); got != 0 {
+		t.Errorf("LCSS(nil,nil) = %v, want 0", got)
+	}
+	if got := LCSSDistance([]float64{1}, nil, 0.1, -1); got != 1 {
+		t.Errorf("LCSS(x,nil) = %v, want 1", got)
+	}
+}
+
+func TestERPGolden(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := ERP(a, a, 0); got != 0 {
+		t.Errorf("ERP(a,a) = %v, want 0", got)
+	}
+	// Against the empty sequence every point is a gap: Σ|aᵢ−g|.
+	if got := ERP(a, nil, 0); got != 6 {
+		t.Errorf("ERP(a,∅,0) = %v, want 6", got)
+	}
+	if got := ERP(nil, a, 1); got != 0+1+2 {
+		t.Errorf("ERP(∅,a,1) = %v, want 3", got)
+	}
+	// One extra point is cheapest as a single gap.
+	if got := ERP([]float64{1, 2, 3}, []float64{1, 2, 2, 3}, 0); got != 2 {
+		t.Errorf("ERP with one insertion = %v, want 2", got)
+	}
+}
+
+func TestERPIsAMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		a := randSeries(r, 1+r.Intn(12))
+		b := randSeries(r, 1+r.Intn(12))
+		c := randSeries(r, 1+r.Intn(12))
+		const g = 0
+		ab, ba := ERP(a, b, g), ERP(b, a, g)
+		if math.Abs(ab-ba) > 1e-9 {
+			t.Fatalf("ERP not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 {
+			t.Fatalf("ERP negative: %v", ab)
+		}
+		ac, cb := ERP(a, c, g), ERP(c, b, g)
+		if ab > ac+cb+1e-9 {
+			t.Fatalf("ERP triangle violated: d(a,b)=%v > d(a,c)+d(c,b)=%v", ab, ac+cb)
+		}
+	}
+}
