@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -28,4 +28,11 @@ test: ## Full test suite with the race detector (CI's main job)
 bench: ## Run every benchmark once (CI's bench-smoke job)
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-ci: fmt-check vet build test bench ## The full local gate, same order as CI
+serve-smoke: ## Boot onex-server, drive the v1 API end to end (CI's serve-smoke job)
+	sh scripts/serve_smoke.sh
+
+bench-serve: ## Emit BENCH_serve.json: cold vs cached /match latency over HTTP
+	ONEX_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test ./cmd/onex-server -run '^TestEmitServeBench$$' -v -count=1
+
+ci: fmt-check vet build test bench serve-smoke ## The full local gate, same order as CI

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchServer builds a serving stack once per benchmark binary.
+func benchServer(tb testing.TB) (*server, *httptest.Server, []float64) {
+	tb.Helper()
+	srv, err := newServer(testConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(srv.hub.Close)
+	hs := httptest.NewServer(srv.routes())
+	tb.Cleanup(hs.Close)
+	info, err := srv.defaultInfo()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l := info.Lengths[len(info.Lengths)/2]
+	q := make([]float64, l)
+	for i := range q {
+		q[i] = 0.5
+	}
+	return srv, hs, q
+}
+
+func postMatch(tb testing.TB, client *http.Client, url string, q []float64) {
+	tb.Helper()
+	data, err := json.Marshal(matchRequest{Query: q})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("match: code %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeMatchCold measures the uncached /match path: every
+// iteration perturbs the query so the result cache misses.
+func BenchmarkServeMatchCold(b *testing.B) {
+	_, hs, q := benchServer(b)
+	url := hs.URL + "/v1/datasets/ItalyPower/match"
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qq := append([]float64(nil), q...)
+		qq[0] += float64(i) * 1e-9
+		postMatch(b, client, url, qq)
+	}
+}
+
+// BenchmarkServeMatchCached measures the cache-hit /match path: identical
+// query every iteration.
+func BenchmarkServeMatchCached(b *testing.B) {
+	_, hs, q := benchServer(b)
+	url := hs.URL + "/v1/datasets/ItalyPower/match"
+	client := &http.Client{}
+	postMatch(b, client, url, q) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postMatch(b, client, url, q)
+	}
+}
+
+// TestEmitServeBench writes BENCH_serve.json (cold vs cached /match
+// latency over the HTTP stack) when ONEX_BENCH_OUT names the output file;
+// `make bench-serve` and the CI serve-smoke job drive it.
+func TestEmitServeBench(t *testing.T) {
+	out := os.Getenv("ONEX_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ONEX_BENCH_OUT=<file> to emit the serving benchmark artifact")
+	}
+	srv, hs, q := benchServer(t)
+	url := hs.URL + "/v1/datasets/ItalyPower/match"
+	client := &http.Client{}
+
+	const rounds = 60
+	measure := func(perturb bool) []time.Duration {
+		lat := make([]time.Duration, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			qq := q
+			if perturb {
+				qq = append([]float64(nil), q...)
+				qq[0] += float64(i+1) * 1e-9
+			}
+			start := time.Now()
+			postMatch(t, client, url, qq)
+			lat = append(lat, time.Since(start))
+		}
+		return lat
+	}
+	cold := measure(true)
+	postMatch(t, client, url, q) // warm the identical-query entry
+	cached := measure(false)
+
+	stats := func(lat []time.Duration) (p50, mean float64) {
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted {
+			sum += d
+		}
+		return float64(sorted[len(sorted)/2].Nanoseconds()),
+			float64(sum.Nanoseconds()) / float64(len(sorted))
+	}
+	coldP50, coldMean := stats(cold)
+	cachedP50, cachedMean := stats(cached)
+	info, err := srv.defaultInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	artifact := map[string]any{
+		"benchmark":       "serve_match_cold_vs_cached",
+		"dataset":         info.Name,
+		"representatives": info.Representatives,
+		"queryLength":     len(q),
+		"rounds":          rounds,
+		"coldNsP50":       coldP50,
+		"coldNsMean":      coldMean,
+		"cachedNsP50":     cachedP50,
+		"cachedNsMean":    cachedMean,
+		"speedupP50":      coldP50 / cachedP50,
+		"cacheHits":       info.CacheHits,
+		"cacheMisses":     info.CacheMisses,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("serve bench: cold p50 %.0fns, cached p50 %.0fns (%.1fx) → %s\n",
+		coldP50, cachedP50, coldP50/cachedP50, out)
+	if info.CacheHits < rounds {
+		t.Errorf("cache hits = %d, want ≥ %d (cached rounds must hit)", info.CacheHits, rounds)
+	}
+}

@@ -1,136 +1,259 @@
-// Command onex-server exposes an ONEX base over HTTP — the service form of
-// the paper's interactive exploration tool. It loads or generates a dataset,
-// builds the base once (the paper's one-time preprocessing step), and
-// answers the query classes as JSON.
+// Command onex-server serves ONEX bases over HTTP — the service form of the
+// paper's interactive exploration tool, scaled from a single-base demo to a
+// multi-dataset hub (internal/hub): datasets are registered at runtime,
+// built asynchronously on a bounded worker pool, optionally snapshotted to
+// disk for instant reloads, and queried through a bounded LRU result cache.
 //
 // Usage:
 //
-//	onex-server [-addr :8080] [-data file.tsv | -generate ECG] [-st 0.2] [-lengths 16] [-scale 0.25]
+//	onex-server [-addr :8080] [-data file.tsv | -generate ECG] [-st 0.2]
+//	            [-lengths 16] [-scale 0.25] [-seed 1]
+//	            [-snapshot-dir dir] [-cache-entries 1024] [-build-workers 2]
 //
-// Endpoints (all GET unless noted):
+// The flags describe the default dataset, registered at startup exactly as
+// previous single-dataset versions served it; the legacy unversioned
+// endpoints keep working against it. See README.md in this directory for
+// the full v1 API with curl examples.
 //
-//	POST /match      {"query":[...], "mode":"any|exact", "k":5}  → best match(es)
-//	POST /range      {"query":[...], "length":24, "radius":0.2}  → all within radius
-//	GET  /seasonal?series=3&length=24                            → recurring patterns of a series
-//	GET  /seasonal?length=24                                     → dataset-wide patterns
-//	GET  /recommend?degree=S&length=-1                           → threshold range
-//	GET  /stats                                                  → base statistics
-//	GET  /healthz                                                → liveness
+// Versioned surface (JSON in/out; errors are {"error": "..."}):
+//
+//	POST   /v1/datasets                  register a dataset (async build)
+//	GET    /v1/datasets                  list datasets + lifecycle states
+//	GET    /v1/datasets/{name}           one dataset's status/metadata
+//	DELETE /v1/datasets/{name}[?purge=1] drop (purge also deletes snapshot)
+//	POST   /v1/datasets/{name}/match     best match / k-NN (Q1)
+//	POST   /v1/datasets/{name}/range     range search within a radius
+//	POST   /v1/datasets/{name}/extend    incrementally add series
+//	GET    /v1/datasets/{name}/seasonal  recurring patterns (Q2)
+//	GET    /v1/datasets/{name}/recommend threshold recommendation (Q3)
+//	GET    /v1/datasets/{name}/stats     per-dataset stats + cache counters
+//	GET    /v1/stats                     hub-wide stats (cache hit/miss, states)
+//	GET    /healthz                      liveness
+//
+// Legacy single-dataset endpoints (served by the default dataset):
+// POST /match, POST /range, GET /seasonal, GET /recommend, GET /stats.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"onex"
-	"onex/internal/dataset"
+	"onex/internal/hub"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataPath = flag.String("data", "", "UCR-format dataset file")
-		genName  = flag.String("generate", "ECG", "synthetic dataset to generate when -data is unset")
-		st       = flag.Float64("st", 0.2, "similarity threshold")
-		lengths  = flag.Int("lengths", 16, "number of indexed lengths")
-		scale    = flag.Float64("scale", 0.25, "synthetic dataset scale")
-		seed     = flag.Int64("seed", 1, "RNG seed")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataPath     = flag.String("data", "", "UCR-format dataset file for the default dataset")
+		genName      = flag.String("generate", "ECG", "synthetic dataset to generate when -data is unset")
+		st           = flag.Float64("st", 0.2, "similarity threshold of the default dataset")
+		lengths      = flag.Int("lengths", 16, "number of indexed lengths for the default dataset")
+		scale        = flag.Float64("scale", 0.25, "synthetic dataset scale")
+		seed         = flag.Int64("seed", 1, "RNG seed")
+		snapshotDir  = flag.String("snapshot-dir", "", "directory for base snapshots (empty = no persistence)")
+		cacheEntries = flag.Int("cache-entries", 1024, "query-result cache capacity (negative disables)")
+		buildWorkers = flag.Int("build-workers", 2, "concurrent dataset builds")
+		maxBody      = flag.Int64("max-body-bytes", defaultMaxBody, "request body size cap")
+		allowFS      = flag.Bool("allow-fs", false,
+			"let /v1/datasets register from server filesystem paths (path/snapshot fields)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*dataPath, *genName, *st, *lengths, *scale, *seed)
+	srv, err := newServer(serverConfig{
+		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
+		Scale: *scale, Seed: *seed,
+		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
+		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
+	})
 	if err != nil {
 		log.Fatal("onex-server: ", err)
 	}
-	log.Printf("onex-server: base ready (%d representatives), listening on %s",
-		srv.base.Stats().Representatives, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	defer srv.hub.Close()
+
+	info, _ := srv.defaultInfo()
+	log.Printf("onex-server: default dataset %q ready (%d representatives), listening on %s",
+		srv.defaultName, info.Representatives, *addr)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal("onex-server: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("onex-server: shutting down (draining in-flight queries)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Print("onex-server: shutdown: ", err)
+		}
+		srv.hub.Close() // aborts in-flight builds cleanly
+	}
 }
 
-// server holds the immutable base; handlers are safe for concurrent use.
+const defaultMaxBody = 8 << 20 // 8 MiB: ~1M-point query vectors
+
+// serverConfig aggregates the startup flags (kept as a struct so tests can
+// build servers directly).
+type serverConfig struct {
+	DataPath, Generator string
+	ST                  float64
+	Lengths             int
+	Scale               float64
+	Seed                int64
+	SnapshotDir         string
+	CacheEntries        int
+	BuildWorkers        int
+	MaxBody             int64
+	// AllowFS lets v1 registration requests name server filesystem paths
+	// (path/snapshot). Off by default: a remote client must not be able to
+	// read arbitrary host files. The startup -data flag is unaffected
+	// (operator-controlled).
+	AllowFS bool
+}
+
+// server is the HTTP face of a hub. Handlers are safe for concurrent use.
 type server struct {
-	base    *onex.Base
-	name    string
-	started time.Time
+	hub         *hub.Hub
+	defaultName string
+	maxBody     int64
+	allowFS     bool
+	started     time.Time
 }
 
-func newServer(dataPath, genName string, st float64, lengths int, scale float64, seed int64) (*server, error) {
-	var series []onex.Series
-	var name string
-	if dataPath != "" {
-		d, err := dataset.LoadUCRFile(dataPath)
-		if err != nil {
-			return nil, err
-		}
-		name = d.Name
-		for _, s := range d.Series {
-			series = append(series, onex.Series{Label: s.Label, Values: s.Values})
-		}
-	} else {
-		sp, ok := dataset.ByName(genName)
-		if !ok {
-			return nil, fmt.Errorf("unknown dataset %q", genName)
-		}
-		d := sp.Scaled(scale).Generate(seed)
-		name = sp.Name
-		for _, s := range d.Series {
-			series = append(series, onex.Series{Label: s.Label, Values: s.Values})
-		}
+// newServer starts a hub, registers the default dataset per cfg and waits
+// for it to become ready, mirroring the old single-dataset startup.
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = defaultMaxBody
 	}
-	maxLen := 0
-	for _, s := range series {
-		if len(s.Values) > maxLen {
-			maxLen = len(s.Values)
-		}
-	}
-	base, err := onex.Build(name, series, onex.Options{
-		ST:      st,
-		Lengths: spreadLengths(maxLen, lengths),
-		Seed:    seed,
+	h := hub.New(hub.Config{
+		BuildWorkers: cfg.BuildWorkers,
+		SnapshotDir:  cfg.SnapshotDir,
+		CacheEntries: cfg.CacheEntries,
 	})
+	s := &server{hub: h, maxBody: cfg.MaxBody, allowFS: cfg.AllowFS, started: time.Now()}
+
+	spec := hub.Spec{
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed},
+		LengthCount: cfg.Lengths,
+	}
+	name := cfg.Generator
+	if cfg.DataPath != "" {
+		spec.Path = cfg.DataPath
+		name = datasetNameFromPath(cfg.DataPath)
+	} else {
+		spec.Generator = cfg.Generator
+	}
+	ds, err := h.Register(name, spec)
 	if err != nil {
+		h.Close()
 		return nil, err
 	}
-	return &server{base: base, name: name, started: time.Now()}, nil
+	if err := ds.Wait(context.Background()); err != nil {
+		h.Close()
+		return nil, fmt.Errorf("default dataset %q: %w", name, err)
+	}
+	s.defaultName = name
+	return s, nil
 }
 
-func spreadLengths(max, count int) []int {
-	if count <= 0 || max < 2 {
-		return nil
+// datasetNameFromPath derives a catalog-safe name from a file path.
+func datasetNameFromPath(path string) string {
+	base := filepath.Base(path)
+	// filepath.Base only understands the host separator; strip Windows-style
+	// components regardless of platform.
+	if i := strings.LastIndexByte(base, '\\'); i >= 0 {
+		base = base[i+1:]
 	}
-	out := make([]int, 0, count)
-	prev := 0
-	for i := 0; i < count; i++ {
-		l := 2 + i*(max-2)/count
-		if count > 1 {
-			l = 2 + i*(max-2)/(count-1)
-		}
-		if l != prev {
-			out = append(out, l)
-			prev = l
+	out := make([]byte, 0, len(base))
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
 		}
 	}
-	return out
+	if len(out) == 0 || !isAlnum(out[0]) {
+		out = append([]byte{'d'}, out...)
+	}
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	return string(out)
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (s *server) defaultInfo() (hub.Info, error) {
+	ds, err := s.hub.Get(s.defaultName)
+	if err != nil {
+		return hub.Info{}, err
+	}
+	return ds.Info(), nil
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	// Versioned multi-dataset surface.
+	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetInfo)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
+	mux.HandleFunc("POST /v1/datasets/{name}/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/datasets/{name}/range", s.handleRange)
+	mux.HandleFunc("POST /v1/datasets/{name}/extend", s.handleExtend)
+	mux.HandleFunc("GET /v1/datasets/{name}/seasonal", s.handleSeasonal)
+	mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
+	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleDatasetStats)
+	mux.HandleFunc("GET /v1/stats", s.handleHubStats)
+
+	// Legacy single-dataset endpoints, served by the default dataset.
 	mux.HandleFunc("POST /match", s.handleMatch)
 	mux.HandleFunc("POST /range", s.handleRange)
 	mux.HandleFunc("GET /seasonal", s.handleSeasonal)
 	mux.HandleFunc("GET /recommend", s.handleRecommend)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /stats", s.handleLegacyStats)
 	return mux
 }
+
+// ---- request plumbing -------------------------------------------------
 
 type httpError struct {
 	code int
@@ -147,14 +270,198 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// writeErr maps an error onto a structured {"error": ...} response with the
+// right status code.
 func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
 	var he httpError
-	if errors.As(err, &he) {
-		writeJSON(w, he.code, map[string]string{"error": he.msg})
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.As(err, &mbe):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, hub.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, hub.ErrExists), errors.Is(err, hub.ErrNotReady),
+		errors.Is(err, hub.ErrConflict):
+		code = http.StatusConflict
+	case errors.Is(err, hub.ErrFailed):
+		code = http.StatusInternalServerError
+	case errors.Is(err, hub.ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeStrict reads one JSON value: unknown fields are rejected, the body
+// is capped at s.maxBody, and trailing garbage is an error.
+func (s *server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()}
+	}
+	if dec.More() {
+		return httpError{http.StatusBadRequest, "invalid JSON: trailing data after request object"}
+	}
+	return nil
+}
+
+// dataset resolves the {name} path value, falling back to the default
+// dataset for the legacy unversioned routes.
+func (s *server) dataset(r *http.Request) (*hub.Dataset, error) {
+	name := r.PathValue("name")
+	if name == "" {
+		name = s.defaultName
+	}
+	return s.hub.Get(name)
+}
+
+// ---- dataset lifecycle ------------------------------------------------
+
+type seriesJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+type registerRequest struct {
+	Name      string       `json:"name"`
+	Generator string       `json:"generator"`
+	Path      string       `json:"path"`
+	Snapshot  string       `json:"snapshot"`
+	Series    []seriesJSON `json:"series"`
+	Scale     float64      `json:"scale"`
+	Seed      int64        `json:"seed"`
+	ST        float64      `json:"st"`
+	Lengths   int          `json:"lengths"`
+	Wait      bool         `json:"wait"`
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	if req.Name == "" {
+		writeErr(w, httpError{http.StatusBadRequest, "name is required"})
+		return
+	}
+	if (req.Path != "" || req.Snapshot != "") && !s.allowFS {
+		writeErr(w, httpError{http.StatusForbidden,
+			"filesystem sources (path/snapshot) are disabled; start the server with -allow-fs"})
+		return
+	}
+	st := req.ST
+	if st == 0 && req.Snapshot == "" {
+		st = 0.2 // the paper's sweet spot (Sec. 6.3)
+	}
+	lengths := req.Lengths
+	if lengths == 0 {
+		lengths = 16
+	}
+	spec := hub.Spec{
+		Generator:   req.Generator,
+		Path:        req.Path,
+		Snapshot:    req.Snapshot,
+		Scale:       req.Scale,
+		Seed:        req.Seed,
+		Opts:        onex.Options{ST: st, Seed: req.Seed},
+		LengthCount: lengths,
+	}
+	for _, sr := range req.Series {
+		spec.Series = append(spec.Series, onex.Series{Label: sr.Label, Values: sr.Values})
+	}
+	ds, err := s.hub.Register(req.Name, spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Wait {
+		if err := ds.Wait(r.Context()); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": err.Error(), "dataset": ds.Info(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusCreated, ds.Info())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ds.Info())
 }
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	datasets := s.hub.List()
+	infos := make([]hub.Info, 0, len(datasets))
+	for _, ds := range datasets {
+		infos = append(infos, ds.Info())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(infos), "datasets": infos})
+}
+
+func (s *server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds.Info())
+}
+
+func (s *server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	purge := false
+	switch v := r.URL.Query().Get("purge"); v {
+	case "", "false", "0":
+	case "true", "1":
+		purge = true
+	default:
+		writeErr(w, httpError{http.StatusBadRequest, "purge must be true or false"})
+		return
+	}
+	if err := s.hub.Drop(r.PathValue("name"), purge); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": r.PathValue("name"), "purged": purge})
+}
+
+type extendRequest struct {
+	Series []seriesJSON `json:"series"`
+}
+
+func (s *server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req extendRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Series) == 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "series must be non-empty"})
+		return
+	}
+	series := make([]onex.Series, 0, len(req.Series))
+	for _, sr := range req.Series {
+		series = append(series, onex.Series{Label: sr.Label, Values: sr.Values})
+	}
+	if err := ds.Extend(series); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds.Info())
+}
+
+// ---- queries ----------------------------------------------------------
 
 type matchRequest struct {
 	Query []float64 `json:"query"`
@@ -181,9 +488,14 @@ func toMatchResponse(m onex.Match, withValues bool) matchResponse {
 }
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	var req matchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	mode := onex.MatchAny
@@ -195,13 +507,17 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, httpError{http.StatusBadRequest, `mode must be "any" or "exact"`})
 		return
 	}
+	if req.K < 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "k must be ≥ 0"})
+		return
+	}
 	withValues := r.URL.Query().Get("values") == "true"
+	ms, err := ds.Match(req.Query, mode, req.K)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	if req.K > 1 {
-		ms, err := s.base.BestKMatches(req.Query, mode, req.K)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
 		out := make([]matchResponse, 0, len(ms))
 		for _, m := range ms {
 			out = append(out, toMatchResponse(m, withValues))
@@ -209,12 +525,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"matches": out})
 		return
 	}
-	m, err := s.base.BestMatch(req.Query, mode)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, toMatchResponse(m, withValues))
+	writeJSON(w, http.StatusOK, toMatchResponse(ms[0], withValues))
 }
 
 type rangeRequest struct {
@@ -224,12 +535,17 @@ type rangeRequest struct {
 }
 
 func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
-	var req rangeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	ms, err := s.base.RangeSearch(req.Query, req.Length, req.Radius)
+	var req rangeRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ms, err := ds.Range(req.Query, req.Length, req.Radius)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -246,35 +562,38 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	q := r.URL.Query()
 	length, err := strconv.Atoi(q.Get("length"))
 	if err != nil {
 		writeErr(w, httpError{http.StatusBadRequest, "length must be an integer"})
 		return
 	}
-	var patterns []onex.Pattern
+	seriesID := -1 // dataset-wide
 	if sid := q.Get("series"); sid != "" {
-		id, err := strconv.Atoi(sid)
-		if err != nil {
-			writeErr(w, httpError{http.StatusBadRequest, "series must be an integer"})
+		if seriesID, err = strconv.Atoi(sid); err != nil || seriesID < 0 {
+			writeErr(w, httpError{http.StatusBadRequest, "series must be a non-negative integer"})
 			return
 		}
-		patterns, err = s.base.Seasonal(id, length)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-	} else {
-		patterns, err = s.base.SeasonalAll(length)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
+	}
+	patterns, err := ds.Seasonal(seriesID, length)
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(patterns), "patterns": patterns})
 }
 
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	q := r.URL.Query()
 	var deg onex.Degree
 	switch q.Get("degree") {
@@ -296,7 +615,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rng, err := s.base.RecommendThreshold(deg, length)
+	rng, err := ds.Recommend(deg, length)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -306,18 +625,44 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.base.Stats()
+// ---- stats ------------------------------------------------------------
+
+func (s *server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds.Info())
+}
+
+func (s *server) handleHubStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":         s.name,
-		"st":              s.base.ST(),
-		"representatives": st.Representatives,
-		"subsequences":    st.Subsequences,
-		"indexBytes":      st.IndexBytes,
-		"buildSeconds":    st.BuildTime.Seconds(),
-		"stHalf":          st.STHalf,
-		"stFinal":         st.STFinal,
-		"lengths":         s.base.Lengths(),
+		"hub":            s.hub.Stats(),
+		"defaultDataset": s.defaultName,
+		"uptimeSeconds":  time.Since(s.started).Seconds(),
+	})
+}
+
+// handleLegacyStats preserves the pre-hub /stats response shape for the
+// default dataset.
+func (s *server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info := ds.Info()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":         info.Name,
+		"st":              info.ST,
+		"representatives": info.Representatives,
+		"subsequences":    info.Subsequences,
+		"indexBytes":      info.IndexBytes,
+		"buildSeconds":    info.BuildSeconds,
+		"stHalf":          info.STHalf,
+		"stFinal":         info.STFinal,
+		"lengths":         info.Lengths,
 		"uptimeSeconds":   time.Since(s.started).Seconds(),
 	})
 }

@@ -27,6 +27,24 @@
 // workspace. Run its benchmarks with:
 //
 //	go test -bench . -run '^$' ./internal/dist
+//
+// # Serving
+//
+// cmd/onex-server exposes bases over HTTP through internal/hub, a
+// concurrent multi-dataset catalog: datasets register at runtime
+// (POST /v1/datasets), build asynchronously on a bounded worker pool with
+// per-dataset lifecycle state (pending → building → ready/failed) and
+// build progress (Options.Progress / Options.Cancel), persist to disk as
+// snapshots (Base.SaveFile / onex.LoadFile) for instant reload, extend
+// incrementally while queries keep running, and answer repeated queries
+// from a bounded LRU result cache keyed on the dataset generation. See
+// cmd/onex-server/README.md for the full v1 API with curl examples, and
+//
+//	go run ./examples/hub
+//
+// for the hub driven directly from Go. The serve-smoke CI job (also
+// `make serve-smoke`) boots the server end to end, and `make bench-serve`
+// emits BENCH_serve.json comparing cold vs cached /match latency.
 package onex
 
 // Paper-to-code glossary. The implementation follows the paper's notation

@@ -46,7 +46,17 @@ type BuildConfig struct {
 	Normalize NormalizeMode
 	// Query carries the online-processor options.
 	Query query.Options
+	// Progress, when non-nil, is invoked after each indexed length finishes
+	// grouping with (completed, total) counts. Calls are serialized.
+	Progress func(done, total int)
+	// Cancel, when non-nil, aborts the offline construction between lengths
+	// once closed; Build then returns ErrCanceled.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by Build when BuildConfig.Cancel fires before the
+// construction completes.
+var ErrCanceled = grouping.ErrCanceled
 
 // Engine is a built ONEX base plus its query processor.
 type Engine struct {
@@ -62,6 +72,39 @@ type Engine struct {
 	// incrementally added series land in the same value space.
 	normMin, normMax float64
 	grouped          *grouping.Result
+	// savedAt is the Save timestamp restored by Load (zero for engines that
+	// were built in-process or loaded from a version-1 stream).
+	savedAt time.Time
+}
+
+// Meta summarizes an engine for catalogs and snapshot inspection.
+type Meta struct {
+	// Name is the dataset name.
+	Name string
+	// Series is the number of indexed series.
+	Series int
+	// Lengths lists the indexed subsequence lengths, increasing.
+	Lengths []int
+	// ST is the similarity threshold the base was built with.
+	ST float64
+	// BuildTime is the offline construction cost (restored across a
+	// Save/Load round trip on version ≥ 2 streams).
+	BuildTime time.Duration
+	// SavedAt is when the engine was serialized; zero if never saved or
+	// loaded from a version-1 stream.
+	SavedAt time.Time
+}
+
+// Meta reports the engine's identifying metadata.
+func (e *Engine) Meta() Meta {
+	return Meta{
+		Name:      e.Base.Dataset.Name,
+		Series:    e.Base.Dataset.N(),
+		Lengths:   append([]int(nil), e.Base.Lengths...),
+		ST:        e.Base.ST,
+		BuildTime: e.BuildTime,
+		SavedAt:   e.savedAt,
+	}
 }
 
 // Build normalizes (a copy of) the dataset per cfg, constructs the
@@ -96,10 +139,12 @@ func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
 
 	start := time.Now()
 	gr, err := grouping.Build(work, grouping.Config{
-		ST:      cfg.ST,
-		Lengths: cfg.Lengths,
-		Seed:    cfg.Seed,
-		Workers: cfg.Workers,
+		ST:       cfg.ST,
+		Lengths:  cfg.Lengths,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+		Cancel:   cfg.Cancel,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	eng := buildPersistFixture(t)
+	m := eng.Meta()
+	if m.Name != eng.Base.Dataset.Name || m.Series != eng.Base.Dataset.N() {
+		t.Errorf("Meta identity = %+v", m)
+	}
+	if !m.SavedAt.IsZero() {
+		t.Errorf("fresh engine SavedAt = %v, want zero", m.SavedAt)
+	}
+	if m.ST != 0.2 || len(m.Lengths) != 2 {
+		t.Errorf("Meta config = %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := loaded.Meta()
+	if lm.SavedAt.IsZero() {
+		t.Error("loaded engine SavedAt is zero, want the Save timestamp")
+	}
+	if lm.BuildTime != m.BuildTime {
+		t.Errorf("loaded BuildTime = %v, want original %v", lm.BuildTime, m.BuildTime)
+	}
+	if len(loaded.cfg.Lengths) != 2 {
+		t.Errorf("loaded cfg.Lengths = %v, want the configured restriction", loaded.cfg.Lengths)
+	}
+	if lm.Name != m.Name || lm.Series != m.Series || lm.ST != m.ST {
+		t.Errorf("loaded Meta = %+v, want %+v", lm, m)
+	}
+}
+
+func TestBuildProgressThreaded(t *testing.T) {
+	d := fixture(t)
+	calls := 0
+	_, err := Build(d, BuildConfig{
+		ST: 0.2, Lengths: []int{6, 12}, Seed: 1,
+		Progress: func(done, total int) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("Progress called %d times, want 2", calls)
+	}
+}

@@ -25,9 +25,15 @@ import (
 // layers (Dc, envelopes, SP-Space, sum orders) are recomputed on load —
 // they are pure functions of the groups and recomputing is cheaper than
 // storing the O(g²) matrices for every length.
+//
+// Version 2 adds round-trip metadata between the header and the dataset:
+// the Save wall-clock timestamp, the original offline build time, and the
+// configured length restriction — so catalogs (internal/hub) can report a
+// reloaded base exactly as the built one. Version-1 streams still load,
+// with zero metadata.
 const (
 	persistMagic   = "ONEXBASE"
-	persistVersion = 1
+	persistVersion = 2
 )
 
 var (
@@ -89,6 +95,20 @@ func (e *Engine) Save(w io.Writer) error {
 		le(int64(e.cfg.Query.Patience)),
 	); err != nil {
 		return err
+	}
+	// Metadata (version ≥ 2): save timestamp, original build cost, and the
+	// configured length restriction.
+	if err := errJoin(
+		le(time.Now().Unix()),
+		le(int64(e.BuildTime)),
+		le(uint32(len(e.cfg.Lengths))),
+	); err != nil {
+		return err
+	}
+	for _, l := range e.cfg.Lengths {
+		if err := le(uint32(l)); err != nil {
+			return err
+		}
 	}
 	// Dataset.
 	d := e.Base.Dataset
@@ -160,7 +180,7 @@ func Load(r io.Reader) (*Engine, error) {
 	if err := le(&version); err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version < 1 || version > persistVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 
@@ -173,6 +193,31 @@ func Load(r io.Reader) (*Engine, error) {
 		le(&earlyStop), le(&noLB), le(&candLimit), le(&patience),
 	); err != nil {
 		return nil, err
+	}
+	var savedAt time.Time
+	var origBuild time.Duration
+	if version >= 2 {
+		var savedUnix, buildNanos int64
+		var nCfgLengths uint32
+		if err := errJoin(le(&savedUnix), le(&buildNanos), le(&nCfgLengths)); err != nil {
+			return nil, err
+		}
+		if nCfgLengths > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible length-config count %d", ErrBadFormat, nCfgLengths)
+		}
+		for i := uint32(0); i < nCfgLengths; i++ {
+			var l uint32
+			if err := le(&l); err != nil {
+				return nil, err
+			}
+			cfg.Lengths = append(cfg.Lengths, int(l))
+		}
+		if savedUnix > 0 {
+			savedAt = time.Unix(savedUnix, 0)
+		}
+		if buildNanos > 0 {
+			origBuild = time.Duration(buildNanos)
+		}
 	}
 	if cfg.ST <= 0 || math.IsNaN(cfg.ST) {
 		return nil, fmt.Errorf("%w: invalid ST %v", ErrBadFormat, cfg.ST)
@@ -287,9 +332,16 @@ func Load(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildTime := time.Since(start)
+	if origBuild > 0 {
+		// Report the original offline construction cost, not the (much
+		// cheaper) index rebuild — the point of snapshots is skipping it.
+		buildTime = origBuild
+	}
 	return &Engine{
-		Base: base, Proc: proc, BuildTime: time.Since(start),
+		Base: base, Proc: proc, BuildTime: buildTime,
 		cfg: cfg, normMin: normMin, normMax: normMax, grouped: gr,
+		savedAt: savedAt,
 	}, nil
 }
 

@@ -39,7 +39,19 @@ type Config struct {
 	// Workers bounds construction parallelism across lengths.
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, is called after each length finishes grouping
+	// with the number of completed lengths and the total. Calls are
+	// serialized; done is strictly increasing from 1 to total.
+	Progress func(done, total int)
+	// Cancel, when non-nil, aborts the build between lengths once closed:
+	// Build returns ErrCanceled instead of a Result. Work already done is
+	// discarded; the input dataset is never modified either way.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by Build when Config.Cancel is closed before the
+// construction finishes.
+var ErrCanceled = errors.New("grouping: build canceled")
 
 // Member identifies one subsequence (Xp)^i_j inside a group and caches its
 // normalized ED to the group's final representative (the LSI sort key,
@@ -144,17 +156,34 @@ func Build(d *ts.Dataset, cfg Config) (*Result, error) {
 	if workers > len(lengths) {
 		workers = len(lengths)
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		progDone int
+		canceled bool
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range next {
+				if isClosed(cfg.Cancel) {
+					progMu.Lock()
+					canceled = true
+					progMu.Unlock()
+					continue
+				}
 				l := lengths[idx]
 				lg, n := buildLength(d, l, cfg.ST, cfg.Seed+int64(l)*1_000_003)
 				results[idx] = lg
 				counts[idx] = n
+				progMu.Lock()
+				progDone++
+				if cfg.Progress != nil {
+					cfg.Progress(progDone, len(lengths))
+				}
+				progMu.Unlock()
 			}
 		}()
 	}
@@ -164,11 +193,27 @@ func Build(d *ts.Dataset, cfg Config) (*Result, error) {
 	close(next)
 	wg.Wait()
 
+	if canceled {
+		return nil, ErrCanceled
+	}
 	for i, lg := range results {
 		res.ByLength[lg.Length] = lg
 		res.TotalSubseq += counts[i]
 	}
 	return res, nil
+}
+
+// isClosed polls a cancellation channel without blocking.
+func isClosed(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
 }
 
 // resolveLengths validates and normalizes the requested length set.

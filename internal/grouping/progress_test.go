@@ -1,0 +1,68 @@
+package grouping
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"onex/internal/ts"
+)
+
+func progressFixture() *ts.Dataset {
+	r := rand.New(rand.NewSource(7))
+	d := &ts.Dataset{Name: "progress"}
+	for i := 0; i < 6; i++ {
+		row := make([]float64, 32)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		d.Append("", row)
+	}
+	return d
+}
+
+func TestBuildProgressCallback(t *testing.T) {
+	d := progressFixture()
+	lengths := []int{4, 8, 12, 16}
+	var dones []int
+	total := -1
+	_, err := Build(d, Config{
+		ST:      0.3,
+		Lengths: lengths,
+		Workers: 2,
+		Progress: func(done, tot int) {
+			dones = append(dones, done)
+			total = tot
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(lengths) {
+		t.Errorf("progress total = %d, want %d", total, len(lengths))
+	}
+	if len(dones) != len(lengths) {
+		t.Fatalf("progress called %d times, want %d", len(dones), len(lengths))
+	}
+	for i, done := range dones {
+		if done != i+1 {
+			t.Errorf("progress done[%d] = %d, want %d (strictly increasing)", i, done, i+1)
+		}
+	}
+}
+
+func TestBuildCancel(t *testing.T) {
+	d := progressFixture()
+	cancel := make(chan struct{})
+	close(cancel) // canceled before the build starts
+	_, err := Build(d, Config{ST: 0.3, Lengths: []int{4, 8}, Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Build with closed Cancel: err = %v, want ErrCanceled", err)
+	}
+
+	// A nil / open channel must not cancel.
+	open := make(chan struct{})
+	if _, err := Build(d, Config{ST: 0.3, Lengths: []int{4}, Cancel: open}); err != nil {
+		t.Fatalf("Build with open Cancel: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package hub
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a|1", 1)
+	c.put("b|1", 2)
+	if _, ok := c.get("a|1"); !ok {
+		t.Fatal("a|1 missing")
+	}
+	c.put("c|1", 3) // evicts b|1 (least recently used)
+	if _, ok := c.get("b|1"); ok {
+		t.Error("b|1 should have been evicted")
+	}
+	if _, ok := c.get("a|1"); !ok {
+		t.Error("a|1 should have survived (recently used)")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCachePutUpdatesExisting(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", 1)
+	c.put("k", 2)
+	if v, _ := c.get("k"); v != 2 {
+		t.Errorf("get = %v, want 2", v)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestCachePurgePrefix(t *testing.T) {
+	c := newResultCache(10)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("ecg|%d", i), i)
+		c.put(fmt.Sprintf("power|%d", i), i)
+	}
+	c.purgePrefix("ecg|")
+	for i := 0; i < 3; i++ {
+		if _, ok := c.get(fmt.Sprintf("ecg|%d", i)); ok {
+			t.Errorf("ecg|%d survived purge", i)
+		}
+		if _, ok := c.get(fmt.Sprintf("power|%d", i)); !ok {
+			t.Errorf("power|%d purged wrongly", i)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	if c != nil {
+		t.Fatal("capacity < 0 should disable the cache")
+	}
+	c.put("k", 1) // must not panic on nil receiver
+	if _, ok := c.get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	c.purgePrefix("k")
+	if st := c.stats(); st.Capacity != -1 {
+		t.Errorf("disabled stats = %+v", st)
+	}
+}
+
+func TestQueryKeyDiscriminates(t *testing.T) {
+	base := queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25})
+	distinct := []string{
+		queryKey("d", 8, 1, "match", []int{1, 2}, []float64{0.5, 0.25}),    // epoch (re-registration)
+		queryKey("d", 7, 2, "match", []int{1, 2}, []float64{0.5, 0.25}),    // generation
+		queryKey("d", 7, 1, "range", []int{1, 2}, []float64{0.5, 0.25}),    // kind
+		queryKey("d", 7, 1, "match", []int{2, 2}, []float64{0.5, 0.25}),    // int params
+		queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.25, 0.5}),    // float order
+		queryKey("e", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25}),    // dataset
+		queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25, 0}), // arity
+	}
+	for i, k := range distinct {
+		if k == base {
+			t.Errorf("variant %d collides with base key %q", i, base)
+		}
+	}
+	if again := queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25}); again != base {
+		t.Errorf("identical params produced different keys: %q vs %q", again, base)
+	}
+}

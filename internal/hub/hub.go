@@ -1,0 +1,826 @@
+// Package hub is the multi-dataset serving substrate for onex-server: a
+// thread-safe catalog of named ONEX bases with full lifecycle management.
+//
+// Each registered dataset moves through pending → building → ready (or
+// failed) on a bounded worker pool, so heavy offline constructions never
+// block registration or queries against other datasets. Built bases are
+// optionally snapshotted to disk (onex.Base.SaveFile) and re-registration
+// of a dropped dataset reloads the snapshot instead of rebuilding. Queries
+// against a ready dataset go through a hub-wide bounded LRU result cache
+// keyed on the dataset's registration epoch and generation counter, the
+// query kind and a hash of the parameters; Extend swaps in the extended
+// base, bumps the generation and invalidates the dataset's cached results,
+// so readers never see stale answers while in-flight queries keep using
+// the (immutable) old base.
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onex"
+	"onex/internal/dataset"
+)
+
+// Lifecycle and lookup errors.
+var (
+	// ErrClosed reports an operation against a closed hub.
+	ErrClosed = errors.New("hub: hub closed")
+	// ErrNotFound reports an unknown dataset name.
+	ErrNotFound = errors.New("hub: dataset not found")
+	// ErrExists reports a Register for a name already in the catalog.
+	ErrExists = errors.New("hub: dataset already registered")
+	// ErrNotReady reports a query against a dataset that is still pending
+	// or building.
+	ErrNotReady = errors.New("hub: dataset not ready")
+	// ErrFailed reports a query against a dataset whose build failed.
+	ErrFailed = errors.New("hub: dataset build failed")
+	// ErrConflict reports an Extend that lost the swap race to a concurrent
+	// Extend; retry against the new generation.
+	ErrConflict = errors.New("hub: concurrent modification, retry")
+)
+
+// State is a dataset's lifecycle position.
+type State int
+
+const (
+	// StatePending: registered, waiting for a build worker.
+	StatePending State = iota
+	// StateBuilding: a worker is running the offline construction (or
+	// loading a snapshot).
+	StateBuilding
+	// StateReady: the base answers queries.
+	StateReady
+	// StateFailed: the build errored; Err/Info carry the cause.
+	StateFailed
+)
+
+// String returns the lower-case state name used across the REST surface.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateBuilding:
+		return "building"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config tunes a hub. The zero value is usable.
+type Config struct {
+	// BuildWorkers bounds concurrent offline constructions (default 2).
+	BuildWorkers int
+	// QueueDepth bounds the pending-build queue; Register blocks once it
+	// is full (default 256).
+	QueueDepth int
+	// SnapshotDir, when non-empty, enables persistence: every successful
+	// build (and extension) is snapshotted to <dir>/<name>.onex, and a
+	// Register finding a snapshot for its name loads it instead of
+	// rebuilding. The directory is created on demand.
+	SnapshotDir string
+	// CacheEntries bounds the query-result LRU (0 = default 1024,
+	// negative = disable caching).
+	CacheEntries int
+}
+
+// Spec tells Register how to obtain a dataset: exactly one of Series,
+// Path, Snapshot or Generator must be set.
+type Spec struct {
+	// Series supplies the raw series inline.
+	Series []onex.Series
+	// Path names a UCR-format TSV file to load.
+	Path string
+	// Snapshot names a persisted base (onex.Base.SaveFile) to reopen; the
+	// build options travel inside the snapshot, so Opts is ignored.
+	Snapshot string
+	// Generator names a synthetic paper dataset (dataset.ByName), scaled
+	// by Scale (0 = full size) and generated from Seed.
+	Generator string
+	// Scale shrinks a generated dataset's cardinality (0 or 1 = full).
+	Scale float64
+	// Seed drives synthetic generation and the build's randomized
+	// insertion order.
+	Seed int64
+	// Opts are the onex build options (Opts.ST is required unless the
+	// dataset comes from a snapshot). Progress and Cancel are managed by
+	// the hub and must be nil.
+	Opts onex.Options
+	// LengthCount, when Opts.Lengths is nil, indexes this many subsequence
+	// lengths spread evenly from 2 to the longest series instead of the
+	// onex default of every length (0 keeps the default).
+	LengthCount int
+}
+
+func (sp Spec) validate() error {
+	sources := 0
+	for _, set := range []bool{len(sp.Series) > 0, sp.Path != "", sp.Snapshot != "", sp.Generator != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("hub: spec must set exactly one of Series, Path, Snapshot or Generator (got %d)", sources)
+	}
+	if sp.Opts.Progress != nil || sp.Opts.Cancel != nil {
+		return errors.New("hub: Spec.Opts.Progress and Cancel are managed by the hub; leave them nil")
+	}
+	if sp.Snapshot == "" && (sp.Opts.ST <= 0) {
+		return errors.New("hub: Spec.Opts.ST must be positive for built datasets")
+	}
+	return nil
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Hub is a concurrent catalog of named ONEX bases. All methods are safe
+// for concurrent use.
+type Hub struct {
+	cfg   Config
+	cache *resultCache
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+
+	jobs      chan *Dataset
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// epochs hands every registration a hub-unique id that participates in
+	// cache keys, so a dropped-and-re-registered name can never be served
+	// another incarnation's cached results.
+	epochs atomic.Uint64
+}
+
+// New starts a hub with cfg's worker pool running.
+func New(cfg Config) *Hub {
+	if cfg.BuildWorkers <= 0 {
+		cfg.BuildWorkers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	capacity := cfg.CacheEntries
+	switch {
+	case capacity == 0:
+		capacity = 1024
+	case capacity < 0:
+		capacity = -1
+	}
+	h := &Hub{
+		cfg:      cfg,
+		cache:    newResultCache(capacity),
+		datasets: make(map[string]*Dataset),
+		jobs:     make(chan *Dataset, cfg.QueueDepth),
+		closed:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.BuildWorkers; i++ {
+		h.wg.Add(1)
+		go h.worker()
+	}
+	return h
+}
+
+func (h *Hub) worker() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.closed:
+			return
+		case ds := <-h.jobs:
+			ds.build()
+		}
+	}
+}
+
+// Register adds a named dataset and queues its build; it returns as soon
+// as the dataset is cataloged (state pending). Use (*Dataset).Wait to block
+// until the build finishes. When the hub persists snapshots and one exists
+// for name, the build loads it instead of reconstructing (unless the spec
+// itself names a different snapshot).
+func (h *Hub) Register(name string, spec Spec) (*Dataset, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("hub: invalid dataset name %q (want %s)", name, nameRE)
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if h.isClosed() {
+		return nil, ErrClosed
+	}
+	ds := &Dataset{
+		name:    name,
+		spec:    spec,
+		hub:     h,
+		epoch:   h.epochs.Add(1),
+		created: time.Now(),
+		ready:   make(chan struct{}),
+	}
+	h.mu.Lock()
+	if _, dup := h.datasets[name]; dup {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	h.datasets[name] = ds
+	h.mu.Unlock()
+
+	select {
+	case h.jobs <- ds:
+		// Close may have fired between the enqueue and the workers exiting
+		// (or even drained the queue already); make sure the dataset still
+		// reaches a terminal state. fail is a no-op once a worker won.
+		if h.isClosed() {
+			ds.fail(ErrClosed)
+		}
+	case <-h.closed:
+		ds.fail(ErrClosed)
+	}
+	return ds, nil
+}
+
+// Get looks a dataset up by name.
+func (h *Hub) Get(name string) (*Dataset, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ds, ok := h.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return ds, nil
+}
+
+// List returns every cataloged dataset sorted by name.
+func (h *Hub) List() []*Dataset {
+	h.mu.RLock()
+	out := make([]*Dataset, 0, len(h.datasets))
+	for _, ds := range h.datasets {
+		out = append(out, ds)
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Drop removes a dataset from the catalog and invalidates its cached
+// results. In-flight queries against the old base finish undisturbed. When
+// purgeSnapshot is true its on-disk snapshot (if any) is deleted too;
+// otherwise a later Register of the same name reloads it, skipping the
+// rebuild.
+func (h *Hub) Drop(name string, purgeSnapshot bool) error {
+	h.mu.Lock()
+	ds, ok := h.datasets[name]
+	if ok {
+		delete(h.datasets, name)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ds.dropped.Store(true)
+	h.cache.purgePrefix(name + "|")
+	if purgeSnapshot {
+		if p := h.snapshotPath(name); p != "" {
+			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close stops the worker pool, aborts in-flight builds (they fail with
+// onex.ErrBuildCanceled) and fails still-queued registrations with
+// ErrClosed. Ready datasets remain queryable; Close never blocks queries.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() {
+		close(h.closed)
+		h.wg.Wait()
+		// Fail whatever the workers never picked up: first the queue (a
+		// Register racing Close can still have enqueued), then the catalog.
+	drain:
+		for {
+			select {
+			case ds := <-h.jobs:
+				ds.fail(ErrClosed)
+			default:
+				break drain
+			}
+		}
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for _, ds := range h.datasets {
+			ds.fail(ErrClosed)
+		}
+	})
+}
+
+func (h *Hub) isClosed() bool {
+	select {
+	case <-h.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshotPath maps a dataset name into the hub's snapshot directory
+// ("" when persistence is disabled).
+func (h *Hub) snapshotPath(name string) string {
+	if h.cfg.SnapshotDir == "" {
+		return ""
+	}
+	return filepath.Join(h.cfg.SnapshotDir, name+".onex")
+}
+
+// Stats aggregates the hub-wide serving counters.
+type Stats struct {
+	// Datasets counts cataloged datasets; ByState breaks the count down
+	// by lifecycle state.
+	Datasets int            `json:"datasets"`
+	ByState  map[string]int `json:"byState"`
+	// Representatives, Series and Subsequences sum over ready datasets.
+	Representatives int   `json:"representatives"`
+	Series          int   `json:"series"`
+	Subsequences    int64 `json:"subsequences"`
+	// Cache reports the shared query-result cache.
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats snapshots the hub-wide counters.
+func (h *Hub) Stats() Stats {
+	st := Stats{ByState: make(map[string]int)}
+	for _, ds := range h.List() {
+		info := ds.Info()
+		st.Datasets++
+		st.ByState[info.State]++
+		if info.State == StateReady.String() {
+			st.Representatives += info.Representatives
+			st.Series += info.Series
+			st.Subsequences += info.Subsequences
+		}
+	}
+	st.Cache = h.cache.stats()
+	return st
+}
+
+// Dataset is one cataloged ONEX base and its lifecycle state. Queries are
+// answered under a read lock against an immutable base, so any number can
+// run concurrently with each other and with Extend (which constructs the
+// extended base outside the lock and only swaps pointers under the write
+// lock).
+type Dataset struct {
+	name    string
+	spec    Spec
+	hub     *Hub
+	epoch   uint64
+	created time.Time
+	ready   chan struct{} // closed on the pending/building → ready/failed edge
+	once    sync.Once     // guards close(ready)
+	dropped atomic.Bool
+
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+	hits, misses  atomic.Uint64
+
+	// snapMu serializes snapshot writes so overlapping Extends can never
+	// leave an older generation on disk (each write saves the base that is
+	// current when the write starts; the last writer is the newest).
+	snapMu sync.Mutex
+
+	mu           sync.RWMutex
+	state        State
+	err          error
+	base         *onex.Base
+	gen          uint64
+	fromSnapshot bool
+	readyAt      time.Time
+	snapshotErr  error
+}
+
+// Name returns the catalog name.
+func (d *Dataset) Name() string { return d.name }
+
+// State returns the current lifecycle state.
+func (d *Dataset) State() State {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.state
+}
+
+// Err returns the build failure cause (nil unless State is StateFailed).
+func (d *Dataset) Err() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.err
+}
+
+// Generation returns the swap counter: 0 until ready, then incremented by
+// every Extend. Cache keys embed it, so a bump orphans stale results.
+func (d *Dataset) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// Wait blocks until the dataset reaches ready or failed (returning the
+// failure cause) or ctx ends.
+func (d *Dataset) Wait(ctx context.Context) error {
+	select {
+	case <-d.ready:
+		return d.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Base returns the current base and its generation for direct (uncached)
+// use. The base is immutable; it stays valid after Extend/Drop.
+func (d *Dataset) Base() (*onex.Base, uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	switch d.state {
+	case StateReady:
+		return d.base, d.gen, nil
+	case StateFailed:
+		return nil, 0, fmt.Errorf("%w: %q: %v", ErrFailed, d.name, d.err)
+	default:
+		return nil, 0, fmt.Errorf("%w: %q is %s", ErrNotReady, d.name, d.state)
+	}
+}
+
+// Info is a point-in-time description of a dataset, shaped for the REST
+// surface.
+type Info struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Progress is the build completion fraction in [0,1].
+	Progress float64 `json:"progress"`
+	// Generation counts base swaps (Extend) since ready.
+	Generation uint64 `json:"generation"`
+	// FromSnapshot marks bases loaded from disk instead of built.
+	FromSnapshot bool `json:"fromSnapshot"`
+	// SnapshotError surfaces a failed snapshot write (the dataset still
+	// serves; only persistence is degraded).
+	SnapshotError string `json:"snapshotError,omitempty"`
+
+	Series          int     `json:"series,omitempty"`
+	Representatives int     `json:"representatives,omitempty"`
+	Subsequences    int64   `json:"subsequences,omitempty"`
+	IndexBytes      int64   `json:"indexBytes,omitempty"`
+	ST              float64 `json:"st,omitempty"`
+	STHalf          float64 `json:"stHalf,omitempty"`
+	STFinal         float64 `json:"stFinal,omitempty"`
+	Lengths         []int   `json:"lengths,omitempty"`
+	BuildSeconds    float64 `json:"buildSeconds,omitempty"`
+
+	CreatedAt time.Time `json:"createdAt"`
+	ReadyAt   time.Time `json:"readyAt"`
+
+	// CacheHits / CacheMisses count this dataset's query-cache outcomes.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+}
+
+// Info snapshots the dataset's state, metadata and cache counters.
+func (d *Dataset) Info() Info {
+	d.mu.RLock()
+	info := Info{
+		Name:         d.name,
+		State:        d.state.String(),
+		Generation:   d.gen,
+		FromSnapshot: d.fromSnapshot,
+		CreatedAt:    d.created,
+		ReadyAt:      d.readyAt,
+	}
+	if d.err != nil {
+		info.Error = d.err.Error()
+	}
+	if d.snapshotErr != nil {
+		info.SnapshotError = d.snapshotErr.Error()
+	}
+	base := d.base
+	d.mu.RUnlock()
+
+	if total := d.progressTotal.Load(); total > 0 {
+		info.Progress = float64(d.progressDone.Load()) / float64(total)
+	}
+	if base != nil {
+		st := base.Stats()
+		info.Progress = 1
+		info.Series = base.NumSeries()
+		info.Representatives = st.Representatives
+		info.Subsequences = st.Subsequences
+		info.IndexBytes = st.IndexBytes
+		info.ST = base.ST()
+		info.STHalf = st.STHalf
+		info.STFinal = st.STFinal
+		info.Lengths = base.Lengths()
+		info.BuildSeconds = st.BuildTime.Seconds()
+	}
+	info.CacheHits = d.hits.Load()
+	info.CacheMisses = d.misses.Load()
+	return info
+}
+
+// build runs on a hub worker: it materializes the base (snapshot load or
+// offline construction), persists it when configured, and flips the
+// lifecycle state.
+func (d *Dataset) build() {
+	if d.dropped.Load() {
+		d.fail(fmt.Errorf("%w: dropped before build", ErrNotFound))
+		return
+	}
+	if d.hub.isClosed() {
+		d.fail(ErrClosed)
+		return
+	}
+	d.mu.Lock()
+	d.state = StateBuilding
+	d.mu.Unlock()
+
+	base, fromSnapshot, err := d.materialize()
+	if err != nil {
+		d.fail(err)
+		return
+	}
+
+	var snapErr error
+	if path := d.hub.snapshotPath(d.name); path != "" && !fromSnapshot && !d.dropped.Load() {
+		d.snapMu.Lock()
+		if err := os.MkdirAll(d.hub.cfg.SnapshotDir, 0o755); err != nil {
+			snapErr = err
+		} else {
+			snapErr = base.SaveFile(path)
+		}
+		d.snapMu.Unlock()
+	}
+
+	d.mu.Lock()
+	if d.state != StateBuilding {
+		// fail() won the race (hub closed between our checks); discard.
+		d.mu.Unlock()
+		d.once.Do(func() { close(d.ready) })
+		return
+	}
+	d.state = StateReady
+	d.base = base
+	d.fromSnapshot = fromSnapshot
+	d.readyAt = time.Now()
+	d.snapshotErr = snapErr
+	d.mu.Unlock()
+	d.once.Do(func() { close(d.ready) })
+}
+
+// materialize obtains the base per the spec, preferring an existing hub
+// snapshot over a rebuild. A stale or unreadable hub snapshot falls back
+// to the build path rather than failing the registration.
+func (d *Dataset) materialize() (base *onex.Base, fromSnapshot bool, err error) {
+	if d.spec.Snapshot != "" {
+		base, err = onex.LoadFile(d.spec.Snapshot)
+		return base, err == nil, err
+	}
+	if path := d.hub.snapshotPath(d.name); path != "" {
+		if base, err := onex.LoadFile(path); err == nil {
+			return base, true, nil
+		}
+	}
+	series, name, err := d.spec.series(d.name)
+	if err != nil {
+		return nil, false, err
+	}
+	opts := d.spec.Opts
+	if opts.Lengths == nil && d.spec.LengthCount > 0 {
+		maxLen := 0
+		for _, s := range series {
+			if len(s.Values) > maxLen {
+				maxLen = len(s.Values)
+			}
+		}
+		opts.Lengths = spreadLengths(maxLen, d.spec.LengthCount)
+	}
+	d.progressTotal.Store(0)
+	opts.Progress = func(done, total int) {
+		d.progressTotal.Store(int64(total))
+		d.progressDone.Store(int64(done))
+	}
+	opts.Cancel = d.hub.closed
+	base, err = onex.Build(name, series, opts)
+	return base, false, err
+}
+
+// series materializes the raw input series for the build paths.
+func (sp Spec) series(name string) ([]onex.Series, string, error) {
+	switch {
+	case len(sp.Series) > 0:
+		return sp.Series, name, nil
+	case sp.Path != "":
+		d, err := dataset.LoadUCRFile(sp.Path)
+		if err != nil {
+			return nil, "", err
+		}
+		out := make([]onex.Series, 0, d.N())
+		for _, s := range d.Series {
+			out = append(out, onex.Series{Label: s.Label, Values: s.Values})
+		}
+		return out, name, nil
+	case sp.Generator != "":
+		spec, ok := dataset.ByName(sp.Generator)
+		if !ok {
+			return nil, "", fmt.Errorf("hub: unknown generator %q (have %v)", sp.Generator, dataset.Names())
+		}
+		if sp.Scale > 0 && sp.Scale < 1 {
+			spec = spec.Scaled(sp.Scale)
+		}
+		gen := spec.Generate(sp.Seed)
+		out := make([]onex.Series, 0, gen.N())
+		for _, s := range gen.Series {
+			out = append(out, onex.Series{Label: s.Label, Values: s.Values})
+		}
+		return out, name, nil
+	default:
+		return nil, "", errors.New("hub: spec has no data source")
+	}
+}
+
+// spreadLengths picks count subsequence lengths spread evenly across
+// [2, max], deduplicated — the serving default for datasets whose spec does
+// not pin an explicit length set.
+func spreadLengths(max, count int) []int {
+	if count <= 0 || max < 2 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	prev := 0
+	for i := 0; i < count; i++ {
+		l := 2 + i*(max-2)/count
+		if count > 1 {
+			l = 2 + i*(max-2)/(count-1)
+		}
+		if l != prev {
+			out = append(out, l)
+			prev = l
+		}
+	}
+	return out
+}
+
+// fail moves the dataset to StateFailed (first terminal transition wins)
+// and releases waiters.
+func (d *Dataset) fail(err error) {
+	d.mu.Lock()
+	if d.state != StateReady && d.state != StateFailed {
+		d.state = StateFailed
+		d.err = err
+	}
+	d.mu.Unlock()
+	d.once.Do(func() { close(d.ready) })
+}
+
+// Extend adds series to the dataset: the extended base is constructed
+// concurrently with in-flight queries (which keep the old immutable base),
+// then swapped in, bumping the generation and invalidating this dataset's
+// cached results. A concurrent Extend on the same generation returns
+// ErrConflict. When the hub persists snapshots the new base is re-saved so
+// a reload reflects the extension.
+func (d *Dataset) Extend(series []onex.Series) error {
+	base, gen, err := d.Base()
+	if err != nil {
+		return err
+	}
+	extended, err := base.Extend(series)
+	if err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	if d.state != StateReady || d.gen != gen {
+		d.mu.Unlock()
+		return ErrConflict
+	}
+	d.base = extended
+	d.gen++
+	d.mu.Unlock()
+	d.hub.cache.purgePrefix(d.name + "|")
+
+	if path := d.hub.snapshotPath(d.name); path != "" && !d.dropped.Load() {
+		// Serialize writes and always persist the base that is current when
+		// the write starts, so an overlapping Extend whose (slow) save lands
+		// last can never regress the on-disk snapshot to an older generation.
+		d.snapMu.Lock()
+		d.mu.RLock()
+		current := d.base
+		d.mu.RUnlock()
+		snapErr := current.SaveFile(path)
+		d.snapMu.Unlock()
+		d.mu.Lock()
+		d.snapshotErr = snapErr
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// cached runs compute through the hub's result cache. Results are shared —
+// callers must treat them as immutable.
+func (d *Dataset) cached(key string, compute func() (any, error)) (any, error) {
+	if v, ok := d.hub.cache.get(key); ok {
+		d.hits.Add(1)
+		return v, nil
+	}
+	d.misses.Add(1)
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	d.hub.cache.put(key, v)
+	return v, nil
+}
+
+// Match answers a similarity query (k ≤ 1 = best match, else k-NN) through
+// the result cache. The returned slice is shared; do not mutate it.
+func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	key := queryKey(d.name, d.epoch, gen, "match", []int{int(mode), k}, q)
+	v, err := d.cached(key, func() (any, error) {
+		if k == 1 {
+			m, err := base.BestMatch(q, mode)
+			if err != nil {
+				return nil, err
+			}
+			return []onex.Match{m}, nil
+		}
+		return base.BestKMatches(q, mode, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]onex.Match), nil
+}
+
+// Range answers a range query through the result cache.
+func (d *Dataset) Range(q []float64, length int, radius float64) ([]onex.RangeMatch, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	key := queryKey(d.name, d.epoch, gen, "range", []int{length}, append(append([]float64(nil), q...), radius))
+	v, err := d.cached(key, func() (any, error) { return base.RangeSearch(q, length, radius) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]onex.RangeMatch), nil
+}
+
+// Seasonal answers a seasonal-pattern query through the result cache;
+// seriesID < 0 means dataset-wide (SeasonalAll).
+func (d *Dataset) Seasonal(seriesID, length int) ([]onex.Pattern, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	key := queryKey(d.name, d.epoch, gen, "seasonal", []int{seriesID, length}, nil)
+	v, err := d.cached(key, func() (any, error) {
+		if seriesID < 0 {
+			return base.SeasonalAll(length)
+		}
+		return base.Seasonal(seriesID, length)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]onex.Pattern), nil
+}
+
+// Recommend answers a threshold-recommendation query (length < 0 =
+// dataset-global) through the result cache.
+func (d *Dataset) Recommend(degree onex.Degree, length int) (onex.Range, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return onex.Range{}, err
+	}
+	key := queryKey(d.name, d.epoch, gen, "recommend", []int{int(degree), length}, nil)
+	v, err := d.cached(key, func() (any, error) { return base.RecommendThreshold(degree, length) })
+	if err != nil {
+		return onex.Range{}, err
+	}
+	return v.(onex.Range), nil
+}

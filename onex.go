@@ -26,6 +26,8 @@ package onex
 import (
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 
 	"onex/internal/core"
 	"onex/internal/query"
@@ -77,8 +79,18 @@ type Base struct {
 	opts Options
 }
 
+// ErrBuildCanceled is returned by Build when Options.Cancel fires before
+// the offline construction completes.
+var ErrBuildCanceled = core.ErrCanceled
+
 // ST returns the similarity threshold the base was built with.
 func (b *Base) ST() float64 { return b.eng.Base.ST }
+
+// Name returns the dataset name the base was built over.
+func (b *Base) Name() string { return b.eng.Base.Dataset.Name }
+
+// NumSeries returns the number of indexed series.
+func (b *Base) NumSeries() int { return b.eng.Base.Dataset.N() }
 
 // Lengths returns the indexed subsequence lengths in increasing order.
 func (b *Base) Lengths() []int {
@@ -248,6 +260,47 @@ func Load(r io.Reader) (*Base, error) {
 		return nil, err
 	}
 	return &Base{eng: eng}, nil
+}
+
+// SaveFile snapshots the base to path atomically: the stream is written to
+// a temporary file in the same directory and renamed into place, so readers
+// never observe a partial snapshot and a crashed save leaves any previous
+// snapshot intact.
+func (b *Base) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := b.Save(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// LoadFile reopens a base snapshotted with SaveFile.
+func LoadFile(path string) (*Base, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Stats reports the size and construction cost of the base (Table 4).

@@ -38,6 +38,16 @@ type Options struct {
 	// many consecutive non-improving members (0 = a paper-faithful default
 	// of 32; negative = exhaustive verification of the chosen group).
 	Patience int
+	// Progress, when non-nil, reports offline-construction progress: it is
+	// called after each indexed subsequence length finishes grouping with
+	// the completed and total length counts. Calls are serialized and done
+	// increases strictly from 1 to total. Useful for long builds driven
+	// from a service (see internal/hub).
+	Progress func(done, total int)
+	// Cancel, when non-nil, aborts an in-flight Build between lengths once
+	// the channel is closed; Build then returns ErrBuildCanceled. Already
+	// completed work is discarded.
+	Cancel <-chan struct{}
 }
 
 func (o Options) toCore() (core.BuildConfig, error) {
@@ -53,6 +63,8 @@ func (o Options) toCore() (core.BuildConfig, error) {
 		Seed:      o.Seed,
 		Workers:   o.Workers,
 		Normalize: core.NormalizeMode(o.Normalize),
+		Progress:  o.Progress,
+		Cancel:    o.Cancel,
 		Query: query.Options{
 			DisableEarlyStop: o.SearchAllLengths,
 			CandidateLimit:   o.CandidateLimit,

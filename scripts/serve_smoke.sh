@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Serve smoke test: boot onex-server on a generated dataset, register a
+# second dataset over the v1 API, query both, verify the result cache hits,
+# and shut down gracefully. Mirrored by the CI serve-smoke job via
+# `make serve-smoke`.
+set -eu
+
+ADDR="${ONEX_SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="${TMPDIR:-/tmp}/onex-server-smoke.$$"
+SNAPDIR="$(mktemp -d "${TMPDIR:-/tmp}/onex-smoke-snap.XXXXXX")"
+
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "${SERVER_PID:-}" ] && wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$BIN" "$SNAPDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$BIN" ./cmd/onex-server
+
+echo "== start ($ADDR)"
+"$BIN" -addr "$ADDR" -generate ItalyPower -scale 0.2 -st 0.25 -lengths 6 \
+    -snapshot-dir "$SNAPDIR" &
+SERVER_PID=$!
+
+echo "== wait for /healthz"
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died" >&2; exit 1; }
+    sleep 0.2
+done
+curl -sf "$BASE/healthz" | grep -q '"ok"' || { echo "healthz failed" >&2; exit 1; }
+
+check_code() { # method url want [body]
+    method=$1; url=$2; want=$3; body=${4:-}
+    if [ -n "$body" ]; then
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X "$method" -d "$body" "$url")
+    else
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X "$method" "$url")
+    fi
+    if [ "$code" != "$want" ]; then
+        echo "FAIL: $method $url -> $code (want $want)" >&2
+        exit 1
+    fi
+    echo "ok: $method $url -> $code"
+}
+
+echo "== register a second dataset over /v1"
+check_code POST "$BASE/v1/datasets" 201 \
+    '{"name":"ecg","generator":"ECG","scale":0.05,"st":0.25,"lengths":5,"wait":true}'
+
+echo "== query both datasets"
+Q8='[0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5]'
+LEGACY_LEN=$(curl -sf "$BASE/stats" | sed 's/.*"lengths":\[\([0-9]*\).*/\1/')
+LEGACY_Q=$(awk -v n="$LEGACY_LEN" 'BEGIN{printf "["; for(i=0;i<n;i++){printf "%s0.5", (i?",":"")}; printf "]"}')
+check_code POST "$BASE/v1/datasets/ItalyPower/match" 200 "{\"query\":$LEGACY_Q}"
+check_code POST "$BASE/v1/datasets/ItalyPower/match" 200 "{\"query\":$LEGACY_Q}"
+check_code POST "$BASE/v1/datasets/ecg/match" 200 "{\"query\":$Q8}"
+check_code GET "$BASE/v1/datasets" 200
+check_code GET "$BASE/v1/stats" 200
+check_code POST "$BASE/match" 200 "{\"query\":$LEGACY_Q}"
+
+echo "== verify the repeated query hit the cache"
+curl -sf "$BASE/v1/stats" | grep -q '"hits":0,' && { echo "FAIL: no cache hits" >&2; exit 1; }
+
+echo "== error paths return structured JSON"
+check_code GET "$BASE/v1/datasets/nope" 404
+check_code POST "$BASE/v1/datasets" 400 '{"name":"bad","generator":"ECG","bogus":1}'
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+echo "serve smoke: PASS"
