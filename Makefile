@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -22,8 +22,8 @@ vet: ## Static analysis
 build: ## Compile every package and binary
 	$(GO) build ./...
 
-test: ## Full test suite with the race detector (CI's main job)
-	$(GO) test -race ./...
+test: ## Full test suite with the race detector, shuffled (CI's main job)
+	$(GO) test -race -shuffle=on ./...
 
 bench: ## Run every benchmark once (CI's bench-smoke job)
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -35,4 +35,19 @@ bench-serve: ## Emit BENCH_serve.json: cold vs cached /match latency over HTTP
 	ONEX_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test ./cmd/onex-server -run '^TestEmitServeBench$$' -v -count=1
 
-ci: fmt-check vet build test bench serve-smoke ## The full local gate, same order as CI
+bench-parallel: ## Emit BENCH_parallel.json: sequential vs parallel build/query/batch sweep
+	$(GO) run ./cmd/onex-bench -exp parallel -scale 2 \
+		-parallel-out $(CURDIR)/BENCH_parallel.json
+
+# Coverage gate of the parallel execution engine: the packages the
+# concurrency test suite exercises must stay ≥ $(COVER_MIN)% covered.
+COVER_MIN = 70
+COVER_PKGS = ./internal/query/ ./internal/grouping/ ./internal/parallel/
+coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel
+	$(GO) test -count=1 -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total%"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min) ? 1 : 0 }' \
+		|| { echo "coverage $$total% is below $(COVER_MIN)%" >&2; exit 1; }
+
+ci: fmt-check vet build test bench coverage serve-smoke ## The full local gate, same order as CI

@@ -5,7 +5,7 @@
 //
 //	onex-bench [flags]
 //
-//	-exp string      experiment id: fig2..fig8, table1..table4, or "all" (default "all")
+//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", or "all" (default "all")
 //	-datasets string comma-separated subset of the six paper datasets
 //	-st float        similarity threshold (default 0.2, the paper's sweet spot)
 //	-scale float     multiplier on bench-scale dataset cardinalities (default 1)
@@ -21,6 +21,13 @@
 //	onex-bench -exp fig2
 //	onex-bench -exp table4 -full
 //	onex-bench -datasets ItalyPower,ECG -exp all
+//	onex-bench -exp parallel -parallel-out BENCH_parallel.json
+//
+// The "parallel" experiment is this implementation's own sequential-vs-
+// parallel sweep (not a paper figure): it times the offline build, single
+// BestMatch queries and BestMatchBatch at worker counts 1..GOMAXPROCS,
+// verifies the answers are identical at every count, and writes the
+// machine-readable report to -parallel-out.
 package main
 
 import (
@@ -54,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "RNG seed")
 		full     = fs.Bool("full", false, "paper-scale datasets and all lengths")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		parOut   = fs.String("parallel-out", "BENCH_parallel.json",
+			"output path of the -exp parallel JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +90,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if *exp == "parallel" {
+		rep, tables, err := bench.RunParallelSweep(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := t.Format(stdout); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(*parOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteParallelReport(rep, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (gomaxprocs=%d, best query speedup %.2fx, best batch speedup %.2fx)\n",
+			*parOut, rep.GOMAXPROCS, rep.BestQuerySpeedup, rep.BestBatchSpeedup)
+		return nil
+	}
+
 	session, err := bench.NewSession(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"onex/internal/bench"
+)
+
+func TestRunParallelSweepWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "parallel", "-scale", "0.5", "-queries", "4",
+		"-repeats", "1", "-quiet", "-parallel-out", out}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Sequential vs parallel sweep") {
+		t.Errorf("missing sweep table in output: %q", stdout.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ParallelReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Dataset.Series < 64 {
+		t.Errorf("sweep base has %d series, want ≥ 64", rep.Dataset.Series)
+	}
+	if !rep.Equivalent {
+		t.Error("sweep did not verify parallel/sequential equivalence")
+	}
+	if len(rep.Build) == 0 || len(rep.Query) == 0 || len(rep.Batch) == 0 {
+		t.Errorf("report missing stages: %+v", rep)
+	}
+	for _, pt := range rep.Query {
+		if pt.Seconds <= 0 {
+			t.Errorf("non-positive timing: %+v", pt)
+		}
+	}
+	if rep.GOMAXPROCS < 1 || rep.Queries != 4 {
+		t.Errorf("report metadata wrong: gomaxprocs=%d queries=%d", rep.GOMAXPROCS, rep.Queries)
+	}
+}

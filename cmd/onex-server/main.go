@@ -22,6 +22,7 @@
 //	GET    /v1/datasets/{name}           one dataset's status/metadata
 //	DELETE /v1/datasets/{name}[?purge=1] drop (purge also deletes snapshot)
 //	POST   /v1/datasets/{name}/match     best match / k-NN (Q1)
+//	POST   /v1/datasets/{name}/match/batch  many best-match queries at once
 //	POST   /v1/datasets/{name}/range     range search within a radius
 //	POST   /v1/datasets/{name}/extend    incrementally add series
 //	GET    /v1/datasets/{name}/seasonal  recurring patterns (Q2)
@@ -45,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -66,6 +68,7 @@ func main() {
 		snapshotDir  = flag.String("snapshot-dir", "", "directory for base snapshots (empty = no persistence)")
 		cacheEntries = flag.Int("cache-entries", 1024, "query-result cache capacity (negative disables)")
 		buildWorkers = flag.Int("build-workers", 2, "concurrent dataset builds")
+		parallelism  = flag.Int("parallelism", 0, "per-query/build worker fan-out (0 = GOMAXPROCS)")
 		maxBody      = flag.Int64("max-body-bytes", defaultMaxBody, "request body size cap")
 		allowFS      = flag.Bool("allow-fs", false,
 			"let /v1/datasets register from server filesystem paths (path/snapshot fields)")
@@ -74,7 +77,7 @@ func main() {
 
 	srv, err := newServer(serverConfig{
 		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
-		Scale: *scale, Seed: *seed,
+		Scale: *scale, Seed: *seed, Parallelism: *parallelism,
 		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
 	})
@@ -126,10 +129,13 @@ type serverConfig struct {
 	Lengths             int
 	Scale               float64
 	Seed                int64
-	SnapshotDir         string
-	CacheEntries        int
-	BuildWorkers        int
-	MaxBody             int64
+	// Parallelism is the default dataset's build/query worker fan-out
+	// (0 = GOMAXPROCS).
+	Parallelism  int
+	SnapshotDir  string
+	CacheEntries int
+	BuildWorkers int
+	MaxBody      int64
 	// AllowFS lets v1 registration requests name server filesystem paths
 	// (path/snapshot). Off by default: a remote client must not be able to
 	// read arbitrary host files. The startup -data flag is unaffected
@@ -162,7 +168,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	spec := hub.Spec{
 		Scale:       cfg.Scale,
 		Seed:        cfg.Seed,
-		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed},
+		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism},
 		LengthCount: cfg.Lengths,
 	}
 	name := cfg.Generator
@@ -237,6 +243,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetInfo)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
 	mux.HandleFunc("POST /v1/datasets/{name}/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/datasets/{name}/match/batch", s.handleMatchBatch)
 	mux.HandleFunc("POST /v1/datasets/{name}/range", s.handleRange)
 	mux.HandleFunc("POST /v1/datasets/{name}/extend", s.handleExtend)
 	mux.HandleFunc("GET /v1/datasets/{name}/seasonal", s.handleSeasonal)
@@ -340,7 +347,10 @@ type registerRequest struct {
 	Seed      int64        `json:"seed"`
 	ST        float64      `json:"st"`
 	Lengths   int          `json:"lengths"`
-	Wait      bool         `json:"wait"`
+	// Parallelism bounds the dataset's build and query worker fan-out
+	// (0 = GOMAXPROCS; answers are identical for every value).
+	Parallelism int  `json:"parallelism"`
+	Wait        bool `json:"wait"`
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -352,6 +362,16 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		writeErr(w, httpError{http.StatusBadRequest, "name is required"})
 		return
+	}
+	if req.Parallelism < 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "parallelism must be ≥ 0"})
+		return
+	}
+	// Clamp client-requested fan-out: parallel.Resolve accepts any positive
+	// value (it only oversubscribes), but a remote tenant must not be able
+	// to make every query spawn thousands of goroutines.
+	if limit := 4 * runtime.GOMAXPROCS(0); req.Parallelism > limit {
+		req.Parallelism = limit
 	}
 	if (req.Path != "" || req.Snapshot != "") && !s.allowFS {
 		writeErr(w, httpError{http.StatusForbidden,
@@ -372,7 +392,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Snapshot:    req.Snapshot,
 		Scale:       req.Scale,
 		Seed:        req.Seed,
-		Opts:        onex.Options{ST: st, Seed: req.Seed},
+		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism},
 		LengthCount: lengths,
 	}
 	for _, sr := range req.Series {
@@ -526,6 +546,64 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, toMatchResponse(ms[0], withValues))
+}
+
+type batchMatchRequest struct {
+	Queries [][]float64 `json:"queries"`
+	Mode    string      `json:"mode"` // "any" (default) or "exact"
+}
+
+// batchEntryResponse is one positional result of a batch match: either a
+// match or a per-query error.
+type batchEntryResponse struct {
+	*matchResponse
+	Error string `json:"error,omitempty"`
+}
+
+func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req batchMatchRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	mode := onex.MatchAny
+	switch req.Mode {
+	case "", "any":
+	case "exact":
+		mode = onex.MatchExact
+	default:
+		writeErr(w, httpError{http.StatusBadRequest, `mode must be "any" or "exact"`})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "queries must be non-empty"})
+		return
+	}
+	withValues := r.URL.Query().Get("values") == "true"
+	rs, err := ds.MatchBatch(req.Queries, mode)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]batchEntryResponse, 0, len(rs))
+	errors := 0
+	for _, br := range rs {
+		if br.Err != nil {
+			errors++
+			out = append(out, batchEntryResponse{Error: br.Err.Error()})
+			continue
+		}
+		m := toMatchResponse(br.Match, withValues)
+		out = append(out, batchEntryResponse{matchResponse: &m})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(out), "errors": errors, "results": out,
+	})
 }
 
 type rangeRequest struct {

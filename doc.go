@@ -28,6 +28,34 @@
 //
 //	go test -bench . -run '^$' ./internal/dist
 //
+// # Parallel execution
+//
+// Both stages shard across a bounded worker pool (internal/parallel). The
+// offline build parallelizes across subsequence lengths and across
+// series-chunks within a length with a deterministic merge, so a fixed
+// seed yields an identical base at every worker count. Online queries fan
+// the representative scan and group mining out with a shared atomic
+// best-so-far bound and pooled DTW workspaces; the parallel paths are
+// answer-invariant — BestMatch/BestKMatches/RangeSearch return identical
+// results at every setting (proven by the equivalence suites in
+// internal/query and internal/grouping, enforced ≥ 70% covered in CI).
+//
+//	base, _ := onex.Build("demo", series, onex.Options{
+//		ST:          0.2,
+//		Parallelism: 0, // 0 = GOMAXPROCS; 1 forces sequential
+//	})
+//	m, _ := base.BestMatch(q, onex.MatchAny)     // one query, many workers
+//	rs := base.BestMatchBatch(qs, onex.MatchAny) // many queries at once
+//	for _, r := range rs {
+//		// r.Match answers its query; r.Err is per-query (ragged/NaN
+//		// inputs fail alone, identical to the single-call behaviour).
+//	}
+//
+// `make bench-parallel` (CI: the bench-parallel job) emits
+// BENCH_parallel.json, the sequential-vs-parallel sweep of build, single
+// queries and batches at worker counts 1..GOMAXPROCS with an equivalence
+// check baked in.
+//
 // # Serving
 //
 // cmd/onex-server exposes bases over HTTP through internal/hub, a

@@ -34,8 +34,16 @@ func DTW(a, b []float64) float64 {
 }
 
 // Workspace holds reusable scratch for the two-row DTW dynamic program so
-// tight query loops allocate only once. The zero value is ready to use. A
-// Workspace is not safe for concurrent use; give each goroutine its own.
+// tight query loops allocate only once. The zero value is ready to use.
+//
+// Ownership rule: a Workspace is mutable scratch with no internal locking —
+// it must be owned by exactly one goroutine at a time, and a method call
+// must complete before ownership may move. Callers that fan work across
+// goroutines must give each worker its own Workspace; the supported pattern
+// is parallel.WorkspacePool (a sync.Pool whose Get/Put hands out exclusive
+// ownership), which is how query.Processor keeps every query race-free by
+// construction. Sharing one live Workspace between goroutines is a data
+// race even if calls never overlap logically.
 type Workspace struct {
 	prev, curr []float64
 }

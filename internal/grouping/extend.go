@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"onex/internal/dist"
+	"onex/internal/parallel"
 	"onex/internal/ts"
 )
 
@@ -51,30 +50,10 @@ func Extend(d *ts.Dataset, prev *Result, fromSeries int, cfg Config) (*Result, e
 
 	results := make([]*LengthGroups, len(prev.Lengths))
 	counts := make([]int64, len(prev.Lengths))
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(prev.Lengths) {
-		workers = len(prev.Lengths)
-	}
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range idxCh {
-				l := prev.Lengths[idx]
-				results[idx], counts[idx] = extendLength(d, prev.ByLength[l], newSeries, prev.ST, cfg.Seed+int64(l)*1_000_003)
-			}
-		}()
-	}
-	for idx := range prev.Lengths {
-		idxCh <- idx
-	}
-	close(idxCh)
-	wg.Wait()
+	parallel.ForEach(cfg.Workers, len(prev.Lengths), func(idx int) {
+		l := prev.Lengths[idx]
+		results[idx], counts[idx] = extendLength(d, prev.ByLength[l], newSeries, prev.ST, cfg.Seed+int64(l)*1_000_003)
+	})
 
 	next.TotalSubseq = prev.TotalSubseq
 	for i, lg := range results {

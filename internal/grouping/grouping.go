@@ -17,11 +17,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 
 	"onex/internal/dist"
+	"onex/internal/parallel"
 	"onex/internal/ts"
 )
 
@@ -36,8 +36,12 @@ type Config struct {
 	// Seed drives RANDOMIZE-IN-PLACE and all tie-breaking; builds are
 	// deterministic given (dataset, Config).
 	Seed int64
-	// Workers bounds construction parallelism across lengths.
-	// 0 means GOMAXPROCS.
+	// Workers bounds construction parallelism, both across lengths and
+	// across the series-chunks within a length. ≤ 0 means GOMAXPROCS. The
+	// built Result is identical for every worker count given the same
+	// (dataset, ST, Lengths, Seed): the chunk layout depends only on the
+	// data, chunk construction is a pure function of its positions, and the
+	// cross-chunk merge is sequential in fixed chunk order.
 	Workers int
 	// Progress, when non-nil, is called after each length finishes grouping
 	// with the number of completed lengths and the total. Calls are
@@ -125,10 +129,11 @@ func (r *Result) TotalGroups() int {
 	return total
 }
 
-// Build runs Algorithm 1 over the dataset. Lengths are processed in
-// parallel; the per-length group construction is sequential because the
-// algorithm is order-dependent (each length gets its own seeded source, so
-// results do not depend on scheduling).
+// Build runs Algorithm 1 over the dataset. Work is sharded two ways: across
+// lengths, and — for lengths with many subsequences — across series-chunks
+// within a length, with a deterministic sequential merge (see buildLength).
+// A fixed (dataset, Config.ST/Lengths/Seed) therefore yields an identical
+// Result for every Workers value.
 func Build(d *ts.Dataset, cfg Config) (*Result, error) {
 	if d == nil || d.N() == 0 {
 		return nil, errors.New("grouping: empty dataset")
@@ -149,49 +154,39 @@ func Build(d *ts.Dataset, cfg Config) (*Result, error) {
 	results := make([]*LengthGroups, len(lengths))
 	counts := make([]int64, len(lengths))
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers := parallel.Resolve(cfg.Workers)
+	// Split the worker budget between the two sharding axes: when there are
+	// fewer lengths than workers, the spare budget parallelizes the chunks
+	// inside each length. (Worker allocation only affects scheduling, never
+	// the Result.)
+	outer := workers
+	if outer > len(lengths) {
+		outer = len(lengths)
 	}
-	if workers > len(lengths) {
-		workers = len(lengths)
-	}
+	inner := workers / outer
 	var (
-		wg       sync.WaitGroup
 		progMu   sync.Mutex
 		progDone int
 		canceled bool
 	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				if isClosed(cfg.Cancel) {
-					progMu.Lock()
-					canceled = true
-					progMu.Unlock()
-					continue
-				}
-				l := lengths[idx]
-				lg, n := buildLength(d, l, cfg.ST, cfg.Seed+int64(l)*1_000_003)
-				results[idx] = lg
-				counts[idx] = n
-				progMu.Lock()
-				progDone++
-				if cfg.Progress != nil {
-					cfg.Progress(progDone, len(lengths))
-				}
-				progMu.Unlock()
-			}
-		}()
-	}
-	for idx := range lengths {
-		next <- idx
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEach(outer, len(lengths), func(idx int) {
+		if isClosed(cfg.Cancel) {
+			progMu.Lock()
+			canceled = true
+			progMu.Unlock()
+			return
+		}
+		l := lengths[idx]
+		lg, n := buildLength(d, l, cfg.ST, cfg.Seed+int64(l)*1_000_003, inner)
+		results[idx] = lg
+		counts[idx] = n
+		progMu.Lock()
+		progDone++
+		if cfg.Progress != nil {
+			cfg.Progress(progDone, len(lengths))
+		}
+		progMu.Unlock()
+	})
 
 	if canceled {
 		return nil, ErrCanceled
@@ -256,8 +251,36 @@ type position struct {
 	start     int
 }
 
-// buildLength runs the Algorithm 1 loop for a single length.
-func buildLength(d *ts.Dataset, length int, st float64, seed int64) (*LengthGroups, int64) {
+// Chunked construction constants. minChunkPositions is the smallest
+// per-chunk workload worth a goroutine (below it the whole length is built
+// in one sequential pass, which is also the exact historical algorithm);
+// maxChunks caps the merge fan-in. Both are fixed constants — never derived
+// from the worker count — so the chunk layout, and therefore the Result, is
+// a function of the data alone.
+const (
+	minChunkPositions = 2048
+	maxChunks         = 16
+)
+
+// chunkCount returns how many chunks n shuffled positions are split into.
+func chunkCount(n int) int {
+	c := n / minChunkPositions
+	if c < 2 {
+		return 1
+	}
+	if c > maxChunks {
+		return maxChunks
+	}
+	return c
+}
+
+// buildLength runs the Algorithm 1 loop for a single length. Large lengths
+// are sharded: the shuffled position list is cut into chunkCount contiguous
+// chunks, each chunk is clustered independently (in parallel across up to
+// workers goroutines), and the partial group sets are folded left-to-right
+// by mergeChunks. Both the chunk layout and the merge order are independent
+// of the worker count, so the output is deterministic given the seed.
+func buildLength(d *ts.Dataset, length int, st float64, seed int64, workers int) (*LengthGroups, int64) {
 	positions := enumerate(d, length)
 	r := rand.New(rand.NewSource(seed))
 	// RANDOMIZE-IN-PLACE (Algorithm 1, line 3): Fisher–Yates.
@@ -265,6 +288,27 @@ func buildLength(d *ts.Dataset, length int, st float64, seed int64) (*LengthGrou
 		positions[i], positions[j] = positions[j], positions[i]
 	})
 
+	nc := chunkCount(len(positions))
+	if nc == 1 {
+		lg := buildChunk(d, length, st, positions)
+		finalize(d, lg)
+		return lg, int64(len(positions))
+	}
+	parts := make([]*LengthGroups, nc)
+	parallel.ForEach(workers, nc, func(ci int) {
+		lo, hi := ci*len(positions)/nc, (ci+1)*len(positions)/nc
+		parts[ci] = buildChunk(d, length, st, positions[lo:hi])
+	})
+	lg := mergeChunks(length, st, parts)
+	finalize(d, lg)
+	return lg, int64(len(positions))
+}
+
+// buildChunk is the sequential Algorithm 1 loop over one slice of shuffled
+// positions: each subsequence joins the nearest group whose representative
+// is within ST/2 or founds a new one. Groups keep their running sums so a
+// later merge can recombine them exactly.
+func buildChunk(d *ts.Dataset, length int, st float64, positions []position) *LengthGroups {
 	lg := &LengthGroups{Length: length}
 	radiusSq := float64(length) * st * st / 4 // (√L·ST/2)² in raw-ED² units
 	for _, pos := range positions {
@@ -297,8 +341,58 @@ func buildLength(d *ts.Dataset, length int, st float64, seed int64) (*LengthGrou
 			lg.Groups = append(lg.Groups, g)
 		}
 	}
-	finalize(d, lg)
-	return lg, int64(len(positions))
+	return lg
+}
+
+// mergeChunks folds the per-chunk group sets into one, applying the same
+// nearest-representative-within-ST/2 rule at group granularity: a chunk
+// group whose representative lies within ST/2 of an accumulated group's
+// representative is absorbed (sums and members combined, so the merged
+// representative remains the exact point-wise member average); otherwise it
+// is appended as a new group. The fold runs left-to-right over chunks in
+// index order — sequential and worker-count independent.
+func mergeChunks(length int, st float64, parts []*LengthGroups) *LengthGroups {
+	out := parts[0]
+	radiusSq := float64(length) * st * st / 4
+	for _, part := range parts[1:] {
+		for _, g := range part.Groups {
+			bestSq := math.Inf(1)
+			bestIdx := -1
+			for oi, og := range out.Groups {
+				cutoff := radiusSq
+				if bestSq < cutoff {
+					cutoff = bestSq
+				}
+				sq := dist.SquaredEDEarlyAbandon(g.Rep, og.Rep, cutoff)
+				if sq < bestSq {
+					bestSq = sq
+					bestIdx = oi
+				}
+			}
+			if bestIdx >= 0 && bestSq <= radiusSq {
+				out.Groups[bestIdx].absorb(g)
+			} else {
+				out.Groups = append(out.Groups, g)
+			}
+		}
+	}
+	for i, g := range out.Groups {
+		g.ID = i
+	}
+	return out
+}
+
+// absorb merges another group of the same length into g, keeping Rep the
+// exact point-wise average of the combined membership.
+func (g *Group) absorb(o *Group) {
+	g.Members = append(g.Members, o.Members...)
+	for i, v := range o.sum {
+		g.sum[i] += v
+	}
+	n := float64(len(g.Members))
+	for i := range g.Rep {
+		g.Rep[i] = g.sum[i] / n
+	}
 }
 
 // enumerate lists every subsequence position of the given length.

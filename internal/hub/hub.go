@@ -776,6 +776,48 @@ func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, 
 	return v.([]onex.Match), nil
 }
 
+// MatchBatch answers many best-match queries in one call. Each query goes
+// through the result cache under the same key a single k=1 Match uses, so
+// batches and singles share hits; the misses are answered together by
+// onex.Base.BestMatchBatch, which fans them across the base's worker pool.
+// Results are positional and carry per-query errors (a malformed query
+// fails alone); only successful answers are cached. The returned matches
+// are shared — callers must treat them as immutable.
+func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchResult, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]onex.BatchResult, len(qs))
+	keys := make([]string, len(qs))
+	missIdx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		keys[i] = queryKey(d.name, d.epoch, gen, "match", []int{int(mode), 1}, q)
+		if v, ok := d.hub.cache.get(keys[i]); ok {
+			d.hits.Add(1)
+			out[i] = onex.BatchResult{Match: v.([]onex.Match)[0]}
+			continue
+		}
+		d.misses.Add(1)
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	sub := make([][]float64, len(missIdx))
+	for j, i := range missIdx {
+		sub[j] = qs[i]
+	}
+	for j, r := range base.BestMatchBatch(sub, mode) {
+		i := missIdx[j]
+		out[i] = r
+		if r.Err == nil {
+			d.hub.cache.put(keys[i], []onex.Match{r.Match})
+		}
+	}
+	return out, nil
+}
+
 // Range answers a range query through the result cache.
 func (d *Dataset) Range(q []float64, length int, radius float64) ([]onex.RangeMatch, error) {
 	base, gen, err := d.Base()

@@ -1,0 +1,44 @@
+package query
+
+import "onex/internal/parallel"
+
+// BatchResult pairs one batch query with its outcome: exactly one of Match
+// (with Err == nil) or Err is meaningful.
+type BatchResult struct {
+	Match Match
+	Trace Trace
+	Err   error
+}
+
+// BestMatchBatch answers many similarity queries in one call, fanning the
+// queries across the processor's worker pool. The worker budget is split
+// between the two parallelism axes: with at least p.workers queries each
+// query runs the standard BestMatch pipeline on a single worker
+// (cross-query parallelism has the least synchronization), while smaller
+// batches give each query the leftover budget as intra-query fan-out so a
+// 1-query batch is exactly as fast as a single BestMatch call. The split is
+// answer-invariant — every parallelism assignment returns identical
+// results, so it is purely a scheduling decision.
+//
+// Results are positional: out[i] answers qs[i]. Queries are validated
+// independently — a ragged, empty or non-finite query yields a per-query
+// Err without affecting its neighbours, and a nil or empty batch returns an
+// empty slice. BestMatchBatch never panics on malformed input and is safe
+// for concurrent use.
+func (p *Processor) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	exec := p.sequential()
+	if inner := p.workers / len(qs); inner > 1 {
+		cp := *p
+		cp.workers = inner
+		exec = &cp
+	}
+	parallel.ForEach(p.workers, len(qs), func(i int) {
+		m, tr, err := exec.BestMatchTraced(qs[i], mode)
+		out[i] = BatchResult{Match: m, Trace: tr, Err: err}
+	})
+	return out
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"onex/internal/dist"
+	"onex/internal/grouping"
+	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
 
@@ -27,7 +29,8 @@ func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, e
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
-	var ws dist.Workspace
+	ws := p.pool.Get()
+	defer p.pool.Put(ws)
 	order := dist.QueryOrder(q)
 	heap := newTopK(k)
 
@@ -48,7 +51,7 @@ func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, e
 	}
 
 	for _, l := range lengths {
-		p.searchLengthK(q, order, p.base.Entry(l), &ws, heap)
+		p.searchLengthK(q, order, p.base.Entry(l), ws, heap)
 	}
 	out := heap.sorted()
 	if len(out) == 0 {
@@ -64,6 +67,13 @@ func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, e
 // increasing rep-DTW order until the rep's own DTW exceeds the k-th
 // distance plus the group radius (in raw units) — a heuristic cut mirroring
 // the paper's ST/2-based guarantee.
+//
+// Both phases shard across the worker pool when Parallelism > 1. The rep
+// scan's cutoff is constant for the whole length (the heap cannot tighten
+// during it), so fanning it out is trivially answer-preserving; member
+// verification runs in fixed-size rounds whose heap pushes are replayed in
+// member order against the exact distances, reaching the same heap state as
+// the sequential scan (see mineGroup for the argument).
 func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 	ws *dist.Workspace, heap *topK) {
 
@@ -78,44 +88,73 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 		k int
 		d float64
 	}
-	reps := make([]repDist, 0, len(e.Groups))
-	for _, k := range e.MedianOrder {
-		cutoff := heap.kth()*divisor + radiusRaw
+	// No heap pushes happen during the rep scan, so the cutoff is fixed for
+	// the whole length and the scan parallelizes without changing answers.
+	scanCutoff := heap.kth()*divisor + radiusRaw
+	scanOne := func(ws *dist.Workspace, k int) (float64, bool) {
 		rep := e.Groups[k].Rep
 		if !p.opts.DisableLowerBounds {
-			if dist.LBKim(q, rep) >= cutoff {
-				continue
+			if dist.LBKim(q, rep) >= scanCutoff {
+				return 0, false
 			}
 			if sameLen {
 				env := e.Envelopes[k]
-				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb >= cutoff {
-					continue
+				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, scanCutoff); lb >= scanCutoff {
+					return 0, false
 				}
 			}
 		}
-		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
-		if !math.IsInf(d, 1) {
-			reps = append(reps, repDist{k: k, d: d})
+		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, scanCutoff)
+		return d, !math.IsInf(d, 1)
+	}
+	var reps []repDist
+	if p.workers <= 1 || len(e.MedianOrder) < scanParallelMin {
+		reps = make([]repDist, 0, len(e.Groups))
+		for _, k := range e.MedianOrder {
+			if d, ok := scanOne(ws, k); ok {
+				reps = append(reps, repDist{k: k, d: d})
+			}
+		}
+	} else {
+		found := make([]repDist, len(e.MedianOrder))
+		kept := make([]bool, len(e.MedianOrder))
+		workers := p.workers
+		if workers > len(e.MedianOrder) {
+			workers = len(e.MedianOrder)
+		}
+		// Stride positions across workers, one pooled workspace per worker
+		// for the whole scan (the cutoff is fixed, so assignment order is
+		// irrelevant to the answer).
+		parallel.ForEach(workers, workers, func(w int) {
+			lws := p.pool.Get()
+			defer p.pool.Put(lws)
+			for i := w; i < len(e.MedianOrder); i += workers {
+				k := e.MedianOrder[i]
+				if d, ok := scanOne(lws, k); ok {
+					found[i] = repDist{k: k, d: d}
+					kept[i] = true
+				}
+			}
+		})
+		reps = make([]repDist, 0, len(e.MedianOrder))
+		for i, ok := range kept {
+			if ok {
+				reps = append(reps, found[i])
+			}
 		}
 	}
-	sort.Slice(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
+	// Stable tie order: by distance, then by median-order position (the
+	// order the sequential scan appended in).
+	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
 
+	var ds, lbs []float64 // round buffers, allocated on first parallel group
 	for _, rd := range reps {
 		// Re-check against the (possibly tightened) k-th distance.
 		if rd.d > heap.kth()*divisor+radiusRaw {
 			break
 		}
 		g := e.Groups[rd.k]
-		for _, m := range g.Members {
-			v := p.base.MemberValues(g, m)
-			cutoff := heap.kth() * divisor
-			if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
-				continue
-			}
-			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
-			if math.IsInf(d, 1) {
-				continue
-			}
+		push := func(m grouping.Member, d float64) {
 			heap.push(Match{
 				SeriesID: m.SeriesIdx,
 				Start:    m.Start,
@@ -124,6 +163,51 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 				RawDTW:   d,
 				GroupID:  rd.k,
 			})
+		}
+		if p.workers <= 1 || g.Count() < 2*mineBatchSize {
+			for _, m := range g.Members {
+				v := p.base.MemberValues(g, m)
+				cutoff := heap.kth() * divisor
+				if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
+					continue
+				}
+				d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
+				if math.IsInf(d, 1) {
+					continue
+				}
+				push(m, d)
+			}
+			continue
+		}
+		if ds == nil {
+			ds = make([]float64, mineBatchSize)
+			lbs = make([]float64, mineBatchSize)
+		}
+		for off := 0; off < g.Count(); off += mineBatchSize {
+			end := off + mineBatchSize
+			if end > g.Count() {
+				end = g.Count()
+			}
+			batch := g.Members[off:end]
+			roundCutoff := heap.kth() * divisor
+			p.evalRound(q, len(batch), roundCutoff, func(i int) []float64 {
+				return p.base.MemberValues(g, batch[i])
+			}, lbs, ds)
+			// Replay pushes in member order: a distance abandoned at the
+			// round cutoff is ≥ the (only-tightening) running k-th and could
+			// never enter the heap.
+			for i, m := range batch {
+				cutoff := heap.kth() * divisor
+				if !p.opts.DisableLowerBounds && lbs[i] >= cutoff {
+					continue
+				}
+				if d := ds[i]; !math.IsInf(d, 1) && d < roundCutoff {
+					if d >= cutoff {
+						continue
+					}
+					push(m, d)
+				}
+			}
 		}
 	}
 }

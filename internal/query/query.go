@@ -14,14 +14,34 @@
 //     abandoning) → early-abandoning DTW against the best-so-far;
 //   - the in-group pivot search: members are visited in order of
 //     |ED(member, rep) − DTW(query, rep)| over the ED-sorted LSI array.
+//
+// # Parallel execution
+//
+// Options.Parallelism shards a single query across a bounded worker pool:
+// the representative scan of each length fans out with a shared atomic
+// best-so-far bound (early abandoning keeps pruning across workers), group
+// mining evaluates pivot-walk batches concurrently, and range search shards
+// across groups. The parallel paths are constructed to be *answer-invariant*:
+// every pruning or patience decision is replayed against deterministic
+// bounds, concurrency only decides which DTWs are computed exactly versus
+// proven irrelevant, so BestMatch/BestKMatches/RangeSearch return identical
+// results for every Parallelism value. Workers change only wall-clock and
+// the work-accounting side of Trace: DTWComputed, PrunedByKim and
+// PrunedByKeogh depend on bound-tightening timing in the parallel rep scan
+// (a rep proven hopeless is counted under whichever check happened to kill
+// it), while the decision-level counters — RepsExamined, MembersTested,
+// LengthsVisited — are identical at every setting.
 package query
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"onex/internal/dist"
+	"onex/internal/grouping"
+	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
 
@@ -57,17 +77,35 @@ type Options struct {
 	// DisableLowerBounds turns off the LB_Kim/LB_Keogh cascade (for
 	// ablation benchmarks); DTW early abandoning remains.
 	DisableLowerBounds bool
+	// Parallelism bounds the worker fan-out of a single query and of
+	// BestMatchBatch. ≤ 0 selects runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path; values above NumCPU are accepted and merely
+	// oversubscribe. Answers are identical for every setting — see the
+	// package documentation.
+	Parallelism int
 }
 
 // DefaultPatience is the non-improving-member budget of the in-group pivot
 // walk when Options.Patience is 0.
 const DefaultPatience = 32
 
-// Processor executes online queries against an immutable base. It is safe
-// for concurrent use; per-query scratch lives on the stack of each call.
+// Processor executes online queries against an immutable base.
+//
+// Concurrency and workspace ownership: a Processor is safe for any number
+// of concurrent query calls. Race freedom is by construction — the base is
+// immutable, and every dist.Workspace used by a call is drawn from an
+// internal sync.Pool with single-goroutine ownership (each query goroutine,
+// and each worker a parallel query fans out to, gets its own workspace and
+// returns it before the call completes; workspaces never escape a call and
+// are never shared between two live goroutines).
 type Processor struct {
 	base *rspace.Base
 	opts Options
+	// workers is the resolved Options.Parallelism (always ≥ 1).
+	workers int
+	// pool recycles DTW scratch across queries and across the workers of
+	// one query. See the ownership rule above and on dist.Workspace.
+	pool *parallel.WorkspacePool
 }
 
 // New builds a processor over a base.
@@ -78,7 +116,24 @@ func New(b *rspace.Base, opts Options) (*Processor, error) {
 	if opts.CandidateLimit < 0 {
 		return nil, fmt.Errorf("query: negative candidate limit %d", opts.CandidateLimit)
 	}
-	return &Processor{base: b, opts: opts}, nil
+	return &Processor{
+		base:    b,
+		opts:    opts,
+		workers: parallel.Resolve(opts.Parallelism),
+		pool:    &parallel.WorkspacePool{},
+	}, nil
+}
+
+// sequential returns a view of p that answers each query on the calling
+// goroutine alone. BestMatchBatch uses it to parallelize across queries
+// instead of within them (identical answers either way).
+func (p *Processor) sequential() *Processor {
+	if p.workers == 1 {
+		return p
+	}
+	cp := *p
+	cp.workers = 1
+	return &cp
 }
 
 // Base returns the underlying base (read-only).
@@ -138,7 +193,8 @@ func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, 
 	if err := validateQuery(q); err != nil {
 		return Match{}, tr, err
 	}
-	var ws dist.Workspace
+	ws := p.pool.Get()
+	defer p.pool.Put(ws)
 	order := dist.QueryOrder(q)
 
 	switch mode {
@@ -148,7 +204,7 @@ func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, 
 			return Match{}, tr, fmt.Errorf("query: length %d not indexed", len(q))
 		}
 		best := Match{Dist: math.Inf(1)}
-		p.searchLength(q, order, e, &ws, &best, &tr)
+		p.searchLength(q, order, e, ws, &best, &tr)
 		if !best.Found() {
 			return Match{}, tr, errors.New("query: no candidate found (empty length entry)")
 		}
@@ -162,7 +218,7 @@ func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, 
 		for _, l := range lengths {
 			tr.LengthsVisited++
 			e := p.base.Entry(l)
-			repNorm := p.searchLength(q, order, e, &ws, &best, &tr)
+			repNorm := p.searchLength(q, order, e, ws, &best, &tr)
 			// Sec. 5.3 stop rule: a representative within ST/2 guarantees
 			// (Lemma 2) its group's members are within ST of the query.
 			if !p.opts.DisableEarlyStop && repNorm <= p.base.ST/2 {
@@ -200,6 +256,17 @@ func (p *Processor) lengthOrder(queryLen int) []int {
 	return out
 }
 
+// Parallel-path thresholds. scanParallelMin is the fewest representatives
+// worth fanning a scan out for; mineBatchSize is the pivot-walk round size
+// of the parallel group miner. mineBatchSize is a fixed constant — never
+// derived from the worker count — because the round boundaries define which
+// best-so-far snapshot each DTW cutoff uses, and those snapshots are part
+// of the (worker-count-invariant) decision replay.
+const (
+	scanParallelMin = 16
+	mineBatchSize   = 32
+)
+
 // searchLength finds the best-matching representative of one length (the
 // compareRep step of Algorithm 2.A), then mines its group (getKSim),
 // updating best in place. It returns the normalized DTW of the chosen
@@ -211,33 +278,7 @@ func (p *Processor) searchLength(q []float64, order []int, e *rspace.LengthEntry
 		return math.Inf(1)
 	}
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
-	sameLen := e.Length == len(q)
-
-	bestRep := -1
-	bestRepRaw := math.Inf(1)
-	for _, k := range e.MedianOrder {
-		tr.RepsExamined++
-		rep := e.Groups[k].Rep
-		if !p.opts.DisableLowerBounds {
-			if dist.LBKim(q, rep) >= bestRepRaw {
-				tr.PrunedByKim++
-				continue
-			}
-			if sameLen {
-				env := e.Envelopes[k]
-				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, bestRepRaw); lb >= bestRepRaw {
-					tr.PrunedByKeogh++
-					continue
-				}
-			}
-		}
-		tr.DTWComputed++
-		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, bestRepRaw)
-		if d < bestRepRaw {
-			bestRepRaw = d
-			bestRep = k
-		}
-	}
+	bestRep, bestRepRaw := p.scanReps(q, order, e, ws, tr)
 	if bestRep < 0 {
 		return math.Inf(1)
 	}
@@ -245,11 +286,217 @@ func (p *Processor) searchLength(q []float64, order []int, e *rspace.LengthEntry
 	return bestRepRaw / divisor
 }
 
+// scanReps walks the GTI median order computing the argmin representative
+// under DTW with the LB_Kim → LB_Keogh → early-abandoning-DTW cascade.
+// With workers > 1 the order is strided across the pool and a shared
+// atomic bound keeps early abandoning effective across workers; the scan
+// computes the exact minimum either way, and ties on the exact minimum
+// distance resolve to the earliest median-order position at every worker
+// count. Determinism under ties is why the parallel path prunes strictly
+// (> cutoff, where the sequential scan prunes on ≥): a representative whose
+// lower bound merely equals the shared bound could still tie the minimum
+// from an earlier position, and DTWEarlyAbandon abandons only strictly
+// above its cutoff, so every minimum-achieving representative is computed
+// exactly and the (distance, position) reduce picks the same winner the
+// sequential scan would.
+func (p *Processor) scanReps(q []float64, order []int, e *rspace.LengthEntry,
+	ws *dist.Workspace, tr *Trace) (bestRep int, bestRepRaw float64) {
+
+	sameLen := e.Length == len(q)
+	if p.workers <= 1 || len(e.MedianOrder) < scanParallelMin {
+		bestRep = -1
+		bestRepRaw = math.Inf(1)
+		for _, k := range e.MedianOrder {
+			tr.RepsExamined++
+			rep := e.Groups[k].Rep
+			if !p.opts.DisableLowerBounds {
+				if dist.LBKim(q, rep) >= bestRepRaw {
+					tr.PrunedByKim++
+					continue
+				}
+				if sameLen {
+					env := e.Envelopes[k]
+					if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, bestRepRaw); lb >= bestRepRaw {
+						tr.PrunedByKeogh++
+						continue
+					}
+				}
+			}
+			tr.DTWComputed++
+			d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, bestRepRaw)
+			if d < bestRepRaw {
+				bestRepRaw = d
+				bestRep = k
+			}
+		}
+		return bestRep, bestRepRaw
+	}
+
+	type repBest struct {
+		raw float64
+		pos int // index into MedianOrder; -1 = none
+	}
+	workers := p.workers
+	if workers > len(e.MedianOrder) {
+		workers = len(e.MedianOrder)
+	}
+	shared := parallel.NewMinBound(math.Inf(1))
+	locals := make([]repBest, workers)
+	traces := make([]Trace, workers)
+	parallel.ForEach(workers, workers, func(w int) {
+		lws := p.pool.Get()
+		defer p.pool.Put(lws)
+		local := repBest{raw: math.Inf(1), pos: -1}
+		ltr := &traces[w]
+		// Stride assignment: every worker starts near the median (the most
+		// promising region), so the shared bound tightens early for all.
+		for pos := w; pos < len(e.MedianOrder); pos += workers {
+			k := e.MedianOrder[pos]
+			ltr.RepsExamined++
+			cutoff := local.raw
+			if s := shared.Load(); s < cutoff {
+				cutoff = s
+			}
+			rep := e.Groups[k].Rep
+			if !p.opts.DisableLowerBounds {
+				if dist.LBKim(q, rep) > cutoff {
+					ltr.PrunedByKim++
+					continue
+				}
+				if sameLen {
+					env := e.Envelopes[k]
+					if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb > cutoff {
+						ltr.PrunedByKeogh++
+						continue
+					}
+				}
+			}
+			ltr.DTWComputed++
+			d := lws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
+			if d < local.raw {
+				local = repBest{raw: d, pos: pos}
+				shared.Relax(d)
+			}
+		}
+		locals[w] = local
+	})
+	win := repBest{raw: math.Inf(1), pos: -1}
+	for _, l := range locals {
+		if l.pos < 0 {
+			continue
+		}
+		if l.raw < win.raw || (l.raw == win.raw && l.pos < win.pos) {
+			win = l
+		}
+	}
+	for _, t := range traces {
+		tr.RepsExamined += t.RepsExamined
+		tr.PrunedByKim += t.PrunedByKim
+		tr.PrunedByKeogh += t.PrunedByKeogh
+		tr.DTWComputed += t.DTWComputed
+	}
+	if win.pos < 0 {
+		return -1, math.Inf(1)
+	}
+	return e.MedianOrder[win.pos], win.raw
+}
+
+// evalRound concurrently evaluates one fixed-size round of candidates
+// against a bound snapshot: lbs[i] receives LB_Kim (0 when lower bounds are
+// disabled) and ds[i] the early-abandoning DTW (+Inf when the lower bound
+// already proves the candidate cannot beat the bound — the caller's replay
+// never reads ds[i] in that case). Items stride across up to p.workers
+// goroutines, each owning one pooled workspace for the whole round. The
+// return value is how many DTWs actually ran (Trace accounting). Shared by
+// mineGroup and the k-NN member verification, whose decision replays both
+// consume (lbs, ds) in candidate order.
+func (p *Processor) evalRound(q []float64, n int, bound float64,
+	valueAt func(int) []float64, lbs, ds []float64) int {
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var dtws atomic.Int64
+	parallel.ForEach(workers, workers, func(w int) {
+		lws := p.pool.Get()
+		defer p.pool.Put(lws)
+		ran := 0
+		for i := w; i < n; i += workers {
+			v := valueAt(i)
+			lb := 0.0
+			if !p.opts.DisableLowerBounds {
+				lb = dist.LBKim(q, v)
+			}
+			lbs[i] = lb
+			if lb >= bound {
+				ds[i] = math.Inf(1)
+				continue
+			}
+			ds[i] = lws.DTWEarlyAbandon(q, v, dist.Unconstrained, bound)
+			ran++
+		}
+		dtws.Add(int64(ran))
+	})
+	return int(dtws.Load())
+}
+
+// pivotWalk yields LSI member indices in the Sec. 5.3 pivot order: starting
+// from the member whose ED-to-rep is closest to pivot (the rep's DTW to the
+// query), expanding alternately toward smaller and larger EDs. Next returns
+// -1 once the group is exhausted.
+type pivotWalk struct {
+	members []grouping.Member
+	pivot   float64
+	left    int
+	right   int
+}
+
+func newPivotWalk(members []grouping.Member, pivot float64) *pivotWalk {
+	// First member with EDToRep ≥ pivot (binary search, LSI is sorted).
+	lo, hi := 0, len(members)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if members[mid].EDToRep < pivot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &pivotWalk{members: members, pivot: pivot, left: lo - 1, right: lo}
+}
+
+func (w *pivotWalk) next() int {
+	var idx int
+	switch {
+	case w.left < 0 && w.right >= len(w.members):
+		return -1
+	case w.left < 0:
+		idx, w.right = w.right, w.right+1
+	case w.right >= len(w.members):
+		idx, w.left = w.left, w.left-1
+	case w.pivot-w.members[w.left].EDToRep <= w.members[w.right].EDToRep-w.pivot:
+		idx, w.left = w.left, w.left-1
+	default:
+		idx, w.right = w.right, w.right+1
+	}
+	return idx
+}
+
 // mineGroup verifies members of group k against the query in pivot order:
 // the LSI array is sorted by ED-to-rep, and the paper starts from the member
 // whose ED is closest to DTW(query, rep), expanding alternately to smaller
 // and larger EDs. Verified with early-abandoning DTW against the best so
 // far.
+//
+// With workers > 1 the walk runs in fixed-size rounds: a round's members
+// have their DTWs evaluated concurrently against the best-so-far snapshot
+// taken at the round boundary, then the improvement/patience bookkeeping is
+// replayed sequentially in walk order. A member whose DTW was abandoned at
+// the round bound is provably non-improving at its replay position (the
+// running best only tightens within a round), so the replay reaches exactly
+// the same decisions — same match, same patience cut — as the sequential
+// walk; parallelism only changes how many DTWs run to completion.
 func (p *Processor) mineGroup(q []float64, e *rspace.LengthEntry, k int, repNormDTW float64,
 	ws *dist.Workspace, best *Match, tr *Trace) {
 
@@ -259,19 +506,6 @@ func (p *Processor) mineGroup(q []float64, e *rspace.LengthEntry, k int, repNorm
 		return
 	}
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
-
-	// Locate the pivot: first member with EDToRep ≥ repNormDTW (binary
-	// search over the sorted LSI array).
-	lo, hi := 0, n
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if g.Members[mid].EDToRep < repNormDTW {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-
 	limit := p.opts.CandidateLimit
 	if limit <= 0 || limit > n {
 		limit = n
@@ -280,51 +514,95 @@ func (p *Processor) mineGroup(q []float64, e *rspace.LengthEntry, k int, repNorm
 	if patience == 0 {
 		patience = DefaultPatience
 	}
+	walk := newPivotWalk(g.Members, repNormDTW)
 	bestRaw := best.Dist * divisor // +Inf-safe: Inf*x = Inf
-	left, right := lo-1, lo
+
+	record := func(m grouping.Member, d float64) {
+		bestRaw = d
+		*best = Match{
+			SeriesID: m.SeriesIdx,
+			Start:    m.Start,
+			Length:   e.Length,
+			Dist:     d / divisor,
+			RawDTW:   d,
+			GroupID:  k,
+		}
+	}
+
+	if p.workers <= 1 || n < 2*mineBatchSize {
+		sinceImprove := 0
+		for tested := 0; tested < limit; tested++ {
+			if patience > 0 && sinceImprove >= patience {
+				return
+			}
+			idx := walk.next()
+			if idx < 0 {
+				return
+			}
+			m := g.Members[idx]
+			v := p.base.MemberValues(g, m)
+			tr.MembersTested++
+			// LB_Kim is O(1) and admissible for any warping path; it skips
+			// the bulk of hopeless members once a good best-so-far exists.
+			if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= bestRaw {
+				sinceImprove++
+				continue
+			}
+			tr.DTWComputed++
+			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, bestRaw)
+			if d < bestRaw {
+				sinceImprove = 0
+				record(m, d)
+			} else {
+				sinceImprove++
+			}
+		}
+		return
+	}
+
+	idxs := make([]int, 0, mineBatchSize)
+	lbs := make([]float64, mineBatchSize)
+	ds := make([]float64, mineBatchSize)
 	sinceImprove := 0
-	for tested := 0; tested < limit; tested++ {
+	tested := 0
+	for tested < limit {
 		if patience > 0 && sinceImprove >= patience {
 			return
 		}
-		// Pick the next member whose EDToRep is closest to the pivot value.
-		var idx int
-		switch {
-		case left < 0 && right >= n:
-			return
-		case left < 0:
-			idx, right = right, right+1
-		case right >= n:
-			idx, left = left, left-1
-		case repNormDTW-g.Members[left].EDToRep <= g.Members[right].EDToRep-repNormDTW:
-			idx, left = left, left-1
-		default:
-			idx, right = right, right+1
-		}
-		m := g.Members[idx]
-		v := p.base.MemberValues(g, m)
-		tr.MembersTested++
-		// LB_Kim is O(1) and admissible for any warping path; it skips the
-		// bulk of hopeless members once a good best-so-far exists.
-		if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= bestRaw {
-			sinceImprove++
-			continue
-		}
-		tr.DTWComputed++
-		d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, bestRaw)
-		if d < bestRaw {
-			bestRaw = d
-			sinceImprove = 0
-			*best = Match{
-				SeriesID: m.SeriesIdx,
-				Start:    m.Start,
-				Length:   e.Length,
-				Dist:     d / divisor,
-				RawDTW:   d,
-				GroupID:  k,
+		// Collect the next round of members in walk order.
+		idxs = idxs[:0]
+		for len(idxs) < mineBatchSize && tested+len(idxs) < limit {
+			idx := walk.next()
+			if idx < 0 {
+				break
 			}
-		} else {
-			sinceImprove++
+			idxs = append(idxs, idx)
+		}
+		if len(idxs) == 0 {
+			return
+		}
+		roundBound := bestRaw
+		tr.DTWComputed += p.evalRound(q, len(idxs), roundBound, func(i int) []float64 {
+			return p.base.MemberValues(g, g.Members[idxs[i]])
+		}, lbs, ds)
+		// Replay the bookkeeping sequentially in walk order.
+		for i, idx := range idxs {
+			if patience > 0 && sinceImprove >= patience {
+				return
+			}
+			m := g.Members[idx]
+			tr.MembersTested++
+			tested++
+			if !p.opts.DisableLowerBounds && lbs[i] >= bestRaw {
+				sinceImprove++
+				continue
+			}
+			if d := ds[i]; d < bestRaw {
+				sinceImprove = 0
+				record(m, d)
+			} else {
+				sinceImprove++
+			}
 		}
 	}
 }

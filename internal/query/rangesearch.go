@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"onex/internal/dist"
+	"onex/internal/parallel"
 )
 
 // RangeResult is one subsequence returned by a range search.
@@ -48,24 +49,28 @@ func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]Rang
 	if e == nil {
 		return nil, fmt.Errorf("query: length %d not indexed", length)
 	}
-	var out []RangeResult
-	var ws dist.Workspace
 	divisor := dist.NormalizedDTWDivisor(len(q), length)
 	sqrtM := math.Sqrt(float64(len(q)))
 	sqrtL := math.Sqrt(float64(length))
 	wholesale := radius >= p.base.ST
 
-	for k, g := range e.Groups {
+	// Each group's admission/verification depends only on the query and the
+	// fixed radius — never on other groups — so the group loop shards across
+	// the worker pool verbatim; per-group result slices are concatenated in
+	// group order so the output is identical to the sequential scan.
+	searchGroup := func(ws *dist.Workspace, k int) []RangeResult {
+		g := e.Groups[k]
 		n := g.Count()
 		if n == 0 {
-			continue
+			return nil
 		}
+		var out []RangeResult
 		// Widest member deviation in raw-ED units (LSI is sorted ascending).
 		maxRawED := g.Members[n-1].EDToRep * sqrtL
 		pruneCutoff := radius*divisor + sqrtM*maxRawED
 		repRaw := ws.DTWEarlyAbandon(q, g.Rep, dist.Unconstrained, pruneCutoff)
 		if math.IsInf(repRaw, 1) {
-			continue // no member can reach the radius
+			return nil // no member can reach the radius
 		}
 
 		verifyFrom := 0
@@ -109,6 +114,27 @@ func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]Rang
 				})
 			}
 		}
+		return out
+	}
+
+	if p.workers <= 1 || len(e.Groups) < 4 {
+		ws := p.pool.Get()
+		defer p.pool.Put(ws)
+		var out []RangeResult
+		for k := range e.Groups {
+			out = append(out, searchGroup(ws, k)...)
+		}
+		return out, nil
+	}
+	perGroup := make([][]RangeResult, len(e.Groups))
+	parallel.ForEach(p.workers, len(e.Groups), func(k int) {
+		ws := p.pool.Get()
+		defer p.pool.Put(ws)
+		perGroup[k] = searchGroup(ws, k)
+	})
+	var out []RangeResult
+	for _, rs := range perGroup {
+		out = append(out, rs...)
 	}
 	return out, nil
 }

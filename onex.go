@@ -120,6 +120,33 @@ func (b *Base) toPublicMatch(m query.Match) Match {
 	}
 }
 
+// BatchResult is one BestMatchBatch outcome: the match for its query, or a
+// per-query error (ragged, empty or non-finite queries fail individually
+// without affecting the rest of the batch).
+type BatchResult struct {
+	Match Match
+	Err   error
+}
+
+// BestMatchBatch answers many Q1 queries in one call, fanning them across
+// the base's worker pool (Options.Parallelism workers) and amortizing the
+// per-query setup over the batch. Results are positional — out[i] answers
+// qs[i] — and each equals what BestMatch(qs[i], mode) would return, errors
+// included. Malformed queries never panic; a nil or empty batch returns an
+// empty slice.
+func (b *Base) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+	rs := b.eng.Proc.BestMatchBatch(qs, query.MatchMode(mode))
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			out[i] = BatchResult{Err: r.Err}
+			continue
+		}
+		out[i] = BatchResult{Match: b.toPublicMatch(r.Match)}
+	}
+	return out
+}
+
 // BestKMatches generalizes BestMatch to the k nearest subsequences, ordered
 // best first. Fewer than k results are returned only when the base holds
 // fewer candidates.

@@ -22,8 +22,18 @@ type Options struct {
 	// Seed drives the randomized insertion order of Algorithm 1. Builds
 	// are deterministic given the same data, options and seed.
 	Seed int64
-	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	// Workers bounds build parallelism (0 = GOMAXPROCS). When 0,
+	// Parallelism (if set) takes its place, so one knob can govern both the
+	// offline and online stages.
 	Workers int
+	// Parallelism bounds the worker fan-out of the online stage: single
+	// queries (representative scans, group mining, range-search groups) and
+	// BestMatchBatch. ≤ 0 selects runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path; values above NumCPU are accepted and merely
+	// oversubscribe the scheduler. Query answers are identical for every
+	// setting — parallel execution is answer-invariant by construction —
+	// so this is purely a latency/throughput knob.
+	Parallelism int
 	// Normalize selects input normalization; default is the paper's
 	// dataset-wide min-max scaling.
 	Normalize NormalizeMode
@@ -57,11 +67,15 @@ func (o Options) toCore() (core.BuildConfig, error) {
 	if o.CandidateLimit < 0 {
 		return core.BuildConfig{}, fmt.Errorf("onex: Options.CandidateLimit must be ≥ 0, got %d", o.CandidateLimit)
 	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = o.Parallelism
+	}
 	return core.BuildConfig{
 		ST:        o.ST,
 		Lengths:   o.Lengths,
 		Seed:      o.Seed,
-		Workers:   o.Workers,
+		Workers:   workers,
 		Normalize: core.NormalizeMode(o.Normalize),
 		Progress:  o.Progress,
 		Cancel:    o.Cancel,
@@ -69,6 +83,7 @@ func (o Options) toCore() (core.BuildConfig, error) {
 			DisableEarlyStop: o.SearchAllLengths,
 			CandidateLimit:   o.CandidateLimit,
 			Patience:         o.Patience,
+			Parallelism:      o.Parallelism,
 		},
 	}, nil
 }

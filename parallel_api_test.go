@@ -1,0 +1,231 @@
+package onex
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestBestMatchBatchAPI: the public batch answers must agree query-by-query
+// with single BestMatch calls, including per-query failures.
+func TestBestMatchBatchAPI(t *testing.T) {
+	b := buildFixture(t, Options{Parallelism: 4})
+	qs := [][]float64{
+		sineSeries(1, 48)[0].Values[:16],
+		sineSeries(1, 48)[0].Values[8:24],
+		nil,                // empty → per-query error
+		{1, math.NaN(), 2}, // non-finite → per-query error
+		{0.1, 0.2, 0.3},    // length 3 not indexed → error in exact mode
+		sineSeries(1, 48)[0].Values[:24],
+	}
+	for _, mode := range []MatchMode{MatchExact, MatchAny} {
+		rs := b.BestMatchBatch(qs, mode)
+		if len(rs) != len(qs) {
+			t.Fatalf("mode %d: %d results for %d queries", mode, len(rs), len(qs))
+		}
+		for i, q := range qs {
+			single, err := b.BestMatch(q, mode)
+			if (rs[i].Err == nil) != (err == nil) {
+				t.Fatalf("mode %d query %d: batch err %v, single err %v", mode, i, rs[i].Err, err)
+			}
+			if err != nil {
+				continue
+			}
+			got := rs[i].Match
+			if got.SeriesID != single.SeriesID || got.Start != single.Start ||
+				got.Length != single.Length || math.Abs(got.Distance-single.Distance) > 1e-12 {
+				t.Fatalf("mode %d query %d: batch %+v != single %+v", mode, i, got, single)
+			}
+		}
+	}
+	if rs := b.BestMatchBatch(nil, MatchAny); len(rs) != 0 {
+		t.Fatalf("nil batch: %d results", len(rs))
+	}
+}
+
+// TestConcurrentBatchExtendSeasonal is the cross-API stress test: one Base
+// hammered by concurrent BestMatchBatch, Extend, Seasonal and RangeSearch
+// calls from many goroutines. Run under -race (the CI default); the
+// assertions are freedom from panics/deadlocks and well-formed answers.
+func TestConcurrentBatchExtendSeasonal(t *testing.T) {
+	b := buildFixture(t, Options{Parallelism: 4})
+	q1 := sineSeries(1, 48)[0].Values[:16]
+	q2 := sineSeries(1, 48)[0].Values[16:32]
+	qs := [][]float64{q1, q2, nil} // include a malformed one on purpose
+
+	iters := 30
+	if testing.Short() {
+		iters = 5
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rs := b.BestMatchBatch(qs, MatchAny)
+				if len(rs) != len(qs) {
+					t.Errorf("short batch: %d", len(rs))
+					return
+				}
+				if rs[0].Err != nil || rs[1].Err != nil || rs[2].Err == nil {
+					t.Errorf("batch error pattern wrong: %v %v %v", rs[0].Err, rs[1].Err, rs[2].Err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := b
+		for i := 0; i < 6; i++ {
+			ext, err := cur.Extend(sineSeries(1, 48))
+			if err != nil {
+				t.Errorf("extend %d: %v", i, err)
+				return
+			}
+			cur = ext
+			// The extended base must answer immediately while the original
+			// is still being hammered.
+			if _, err := cur.BestMatch(q1, MatchAny); err != nil {
+				t.Errorf("extended best match: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := b.Seasonal(0, 16); err != nil {
+				t.Errorf("seasonal: %v", err)
+				return
+			}
+			if _, err := b.RangeSearch(q1, 16, b.ST()); err != nil {
+				t.Errorf("range: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// FuzzBestMatchBatch feeds arbitrary byte strings decoded into ragged,
+// NaN-riddled, empty and oversized query batches: the API must always
+// return one positional result per query, never panic or deadlock, and
+// flag every malformed query with a per-query error.
+func FuzzBestMatchBatch(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 0, 0}, uint8(1))
+	f.Add([]byte{16, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(0))
+	f.Add([]byte{3, 255, 0, 1, 2, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1))
+	f.Add([]byte{1, 128, 2, 64, 64, 0, 4, 1, 2, 3, 4}, uint8(0))
+
+	base, err := Build("fuzz", sineSeries(5, 40), Options{ST: 0.25, Lengths: []int{6, 10}, Parallelism: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte, modeRaw uint8) {
+		mode := MatchMode(int(modeRaw) % 2)
+		// Decode raw into a batch: each query starts with a length byte
+		// (0 = empty, 255 = nil), followed by that many value bytes; byte
+		// values 64/128 decode to NaN/±Inf to exercise non-finite input.
+		var qs [][]float64
+		for i := 0; i < len(raw); {
+			n := int(raw[i])
+			i++
+			switch n {
+			case 255:
+				qs = append(qs, nil)
+				continue
+			case 0:
+				qs = append(qs, []float64{})
+				continue
+			}
+			if n > 32 {
+				n = n % 33
+			}
+			q := make([]float64, 0, n)
+			for j := 0; j < n && i < len(raw); j, i = j+1, i+1 {
+				switch raw[i] {
+				case 64:
+					q = append(q, math.NaN())
+				case 128:
+					q = append(q, math.Inf(1))
+				case 192:
+					q = append(q, math.Inf(-1))
+				default:
+					q = append(q, float64(raw[i])/51-2.5)
+				}
+			}
+			qs = append(qs, q)
+		}
+		rs := base.BestMatchBatch(qs, mode)
+		if len(rs) != len(qs) {
+			t.Fatalf("%d results for %d queries", len(rs), len(qs))
+		}
+		for i, q := range qs {
+			malformed := len(q) == 0
+			for _, v := range q {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					malformed = true
+				}
+			}
+			if malformed && rs[i].Err == nil {
+				t.Fatalf("malformed query %d (%v) not rejected", i, q)
+			}
+			if rs[i].Err == nil && rs[i].Match.Length == 0 {
+				t.Fatalf("query %d: success with zero match", i)
+			}
+		}
+	})
+}
+
+// FuzzParallelismOption drives Options.Parallelism (and Workers) through
+// degenerate values — zero, negative, far above NumCPU — asserting the
+// build validates cleanly, queries neither panic nor deadlock, and answers
+// are identical to the sequential reference.
+func FuzzParallelismOption(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(-1), int64(-9999))
+	f.Add(int64(1), int64(1))
+	f.Add(int64(math.MinInt32), int64(7))
+	f.Add(int64(runtime.NumCPU()*16), int64(-3))
+	f.Add(int64(255), int64(255))
+
+	series := sineSeries(4, 32)
+	ref, err := Build("ref", series, Options{ST: 0.3, Lengths: []int{8, 12}, Parallelism: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	q := series[0].Values[4:16]
+	want, err := ref.BestMatch(q, MatchAny)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, par, workers int64) {
+		// Clamp into int range without losing the degenerate shapes.
+		p := int(par % (1 << 20))
+		w := int(workers % (1 << 20))
+		b, err := Build("fuzzed", series, Options{
+			ST: 0.3, Lengths: []int{8, 12}, Parallelism: p, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("Parallelism=%d Workers=%d rejected: %v", p, w, err)
+		}
+		got, err := b.BestMatch(q, MatchAny)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: BestMatch: %v", p, err)
+		}
+		if got.SeriesID != want.SeriesID || got.Start != want.Start ||
+			got.Length != want.Length || math.Abs(got.Distance-want.Distance) > 1e-12 {
+			t.Fatalf("Parallelism=%d Workers=%d: %+v, want %+v", p, w, got, want)
+		}
+		rs := b.BestMatchBatch([][]float64{q, nil}, MatchAny)
+		if len(rs) != 2 || rs[0].Err != nil || rs[1].Err == nil {
+			t.Fatalf("Parallelism=%d: batch shape wrong: %+v", p, rs)
+		}
+	})
+}
