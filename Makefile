@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -39,6 +39,18 @@ bench-parallel: ## Emit BENCH_parallel.json: sequential vs parallel build/query/
 	$(GO) run ./cmd/onex-bench -exp parallel -scale 2 \
 		-parallel-out $(CURDIR)/BENCH_parallel.json
 
+bench-stream: ## Emit BENCH_stream.json: incremental point-append vs full rebuild sweep
+	$(GO) run ./cmd/onex-bench -exp stream \
+		-stream-out $(CURDIR)/BENCH_stream.json
+
+# Static analysis beyond go vet (CI's lint job runs this target, so the
+# tool versions are pinned here alone). Tools are fetched on demand.
+STATICCHECK_VERSION = 2024.1.1
+GOVULNCHECK_VERSION = v1.1.3
+lint: ## staticcheck + govulncheck (downloads the tools on first use)
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
 # Coverage gate of the parallel execution engine: the packages the
 # concurrency test suite exercises must stay ≥ $(COVER_MIN)% covered.
 COVER_MIN = 70
@@ -50,4 +62,4 @@ coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min) ? 1 : 0 }' \
 		|| { echo "coverage $$total% is below $(COVER_MIN)%" >&2; exit 1; }
 
-ci: fmt-check vet build test bench coverage serve-smoke ## The full local gate, same order as CI
+ci: fmt-check vet lint build test bench coverage serve-smoke ## The full local gate, same checks as CI

@@ -1,0 +1,326 @@
+package onex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"onex/internal/dist"
+)
+
+func TestAppendPublicBasics(t *testing.T) {
+	b := buildFixture(t, Options{RebuildDrift: -1})
+	before := b.Stats()
+	beforeMatchQ := make([]float64, 16)
+	for i := range beforeMatchQ {
+		beforeMatchQ[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	beforeMatch, err := b.BestMatch(beforeMatchQ, MatchExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grown, err := b.Append(0, 0.1, 0.2, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Stats(); got.Subsequences <= before.Subsequences {
+		t.Errorf("subsequences did not grow: %d → %d", before.Subsequences, got.Subsequences)
+	}
+	if grown.Drift() <= 0 {
+		t.Error("grown base reports zero drift")
+	}
+	// The receiver keeps its immutability contract: same stats, same answer.
+	if after := b.Stats(); after.Subsequences != before.Subsequences {
+		t.Error("Append mutated the receiver base")
+	}
+	if m, err := b.BestMatch(beforeMatchQ, MatchExact); err != nil ||
+		m.SeriesID != beforeMatch.SeriesID || m.Start != beforeMatch.Start ||
+		m.Distance != beforeMatch.Distance {
+		t.Errorf("receiver's answers changed after Append: %+v vs %+v (%v)", m, beforeMatch, err)
+	}
+
+	// Errors.
+	if _, err := b.Append(0); err == nil {
+		t.Error("no points: want error")
+	}
+	if _, err := b.Append(-1, 1); err == nil {
+		t.Error("negative series: want error")
+	}
+	if _, err := b.Append(b.NumSeries(), 1); err == nil {
+		t.Error("out-of-range series: want error")
+	}
+	if _, err := b.Append(0, math.NaN()); err == nil {
+		t.Error("NaN point: want error")
+	}
+	adapted, err := b.WithThreshold(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adapted.Append(0, 1); err == nil {
+		t.Error("append to adapted base: want error")
+	}
+}
+
+// rangeKey identifies one range result for set comparison.
+type rangeKey struct {
+	series, start int
+}
+
+// assertRangeEquivalent requires got and want (from two bases over the same
+// final data) to hold exactly the same subsequences with distances within
+// 1e-12 — the PR 3 tolerance.
+func assertRangeEquivalent(t *testing.T, label string, got, want []RangeMatch) {
+	t.Helper()
+	gm := map[rangeKey]float64{}
+	for _, r := range got {
+		gm[rangeKey{r.SeriesID, r.Start}] = r.Distance
+	}
+	wm := map[rangeKey]float64{}
+	for _, r := range want {
+		wm[rangeKey{r.SeriesID, r.Start}] = r.Distance
+	}
+	if len(gm) != len(wm) {
+		t.Fatalf("%s: %d results vs %d from scratch", label, len(gm), len(wm))
+	}
+	for k, wd := range wm {
+		gd, ok := gm[k]
+		if !ok {
+			t.Fatalf("%s: missing %+v (dist %v)", label, k, wd)
+		}
+		if math.Abs(gd-wd) > 1e-12 {
+			t.Fatalf("%s: %+v dist %v vs %v", label, k, gd, wd)
+		}
+	}
+}
+
+// TestAppendExtendRangeEquivalenceProperty is the append-vs-rebuild
+// equivalence suite: random interleavings of Append (points on existing
+// series) and Extend (whole new series) against an incrementally maintained
+// base must answer exact-distance range queries identically to a
+// from-scratch Build over the final data — the result sets of
+// RangeSearchExact are grouping-invariant, so any divergence means the
+// incremental path corrupted membership, representatives or indexes. Runs
+// the whole suite at Parallelism 1 and 8 (build workers follow Parallelism).
+func TestAppendExtendRangeEquivalenceProperty(t *testing.T) {
+	lengths := []int{8, 16}
+	for _, parallelism := range []int{1, 8} {
+		parallelism := parallelism
+		t.Run(fmt.Sprintf("P%d", parallelism), func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				r := rand.New(rand.NewSource(seed * 101))
+				// Random-walk series in raw space; NormalizeNone keeps the
+				// from-scratch reference byte-comparable regardless of the
+				// appended values' range.
+				final := make([][]float64, 0, 8)
+				walk := func(n int) []float64 {
+					v := make([]float64, n)
+					x := r.Float64()
+					for i := range v {
+						x += r.NormFloat64() * 0.1
+						v[i] = x
+					}
+					return v
+				}
+				series := make([]Series, 5)
+				for i := range series {
+					series[i] = Series{Values: walk(24 + r.Intn(24))}
+					final = append(final, append([]float64(nil), series[i].Values...))
+				}
+				opts := Options{
+					ST:           0.3,
+					Lengths:      lengths,
+					Seed:         seed,
+					Normalize:    NormalizeNone,
+					RebuildDrift: -1, // force the pure incremental path
+					Parallelism:  parallelism,
+				}
+				base, err := Build("equiv", series, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Random interleaving of appends and extends.
+				for op := 0; op < 8; op++ {
+					if r.Intn(3) == 0 {
+						v := walk(16 + r.Intn(16))
+						base, err = base.Extend([]Series{{Values: v}})
+						if err != nil {
+							t.Fatal(err)
+						}
+						final = append(final, append([]float64(nil), v...))
+					} else {
+						sid := r.Intn(len(final))
+						pts := walk(1 + r.Intn(6))
+						base, err = base.Append(sid, pts...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						final[sid] = append(final[sid], pts...)
+					}
+				}
+
+				fresh := make([]Series, len(final))
+				for i, v := range final {
+					fresh[i] = Series{Values: v}
+				}
+				scratch, err := Build("equiv", fresh, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Exact range queries at radii below and above ST (the latter
+				// exercises the Lemma 2 wholesale path on both bases).
+				for qi := 0; qi < 4; qi++ {
+					l := lengths[qi%len(lengths)]
+					sid := r.Intn(len(final))
+					var q []float64
+					if len(final[sid]) >= l && qi%2 == 0 {
+						start := r.Intn(len(final[sid]) - l + 1)
+						q = append([]float64(nil), final[sid][start:start+l]...)
+					} else {
+						q = walk(l)
+					}
+					for _, radius := range []float64{0.15, 0.3, 0.6} {
+						got, err := base.RangeSearchExact(q, l, radius)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := scratch.RangeSearchExact(q, l, radius)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fmt.Sprintf("seed %d P%d len %d radius %v", seed, parallelism, l, radius)
+						assertRangeEquivalent(t, label, got, want)
+					}
+					// Self-consistency of the approximate paths: the reported
+					// distance must be the true DTW of the returned window on
+					// both bases (grouping may legitimately pick different
+					// but correctly-measured answers).
+					for _, bb := range []*Base{base, scratch} {
+						m, err := bb.BestMatch(q, MatchAny)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if want := dist.NormalizedDTW(q, m.Values); math.Abs(m.Distance-want) > 1e-12 {
+							t.Fatalf("seed %d: BestMatch reports %v, true DTW %v", seed, m.Distance, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppendRebuildPolicyEquivalence pins the amortized-rebuild branch: with
+// a tiny drift threshold every Append re-runs the full offline build, which
+// must equal a from-scratch Build over the final data exactly — identical
+// representatives counts and identical best-match answers, at Parallelism 1
+// and 8.
+func TestAppendRebuildPolicyEquivalence(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		opts := Options{
+			ST:           0.25,
+			Lengths:      []int{8, 16},
+			Seed:         9,
+			RebuildDrift: 1e-9,
+			Parallelism:  parallelism,
+		}
+		series := sineSeries(6, 48)
+		base, err := Build("policy", series, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// In-range points keep the dataset-wide min/max — and therefore the
+		// normalized values — identical to the from-scratch reference.
+		pts := append([]float64(nil), series[1].Values[:5]...)
+		grown, err := base.Append(0, pts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grown.Drift() != 0 {
+			t.Errorf("P%d: rebuild did not reset drift (%v)", parallelism, grown.Drift())
+		}
+
+		finalSeries := make([]Series, len(series))
+		copy(finalSeries, series)
+		finalSeries[0] = Series{Label: series[0].Label,
+			Values: append(append([]float64(nil), series[0].Values...), pts...)}
+		scratch, err := Build("policy", finalSeries, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, s := grown.Stats(), scratch.Stats(); g.Representatives != s.Representatives ||
+			g.Subsequences != s.Subsequences {
+			t.Fatalf("P%d: rebuilt base (%d reps, %d subseq) differs from scratch (%d, %d)",
+				parallelism, g.Representatives, g.Subsequences, s.Representatives, s.Subsequences)
+		}
+		q := make([]float64, 16)
+		for i := range q {
+			q[i] = math.Sin(2*math.Pi*float64(i)/16 + 0.3)
+		}
+		mg, err := grown.BestMatch(q, MatchAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := scratch.BestMatch(q, MatchAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mg.SeriesID != ms.SeriesID || mg.Start != ms.Start || mg.Length != ms.Length ||
+			math.Abs(mg.Distance-ms.Distance) > 1e-12 {
+			t.Fatalf("P%d: rebuilt answer %+v differs from scratch %+v", parallelism, mg, ms)
+		}
+	}
+}
+
+// FuzzAppend feeds ragged, empty, NaN/Inf and out-of-range append batches to
+// a prebuilt base: Append must never panic, must reject invalid input with
+// an error, and a successful append must leave both bases fully queryable.
+func FuzzAppend(f *testing.F) {
+	f.Add(0, float64(0.5), float64(-0.5), 3)
+	f.Add(-1, math.NaN(), float64(1), 1)
+	f.Add(7, math.Inf(1), float64(0), 0)
+	f.Add(2, float64(1e300), float64(-1e300), 2)
+	base, err := Build("fuzz", sineSeries(4, 32), Options{ST: 0.25, Lengths: []int{8}, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, sid int, a, b float64, n int) {
+		pts := []float64{}
+		if n < 0 {
+			n = -n
+		}
+		for i := 0; i < n%5; i++ {
+			if i%2 == 0 {
+				pts = append(pts, a)
+			} else {
+				pts = append(pts, b)
+			}
+		}
+		grown, err := base.Append(sid, pts...)
+		valid := sid >= 0 && sid < base.NumSeries() && len(pts) > 0
+		for _, v := range pts {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				valid = false
+			}
+		}
+		if valid != (err == nil) {
+			t.Fatalf("Append(sid=%d, %v): err=%v, want validity %v", sid, pts, err, valid)
+		}
+		if err != nil {
+			return
+		}
+		q := make([]float64, 8)
+		for i := range q {
+			q[i] = math.Sin(float64(i) / 2)
+		}
+		if _, err := grown.BestMatch(q, MatchExact); err != nil {
+			t.Fatalf("grown base cannot answer: %v", err)
+		}
+		if _, err := base.BestMatch(q, MatchExact); err != nil {
+			t.Fatalf("receiver base cannot answer: %v", err)
+		}
+	})
+}

@@ -5,7 +5,7 @@
 //
 //	onex-bench [flags]
 //
-//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", or "all" (default "all")
+//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", or "all" (default "all")
 //	-datasets string comma-separated subset of the six paper datasets
 //	-st float        similarity threshold (default 0.2, the paper's sweet spot)
 //	-scale float     multiplier on bench-scale dataset cardinalities (default 1)
@@ -47,6 +47,31 @@ func main() {
 	}
 }
 
+// emitReport prints a sweep's tables, writes its JSON report to path and
+// summarizes — the shared tail of the report-emitting experiments.
+func emitReport(stdout io.Writer, tables []bench.Table, path string,
+	write func(io.Writer) error, summary string) error {
+
+	for _, t := range tables {
+		if err := t.Format(stdout); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(stdout, "wrote %s (%s)\n", path, summary)
+	return err
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("onex-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -63,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		parOut   = fs.String("parallel-out", "BENCH_parallel.json",
 			"output path of the -exp parallel JSON report")
+		streamOut = fs.String("stream-out", "BENCH_stream.json",
+			"output path of the -exp stream JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,30 +117,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if *exp == "stream" {
+		rep, tables, err := bench.RunStreamSweep(cfg)
+		if err != nil {
+			return err
+		}
+		return emitReport(stdout, tables, *streamOut,
+			func(w io.Writer) error { return bench.WriteStreamReport(rep, w) },
+			fmt.Sprintf("best sweep point: incremental append %.1fx cheaper than per-batch rebuilds",
+				rep.LargestSpeedup))
+	}
 	if *exp == "parallel" {
 		rep, tables, err := bench.RunParallelSweep(cfg)
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
-			if err := t.Format(stdout); err != nil {
-				return err
-			}
-		}
-		f, err := os.Create(*parOut)
-		if err != nil {
-			return err
-		}
-		if err := bench.WriteParallelReport(rep, f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "wrote %s (gomaxprocs=%d, best query speedup %.2fx, best batch speedup %.2fx)\n",
-			*parOut, rep.GOMAXPROCS, rep.BestQuerySpeedup, rep.BestBatchSpeedup)
-		return nil
+		return emitReport(stdout, tables, *parOut,
+			func(w io.Writer) error { return bench.WriteParallelReport(rep, w) },
+			fmt.Sprintf("gomaxprocs=%d, best query speedup %.2fx, best batch speedup %.2fx",
+				rep.GOMAXPROCS, rep.BestQuerySpeedup, rep.BestBatchSpeedup))
 	}
 
 	session, err := bench.NewSession(cfg)

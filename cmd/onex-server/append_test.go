@@ -1,0 +1,119 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAppendEndpoint(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	base := hs.URL + "/v1/datasets/" + srv.defaultName
+
+	before := getJSON(t, base, http.StatusOK)
+	beforeSubseq := before["subsequences"].(float64)
+	gen := before["generation"].(float64)
+
+	out := postJSON(t, base+"/append", map[string]any{
+		"seriesId": 0, "points": []float64{0.4, 0.5, 0.6},
+	}, http.StatusOK)
+	if got := out["generation"].(float64); got != gen+1 {
+		t.Errorf("generation %v after append, want %v", got, gen+1)
+	}
+	if got := out["subsequences"].(float64); got <= beforeSubseq {
+		t.Errorf("subsequences %v after append, want > %v", got, beforeSubseq)
+	}
+
+	// Validation.
+	postJSON(t, base+"/append", map[string]any{"points": []float64{1}}, http.StatusBadRequest)
+	postJSON(t, base+"/append", map[string]any{"seriesId": -1, "points": []float64{1}}, http.StatusBadRequest)
+	postJSON(t, base+"/append", map[string]any{"seriesId": 0, "points": []float64{}}, http.StatusBadRequest)
+	postJSON(t, base+"/append", map[string]any{"seriesId": 10_000, "points": []float64{1}}, http.StatusBadRequest)
+	postJSON(t, base+"/append", map[string]any{"seriesId": 0, "points": []float64{1}, "bogus": 1}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/v1/datasets/nosuch/append", map[string]any{
+		"seriesId": 0, "points": []float64{1},
+	}, http.StatusNotFound)
+
+	// JSON cannot carry NaN/Inf, so non-finite points are rejected at the
+	// decode layer — the kernel's finite-input invariant holds end to end.
+	req, err := http.NewRequest(http.MethodPost, base+"/append",
+		strings.NewReader(`{"seriesId":0,"points":[NaN]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("NaN point literal: code %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRangeExactEndpoint(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	base := hs.URL + "/v1/datasets/" + srv.defaultName
+	q := queryFor(t, srv)
+	info, err := srv.defaultInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := info.ST
+
+	plain := postJSON(t, base+"/range", map[string]any{
+		"query": q, "length": len(q), "radius": st,
+	}, http.StatusOK)
+	exact := postJSON(t, base+"/range", map[string]any{
+		"query": q, "length": len(q), "radius": st, "exact": true,
+	}, http.StatusOK)
+	if plain["count"].(float64) == 0 {
+		t.Fatal("radius=ST range query returned nothing")
+	}
+	// In exact mode no guaranteed result may carry the ST sentinel distance
+	// unless its true DTW happens to equal it; all distances must be finite
+	// and within the radius.
+	for _, raw := range exact["results"].([]any) {
+		r := raw.(map[string]any)
+		d := r["distance"].(float64)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("exact range returned non-finite distance %v", d)
+		}
+		if d > st+1e-9 {
+			t.Fatalf("exact range returned distance %v beyond radius %v", d, st)
+		}
+	}
+	if exact["count"].(float64) > plain["count"].(float64) {
+		t.Errorf("exact mode returned more results (%v) than plain (%v)",
+			exact["count"], plain["count"])
+	}
+}
+
+// TestConstantQueryOverHTTP pins the zero-variance semantics at the JSON
+// boundary: a constant query is legal and every distance in the response is
+// finite (NaN would break the encoder mid-stream).
+func TestConstantQueryOverHTTP(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	base := hs.URL + "/v1/datasets/" + srv.defaultName
+	q := queryFor(t, srv)
+	flat := make([]float64, len(q))
+	for i := range flat {
+		flat[i] = 0.5
+	}
+	out := postJSON(t, base+"/match", map[string]any{"query": flat, "mode": "exact"}, http.StatusOK)
+	d, ok := out["distance"].(float64)
+	if !ok || math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("constant query produced distance %v", out["distance"])
+	}
+	rng := postJSON(t, base+"/range", map[string]any{
+		"query": flat, "length": len(flat), "radius": 2.0, "exact": true,
+	}, http.StatusOK)
+	for _, raw := range rng["results"].([]any) {
+		r := raw.(map[string]any)
+		if d := r["distance"].(float64); math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("constant range query produced non-finite distance %v", d)
+		}
+	}
+}

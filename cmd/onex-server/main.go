@@ -25,6 +25,7 @@
 //	POST   /v1/datasets/{name}/match/batch  many best-match queries at once
 //	POST   /v1/datasets/{name}/range     range search within a radius
 //	POST   /v1/datasets/{name}/extend    incrementally add series
+//	POST   /v1/datasets/{name}/append    stream points onto an existing series
 //	GET    /v1/datasets/{name}/seasonal  recurring patterns (Q2)
 //	GET    /v1/datasets/{name}/recommend threshold recommendation (Q3)
 //	GET    /v1/datasets/{name}/stats     per-dataset stats + cache counters
@@ -246,6 +247,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/datasets/{name}/match/batch", s.handleMatchBatch)
 	mux.HandleFunc("POST /v1/datasets/{name}/range", s.handleRange)
 	mux.HandleFunc("POST /v1/datasets/{name}/extend", s.handleExtend)
+	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	mux.HandleFunc("GET /v1/datasets/{name}/seasonal", s.handleSeasonal)
 	mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
 	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleDatasetStats)
@@ -295,7 +297,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, hub.ErrFailed):
 		code = http.StatusInternalServerError
-	case errors.Is(err, hub.ErrClosed):
+	case errors.Is(err, hub.ErrClosed), errors.Is(err, onex.ErrBuildCanceled):
+		// A drift-triggered rebuild inside an append/extend handler aborts
+		// with ErrBuildCanceled when the hub shuts down mid-request — a
+		// server condition, not a client error.
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
@@ -481,6 +486,47 @@ func (s *server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ds.Info())
 }
 
+type appendRequest struct {
+	// SeriesID targets an existing series of the dataset (0-based, as
+	// reported by match results). A pointer distinguishes "missing" from 0.
+	SeriesID *int      `json:"seriesId"`
+	Points   []float64 `json:"points"`
+}
+
+// handleAppend serves POST /v1/datasets/{name}/append: streaming point
+// ingestion onto one existing series. The grown base swaps in atomically
+// (generation bump, cache invalidation, re-snapshot); in-flight queries
+// keep answering on the previous base.
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.dataset(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req appendRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.SeriesID == nil {
+		writeErr(w, httpError{http.StatusBadRequest, "seriesId is required"})
+		return
+	}
+	if *req.SeriesID < 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "seriesId must be ≥ 0"})
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "points must be non-empty"})
+		return
+	}
+	if err := ds.Append(*req.SeriesID, req.Points); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds.Info())
+}
+
 // ---- queries ----------------------------------------------------------
 
 type matchRequest struct {
@@ -610,6 +656,9 @@ type rangeRequest struct {
 	Query  []float64 `json:"query"`
 	Length int       `json:"length"`
 	Radius float64   `json:"radius"`
+	// Exact computes true DTW distances for matches admitted through the
+	// Lemma 2 guarantee instead of reporting the ST upper bound.
+	Exact bool `json:"exact"`
 }
 
 func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -623,7 +672,7 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	ms, err := ds.Range(req.Query, req.Length, req.Radius)
+	ms, err := ds.Range(req.Query, req.Length, req.Radius, req.Exact)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -56,6 +56,36 @@
 // queries and batches at worker counts 1..GOMAXPROCS with an equivalence
 // check baked in.
 //
+// # Streaming ingestion
+//
+// Bases grow in two directions without rebuilding. Extend adds whole new
+// series; Append (new) streams points onto an existing series — the live-
+// traffic shape where sensors and tickers deliver observations
+// continuously. Only the suffix subsequences whose windows overlap the
+// appended points are pushed through Algorithm 1's nearest-representative
+// assignment, and the index layers (Dc rows, envelopes, visit orders)
+// refresh incrementally for the touched groups, so absorbing a point batch
+// costs O(new-windows × groups × length) — the committed BENCH_stream.json
+// measures it at 5–13× cheaper than a rebuild, widening with base size.
+//
+//	grown, err := base.Append(seriesID, 0.41, 0.43, 0.40) // new points
+//	grown.Drift()                                         // incremental fraction
+//
+// Both paths return a fresh *Base and leave the receiver untouched, so
+// in-flight queries never block (internal/hub swaps the pointer under a
+// generation counter and re-snapshots to disk). Incremental assignment
+// never splits or re-shuffles existing groups, so the grouping slowly
+// drifts from what a from-scratch build would produce; the engine tracks
+// that drift and, once an append or extend would push it past
+// Options.RebuildDrift (default 0.25), transparently re-runs the full
+// offline construction over the final data — equal to a from-scratch Build
+// over the (pinned) indexed length set — and resets it. The
+// equivalence bar is enforced by the append-vs-rebuild property suite:
+// after any Append/Extend interleaving, RangeSearchExact answers match a
+// from-scratch Build over the final data within 1e-12, and the rebuild
+// branch reproduces the from-scratch base exactly.
+// `make bench-stream` (CI: bench-stream) regenerates the sweep.
+//
 // # Serving
 //
 // cmd/onex-server exposes bases over HTTP through internal/hub, a
@@ -100,8 +130,9 @@ package onex
 //	SP-Space, SThalf/STfinal      rspace SThalf/STFinal per length;
 //	(Sec. 4.2, Fig. 1)            Base.RecommendThreshold, Base.DegreeOf
 //	S/M/L similarity degrees      onex.Strict / Medium / Loose
-//	Algorithm 1                   grouping.Build (+ grouping.Extend for
-//	                              incremental maintenance)
+//	Algorithm 1                   grouping.Build (+ grouping.Extend /
+//	                              grouping.AppendPoints for incremental
+//	                              maintenance)
 //	Algorithm 2.A (Q1)            Base.BestMatch / BestKMatches
 //	Algorithm 2.B (Q2)            Base.Seasonal / SeasonalAll
 //	Algorithm 2.C (vary ST′)      Base.WithThreshold

@@ -1,8 +1,10 @@
-// Streaming example — incremental base maintenance: new series arrive in
-// batches (sensors coming online, fresh trading days) and join the existing
-// ONEX base through the Algorithm 1 assignment rule without rebuilding.
-// The paper defers maintenance to its tech report; this demonstrates the
-// repository's implementation of it (grouping.Extend / Base.Extend).
+// Streaming example — point-append ingestion: live sensors deliver new
+// observations on *existing* series, and the base absorbs them through
+// onex.Base.Append — only the suffix subsequences overlapping the new points
+// are re-assigned (Algorithm 1's rule), the touched index state refreshes
+// incrementally, and an amortized policy rebuilds from scratch once the
+// incrementally-assigned fraction (drift) crosses Options.RebuildDrift.
+// Whole new sensors still arrive via Extend; both paths compose freely.
 //
 //	go run ./examples/streaming
 package main
@@ -19,33 +21,48 @@ import (
 
 func main() {
 	r := rand.New(rand.NewSource(99))
-	makeSensor := func(kind int) onex.Series {
-		v := make([]float64, 96)
-		for i := range v {
-			switch kind {
-			case 0: // daily cycle
-				v[i] = math.Sin(2*math.Pi*float64(i)/24) + 0.05*r.NormFloat64()
-			case 1: // sawtooth load
-				v[i] = math.Mod(float64(i), 16)/16 + 0.05*r.NormFloat64()
-			default: // square duty cycle — appears only in late batches
-				if (i/12)%2 == 0 {
-					v[i] = 1
-				}
-				v[i] += 0.05 * r.NormFloat64()
+	// Sensor shapes: a daily sine cycle and a sawtooth load curve; the
+	// square duty cycle only ever arrives through the live stream.
+	point := func(kind, i int) float64 {
+		switch kind {
+		case 0:
+			return math.Sin(2*math.Pi*float64(i)/24) + 0.05*r.NormFloat64()
+		case 1:
+			return math.Mod(float64(i), 16)/16 + 0.05*r.NormFloat64()
+		default:
+			v := 0.05 * r.NormFloat64()
+			if (i/12)%2 == 0 {
+				v += 1
 			}
+			return v
 		}
-		return onex.Series{Label: fmt.Sprintf("sensor-kind-%d", kind), Values: v}
+	}
+	window := func(kind, from, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = point(kind, from+i)
+		}
+		return v
 	}
 
-	// Initial fleet: 30 sensors of two kinds.
+	// Initial fleet: 20 sensors with 96 points of history each.
 	var initial []onex.Series
-	for i := 0; i < 30; i++ {
-		initial = append(initial, makeSensor(i%2))
+	for s := 0; s < 20; s++ {
+		initial = append(initial, onex.Series{
+			Label:  fmt.Sprintf("sensor-%02d", s),
+			Values: window(s%2, 0, 96),
+		})
 	}
 	start := time.Now()
 	base, err := onex.Build("fleet", initial, onex.Options{
 		ST:      0.25,
 		Lengths: []int{12, 24, 48},
+		// The fleet shares one physical scale, so index raw values — queries
+		// can then be phrased directly in sensor units.
+		Normalize: onex.NormalizeNone,
+		// Rebuild from scratch once 40% of the indexed windows joined
+		// incrementally; until then every append is a cheap suffix update.
+		RebuildDrift: 0.4,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +70,7 @@ func main() {
 	fmt.Printf("initial build: %d series → %d representatives in %v\n",
 		len(initial), base.Stats().Representatives, time.Since(start))
 
-	// A square-wave query: nothing like it is indexed yet.
+	// A square-wave query: nothing like it has been observed yet.
 	q := make([]float64, 24)
 	for i := range q {
 		if (i/12)%2 == 0 {
@@ -64,50 +81,68 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("square-wave query before streaming: dist %.4f (kind %s)\n",
-		before.Distance, initial[before.SeriesID].Label)
+	fmt.Printf("square-wave query before streaming: dist %.4f\n", before.Distance)
 
-	// Stream three batches; the third introduces the square-wave kind.
-	labels := make([]string, 0, 48)
-	for _, s := range initial {
-		labels = append(labels, s.Label)
+	// Live traffic: 12 ticks of 8 fresh points per sensor. Sensor 7
+	// malfunctions into a square duty cycle mid-stream — the index must
+	// pick the new regime up without a rebuild.
+	offsets := make([]int, len(initial))
+	for i := range offsets {
+		offsets[i] = 96
 	}
-	for batch := 0; batch < 3; batch++ {
-		var arrivals []onex.Series
-		for i := 0; i < 6; i++ {
-			kind := i % 2
-			if batch == 2 {
-				kind = 2
+	appendTotal := time.Duration(0)
+	for tick := 0; tick < 12; tick++ {
+		for s := 0; s < len(initial); s++ {
+			kind := s % 2
+			if s == 7 && tick >= 4 {
+				kind = 2 // the square-wave malfunction
 			}
-			arrivals = append(arrivals, makeSensor(kind))
+			pts := window(kind, offsets[s], 8)
+			offsets[s] += 8
+			t0 := time.Now()
+			base, err = base.Append(s, pts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			appendTotal += time.Since(t0)
 		}
-		for _, s := range arrivals {
-			labels = append(labels, s.Label)
+		if tick%4 == 3 {
+			st := base.Stats()
+			fmt.Printf("tick %2d: %d subsequences, %d representatives, drift %.1f%%\n",
+				tick+1, st.Subsequences, st.Representatives, 100*st.Drift)
 		}
-		start = time.Now()
-		base, err = base.Extend(arrivals)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("batch %d: +%d series in %v → %d representatives\n",
-			batch+1, len(arrivals), time.Since(start), base.Stats().Representatives)
 	}
+	fmt.Printf("absorbed %d point-batches in %v total\n", 12*len(initial), appendTotal)
 
 	after, err := base.BestMatch(q, onex.MatchAny)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("square-wave query after streaming:  dist %.4f (%s, series %d)\n",
-		after.Distance, labels[after.SeriesID], after.SeriesID)
-	if after.SeriesID >= len(initial) {
-		fmt.Println("→ an incrementally added sensor is now the best match")
+	fmt.Printf("square-wave query after streaming:  dist %.4f (series %d, start %d)\n",
+		after.Distance, after.SeriesID, after.Start)
+	if after.SeriesID == 7 && after.Start >= 96 {
+		fmt.Println("→ the match is inside sensor 7's streamed malfunction window")
 	}
 
-	// Seasonal check on a streamed series: batch-3 sensors recur.
-	newest := after.SeriesID
-	patterns, err := base.Seasonal(newest, 24)
+	// A whole new sensor still arrives via Extend, composing with appends.
+	base, err = base.Extend([]onex.Series{{Label: "sensor-20", Values: window(2, 0, 96)}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recurring length-24 patterns in streamed series %d: %d\n", newest, len(patterns))
+	fmt.Printf("after Extend: %d series, drift %.1f%%\n", base.NumSeries(), 100*base.Stats().Drift)
+
+	// Exact-distance range search around the square regime: every reported
+	// distance is a true DTW, safe to rank on.
+	matches, err := base.RangeSearchExact(q, 24, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed := 0
+	for _, m := range matches {
+		if m.SeriesID == 7 && m.Start >= 96 || m.SeriesID == 20 {
+			streamed++
+		}
+	}
+	fmt.Printf("range search (radius 0.25): %d matches, %d inside streamed data\n",
+		len(matches), streamed)
 }

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunStreamSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream sweep in -short mode")
+	}
+	rep, tables, err := RunStreamSweep(Config{ST: 0.2, Seed: 1, Scale: 0.5, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("sweep produced no points")
+	}
+	for _, pt := range rep.Points {
+		if pt.AppendSeconds <= 0 || pt.RebuildSeconds <= 0 {
+			t.Errorf("n=%d: non-positive timings %+v", pt.Series, pt)
+		}
+		if pt.Drift <= 0 {
+			t.Errorf("n=%d: sweep left zero drift (incremental path not exercised)", pt.Series)
+		}
+	}
+	max := 0.0
+	for _, pt := range rep.Points {
+		if pt.Speedup > max {
+			max = pt.Speedup
+		}
+	}
+	if rep.LargestSpeedup != max {
+		t.Errorf("LargestSpeedup = %v, want the max %v", rep.LargestSpeedup, max)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != len(rep.Points) {
+		t.Error("table shape does not match the report")
+	}
+	var buf bytes.Buffer
+	if err := WriteStreamReport(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var round StreamReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.LargestSpeedup != rep.LargestSpeedup {
+		t.Error("report did not round-trip")
+	}
+}

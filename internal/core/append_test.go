@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"onex/internal/dataset"
+	"onex/internal/ts"
+)
+
+func appendEngine(t *testing.T, cfg BuildConfig) (*ts.Dataset, *Engine) {
+	t.Helper()
+	d := dataset.ItalyPower.Scaled(0.4).Generate(29)
+	eng, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, eng
+}
+
+func TestEngineAppendValidation(t *testing.T) {
+	_, eng := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2})
+	if _, err := eng.Append(0, nil); err == nil {
+		t.Error("empty points: want error")
+	}
+	if _, err := eng.Append(-1, []float64{1}); err == nil {
+		t.Error("negative series: want error")
+	}
+	if _, err := eng.Append(eng.Base.Dataset.N(), []float64{1}); err == nil {
+		t.Error("out-of-range series: want error")
+	}
+	if _, err := eng.Append(0, []float64{math.NaN()}); err == nil {
+		t.Error("NaN point: want error")
+	}
+	if _, err := eng.Append(0, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf point: want error")
+	}
+	adapted, err := eng.WithThreshold(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adapted.Append(0, []float64{1}); err == nil {
+		t.Error("append to adapted engine: want error")
+	}
+	_, perSeries := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, Normalize: NormalizePerSeries})
+	if _, err := perSeries.Append(0, []float64{1}); err == nil {
+		t.Error("append to per-series normalized engine: want error")
+	}
+	// Extend holds the same finite-input boundary as Append and Build: a
+	// NaN/Inf window would found a NaN-representative group and poison
+	// every later query.
+	if _, err := eng.Extend([]*ts.Series{{Values: []float64{1, math.NaN(), 2}}}); err == nil {
+		t.Error("extend with NaN values: want error")
+	}
+	if _, err := eng.Extend([]*ts.Series{{Values: []float64{1, math.Inf(-1), 2}}}); err == nil {
+		t.Error("extend with Inf values: want error")
+	}
+}
+
+func TestEngineAppendImmutableReceiver(t *testing.T) {
+	_, eng := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6, 10}, Seed: 2, RebuildDrift: -1})
+	beforeLen := eng.Base.Dataset.Series[0].Len()
+	beforeTotal := eng.Base.TotalSubseq
+	next, err := eng.Append(0, []float64{0.4, 0.5, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Base.Dataset.Series[0].Len() != beforeLen {
+		t.Error("Append mutated the receiver's dataset")
+	}
+	if eng.Base.TotalSubseq != beforeTotal {
+		t.Error("Append mutated the receiver's subsequence count")
+	}
+	if next.Base.Dataset.Series[0].Len() != beforeLen+3 {
+		t.Errorf("grown series has %d points, want %d", next.Base.Dataset.Series[0].Len(), beforeLen+3)
+	}
+	if next.Base.TotalSubseq <= beforeTotal {
+		t.Error("grown base did not gain subsequences")
+	}
+	if next.Drift() <= 0 {
+		t.Error("grown base reports zero drift")
+	}
+}
+
+func TestEngineAppendNormalizesIntoBaseSpace(t *testing.T) {
+	// NormalizeDataset scales appended raw points with the original min/max;
+	// appending a copy of an existing window must land byte-identical values.
+	d := dataset.ItalyPower.Scaled(0.4).Generate(31)
+	eng, err := Build(d, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, RebuildDrift: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]float64(nil), d.Series[1].Values[:4]...) // raw because Build clones before normalizing
+	next, err := eng.Append(0, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := next.Base.Dataset.Series[0].Values
+	got := s0[len(s0)-4:]
+	want := next.Base.Dataset.Series[1].Values[:4]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("appended points normalized to %v, want %v", got, want)
+	}
+}
+
+func TestEngineAppendDriftRebuildMatchesFromScratch(t *testing.T) {
+	// With a tiny drift threshold every Append re-runs the full build, which
+	// must produce exactly the engine a from-scratch Build over the final
+	// data yields (same seed, same normalized values).
+	d := dataset.ItalyPower.Scaled(0.4).Generate(37)
+	cfg := BuildConfig{ST: 0.2, Lengths: []int{6, 10}, Seed: 4, RebuildDrift: 1e-9}
+	eng, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay inside the original min/max so dataset-wide scaling is identical.
+	points := append([]float64(nil), d.Series[2].Values[:5]...)
+	grown, err := eng.Append(1, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Drift() != 0 {
+		t.Errorf("rebuild did not reset drift: %v", grown.Drift())
+	}
+
+	final := d.Clone()
+	final.Series[1].AppendPoints(points...)
+	fresh, err := Build(final, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{6, 10} {
+		ge, fe := grown.Base.Entry(l), fresh.Base.Entry(l)
+		if len(ge.Groups) != len(fe.Groups) {
+			t.Fatalf("length %d: %d groups vs fresh %d", l, len(ge.Groups), len(fe.Groups))
+		}
+		for k := range ge.Groups {
+			if !reflect.DeepEqual(ge.Groups[k].Rep, fe.Groups[k].Rep) {
+				t.Fatalf("length %d group %d: representative differs from from-scratch build", l, k)
+			}
+			if !reflect.DeepEqual(ge.Groups[k].Members, fe.Groups[k].Members) {
+				t.Fatalf("length %d group %d: members differ from from-scratch build", l, k)
+			}
+		}
+	}
+	q := append([]float64(nil), fresh.Base.Dataset.Series[0].Values[2:12]...)
+	mg, err := grown.Proc.BestMatch(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := fresh.Proc.BestMatch(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg != mf {
+		t.Errorf("rebuild-path match %+v differs from from-scratch %+v", mg, mf)
+	}
+}
+
+func TestEngineAppendRebuildKeepsLengthSet(t *testing.T) {
+	// Explicit Lengths {6, 60} over 48-point series resolve to {6} at build
+	// time; a drift-triggered rebuild after the series grow past 60 must
+	// keep indexing exactly {6} — the query surface never changes shape
+	// because ingestion crossed a threshold.
+	d := dataset.ItalyPower.Scaled(0.4).Generate(41) // 24-point series
+	eng, err := Build(d, BuildConfig{ST: 0.2, Lengths: []int{6, 60}, Seed: 2, RebuildDrift: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Base.Lengths; len(got) != 1 || got[0] != 6 {
+		t.Fatalf("build resolved lengths %v, want [6]", got)
+	}
+	pts := make([]float64, 50) // grows series 0 well past 60
+	for i := range pts {
+		pts[i] = d.Series[1].Values[i%d.Series[1].Len()]
+	}
+	grown, err := eng.Append(0, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Drift() != 0 {
+		t.Fatal("append did not take the rebuild branch")
+	}
+	if got := grown.Base.Lengths; len(got) != 1 || got[0] != 6 {
+		t.Errorf("rebuild re-resolved lengths to %v, want the pinned [6]", got)
+	}
+}
+
+func TestEngineAppendNeverWritesSharedArrays(t *testing.T) {
+	// The copy-on-write clone shares untouched series' backing arrays;
+	// chained appends must never write into the receiver's (or any
+	// ancestor's) values.
+	_, eng := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, RebuildDrift: -1})
+	snapshots := make([][][]float64, 0, 4)
+	record := func(e *Engine) {
+		cp := make([][]float64, e.Base.Dataset.N())
+		for i, s := range e.Base.Dataset.Series {
+			cp[i] = append([]float64(nil), s.Values...)
+		}
+		snapshots = append(snapshots, cp)
+	}
+	engines := []*Engine{eng}
+	record(eng)
+	cur := eng
+	for i := 0; i < 3; i++ {
+		next, err := cur.Append(0, []float64{0.4, 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, next)
+		record(next)
+		cur = next
+	}
+	for gi, e := range engines {
+		for si, s := range e.Base.Dataset.Series {
+			if !reflect.DeepEqual(s.Values, snapshots[gi][si]) {
+				t.Fatalf("generation %d series %d mutated by a later append", gi, si)
+			}
+		}
+	}
+}
+
+func TestEngineExtendParticipatesInRebuildPolicy(t *testing.T) {
+	// Extend feeds the same drift counter as Append and must honor the same
+	// bound: with a tiny threshold an extension takes the rebuild branch
+	// (drift resets); with the policy disabled it stays incremental.
+	v := make([]float64, 24)
+	for i := range v {
+		v[i] = math.Sin(float64(i) / 3)
+	}
+	_, strict := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, RebuildDrift: 1e-9})
+	ext, err := strict.Extend([]*ts.Series{{Values: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Drift() != 0 {
+		t.Errorf("extend did not take the rebuild branch (drift %v)", ext.Drift())
+	}
+	_, loose := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, RebuildDrift: -1})
+	ext, err = loose.Extend([]*ts.Series{{Values: v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Drift() <= 0 {
+		t.Error("policy-disabled extend reports zero drift")
+	}
+}
+
+func TestAppendPersistRoundTripKeepsDrift(t *testing.T) {
+	_, eng := appendEngine(t, BuildConfig{ST: 0.2, Lengths: []int{6}, Seed: 2, RebuildDrift: -1})
+	grown, err := eng.Append(0, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := grown.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Drift() != grown.Drift() {
+		t.Errorf("drift %v after round trip, want %v", loaded.Drift(), grown.Drift())
+	}
+	if loaded.cfg.RebuildDrift != -1 {
+		t.Errorf("RebuildDrift %v after round trip, want -1", loaded.cfg.RebuildDrift)
+	}
+	// A further append on the loaded engine keeps working.
+	if _, err := loaded.Append(0, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+}

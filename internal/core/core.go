@@ -42,6 +42,14 @@ type BuildConfig struct {
 	Seed int64
 	// Workers bounds build parallelism (0 = GOMAXPROCS).
 	Workers int
+	// RebuildDrift is the amortized-rebuild threshold of the streaming
+	// Append path: when the fraction of members assigned incrementally
+	// (since the last full Algorithm 1 run) would exceed this value after an
+	// append, the engine re-runs the full build over the final data instead
+	// of incrementally assigning — bounding how far the grouping can drift
+	// from what a from-scratch build would produce. 0 selects
+	// DefaultRebuildDrift; negative disables amortized rebuilds.
+	RebuildDrift float64
 	// Normalize selects the input normalization.
 	Normalize NormalizeMode
 	// Query carries the online-processor options.
@@ -167,8 +175,11 @@ func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
 
 // Extend performs incremental base maintenance: the new series join the
 // existing similarity groups via the Algorithm 1 assignment rule (only the
-// new subsequences are clustered — no rebuild of existing groups), then the
-// GTI/LSI/SP-Space indexes are re-derived. The receiver stays valid and
+// new subsequences are clustered), then the GTI/LSI/SP-Space indexes are
+// re-derived incrementally. Like Append, Extend participates in the
+// amortized rebuild policy: when the extension would push the incremental-
+// member fraction past BuildConfig.RebuildDrift, the full offline build
+// re-runs over the final data instead. The receiver stays valid and
 // unchanged; a new engine over the extended base is returned.
 //
 // Normalization: with NormalizeDataset the new series are scaled with the
@@ -183,22 +194,27 @@ func (e *Engine) Extend(newSeries []*ts.Series) (*Engine, error) {
 	if e.grouped == nil {
 		return nil, errors.New("core: threshold-adapted engines cannot be extended; extend the original base first")
 	}
-	work := e.Base.Dataset.Clone()
+	// Copy-on-write: existing series are immutable and shared; only the new
+	// series allocate (see Append).
+	work := e.Base.Dataset.CloneShared()
 	from := work.N()
 	for _, s := range newSeries {
 		if s == nil || s.Len() == 0 {
 			return nil, errors.New("core: empty new series")
 		}
-		values := append([]float64(nil), s.Values...)
+		// Reject non-finite values at the boundary, as Build (Validate) and
+		// Append (Dataset.AppendPoints) do — a NaN window would found a
+		// group with a NaN representative and poison every later query.
+		if i := ts.CheckFinite(s.Values); i >= 0 {
+			return nil, fmt.Errorf("core: new series has non-finite value %v at index %d", s.Values[i], i)
+		}
+		var values []float64
 		switch e.cfg.Normalize {
 		case NormalizeDataset:
-			scale := 1 / (e.normMax - e.normMin)
-			for i, v := range values {
-				values[i] = (v - e.normMin) * scale
-			}
+			values = e.scaleToDataset(s.Values)
 		case NormalizePerSeries:
 			min, max := math.Inf(1), math.Inf(-1)
-			for _, v := range values {
+			for _, v := range s.Values {
 				min = math.Min(min, v)
 				max = math.Max(max, v)
 			}
@@ -206,23 +222,176 @@ func (e *Engine) Extend(newSeries []*ts.Series) (*Engine, error) {
 				return nil, ts.ErrConstantData
 			}
 			scale := 1 / (max - min)
-			for i, v := range values {
+			values = make([]float64, len(s.Values))
+			for i, v := range s.Values {
 				values[i] = (v - min) * scale
 			}
+		default:
+			values = append([]float64(nil), s.Values...)
 		}
 		work.Append(s.Label, values)
 	}
 
-	start := time.Now()
-	gr, err := grouping.Extend(work, e.grouped, from, grouping.Config{
+	var newCount int64
+	for _, s := range work.Series[from:] {
+		for _, l := range e.grouped.Lengths {
+			if n := s.Len() - l + 1; n > 0 {
+				newCount += int64(n)
+			}
+		}
+	}
+	return e.maintainOrRebuild(work, newCount, func() (*grouping.Result, *grouping.Delta, error) {
+		return grouping.Extend(work, e.grouped, from, e.maintenanceConfig())
+	})
+}
+
+// DefaultRebuildDrift is the incremental-member fraction at which Append
+// amortizes a full rebuild when BuildConfig.RebuildDrift is 0.
+const DefaultRebuildDrift = 0.25
+
+// Drift reports the fraction of indexed subsequences that joined the base
+// incrementally (Extend/Append) since the last full Algorithm 1 run — the
+// staleness signal of the amortized rebuild policy. Threshold-adapted
+// engines report 0.
+func (e *Engine) Drift() float64 {
+	if e.grouped == nil {
+		return 0
+	}
+	return e.grouped.Drift()
+}
+
+// Append grows one existing series in time: the points are appended to the
+// series and only the suffix subsequences — windows overlapping the new
+// points — are pushed through the Algorithm 1 assignment rule
+// (grouping.AppendPoints), after which the index layers refresh
+// incrementally (rspace.Refresh). Maintenance therefore costs
+// O(new-subsequences × g × L) distance work instead of a rebuild. When the
+// accumulated drift (fraction of incrementally assigned members) would
+// cross BuildConfig.RebuildDrift, the engine instead re-runs the full
+// offline build over the final data — identical to what a from-scratch
+// Build over the same (normalized) dataset produces for the base's indexed
+// length set, which stays pinned — resetting drift to zero.
+//
+// The receiver stays valid and unchanged; a new engine is returned.
+// Normalization: with NormalizeDataset the points are scaled with the
+// original dataset's min/max (values outside the original range map outside
+// [0,1], which is harmless); NormalizeNone appends raw values;
+// NormalizePerSeries bases cannot Append (the original per-series scale is
+// not retained) and return an error.
+func (e *Engine) Append(seriesID int, points []float64) (*Engine, error) {
+	if len(points) == 0 {
+		return nil, errors.New("core: no points to append")
+	}
+	if e.grouped == nil {
+		return nil, errors.New("core: threshold-adapted engines cannot be appended to; append to the original base first")
+	}
+	var scaled []float64
+	switch e.cfg.Normalize {
+	case NormalizeDataset:
+		scaled = e.scaleToDataset(points)
+	case NormalizePerSeries:
+		return nil, errors.New("core: per-series normalized bases cannot grow series in time (the original per-series scale is not retained); rebuild instead")
+	default:
+		scaled = append([]float64(nil), points...)
+	}
+
+	// Copy-on-write clone: indexed observations are immutable, so the grown
+	// base shares every series' backing array; Dataset.AppendPoints moves
+	// the grown series onto a freshly-owned array (never writing through a
+	// shared one) and rejects non-finite values — NaN and ±Inf survive the
+	// affine scaling, so validating scaled covers raw. An append therefore
+	// costs O(series + grown-series length) in copying, not O(total points).
+	work := e.Base.Dataset.CloneShared()
+	oldLens := make([]int, work.N())
+	for i, s := range work.Series {
+		oldLens[i] = s.Len()
+	}
+	if err := work.AppendPoints(seriesID, scaled); err != nil {
+		return nil, err
+	}
+
+	// Count the windows this append creates to decide incrementally-vs-
+	// rebuild before paying for either.
+	var newCount int64
+	for _, l := range e.grouped.Lengths {
+		lo, hi := work.Series[seriesID].NewWindowStarts(oldLens[seriesID], l)
+		newCount += int64(hi - lo)
+	}
+	return e.maintainOrRebuild(work, newCount, func() (*grouping.Result, *grouping.Delta, error) {
+		return grouping.AppendPoints(work, e.grouped, oldLens, e.maintenanceConfig())
+	})
+}
+
+// scaleToDataset maps raw values into the engine's indexed value space under
+// the dataset-wide min-max scaling recorded at build time.
+func (e *Engine) scaleToDataset(values []float64) []float64 {
+	scale := 1 / (e.normMax - e.normMin)
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = (v - e.normMin) * scale
+	}
+	return out
+}
+
+// maintenanceConfig is the grouping configuration incremental maintenance
+// steps run with.
+func (e *Engine) maintenanceConfig() grouping.Config {
+	return grouping.Config{
 		ST:      e.cfg.ST,
 		Seed:    e.cfg.Seed,
 		Workers: e.cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
 	}
-	base, err := rspace.New(work, gr, rspace.Options{})
+}
+
+// maintainOrRebuild finishes an Extend/Append over the grown dataset work:
+// when absorbing newCount more incremental members would push drift past
+// BuildConfig.RebuildDrift, the full Algorithm 1 build re-runs over the
+// final data; otherwise the incremental step runs and the index layers
+// refresh from the returned delta. The rebuild's length set is pinned to
+// the base's currently-indexed lengths — never re-resolved from the grown
+// data — so crossing the drift threshold can never change which query
+// lengths the base answers; within that set the result is exactly what a
+// from-scratch Build over this dataset would produce. Progress/Cancel flow
+// like the original build's, so a serving layer can abort a maintenance-
+// triggered rebuild on shutdown.
+func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64,
+	incremental func() (*grouping.Result, *grouping.Delta, error)) (*Engine, error) {
+
+	threshold := e.cfg.RebuildDrift
+	if threshold == 0 {
+		threshold = DefaultRebuildDrift
+	}
+	total := e.grouped.TotalSubseq + newCount
+	rebuild := threshold > 0 && total > 0 &&
+		float64(e.grouped.IncrementalMembers+newCount)/float64(total) > threshold
+
+	start := time.Now()
+	var (
+		gr   *grouping.Result
+		base *rspace.Base
+		err  error
+	)
+	if rebuild {
+		gr, err = grouping.Build(work, grouping.Config{
+			ST:       e.cfg.ST,
+			Lengths:  e.grouped.Lengths,
+			Seed:     e.cfg.Seed,
+			Workers:  e.cfg.Workers,
+			Progress: e.cfg.Progress,
+			Cancel:   e.cfg.Cancel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base, err = rspace.New(work, gr, rspace.Options{})
+	} else {
+		var delta *grouping.Delta
+		gr, delta, err = incremental()
+		if err != nil {
+			return nil, err
+		}
+		base, err = rspace.Refresh(work, gr, rspace.Options{}, e.Base, delta)
+	}
 	if err != nil {
 		return nil, err
 	}

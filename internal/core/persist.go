@@ -29,11 +29,13 @@ import (
 // Version 2 adds round-trip metadata between the header and the dataset:
 // the Save wall-clock timestamp, the original offline build time, and the
 // configured length restriction — so catalogs (internal/hub) can report a
-// reloaded base exactly as the built one. Version-1 streams still load,
-// with zero metadata.
+// reloaded base exactly as the built one. Version 3 adds the incremental-
+// member counter after TotalSubseq, so the streaming-append drift (and its
+// amortized-rebuild policy) survives a snapshot round trip. Version-1/2
+// streams still load, with zero metadata / zero drift.
 const (
 	persistMagic   = "ONEXBASE"
-	persistVersion = 2
+	persistVersion = 3
 )
 
 var (
@@ -93,6 +95,7 @@ func (e *Engine) Save(w io.Writer) error {
 		le(uint8(boolByte(e.cfg.Query.DisableLowerBounds))),
 		le(int64(e.cfg.Query.CandidateLimit)),
 		le(int64(e.cfg.Query.Patience)),
+		le(e.cfg.RebuildDrift), // version ≥ 3
 	); err != nil {
 		return err
 	}
@@ -131,7 +134,7 @@ func (e *Engine) Save(w io.Writer) error {
 	}
 	// Groups.
 	gr := e.grouped
-	if err := le(gr.TotalSubseq); err != nil {
+	if err := errJoin(le(gr.TotalSubseq), le(gr.IncrementalMembers)); err != nil {
 		return err
 	}
 	if err := le(uint32(len(gr.Lengths))); err != nil {
@@ -193,6 +196,11 @@ func Load(r io.Reader) (*Engine, error) {
 		le(&earlyStop), le(&noLB), le(&candLimit), le(&patience),
 	); err != nil {
 		return nil, err
+	}
+	if version >= 3 {
+		if err := le(&cfg.RebuildDrift); err != nil {
+			return nil, err
+		}
 	}
 	var savedAt time.Time
 	var origBuild time.Duration
@@ -267,6 +275,11 @@ func Load(r io.Reader) (*Engine, error) {
 	gr := &grouping.Result{ST: cfg.ST, ByLength: map[int]*grouping.LengthGroups{}}
 	if err := le(&gr.TotalSubseq); err != nil {
 		return nil, err
+	}
+	if version >= 3 {
+		if err := le(&gr.IncrementalMembers); err != nil {
+			return nil, err
+		}
 	}
 	var nLengths uint32
 	if err := le(&nLengths); err != nil {

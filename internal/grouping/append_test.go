@@ -1,0 +1,218 @@
+package grouping
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"onex/internal/dataset"
+	"onex/internal/ts"
+)
+
+// appendFixture builds a result over a dataset, then grows some series and
+// returns (grown dataset, pre-append result, old lengths).
+func appendFixture(t *testing.T, st float64, lengths []int) (*ts.Dataset, *Result, []int) {
+	t.Helper()
+	d := dataset.ItalyPower.Scaled(0.4).Generate(17)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, Config{ST: st, Lengths: lengths, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLens := make([]int, d.N())
+	for i, s := range d.Series {
+		oldLens[i] = s.Len()
+	}
+	// Grow two series by different amounts with in-range values.
+	for i, n := range []int{7, 3} {
+		src := d.Series[i].Values
+		for j := 0; j < n; j++ {
+			d.Series[i].AppendPoints(src[j%len(src)] * 0.9)
+		}
+	}
+	return d, res, oldLens
+}
+
+func TestAppendPointsValidation(t *testing.T) {
+	d, res, oldLens := appendFixture(t, 0.2, []int{6})
+	if _, _, err := AppendPoints(nil, res, oldLens, Config{ST: 0.2}); err == nil {
+		t.Error("nil dataset: want error")
+	}
+	if _, _, err := AppendPoints(d, nil, oldLens, Config{ST: 0.2}); err == nil {
+		t.Error("nil result: want error")
+	}
+	if _, _, err := AppendPoints(d, res, oldLens, Config{ST: 0.4}); err == nil {
+		t.Error("mismatched ST: want error")
+	}
+	if _, _, err := AppendPoints(d, res, oldLens[:2], Config{ST: 0.2}); err == nil {
+		t.Error("short oldLens: want error")
+	}
+	bad := append([]int(nil), oldLens...)
+	bad[0] = -1
+	if _, _, err := AppendPoints(d, res, bad, Config{ST: 0.2}); err == nil {
+		t.Error("negative old length: want error")
+	}
+	bad[0] = d.Series[0].Len() + 1
+	if _, _, err := AppendPoints(d, res, bad, Config{ST: 0.2}); err == nil {
+		t.Error("old length beyond current: want error")
+	}
+	same := make([]int, d.N())
+	for i, s := range d.Series {
+		same[i] = s.Len()
+	}
+	if _, _, err := AppendPoints(d, res, same, Config{ST: 0.2}); err == nil {
+		t.Error("no growth: want error")
+	}
+}
+
+func TestAppendPointsCoversExactlyTheNewWindows(t *testing.T) {
+	lengths := []int{5, 9}
+	d, res, oldLens := appendFixture(t, 0.2, lengths)
+	grown, delta, err := AppendPoints(d, res, oldLens, Config{ST: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.TotalSubseq != d.SubseqCount(lengths) {
+		t.Errorf("TotalSubseq = %d, want %d", grown.TotalSubseq, d.SubseqCount(lengths))
+	}
+	// Partition invariant: every window of the grown dataset appears in
+	// exactly one group, exactly once.
+	for _, l := range grown.Lengths {
+		seen := map[position]int{}
+		for _, g := range grown.ByLength[l].Groups {
+			for _, m := range g.Members {
+				seen[position{m.SeriesIdx, m.Start}]++
+			}
+		}
+		want := 0
+		for _, s := range d.Series {
+			if n := s.Len() - l + 1; n > 0 {
+				want += n
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("length %d: %d distinct members, want %d", l, len(seen), want)
+		}
+		for pos, c := range seen {
+			if c != 1 {
+				t.Fatalf("length %d: %+v appears %d times", l, pos, c)
+			}
+		}
+	}
+	// Drift accounting: exactly the new windows were assigned incrementally.
+	var newWindows int64
+	for _, l := range lengths {
+		for i, s := range d.Series {
+			lo, hi := s.NewWindowStarts(oldLens[i], l)
+			newWindows += int64(hi - lo)
+		}
+	}
+	if grown.IncrementalMembers != newWindows {
+		t.Errorf("IncrementalMembers = %d, want %d", grown.IncrementalMembers, newWindows)
+	}
+	if got, want := grown.Drift(), float64(newWindows)/float64(grown.TotalSubseq); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Drift = %v, want %v", got, want)
+	}
+	// Delta sanity: every touched index is a pre-existing group.
+	for _, l := range lengths {
+		if delta.PrevGroups[l] != len(res.ByLength[l].Groups) {
+			t.Errorf("length %d: PrevGroups = %d, want %d", l, delta.PrevGroups[l], len(res.ByLength[l].Groups))
+		}
+		for _, k := range delta.Touched[l] {
+			if k < 0 || k >= delta.PrevGroups[l] {
+				t.Errorf("length %d: touched index %d outside pre-existing groups", l, k)
+			}
+		}
+	}
+}
+
+func TestAppendPointsUntouchedGroupsUnchanged(t *testing.T) {
+	d, res, oldLens := appendFixture(t, 0.2, []int{6})
+	grown, delta, err := AppendPoints(d, res, oldLens, Config{ST: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := map[int]bool{}
+	for _, k := range delta.Touched[6] {
+		touched[k] = true
+	}
+	for k, g := range res.ByLength[6].Groups {
+		if touched[k] {
+			continue
+		}
+		ng := grown.ByLength[6].Groups[k]
+		if !reflect.DeepEqual(g.Rep, ng.Rep) || !reflect.DeepEqual(g.Members, ng.Members) {
+			t.Fatalf("untouched group %d changed across AppendPoints", k)
+		}
+	}
+	// The original result is never mutated.
+	for k, g := range res.ByLength[6].Groups {
+		if g.ID != k {
+			t.Fatalf("original group %d has ID %d after AppendPoints", k, g.ID)
+		}
+	}
+}
+
+func TestAppendPointsDeterministicAcrossWorkers(t *testing.T) {
+	d, res, oldLens := appendFixture(t, 0.2, []int{5, 7, 9})
+	var ref *Result
+	for _, workers := range []int{1, 4, 8} {
+		grown, _, err := AppendPoints(d, res, oldLens, Config{ST: 0.2, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = grown
+			continue
+		}
+		if !reflect.DeepEqual(ref, grown) {
+			t.Fatalf("AppendPoints differs at Workers=%d", workers)
+		}
+	}
+}
+
+func TestAppendPointsRepsStayAverages(t *testing.T) {
+	d, res, oldLens := appendFixture(t, 0.25, []int{7})
+	grown, _, err := AppendPoints(d, res, oldLens, Config{ST: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range grown.ByLength[7].Groups {
+		avg := make([]float64, 7)
+		for _, m := range g.Members {
+			for i, v := range MemberValues(d, g, m) {
+				avg[i] += v
+			}
+		}
+		for i := range avg {
+			avg[i] /= float64(g.Count())
+			if math.Abs(avg[i]-g.Rep[i]) > 1e-9 {
+				t.Fatalf("group %d rep[%d]=%v, want %v", g.ID, i, g.Rep[i], avg[i])
+			}
+		}
+		for i := 1; i < g.Count(); i++ {
+			if g.Members[i-1].EDToRep > g.Members[i].EDToRep {
+				t.Fatalf("group %d members unsorted after append", g.ID)
+			}
+		}
+	}
+}
+
+func TestExtendAccumulatesDrift(t *testing.T) {
+	full, res, from := extendFixture(t, 0.2, []int{6})
+	ext, _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.IncrementalMembers != ext.TotalSubseq-res.TotalSubseq {
+		t.Errorf("IncrementalMembers = %d, want %d", ext.IncrementalMembers, ext.TotalSubseq-res.TotalSubseq)
+	}
+	if res.IncrementalMembers != 0 || res.Drift() != 0 {
+		t.Errorf("full build reports drift %v (%d members)", res.Drift(), res.IncrementalMembers)
+	}
+	if ext.Drift() <= 0 {
+		t.Errorf("extended result reports zero drift")
+	}
+}

@@ -12,6 +12,19 @@ import (
 	"onex/internal/ts"
 )
 
+// Delta describes which groups one incremental-maintenance step (Extend or
+// AppendPoints) changed, so the index layers (rspace) can refresh only the
+// touched state instead of recomputing every length from scratch.
+type Delta struct {
+	// PrevGroups[length] is the group count before the step; groups with
+	// index ≥ PrevGroups[length] were founded by the step and are new.
+	PrevGroups map[int]int
+	// Touched[length] lists pre-existing group indices (< PrevGroups) whose
+	// representative moved because new members joined. Untouched groups are
+	// byte-identical to their previous incarnation.
+	Touched map[int][]int
+}
+
 // Extend implements incremental ONEX-base maintenance (the paper defers the
 // discussion to its tech report; the natural rule follows directly from
 // Algorithm 1): subsequences of newly arrived series are pushed through the
@@ -24,48 +37,123 @@ import (
 // d must be the dataset already containing the new series appended after
 // index fromSeries; prev must have been built over d.Series[:fromSeries]
 // with the same ST. prev is not modified: groups are deep-copied, extended,
-// and returned as a fresh Result (existing bases stay valid).
-func Extend(d *ts.Dataset, prev *Result, fromSeries int, cfg Config) (*Result, error) {
+// and returned as a fresh Result (existing bases stay valid). The returned
+// Delta records the touched groups for incremental index refresh.
+func Extend(d *ts.Dataset, prev *Result, fromSeries int, cfg Config) (*Result, *Delta, error) {
 	if d == nil || prev == nil {
-		return nil, errors.New("grouping: nil dataset or previous result")
+		return nil, nil, errors.New("grouping: nil dataset or previous result")
 	}
 	if cfg.ST != prev.ST {
-		return nil, fmt.Errorf("grouping: extension threshold %v differs from base %v", cfg.ST, prev.ST)
+		return nil, nil, fmt.Errorf("grouping: extension threshold %v differs from base %v", cfg.ST, prev.ST)
 	}
 	if fromSeries < 0 || fromSeries > d.N() {
-		return nil, fmt.Errorf("grouping: fromSeries %d out of range [0,%d]", fromSeries, d.N())
+		return nil, nil, fmt.Errorf("grouping: fromSeries %d out of range [0,%d]", fromSeries, d.N())
 	}
 	newSeries := d.Series[fromSeries:]
 	for _, s := range newSeries {
 		if s.Len() == 0 {
-			return nil, fmt.Errorf("grouping: new series %d is empty", s.ID)
+			return nil, nil, fmt.Errorf("grouping: new series %d is empty", s.ID)
 		}
 	}
+	return maintain(d, prev, cfg, func(length int) []position {
+		var positions []position
+		for _, s := range newSeries {
+			for j := 0; j+length <= s.Len(); j++ {
+				positions = append(positions, position{seriesIdx: s.ID, start: j})
+			}
+		}
+		return positions
+	})
+}
 
+// AppendPoints implements streaming point-append maintenance: existing
+// series of d have grown in time, and only the suffix subsequences — the
+// windows overlapping the appended points — are pushed through the same
+// nearest-representative assignment rule Extend uses. oldLens[i] is series
+// i's length before the append (oldLens[i] == d.Series[i].Len() for series
+// that did not grow). prev is not modified; the grown Result and the Delta
+// of touched groups are returned.
+func AppendPoints(d *ts.Dataset, prev *Result, oldLens []int, cfg Config) (*Result, *Delta, error) {
+	if d == nil || prev == nil {
+		return nil, nil, errors.New("grouping: nil dataset or previous result")
+	}
+	if cfg.ST != prev.ST {
+		return nil, nil, fmt.Errorf("grouping: append threshold %v differs from base %v", cfg.ST, prev.ST)
+	}
+	if len(oldLens) != d.N() {
+		return nil, nil, fmt.Errorf("grouping: oldLens has %d entries for %d series", len(oldLens), d.N())
+	}
+	grown := make([]int, 0, 1)
+	for i, s := range d.Series {
+		if oldLens[i] < 0 || oldLens[i] > s.Len() {
+			return nil, nil, fmt.Errorf("grouping: series %d old length %d outside [0,%d]", i, oldLens[i], s.Len())
+		}
+		if oldLens[i] < s.Len() {
+			grown = append(grown, i)
+		}
+	}
+	if len(grown) == 0 {
+		return nil, nil, errors.New("grouping: no series grew")
+	}
+	return maintain(d, prev, cfg, func(length int) []position {
+		var positions []position
+		for _, si := range grown {
+			lo, hi := d.Series[si].NewWindowStarts(oldLens[si], length)
+			for j := lo; j < hi; j++ {
+				positions = append(positions, position{seriesIdx: si, start: j})
+			}
+		}
+		return positions
+	})
+}
+
+// maintain is the shared incremental-maintenance driver: for every indexed
+// length it deep-copies the previous groups, streams the length's new
+// positions (shuffled, as Algorithm 1 requires) through the
+// nearest-representative assignment, and refinalizes the groups whose
+// representative drifted. Lengths run in parallel on cfg.Workers; the result
+// is deterministic for every worker count (each length is independent).
+func maintain(d *ts.Dataset, prev *Result, cfg Config, newPositions func(length int) []position) (*Result, *Delta, error) {
 	next := &Result{
-		ST:       prev.ST,
-		Lengths:  append([]int(nil), prev.Lengths...),
-		ByLength: make(map[int]*LengthGroups, len(prev.Lengths)),
+		ST:                 prev.ST,
+		Lengths:            append([]int(nil), prev.Lengths...),
+		ByLength:           make(map[int]*LengthGroups, len(prev.Lengths)),
+		IncrementalMembers: prev.IncrementalMembers,
+	}
+	delta := &Delta{
+		PrevGroups: make(map[int]int, len(prev.Lengths)),
+		Touched:    make(map[int][]int, len(prev.Lengths)),
 	}
 
 	results := make([]*LengthGroups, len(prev.Lengths))
 	counts := make([]int64, len(prev.Lengths))
+	touchedByLen := make([][]int, len(prev.Lengths))
 	parallel.ForEach(cfg.Workers, len(prev.Lengths), func(idx int) {
 		l := prev.Lengths[idx]
-		results[idx], counts[idx] = extendLength(d, prev.ByLength[l], newSeries, prev.ST, cfg.Seed+int64(l)*1_000_003)
+		seed := cfg.Seed + int64(l)*1_000_003
+		positions := newPositions(l)
+		results[idx], touchedByLen[idx] = assignIncremental(d, prev.ByLength[l], positions, prev.ST, seed)
+		counts[idx] = int64(len(positions))
 	})
 
 	next.TotalSubseq = prev.TotalSubseq
 	for i, lg := range results {
 		next.ByLength[lg.Length] = lg
 		next.TotalSubseq += counts[i]
+		next.IncrementalMembers += counts[i]
+		delta.PrevGroups[lg.Length] = len(prev.ByLength[lg.Length].Groups)
+		delta.Touched[lg.Length] = touchedByLen[i]
 	}
-	return next, nil
+	return next, delta, nil
 }
 
-// extendLength deep-copies one length's groups and streams the new series'
-// subsequences through the Algorithm 1 assignment rule.
-func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, st float64, seed int64) (*LengthGroups, int64) {
+// assignIncremental deep-copies one length's groups and streams the given
+// new positions through the Algorithm 1 assignment rule: shuffle, then each
+// subsequence joins the nearest group whose representative is within ST/2
+// (updating the running average) or founds a new group. It returns the
+// refreshed groups and the sorted list of pre-existing group indices whose
+// representative moved.
+func assignIncremental(d *ts.Dataset, prevLG *LengthGroups, positions []position, st float64, seed int64) (*LengthGroups, []int) {
 	length := prevLG.Length
 	lg := &LengthGroups{Length: length, Groups: make([]*Group, len(prevLG.Groups))}
 	touched := make([]bool, len(prevLG.Groups))
@@ -83,12 +171,6 @@ func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, s
 		}
 	}
 
-	var positions []position
-	for _, s := range newSeries {
-		for j := 0; j+length <= s.Len(); j++ {
-			positions = append(positions, position{seriesIdx: s.ID, start: j})
-		}
-	}
 	r := rand.New(rand.NewSource(seed))
 	r.Shuffle(len(positions), func(i, j int) {
 		positions[i], positions[j] = positions[j], positions[i]
@@ -112,7 +194,9 @@ func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, s
 		}
 		if bestIdx >= 0 && bestSq <= radiusSq {
 			lg.Groups[bestIdx].add(pos.seriesIdx, pos.start, values)
-			touched[bestIdx] = true
+			if bestIdx < len(touched) {
+				touched[bestIdx] = true
+			}
 		} else {
 			g := &Group{
 				Length: length,
@@ -122,20 +206,23 @@ func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, s
 			}
 			g.Members = append(g.Members, Member{SeriesIdx: pos.seriesIdx, Start: pos.start})
 			lg.Groups = append(lg.Groups, g)
-			touched = append(touched, false) // fresh single-member group needs no refinalize
 		}
 	}
 
 	// Refinalize touched groups: their representative drifted, so member
 	// distances and the LSI sort order must be recomputed. Untouched groups
-	// keep their existing (already finalized) members. New single-member
-	// groups get a trivial finalize.
+	// keep their existing (already finalized) members. New groups (including
+	// multi-member ones that accreted further positions) get a full finalize.
 	invSqrtL := 1 / math.Sqrt(float64(length))
+	touchedIdx := make([]int, 0, 8)
 	for gi, g := range lg.Groups {
 		isNew := gi >= len(prevLG.Groups)
 		if !isNew && !touched[gi] {
 			g.sum = nil
 			continue
+		}
+		if !isNew {
+			touchedIdx = append(touchedIdx, gi)
 		}
 		for mi := range g.Members {
 			m := &g.Members[mi]
@@ -147,5 +234,5 @@ func extendLength(d *ts.Dataset, prevLG *LengthGroups, newSeries []*ts.Series, s
 		})
 		g.sum = nil
 	}
-	return lg, int64(len(positions))
+	return lg, touchedIdx
 }

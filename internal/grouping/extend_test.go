@@ -30,31 +30,31 @@ func extendFixture(t *testing.T, st float64, lengths []int) (*ts.Dataset, *Resul
 
 func TestExtendValidation(t *testing.T) {
 	full, res, from := extendFixture(t, 0.2, []int{6})
-	if _, err := Extend(nil, res, from, Config{ST: 0.2}); err == nil {
+	if _, _, err := Extend(nil, res, from, Config{ST: 0.2}); err == nil {
 		t.Error("nil dataset: want error")
 	}
-	if _, err := Extend(full, nil, from, Config{ST: 0.2}); err == nil {
+	if _, _, err := Extend(full, nil, from, Config{ST: 0.2}); err == nil {
 		t.Error("nil result: want error")
 	}
-	if _, err := Extend(full, res, from, Config{ST: 0.4}); err == nil {
+	if _, _, err := Extend(full, res, from, Config{ST: 0.4}); err == nil {
 		t.Error("mismatched ST: want error")
 	}
-	if _, err := Extend(full, res, -1, Config{ST: 0.2}); err == nil {
+	if _, _, err := Extend(full, res, -1, Config{ST: 0.2}); err == nil {
 		t.Error("negative fromSeries: want error")
 	}
-	if _, err := Extend(full, res, full.N()+1, Config{ST: 0.2}); err == nil {
+	if _, _, err := Extend(full, res, full.N()+1, Config{ST: 0.2}); err == nil {
 		t.Error("out-of-range fromSeries: want error")
 	}
 	bad := full.Clone()
 	bad.Append("x", nil)
-	if _, err := Extend(bad, res, from, Config{ST: 0.2}); err == nil {
+	if _, _, err := Extend(bad, res, from, Config{ST: 0.2}); err == nil {
 		t.Error("empty new series: want error")
 	}
 }
 
 func TestExtendCoversAllNewSubsequences(t *testing.T) {
 	full, res, from := extendFixture(t, 0.2, []int{5, 9})
-	ext, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
+	ext, _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestExtendLeavesOriginalUntouched(t *testing.T) {
 	for i, g := range res.ByLength[6].Groups {
 		beforeCounts[i] = g.Count()
 	}
-	if _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9}); err != nil {
+	if _, _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
 	if len(res.ByLength[6].Groups) != beforeGroups {
@@ -108,7 +108,7 @@ func TestExtendLeavesOriginalUntouched(t *testing.T) {
 
 func TestExtendRepsStayAverages(t *testing.T) {
 	full, res, from := extendFixture(t, 0.25, []int{7})
-	ext, err := Extend(full, res, from, Config{ST: 0.25, Seed: 9})
+	ext, _, err := Extend(full, res, from, Config{ST: 0.25, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestExtendMatchesScaleOfFullBuild(t *testing.T) {
 	// group sets differ from a from-scratch build — but the group count
 	// must stay in the same ballpark.
 	full, res, from := extendFixture(t, 0.2, []int{6})
-	ext, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
+	ext, _, err := Extend(full, res, from, Config{ST: 0.2, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,6 +117,23 @@ type Result struct {
 	ByLength map[int]*LengthGroups
 	// TotalSubseq counts every subsequence placed into a group.
 	TotalSubseq int64
+	// IncrementalMembers counts the subsequences assigned by incremental
+	// maintenance (Extend / AppendPoints) since the last full Build — the
+	// numerator of the drift fraction the amortized rebuild policy watches.
+	// A full Build resets it to zero.
+	IncrementalMembers int64
+}
+
+// Drift returns the fraction of members that joined incrementally since the
+// last full Build (0 for a freshly built result). It is the staleness signal
+// of the amortized rebuild policy: incrementally assigned members never
+// trigger group splits or re-shuffles, so as drift grows the grouping slowly
+// diverges from what Algorithm 1 would build from scratch.
+func (r *Result) Drift() float64 {
+	if r.TotalSubseq == 0 {
+		return 0
+	}
+	return float64(r.IncrementalMembers) / float64(r.TotalSubseq)
 }
 
 // TotalGroups returns the number of groups across all lengths (the paper's

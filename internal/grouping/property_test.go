@@ -146,7 +146,7 @@ func TestPropertyExtendKeepsInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ext, err := Extend(d, res, 4, Config{ST: 0.3, Seed: seed})
+		ext, _, err := Extend(d, res, 4, Config{ST: 0.3, Seed: seed})
 		if err != nil {
 			return false
 		}

@@ -87,9 +87,12 @@ type Config struct {
 	// is full (default 256).
 	QueueDepth int
 	// SnapshotDir, when non-empty, enables persistence: every successful
-	// build (and extension) is snapshotted to <dir>/<name>.onex, and a
-	// Register finding a snapshot for its name loads it instead of
-	// rebuilding. The directory is created on demand.
+	// build — and every Extend/Append swap — is snapshotted to
+	// <dir>/<name>.onex, and a Register finding a snapshot for its name
+	// loads it instead of rebuilding, whatever source the spec names (the
+	// hub's snapshot reflects incremental growth the spec predates). Use
+	// Drop(name, purge=true) to discard it and force the next Register to
+	// build from the spec. The directory is created on demand.
 	SnapshotDir string
 	// CacheEntries bounds the query-result LRU (0 = default 1024,
 	// negative = disable caching).
@@ -104,7 +107,11 @@ type Spec struct {
 	// Path names a UCR-format TSV file to load.
 	Path string
 	// Snapshot names a persisted base (onex.Base.SaveFile) to reopen; the
-	// build options travel inside the snapshot, so Opts is ignored.
+	// build options travel inside the snapshot, so Opts is ignored. When
+	// the hub persists its own snapshots (Config.SnapshotDir) and one
+	// exists for this name, it wins over this file — it reflects
+	// Extend/Append growth this file predates; Drop(name, purge=true)
+	// before re-registering forces this file to load.
 	Snapshot string
 	// Generator names a synthetic paper dataset (dataset.ByName), scaled
 	// by Scale (0 = full size) and generated from Seed.
@@ -293,7 +300,14 @@ func (h *Hub) Drop(name string, purgeSnapshot bool) error {
 	h.cache.purgePrefix(name + "|")
 	if purgeSnapshot {
 		if p := h.snapshotPath(name); p != "" {
-			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			// Remove under the dataset's snapshot mutex: an in-flight
+			// Extend/Append re-snapshot either observes dropped=true and
+			// skips, or finishes its write before this remove — never
+			// resurrecting a purged file afterwards.
+			ds.snapMu.Lock()
+			err := os.Remove(p)
+			ds.snapMu.Unlock()
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
 				return err
 			}
 		}
@@ -586,17 +600,21 @@ func (d *Dataset) build() {
 }
 
 // materialize obtains the base per the spec, preferring an existing hub
-// snapshot over a rebuild. A stale or unreadable hub snapshot falls back
-// to the build path rather than failing the registration.
+// snapshot over every other source — including an explicit Spec.Snapshot:
+// the hub's own snapshot is re-written on every successful Extend/Append
+// swap, so it reflects incremental growth the spec's original file (or raw
+// series) predates; preferring the spec here would make Drop + re-register
+// silently resurrect the pre-extension base. An unreadable hub snapshot
+// falls back to the spec's source rather than failing the registration.
 func (d *Dataset) materialize() (base *onex.Base, fromSnapshot bool, err error) {
-	if d.spec.Snapshot != "" {
-		base, err = onex.LoadFile(d.spec.Snapshot)
-		return base, err == nil, err
-	}
 	if path := d.hub.snapshotPath(d.name); path != "" {
 		if base, err := onex.LoadFile(path); err == nil {
 			return base, true, nil
 		}
+	}
+	if d.spec.Snapshot != "" {
+		base, err = onex.LoadFile(d.spec.Snapshot)
+		return base, err == nil, err
 	}
 	series, name, err := d.spec.series(d.name)
 	if err != nil {
@@ -693,15 +711,38 @@ func (d *Dataset) fail(err error) {
 // Extend adds series to the dataset: the extended base is constructed
 // concurrently with in-flight queries (which keep the old immutable base),
 // then swapped in, bumping the generation and invalidating this dataset's
-// cached results. A concurrent Extend on the same generation returns
+// cached results. A concurrent Extend/Append on the same generation returns
 // ErrConflict. When the hub persists snapshots the new base is re-saved so
 // a reload reflects the extension.
 func (d *Dataset) Extend(series []onex.Series) error {
+	return d.swap(func(base *onex.Base) (*onex.Base, error) {
+		return base.Extend(series)
+	})
+}
+
+// Append grows one existing series of the dataset in time (streaming point
+// ingestion): the grown base is constructed concurrently with in-flight
+// queries, swapped in under the same generation CAS Extend uses, the
+// dataset's cached results are invalidated, and the snapshot is re-saved so
+// a reload reflects the appended points.
+func (d *Dataset) Append(seriesID int, points []float64) error {
+	return d.swap(func(base *onex.Base) (*onex.Base, error) {
+		return base.Append(seriesID, points...)
+	})
+}
+
+// swap runs one incremental-maintenance step: grow derives the next base
+// from the current one (outside any lock), then the pointer swap is
+// validated against the generation observed before growing — a concurrent
+// modification returns ErrConflict rather than silently dropping either
+// update. After a successful swap the dataset's cache entries are purged
+// and the snapshot re-written.
+func (d *Dataset) swap(grow func(*onex.Base) (*onex.Base, error)) error {
 	base, gen, err := d.Base()
 	if err != nil {
 		return err
 	}
-	extended, err := base.Extend(series)
+	next, err := grow(base)
 	if err != nil {
 		return err
 	}
@@ -711,26 +752,45 @@ func (d *Dataset) Extend(series []onex.Series) error {
 		d.mu.Unlock()
 		return ErrConflict
 	}
-	d.base = extended
+	d.base = next
 	d.gen++
 	d.mu.Unlock()
 	d.hub.cache.purgePrefix(d.name + "|")
-
-	if path := d.hub.snapshotPath(d.name); path != "" && !d.dropped.Load() {
-		// Serialize writes and always persist the base that is current when
-		// the write starts, so an overlapping Extend whose (slow) save lands
-		// last can never regress the on-disk snapshot to an older generation.
-		d.snapMu.Lock()
-		d.mu.RLock()
-		current := d.base
-		d.mu.RUnlock()
-		snapErr := current.SaveFile(path)
-		d.snapMu.Unlock()
-		d.mu.Lock()
-		d.snapshotErr = snapErr
-		d.mu.Unlock()
-	}
+	d.resnapshot()
 	return nil
+}
+
+// resnapshot re-writes the on-disk snapshot with the dataset's current base
+// so a later Drop + re-register reloads post-maintenance data. Writes are
+// serialized and always persist the base that is current when the write
+// starts, so an overlapping swap whose (slow) save lands last can never
+// regress the on-disk snapshot to an older generation. The snapshot
+// directory is created on demand — a base loaded from an external
+// Spec.Snapshot may be the first to persist under the hub's own directory.
+func (d *Dataset) resnapshot() {
+	path := d.hub.snapshotPath(d.name)
+	if path == "" {
+		return
+	}
+	d.snapMu.Lock()
+	// The dropped check must happen under snapMu: Drop's purge removes the
+	// file under the same mutex, so a swap racing a purge can never write
+	// the snapshot back after the remove.
+	if d.dropped.Load() {
+		d.snapMu.Unlock()
+		return
+	}
+	d.mu.RLock()
+	current := d.base
+	d.mu.RUnlock()
+	snapErr := os.MkdirAll(d.hub.cfg.SnapshotDir, 0o755)
+	if snapErr == nil {
+		snapErr = current.SaveFile(path)
+	}
+	d.snapMu.Unlock()
+	d.mu.Lock()
+	d.snapshotErr = snapErr
+	d.mu.Unlock()
 }
 
 // cached runs compute through the hub's result cache. Results are shared —
@@ -818,14 +878,26 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 	return out, nil
 }
 
-// Range answers a range query through the result cache.
-func (d *Dataset) Range(q []float64, length int, radius float64) ([]onex.RangeMatch, error) {
+// Range answers a range query through the result cache. With exact set,
+// matches admitted through the Lemma 2 guarantee carry their true DTW
+// instead of the ST upper bound (onex.Base.RangeSearchExact); the two modes
+// cache under distinct keys.
+func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]onex.RangeMatch, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
 	}
-	key := queryKey(d.name, d.epoch, gen, "range", []int{length}, append(append([]float64(nil), q...), radius))
-	v, err := d.cached(key, func() (any, error) { return base.RangeSearch(q, length, radius) })
+	kind := "range"
+	if exact {
+		kind = "rangex"
+	}
+	key := queryKey(d.name, d.epoch, gen, kind, []int{length}, append(append([]float64(nil), q...), radius))
+	v, err := d.cached(key, func() (any, error) {
+		if exact {
+			return base.RangeSearchExact(q, length, radius)
+		}
+		return base.RangeSearch(q, length, radius)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -71,7 +71,7 @@ func TestHubLifecycle(t *testing.T) {
 	if err != nil || len(ms) != 1 {
 		t.Fatalf("Match = %v, %v", ms, err)
 	}
-	if _, err := ds.Range(q, 8, 0.5); err != nil {
+	if _, err := ds.Range(q, 8, 0.5, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ds.Seasonal(-1, 8); err != nil {

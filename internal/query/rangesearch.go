@@ -11,10 +11,12 @@ import (
 // RangeResult is one subsequence returned by a range search.
 type RangeResult struct {
 	Match
-	// Guaranteed is true when the match was admitted wholesale through the
-	// Lemma 2 guarantee (its group representative was within ST/2 of the
-	// query) without computing its individual DTW. Guaranteed results
-	// report the ST upper bound in Dist instead of an exact distance.
+	// Guaranteed is true when the match was admitted through the Lemma 2
+	// guarantee (its group representative was within ST/2 of the query)
+	// without needing an individual verification. Under RangeSearch,
+	// guaranteed results report the ST upper bound in Dist — NOT an exact
+	// distance (sorting or re-thresholding on Dist is wrong for them);
+	// RangeSearchExact computes their true DTW instead.
 	Guaranteed bool
 }
 
@@ -37,8 +39,25 @@ type RangeResult struct {
 //     is skipped without touching its members.
 //
 // Members of the remaining groups are verified individually with
-// early-abandoning DTW and carry exact distances. Results are unordered.
+// early-abandoning DTW and carry exact distances; wholesale-admitted members
+// carry the ST upper bound in Dist (see RangeResult.Guaranteed). Results are
+// unordered.
 func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
+	return p.rangeSearch(q, length, radius, false)
+}
+
+// RangeSearchExact is RangeSearch with exact reported distances: members
+// admitted wholesale through the Lemma 2 guarantee get their true DTW
+// computed (the guarantee still saves the early-abandon cutoff work and the
+// admission decision) and are filtered against the radius like every other
+// member. The result set is therefore exactly the subsequences whose
+// normalized DTW is within radius — independent of how the base happens to
+// be grouped — at the cost of one DTW per guaranteed member.
+func (p *Processor) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
+	return p.rangeSearch(q, length, radius, true)
+}
+
+func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact bool) ([]RangeResult, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -80,18 +99,33 @@ func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]Rang
 			// satisfies the premise and verify any stragglers individually.
 			for verifyFrom < n && g.Members[verifyFrom].EDToRep <= p.base.ST/2 {
 				m := g.Members[verifyFrom]
+				verifyFrom++
+				// Reported distance: the Lemma 2 upper bound (exactly ST —
+				// not round-tripped through the divisor), or in exact mode
+				// the true DTW (the guarantee proves DTW̄ ≤ ST
+				// mathematically, so no abandon can fire below the radius),
+				// filtered like any verified member so the result set
+				// matches a brute-force scan bit for bit.
+				nd, d := p.base.ST, p.base.ST*divisor
+				if exact {
+					v := p.base.MemberValues(g, m)
+					d = ws.DTWEarlyAbandon(q, v, dist.Unconstrained, radius*divisor)
+					nd = d / divisor
+					if nd > radius {
+						continue
+					}
+				}
 				out = append(out, RangeResult{
 					Match: Match{
 						SeriesID: m.SeriesIdx,
 						Start:    m.Start,
 						Length:   length,
-						Dist:     p.base.ST, // Lemma 2 upper bound
-						RawDTW:   p.base.ST * divisor,
+						Dist:     nd,
+						RawDTW:   d,
 						GroupID:  k,
 					},
 					Guaranteed: true,
 				})
-				verifyFrom++
 			}
 		}
 

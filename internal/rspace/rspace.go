@@ -105,6 +105,53 @@ func New(d *ts.Dataset, gr *grouping.Result, opts Options) (*Base, error) {
 	return b, nil
 }
 
+// Refresh wraps an incrementally-maintained grouping result, reusing the
+// previous Base's per-length index work for everything the maintenance step
+// did not touch: Dc entries between two unchanged groups and the envelopes
+// of unchanged representatives are carried over, so only rows/columns
+// involving touched or new groups pay distance computations. The result is
+// bit-identical to New(d, gr, opts) — Refresh is purely a cost optimization.
+// prev must have been built with the same Options; a nil prev or delta falls
+// back to New.
+func Refresh(d *ts.Dataset, gr *grouping.Result, opts Options, prev *Base, delta *grouping.Delta) (*Base, error) {
+	if prev == nil || delta == nil {
+		return New(d, gr, opts)
+	}
+	if d == nil || gr == nil {
+		return nil, errors.New("rspace: nil dataset or grouping result")
+	}
+	radius := opts.EnvelopeRadius
+	if radius == nil {
+		radius = func(length int) int { return length }
+	}
+	b := &Base{
+		Dataset:     d,
+		ST:          gr.ST,
+		Lengths:     append([]int(nil), gr.Lengths...),
+		Entries:     make(map[int]*LengthEntry, len(gr.Lengths)),
+		TotalSubseq: gr.TotalSubseq,
+	}
+	for _, l := range gr.Lengths {
+		var entry *LengthEntry
+		prevEntry := prev.Entries[l]
+		prevGroups, known := delta.PrevGroups[l]
+		if prevEntry == nil || !known {
+			entry = newLengthEntry(gr.ByLength[l], gr.ST, radius(l))
+		} else {
+			entry = refreshLengthEntry(gr.ByLength[l], gr.ST, radius(l),
+				prevEntry, prevGroups, delta.Touched[l])
+		}
+		b.Entries[l] = entry
+		if entry.STHalf > b.GlobalSTHalf {
+			b.GlobalSTHalf = entry.STHalf
+		}
+		if entry.STFinal > b.GlobalSTFinal {
+			b.GlobalSTFinal = entry.STFinal
+		}
+	}
+	return b, nil
+}
+
 func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int) *LengthEntry {
 	g := len(lg.Groups)
 	e := &LengthEntry{
@@ -126,6 +173,74 @@ func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int) *Lengt
 			e.Dc[l][k] = d
 		}
 	}
+	for k, grp := range lg.Groups {
+		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
+		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
+	}
+	finishEntry(e, st)
+	return e
+}
+
+// refreshLengthEntry derives one length's entry from its previous
+// incarnation after an incremental maintenance step: Dc values between two
+// unchanged groups are copied (they were computed from byte-identical
+// representatives), envelopes of unchanged groups are reused, and distance
+// computations run only for pairs involving a touched or new group — an
+// O(changed·g·L + g²) refresh instead of newLengthEntry's O(g²·L).
+func refreshLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int,
+	prev *LengthEntry, prevGroups int, touched []int) *LengthEntry {
+
+	g := len(lg.Groups)
+	dirty := make([]bool, g)
+	for k := prevGroups; k < g; k++ {
+		dirty[k] = true // new group
+	}
+	for _, k := range touched {
+		dirty[k] = true // representative moved
+	}
+	e := &LengthEntry{
+		Length:    lg.Length,
+		Groups:    lg.Groups,
+		Dc:        make([][]float64, g),
+		Sums:      make([]float64, g),
+		SumOrder:  make([]int, g),
+		Envelopes: make([]Envelope, g),
+	}
+	invSqrtL := 1 / math.Sqrt(float64(lg.Length))
+	for k := range e.Dc {
+		e.Dc[k] = make([]float64, g)
+	}
+	for k := 0; k < g; k++ {
+		for l := k + 1; l < g; l++ {
+			var d float64
+			if !dirty[k] && !dirty[l] {
+				d = prev.Dc[k][l]
+			} else {
+				d = dist.ED(lg.Groups[k].Rep, lg.Groups[l].Rep) * invSqrtL
+			}
+			e.Dc[k][l] = d
+			e.Dc[l][k] = d
+		}
+	}
+	for k, grp := range lg.Groups {
+		if !dirty[k] {
+			// The previous envelope was computed from this exact (immutable)
+			// representative; sharing the slices is safe.
+			e.Envelopes[k] = prev.Envelopes[k]
+			continue
+		}
+		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
+		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
+	}
+	finishEntry(e, st)
+	return e
+}
+
+// finishEntry derives the Dc-dependent state shared by the full and
+// incremental builders: row sums, the sum-sorted and median-expanded visit
+// orders, and the SP-Space merge thresholds.
+func finishEntry(e *LengthEntry, st float64) {
+	g := len(e.Groups)
 	for k := 0; k < g; k++ {
 		var sum float64
 		for l := 0; l < g; l++ {
@@ -138,12 +253,7 @@ func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int) *Lengt
 		return e.Sums[e.SumOrder[a]] < e.Sums[e.SumOrder[b]]
 	})
 	e.MedianOrder = medianExpand(e.SumOrder)
-	for k, grp := range lg.Groups {
-		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
-		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
-	}
 	e.STHalf, e.STFinal = mergeThresholds(e.Dc, st)
-	return e
 }
 
 // medianExpand reorders sum-sorted indices to start at the median and

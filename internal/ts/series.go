@@ -29,6 +29,37 @@ type Series struct {
 // Len returns the number of observations in the series.
 func (s *Series) Len() int { return len(s.Values) }
 
+// AppendPoints grows the series in time: the observations are appended after
+// the existing ones, always onto a freshly-owned backing array — never in
+// place — so growing a series can never write through an array shared with
+// another dataset (see Dataset.CloneShared). Existing Subseq views stay
+// valid (their windows are unchanged); the new windows a grown series
+// exposes are enumerated with NewWindowStarts.
+func (s *Series) AppendPoints(points ...float64) {
+	owned := make([]float64, 0, len(s.Values)+len(points))
+	s.Values = append(append(owned, s.Values...), points...)
+}
+
+// NewWindowStarts returns the half-open start range [lo, hi) of the
+// length-sized subsequence windows that exist now but did not when the series
+// was oldLen points long — exactly the windows overlapping the appended
+// suffix. lo == hi when growing past oldLen created no new window of this
+// length (series still shorter than length).
+func (s *Series) NewWindowStarts(oldLen, length int) (lo, hi int) {
+	if length <= 0 || oldLen < 0 {
+		panic(fmt.Sprintf("ts: invalid window derivation (oldLen=%d, length=%d)", oldLen, length))
+	}
+	lo = oldLen - length + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi = len(s.Values) - length + 1
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // Sub returns the subsequence view (s)^length_start. It panics if the range
 // is out of bounds, mirroring slice semantics; callers that work with
 // untrusted indices should validate with CheckRange first.
@@ -98,6 +129,36 @@ func (d *Dataset) Append(label string, values []float64) *Series {
 // N returns the number of series in the dataset.
 func (d *Dataset) N() int { return len(d.Series) }
 
+// AppendPoints grows an existing series of the dataset in time, validating
+// the target and the points (streaming ingestion rejects non-finite values at
+// the boundary instead of corrupting the index). Like Series.AppendPoints it
+// always reallocates onto an owned array, so it is safe on CloneShared
+// clones whatever the shared array's spare capacity.
+func (d *Dataset) AppendPoints(seriesID int, points []float64) error {
+	if seriesID < 0 || seriesID >= len(d.Series) {
+		return fmt.Errorf("ts: series %d out of range [0,%d)", seriesID, len(d.Series))
+	}
+	if len(points) == 0 {
+		return errors.New("ts: no points to append")
+	}
+	if i := CheckFinite(points); i >= 0 {
+		return fmt.Errorf("ts: non-finite appended value %v at index %d", points[i], i)
+	}
+	d.Series[seriesID].AppendPoints(points...)
+	return nil
+}
+
+// CheckFinite returns the index of the first NaN or ±Inf in values, or -1
+// when every value is finite — the shared ingestion-boundary check.
+func CheckFinite(values []float64) int {
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
 // MaxLen returns the length of the longest series (0 for an empty dataset).
 func (d *Dataset) MaxLen() int {
 	m := 0
@@ -155,10 +216,8 @@ func (d *Dataset) Validate() error {
 		if s.Len() == 0 {
 			return fmt.Errorf("ts: series %d is empty", s.ID)
 		}
-		for i, v := range s.Values {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("ts: series %d has non-finite value %v at index %d", s.ID, v, i)
-			}
+		if i := CheckFinite(s.Values); i >= 0 {
+			return fmt.Errorf("ts: series %d has non-finite value %v at index %d", s.ID, s.Values[i], i)
 		}
 	}
 	return nil
@@ -172,6 +231,21 @@ func (d *Dataset) Clone() *Dataset {
 		v := make([]float64, len(s.Values))
 		copy(v, s.Values)
 		out.Series[i] = &Series{ID: s.ID, Label: s.Label, Values: v}
+	}
+	return out
+}
+
+// CloneShared returns a copy-on-write clone: fresh Series headers sharing
+// the receiver's value arrays. It is the right clone for incremental base
+// maintenance, where existing observations are immutable and only appended
+// data is new — cloning stays O(series count) instead of O(total points).
+// Callers must not mutate existing windows through either dataset; grow
+// series only via Dataset.AppendPoints, which always reallocates onto an
+// owned array so a shared one is never written.
+func (d *Dataset) CloneShared() *Dataset {
+	out := &Dataset{Name: d.Name, Series: make([]*Series, len(d.Series))}
+	for i, s := range d.Series {
+		out.Series[i] = &Series{ID: s.ID, Label: s.Label, Values: s.Values}
 	}
 	return out
 }

@@ -166,8 +166,10 @@ func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error)
 type RangeMatch struct {
 	Match
 	// Guaranteed marks matches admitted wholesale by the paper's Lemma 2
-	// guarantee (group representative within ST/2 of the query) — their
-	// Distance is the ST upper bound, not an exact value.
+	// guarantee (group representative within ST/2 of the query). Under
+	// RangeSearch their Distance is the ST upper bound, not an exact value —
+	// do not sort or re-threshold on it; use RangeSearchExact when exact
+	// distances matter.
 	Guaranteed bool
 }
 
@@ -187,11 +189,62 @@ func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatc
 	return out, nil
 }
 
+// RangeSearchExact is RangeSearch with exact distances on the guaranteed
+// path: members admitted through the Lemma 2 guarantee get their true DTW
+// computed (instead of reporting the ST upper bound) and are filtered
+// against the radius like every other candidate. The result set is exactly
+// the subsequences within radius, independent of the base's grouping, so
+// Distance is always safe to sort or re-threshold on.
+func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]RangeMatch, error) {
+	rs, err := b.eng.Proc.RangeSearchExact(q, length, radius)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RangeMatch, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, RangeMatch{Match: b.toPublicMatch(r.Match), Guaranteed: r.Guaranteed})
+	}
+	return out, nil
+}
+
+// Append grows one existing series in time — streaming point ingestion.
+// Only the suffix subsequences (windows overlapping the appended points)
+// are pushed through Algorithm 1's nearest-representative assignment, and
+// the index layers refresh incrementally for the touched groups, so
+// maintenance costs O(new-subsequences × g × L) distance work instead of a
+// rebuild. When the accumulated drift (fraction of incrementally assigned
+// members since the last full build) would cross Options.RebuildDrift,
+// Append runs the full offline construction over the final data instead —
+// producing exactly the base a from-scratch Build over the same normalized
+// data would for the indexed length set (which stays pinned: growing a
+// series never adds new indexed lengths) — and resets the drift to zero.
+//
+// The receiver stays valid and unchanged (the same immutability contract as
+// Extend); the grown base is returned. Points are scaled into the base's
+// value space with the original dataset's min/max under the default
+// normalization; NormalizePerSeries bases cannot Append (the original
+// per-series scale is not retained).
+func (b *Base) Append(seriesID int, points ...float64) (*Base, error) {
+	eng, err := b.eng.Append(seriesID, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Base{eng: eng, opts: b.opts}, nil
+}
+
+// Drift reports the fraction of indexed subsequences assigned incrementally
+// (Append/Extend) since the last full offline build — the staleness signal
+// of the amortized rebuild policy (see Options.RebuildDrift).
+func (b *Base) Drift() float64 { return b.eng.Drift() }
+
 // Extend incrementally adds series to the base: only the new subsequences
 // are clustered (joining existing groups or founding new ones per
-// Algorithm 1's assignment rule) and the indexes are re-derived — no full
-// rebuild. The receiver stays valid; the extended base is returned. New
-// series IDs continue after the existing ones.
+// Algorithm 1's assignment rule) and the indexes are re-derived
+// incrementally. Like Append, Extend participates in the amortized rebuild
+// policy — once the extension would push drift past Options.RebuildDrift
+// the full offline construction re-runs instead. The receiver stays valid;
+// the extended base is returned. New series IDs continue after the
+// existing ones.
 func (b *Base) Extend(series []Series) (*Base, error) {
 	in := make([]*ts.Series, 0, len(series))
 	for _, s := range series {
@@ -339,5 +392,6 @@ func (b *Base) Stats() Stats {
 		BuildTime:       b.eng.BuildTime,
 		STHalf:          b.eng.Base.GlobalSTHalf,
 		STFinal:         b.eng.Base.GlobalSTFinal,
+		Drift:           b.eng.Drift(),
 	}
 }

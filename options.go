@@ -34,6 +34,16 @@ type Options struct {
 	// setting — parallel execution is answer-invariant by construction —
 	// so this is purely a latency/throughput knob.
 	Parallelism int
+	// RebuildDrift tunes the amortized rebuild policy of incremental
+	// maintenance (Append and Extend): when the fraction of indexed
+	// subsequences that joined incrementally (since the last full offline
+	// build) would exceed this value after a maintenance step, the base is
+	// rebuilt from scratch over the final data instead — bounding how far
+	// the grouping can drift from what Algorithm 1 would build fresh. The
+	// rebuild keeps the currently-indexed length set. 0 selects the default
+	// of 0.25; negative disables amortized rebuilds (maintenance stays
+	// incremental forever).
+	RebuildDrift float64
 	// Normalize selects input normalization; default is the paper's
 	// dataset-wide min-max scaling.
 	Normalize NormalizeMode
@@ -72,13 +82,14 @@ func (o Options) toCore() (core.BuildConfig, error) {
 		workers = o.Parallelism
 	}
 	return core.BuildConfig{
-		ST:        o.ST,
-		Lengths:   o.Lengths,
-		Seed:      o.Seed,
-		Workers:   workers,
-		Normalize: core.NormalizeMode(o.Normalize),
-		Progress:  o.Progress,
-		Cancel:    o.Cancel,
+		ST:           o.ST,
+		Lengths:      o.Lengths,
+		Seed:         o.Seed,
+		Workers:      workers,
+		RebuildDrift: o.RebuildDrift,
+		Normalize:    core.NormalizeMode(o.Normalize),
+		Progress:     o.Progress,
+		Cancel:       o.Cancel,
 		Query: query.Options{
 			DisableEarlyStop: o.SearchAllLengths,
 			CandidateLimit:   o.CandidateLimit,

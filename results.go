@@ -63,4 +63,8 @@ type Stats struct {
 	// STHalf and STFinal are the global critical thresholds of the
 	// Similarity Parameter Space (Sec. 4.2).
 	STHalf, STFinal float64
+	// Drift is the fraction of subsequences assigned incrementally
+	// (Append/Extend) since the last full offline build — see
+	// Options.RebuildDrift.
+	Drift float64
 }
