@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream lint coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream bench-shard lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -43,6 +43,10 @@ bench-stream: ## Emit BENCH_stream.json: incremental point-append vs full rebuil
 	$(GO) run ./cmd/onex-bench -exp stream \
 		-stream-out $(CURDIR)/BENCH_stream.json
 
+bench-shard: ## Emit BENCH_shard.json: intra-dataset sharding sweep at shards 1/2/4/8
+	$(GO) run ./cmd/onex-bench -exp shard -scale 2 \
+		-shard-out $(CURDIR)/BENCH_shard.json
+
 # Static analysis beyond go vet (CI's lint job runs this target, so the
 # tool versions are pinned here alone). Tools are fetched on demand.
 STATICCHECK_VERSION = 2024.1.1
@@ -51,12 +55,15 @@ lint: ## staticcheck + govulncheck (downloads the tools on first use)
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
-# Coverage gate of the parallel execution engine: the packages the
-# concurrency test suite exercises must stay ≥ $(COVER_MIN)% covered.
+# Coverage gate of the parallel/sharded execution engine: the packages the
+# concurrency and layout-equivalence test suites exercise must stay
+# ≥ $(COVER_MIN)% covered. -coverpkg merges cross-package coverage (the
+# shard suite drives most of query's scatter executor).
 COVER_MIN = 70
-COVER_PKGS = ./internal/query/ ./internal/grouping/ ./internal/parallel/
-coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel
-	$(GO) test -count=1 -coverprofile=cover.out $(COVER_PKGS)
+COVER_PKGS = ./internal/query/ ./internal/grouping/ ./internal/parallel/ ./internal/shard/
+coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel+shard
+	$(GO) test -count=1 -coverprofile=cover.out \
+		-coverpkg=$(shell echo "$(COVER_PKGS)" | tr ' ' ',') $(COVER_PKGS)
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	echo "total coverage: $$total%"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min) ? 1 : 0 }' \

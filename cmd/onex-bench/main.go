@@ -5,7 +5,7 @@
 //
 //	onex-bench [flags]
 //
-//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", or "all" (default "all")
+//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", "shard", or "all" (default "all")
 //	-datasets string comma-separated subset of the six paper datasets
 //	-st float        similarity threshold (default 0.2, the paper's sweet spot)
 //	-scale float     multiplier on bench-scale dataset cardinalities (default 1)
@@ -27,7 +27,10 @@
 // parallel sweep (not a paper figure): it times the offline build, single
 // BestMatch queries and BestMatchBatch at worker counts 1..GOMAXPROCS,
 // verifies the answers are identical at every count, and writes the
-// machine-readable report to -parallel-out.
+// machine-readable report to -parallel-out. The "shard" experiment sweeps
+// the intra-dataset sharded engine at shard counts 1/2/4/8 the same way
+// (build + query/batch/k-NN latency, per-shard index footprint, built-in
+// unsharded-equivalence check), writing to -shard-out.
 package main
 
 import (
@@ -90,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"output path of the -exp parallel JSON report")
 		streamOut = fs.String("stream-out", "BENCH_stream.json",
 			"output path of the -exp stream JSON report")
+		shardOut = fs.String("shard-out", "BENCH_shard.json",
+			"output path of the -exp shard JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +131,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			func(w io.Writer) error { return bench.WriteStreamReport(rep, w) },
 			fmt.Sprintf("best sweep point: incremental append %.1fx cheaper than per-batch rebuilds",
 				rep.LargestSpeedup))
+	}
+	if *exp == "shard" {
+		rep, tables, err := bench.RunShardSweep(cfg)
+		if err != nil {
+			return err
+		}
+		return emitReport(stdout, tables, *shardOut,
+			func(w io.Writer) error { return bench.WriteShardReport(rep, w) },
+			fmt.Sprintf("gomaxprocs=%d, answers unsharded-equivalent=%v, best query speedup %.2fx, best build speedup %.2fx",
+				rep.GOMAXPROCS, rep.Equivalent, rep.BestQuerySpeedup, rep.BestBuildSpeedup))
 	}
 	if *exp == "parallel" {
 		rep, tables, err := bench.RunParallelSweep(cfg)

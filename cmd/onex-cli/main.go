@@ -6,6 +6,7 @@
 // Usage:
 //
 //	onex-cli [-data file.tsv | -generate ItalyPower] [-st 0.2] [-lengths 16] [-scale 0.25]
+//	         [-parallelism 0] [-rebuild-drift 0] [-shards 0]
 //
 // Commands at the prompt:
 //
@@ -42,12 +43,15 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
-		dataPath string
-		genName  = "ItalyPower"
-		st       = 0.2
-		lengths  = 16
-		scale    = 0.25
-		seed     = int64(1)
+		dataPath     string
+		genName      = "ItalyPower"
+		st           = 0.2
+		lengths      = 16
+		scale        = 0.25
+		seed         = int64(1)
+		parallelism  = 0
+		rebuildDrift = 0.0
+		shards       = 0
 	)
 	// Minimal flag parsing so the binary stays self-contained.
 	for i := 0; i < len(args); i++ {
@@ -97,8 +101,34 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
 				return err
 			}
+		case "-parallelism":
+			// Build/query worker fan-out, mirroring onex-server's flag
+			// (0 = GOMAXPROCS; answers identical at every value).
+			if v, err = need(); err != nil {
+				return err
+			}
+			if parallelism, err = strconv.Atoi(v); err != nil {
+				return err
+			}
+		case "-rebuild-drift":
+			// Amortized-rebuild threshold of incremental maintenance
+			// (0 = default 0.25, negative disables), as onex-server exposes.
+			if v, err = need(); err != nil {
+				return err
+			}
+			if rebuildDrift, err = strconv.ParseFloat(v, 64); err != nil {
+				return err
+			}
+		case "-shards":
+			// Intra-dataset shard count (0/1 = unsharded).
+			if v, err = need(); err != nil {
+				return err
+			}
+			if shards, err = strconv.Atoi(v); err != nil {
+				return err
+			}
 		case "-h", "-help", "--help":
-			fmt.Fprintln(stdout, "usage: onex-cli [-data file | -generate name] [-st 0.2] [-lengths 16] [-scale 0.25] [-seed 1]")
+			fmt.Fprintln(stdout, "usage: onex-cli [-data file | -generate name] [-st 0.2] [-lengths 16] [-scale 0.25] [-seed 1] [-parallelism 0] [-rebuild-drift 0] [-shards 0]")
 			return nil
 		default:
 			return fmt.Errorf("unknown flag %q", args[i])
@@ -117,9 +147,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "building ONEX base over %q: %d series, ST=%.2f…\n", name, len(series), st)
 	base, err := onex.Build(name, series, onex.Options{
-		ST:      st,
-		Lengths: spread(maxLen, lengths),
-		Seed:    seed,
+		ST:           st,
+		Lengths:      spread(maxLen, lengths),
+		Seed:         seed,
+		Parallelism:  parallelism,
+		RebuildDrift: rebuildDrift,
+		Shards:       shards,
 	})
 	if err != nil {
 		return err
@@ -256,6 +289,16 @@ func printStats(base *onex.Base, w io.Writer) {
 	s := base.Stats()
 	fmt.Fprintf(w, "ST=%.3f  representatives=%d  subsequences=%d  index=%.2f MB\n",
 		base.ST(), s.Representatives, s.Subsequences, float64(s.IndexBytes)/(1<<20))
+	if s.Shards > 1 {
+		fmt.Fprintf(w, "shards: %d", s.Shards)
+		for _, sh := range s.PerShard {
+			fmt.Fprintf(w, "  [%d: %d series, %d groups]", sh.Shard, sh.Series, sh.Groups)
+		}
+		fmt.Fprintln(w)
+	}
+	if s.Drift > 0 || s.Rebuilds > 0 {
+		fmt.Fprintf(w, "drift=%.3f  rebuilds=%d  lastRebuild=%v\n", s.Drift, s.Rebuilds, s.LastRebuild)
+	}
 	fmt.Fprintf(w, "SP-Space: ST_half=%.4f  ST_final=%.4f  build=%v\n", s.STHalf, s.STFinal, s.BuildTime)
 	ls := base.Lengths()
 	fmt.Fprintf(w, "indexed lengths (%d): %v\n", len(ls), ls)

@@ -185,3 +185,34 @@ func TestSpreadHelper(t *testing.T) {
 		t.Errorf("spread(24,0) = %v, want nil", got)
 	}
 }
+
+// TestCLIShardedFlags drives a session with the serving knobs the server
+// already exposes — -parallelism, -rebuild-drift and -shards — and checks
+// the sharded base builds, reports its layout, and answers queries.
+func TestCLIShardedFlags(t *testing.T) {
+	args := append(tinyArgs(), "-parallelism", "2", "-rebuild-drift", "-1", "-shards", "3")
+	out := runScript(t, args, "stats\nmatch 0:2:10\nknn 2 1:0:10\nquit\n")
+	if !strings.Contains(out, "shards: 3") {
+		t.Errorf("stats output missing shard layout: %q", out)
+	}
+	if !strings.Contains(out, "best match: series") {
+		t.Errorf("sharded match failed: %q", out)
+	}
+	if !strings.Contains(out, "nearest matches") {
+		t.Errorf("sharded knn failed: %q", out)
+	}
+}
+
+// TestCLIFlagValidation pins the new flags' error handling.
+func TestCLIFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-parallelism"}, strings.NewReader(""), &out); err == nil {
+		t.Error("-parallelism without value: want error")
+	}
+	if err := run([]string{"-rebuild-drift", "x"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad -rebuild-drift: want error")
+	}
+	if err := run([]string{"-shards", "-2"}, strings.NewReader(""), &out); err == nil {
+		t.Error("negative -shards: want build error")
+	}
+}

@@ -70,6 +70,7 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 1024, "query-result cache capacity (negative disables)")
 		buildWorkers = flag.Int("build-workers", 2, "concurrent dataset builds")
 		parallelism  = flag.Int("parallelism", 0, "per-query/build worker fan-out (0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 0, "intra-dataset shard count of the default dataset (0/1 = unsharded)")
 		maxBody      = flag.Int64("max-body-bytes", defaultMaxBody, "request body size cap")
 		allowFS      = flag.Bool("allow-fs", false,
 			"let /v1/datasets register from server filesystem paths (path/snapshot fields)")
@@ -78,7 +79,7 @@ func main() {
 
 	srv, err := newServer(serverConfig{
 		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
-		Scale: *scale, Seed: *seed, Parallelism: *parallelism,
+		Scale: *scale, Seed: *seed, Parallelism: *parallelism, Shards: *shards,
 		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
 	})
@@ -122,6 +123,10 @@ func main() {
 
 const defaultMaxBody = 8 << 20 // 8 MiB: ~1M-point query vectors
 
+// maxShards bounds client-requested shard counts (the engine additionally
+// clamps to the dataset's series count).
+const maxShards = 256
+
 // serverConfig aggregates the startup flags (kept as a struct so tests can
 // build servers directly).
 type serverConfig struct {
@@ -132,7 +137,10 @@ type serverConfig struct {
 	Seed                int64
 	// Parallelism is the default dataset's build/query worker fan-out
 	// (0 = GOMAXPROCS).
-	Parallelism  int
+	Parallelism int
+	// Shards is the default dataset's intra-dataset shard count
+	// (0/1 = unsharded; answers are identical at every count).
+	Shards       int
 	SnapshotDir  string
 	CacheEntries int
 	BuildWorkers int
@@ -169,7 +177,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	spec := hub.Spec{
 		Scale:       cfg.Scale,
 		Seed:        cfg.Seed,
-		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism},
+		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Shards: cfg.Shards},
 		LengthCount: cfg.Lengths,
 	}
 	name := cfg.Generator
@@ -354,8 +362,13 @@ type registerRequest struct {
 	Lengths   int          `json:"lengths"`
 	// Parallelism bounds the dataset's build and query worker fan-out
 	// (0 = GOMAXPROCS; answers are identical for every value).
-	Parallelism int  `json:"parallelism"`
-	Wait        bool `json:"wait"`
+	Parallelism int `json:"parallelism"`
+	// Shards hash-partitions the dataset's series across engine shards
+	// built concurrently and queried by scatter-gather (0/1 = unsharded;
+	// answers are identical at every count — see /v1/datasets/{name}/stats
+	// for the per-shard breakdown).
+	Shards int  `json:"shards"`
+	Wait   bool `json:"wait"`
 }
 
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -378,6 +391,18 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if limit := 4 * runtime.GOMAXPROCS(0); req.Parallelism > limit {
 		req.Parallelism = limit
 	}
+	if req.Shards < 0 {
+		writeErr(w, httpError{http.StatusBadRequest, "shards must be ≥ 0"})
+		return
+	}
+	// Cap the shard count: the engine clamps to the series count anyway,
+	// but a remote tenant must not get to size O(shards) allocations before
+	// that clamp is known.
+	if req.Shards > maxShards {
+		writeErr(w, httpError{http.StatusBadRequest,
+			fmt.Sprintf("shards must be ≤ %d", maxShards)})
+		return
+	}
 	if (req.Path != "" || req.Snapshot != "") && !s.allowFS {
 		writeErr(w, httpError{http.StatusForbidden,
 			"filesystem sources (path/snapshot) are disabled; start the server with -allow-fs"})
@@ -397,7 +422,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Snapshot:    req.Snapshot,
 		Scale:       req.Scale,
 		Seed:        req.Seed,
-		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism},
+		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism, Shards: req.Shards},
 		LengthCount: lengths,
 	}
 	for _, sr := range req.Series {

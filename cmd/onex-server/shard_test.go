@@ -1,0 +1,91 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestRegisterSharded registers a dataset with an explicit shard layout over
+// the v1 API and checks the per-shard stats surface plus the hub-wide
+// maintenance counters.
+func TestRegisterSharded(t *testing.T) {
+	_, hs := testServer(t, testConfig())
+
+	resp := doJSON(t, "POST", hs.URL+"/v1/datasets", map[string]any{
+		"name": "shardy", "generator": "ECG", "scale": 0.2, "st": 0.3,
+		"lengths": 5, "shards": 3, "wait": true,
+	}, 201)
+	if got := resp["shards"].(float64); got != 3 {
+		t.Errorf("register response shards = %v, want 3", got)
+	}
+
+	stats := doJSON(t, "GET", hs.URL+"/v1/datasets/shardy/stats", nil, 200)
+	if got := stats["shards"].(float64); got != 3 {
+		t.Errorf("stats shards = %v, want 3", got)
+	}
+	shardStats, ok := stats["shardStats"].([]any)
+	if !ok || len(shardStats) != 3 {
+		t.Fatalf("stats shardStats = %v, want 3 entries", stats["shardStats"])
+	}
+	series := 0.0
+	for _, raw := range shardStats {
+		entry := raw.(map[string]any)
+		series += entry["series"].(float64)
+		if entry["subsequences"].(float64) <= 0 {
+			t.Errorf("empty shard stat entry: %v", entry)
+		}
+	}
+	if series != stats["series"].(float64) {
+		t.Errorf("per-shard series sum %v != dataset series %v", series, stats["series"])
+	}
+	if _, ok := stats["drift"]; !ok {
+		t.Error("stats missing drift counter")
+	}
+	if _, ok := stats["rebuilds"]; !ok {
+		t.Error("stats missing rebuilds counter")
+	}
+
+	hub := doJSON(t, "GET", hs.URL+"/v1/stats", nil, 200)
+	maint, ok := hub["hub"].(map[string]any)["maintenance"].(map[string]any)
+	if !ok {
+		t.Fatal("/v1/stats missing maintenance map")
+	}
+	entry, ok := maint["shardy"].(map[string]any)
+	if !ok {
+		t.Fatal("maintenance map missing the sharded dataset")
+	}
+	if entry["shards"].(float64) != 3 {
+		t.Errorf("maintenance shards = %v, want 3", entry["shards"])
+	}
+
+	// Querying the sharded dataset works and matches the unsharded default
+	// semantics (identity checks live in the engine's own equivalence
+	// suite; here we just exercise the HTTP path).
+	q := make([]float64, 16)
+	for i := range q {
+		q[i] = 0.1 * float64(i%5)
+	}
+	doJSON(t, "POST", hs.URL+"/v1/datasets/shardy/match", map[string]any{"query": q}, 200)
+}
+
+// TestRegisterShardsValidation pins the request validation: negative and
+// absurd shard counts are client errors.
+func TestRegisterShardsValidation(t *testing.T) {
+	_, hs := testServer(t, testConfig())
+	doJSON(t, "POST", hs.URL+"/v1/datasets", map[string]any{
+		"name": "bad", "generator": "ECG", "shards": -1,
+	}, 400)
+	doJSON(t, "POST", hs.URL+"/v1/datasets", map[string]any{
+		"name": "bad", "generator": "ECG", "shards": maxShards + 1,
+	}, 400)
+	// At the cap is fine (the engine clamps to the series count).
+	resp := doJSON(t, "POST", hs.URL+"/v1/datasets", map[string]any{
+		"name": "capped", "generator": "ECG", "scale": 0.1, "st": 0.3,
+		"lengths": 4, "shards": maxShards, "wait": true,
+	}, 201)
+	if resp["state"] != "ready" {
+		t.Errorf("capped registration state = %v", resp["state"])
+	}
+	if shards := resp["shards"].(float64); shards <= 0 || shards > maxShards {
+		t.Errorf("clamped shards = %v", shards)
+	}
+}

@@ -86,6 +86,43 @@
 // branch reproduces the from-scratch base exactly.
 // `make bench-stream` (CI: bench-stream) regenerates the sweep.
 //
+// # Sharded serving
+//
+// Options.Shards hash-partitions one dataset's series across N engine
+// shards (internal/shard), each holding its own GTI/LSI index layers — the
+// O(g²) inter-representative matrix, envelopes and scan orders — over just
+// its series, derived concurrently on the worker pool and queried by
+// scatter-gather: the representative scan fans across shard-owned groups
+// with a shared atomic best-so-far bound (each global group is scanned by
+// exactly one shard), range search runs verbatim per shard and concatenates,
+// and group mining replays the global pivot walk. The similarity grouping
+// itself stays global and deterministic — ONEX's query semantics are
+// grouping-dependent, so independent per-shard groupings would change
+// answers — which is what makes sharding a pure scale knob:
+//
+//	base, _ := onex.Build("big", series, onex.Options{ST: 0.2, Shards: 8})
+//
+// answers BestMatch / BestKMatches / RangeSearch(Exact) / Seasonal
+// identically to Shards: 0 (the single-engine path, bit-compatible with
+// previous releases), enforced by the layout-equivalence property suite in
+// internal/shard (random datasets, query mixes and Append/Extend
+// interleavings at Parallelism 1 and 8, under -race). Caveats: two
+// representatives tying on bit-equal DTW resolve by scan order, which
+// differs between layouts (impossible on continuous data); WithThreshold
+// requires an unsharded base; and the SP-Space guidance surface
+// (RecommendThreshold, DegreeOf, Stats.STHalf/STFinal) aggregates the
+// per-shard merge structures rather than simulating the global merge, so
+// those guidance ranges — unlike query answers — can differ between
+// layouts. Appends and extends route
+// deterministically — series → shard is a pure hash — and refresh only the
+// shards whose series or groups the step touched; snapshots persist the
+// global payload plus the layout in one stream (format v4; v3 snapshots
+// load as one shard) and re-derive the shards on load. Stats().PerShard,
+// the hub Info and /v1/datasets/{name}/stats report the per-shard series/
+// group/byte populations; `make bench-shard` (CI: bench-shard) emits
+// BENCH_shard.json sweeping shard counts 1/2/4/8 over a homogeneous and a
+// heterogeneous population with the unsharded-equivalence check baked in.
+//
 // # Serving
 //
 // cmd/onex-server exposes bases over HTTP through internal/hub, a
@@ -95,7 +132,10 @@
 // build progress (Options.Progress / Options.Cancel), persist to disk as
 // snapshots (Base.SaveFile / onex.LoadFile) for instant reload, extend
 // incrementally while queries keep running, and answer repeated queries
-// from a bounded LRU result cache keyed on the dataset generation. See
+// from a bounded LRU result cache keyed on the dataset generation and
+// shard layout. Per-dataset drift/rebuild counters and per-shard sizes
+// surface on /v1/stats and /v1/datasets/{name}/stats, so the amortized
+// rebuild policy is tunable from data. See
 // cmd/onex-server/README.md for the full v1 API with curl examples, and
 //
 //	go run ./examples/hub

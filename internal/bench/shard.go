@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"onex/internal/core"
+	"onex/internal/dataset"
+	"onex/internal/query"
+	"onex/internal/shard"
+	"onex/internal/ts"
+)
+
+// ShardReport is the machine-readable payload of the intra-dataset sharding
+// sweep (BENCH_shard.json): offline build and query/batch/k-NN timings at
+// shard counts 1/2/4/8, over two series populations — a homogeneous one
+// (ECG: every series from one template, so groups span every shard — the
+// worst case for per-shard index locality) and a heterogeneous one
+// (independent random walks: groups localize to their series' home shards —
+// the millions-of-distinct-series scenario intra-dataset sharding targets).
+// MaxShardGroups vs GlobalGroups is the Dc scale axis: each shard's
+// inter-representative matrix is over its own restricted group count.
+// Equivalent records that every sharded answer was verified identical to
+// the unsharded reference during the sweep — the engine's core property.
+// Wall-clock speedups track real hardware parallelism; expect ≈ 1× at
+// GOMAXPROCS=1.
+type ShardReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+
+	Series  int     `json:"series"`
+	Lengths []int   `json:"lengths"`
+	ST      float64 `json:"st"`
+	Seed    int64   `json:"seed"`
+	Queries int     `json:"queries"`
+	Repeats int     `json:"repeats"`
+
+	Points []ShardPoint `json:"points"`
+
+	// Equivalent records that every sweep answer (BestMatch, batch, k-NN)
+	// at every shard count equaled the Shards=1 reference of its population
+	// (same subsequence, distance within 1e-12).
+	Equivalent bool `json:"equivalent"`
+
+	BestBuildSpeedup float64 `json:"bestBuildSpeedup"`
+	BestQuerySpeedup float64 `json:"bestQuerySpeedup"`
+	BestBatchSpeedup float64 `json:"bestBatchSpeedup"`
+}
+
+// ShardPoint is one sweep setting: a population served at one shard count.
+type ShardPoint struct {
+	// Population names the series population (ECG or RandomWalk).
+	Population string `json:"population"`
+	// Shards is the layout (1 = the unsharded reference engine).
+	Shards int `json:"shards"`
+	// BuildSeconds is the best-of-Repeats offline construction time
+	// (global grouping + per-shard index derivation).
+	BuildSeconds float64 `json:"buildSeconds"`
+	// QueryMillis is the best-of-Repeats mean single-BestMatch latency.
+	QueryMillis float64 `json:"queryMillis"`
+	// BatchMillis is the best-of-Repeats per-query latency of one
+	// BestMatchBatch over the whole workload.
+	BatchMillis float64 `json:"batchMillis"`
+	// KNNMillis is the best-of-Repeats mean BestKMatches(k=5) latency.
+	KNNMillis float64 `json:"knnMillis"`
+	// BuildSpeedup/QuerySpeedup/BatchSpeedup are the population's Shards=1
+	// wall times divided by this layout's.
+	BuildSpeedup float64 `json:"buildSpeedup"`
+	QuerySpeedup float64 `json:"querySpeedup"`
+	BatchSpeedup float64 `json:"batchSpeedup"`
+	// IndexBytes sums the per-shard GTI+LSI footprints. GlobalGroups is the
+	// (layout-invariant) global group count; MaxShardGroups and
+	// SumShardGroups describe how it spread across shards — the largest
+	// per-shard Dc matrix is (MaxShardGroups/GlobalGroups)² of the
+	// monolithic one.
+	IndexBytes     int64 `json:"indexBytes"`
+	GlobalGroups   int   `json:"globalGroups"`
+	MaxShardGroups int   `json:"maxShardGroups"`
+	SumShardGroups int   `json:"sumShardGroups"`
+	ShardSeries    []int `json:"shardSeries"`
+	ShardGroups    []int `json:"shardGroups"`
+}
+
+// RunShardSweep builds the two populations at shard counts 1/2/4/8 and
+// times the offline construction plus the single/batch/k-NN query paths at
+// each layout, verifying along the way that every sharded answer equals the
+// unsharded one. The human-readable table goes to the returned slice; the
+// report is ready for JSON.
+func RunShardSweep(cfg Config) (*ShardReport, []Table, error) {
+	cfg.fillDefaults()
+	n := int(float64(80) * cfg.Scale)
+	if n < 64 {
+		n = 64
+	}
+	lengths := []int{32, 48, 64}
+
+	rep := &ShardReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Series:      n,
+		Lengths:     lengths,
+		ST:          cfg.ST,
+		Seed:        cfg.Seed,
+		Queries:     cfg.Queries,
+		Repeats:     cfg.Repeats,
+		Equivalent:  true,
+	}
+
+	ecg := dataset.ECG
+	if n < ecg.N {
+		ecg.N = n
+	}
+	walkSpec := dataset.RandomWalk("RandomWalk", n, 96)
+	for _, spec := range []dataset.Spec{ecg, walkSpec} {
+		data := spec.Generate(cfg.Seed)
+		if err := data.NormalizeMinMax(); err != nil {
+			return nil, nil, err
+		}
+		pts, err := runShardPopulation(cfg, rep, spec.Name, data, lengths)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Points = append(rep.Points, pts...)
+	}
+
+	for i := range rep.Points {
+		pt := &rep.Points[i]
+		var base *ShardPoint
+		for j := range rep.Points {
+			if rep.Points[j].Population == pt.Population && rep.Points[j].Shards == 1 {
+				base = &rep.Points[j]
+				break
+			}
+		}
+		pt.BuildSpeedup = base.BuildSeconds / pt.BuildSeconds
+		pt.QuerySpeedup = base.QueryMillis / pt.QueryMillis
+		pt.BatchSpeedup = base.BatchMillis / pt.BatchMillis
+		if pt.BuildSpeedup > rep.BestBuildSpeedup {
+			rep.BestBuildSpeedup = pt.BuildSpeedup
+		}
+		if pt.QuerySpeedup > rep.BestQuerySpeedup {
+			rep.BestQuerySpeedup = pt.QuerySpeedup
+		}
+		if pt.BatchSpeedup > rep.BestBatchSpeedup {
+			rep.BestBatchSpeedup = pt.BatchSpeedup
+		}
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("Intra-dataset sharding sweep (%d series, GOMAXPROCS=%d)",
+			n, rep.GOMAXPROCS),
+		Header: []string{"population", "shards", "build s", "query ms", "batch ms", "knn ms", "max shard groups", "index MB"},
+	}
+	for _, pt := range rep.Points {
+		table.Rows = append(table.Rows, []string{
+			pt.Population,
+			fmt.Sprint(pt.Shards),
+			fmt.Sprintf("%.4f", pt.BuildSeconds),
+			fmt.Sprintf("%.3f", pt.QueryMillis),
+			fmt.Sprintf("%.3f", pt.BatchMillis),
+			fmt.Sprintf("%.3f", pt.KNNMillis),
+			fmt.Sprintf("%d/%d", pt.MaxShardGroups, pt.GlobalGroups),
+			fmt.Sprintf("%.2f", float64(pt.IndexBytes)/(1<<20)),
+		})
+	}
+	return rep, []Table{table}, nil
+}
+
+// runShardPopulation sweeps one prepared population across the shard
+// counts, verifying every answer against the population's Shards=1
+// reference.
+func runShardPopulation(cfg Config, rep *ShardReport, name string, data *ts.Dataset, lengths []int) ([]ShardPoint, error) {
+	buildCfg := core.BuildConfig{
+		ST: cfg.ST, Lengths: lengths, Seed: cfg.Seed,
+		Normalize: core.NormalizeNone, // data pre-normalized by the caller
+	}
+	queries := parallelQueries(data, lengths, cfg.Queries, cfg.Seed)
+
+	type answer struct {
+		sid, start, length int
+		dist               float64
+	}
+	check := func(stage string, shards int, ref, got []answer) error {
+		if len(ref) != len(got) {
+			rep.Equivalent = false
+			return fmt.Errorf("bench: %s %s shards=%d: %d answers, want %d", name, stage, shards, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].sid != ref[i].sid || got[i].start != ref[i].start ||
+				got[i].length != ref[i].length || math.Abs(got[i].dist-ref[i].dist) > 1e-12 {
+				rep.Equivalent = false
+				return fmt.Errorf("bench: %s %s shards=%d: answer %d diverged from unsharded (%+v vs %+v)",
+					name, stage, shards, i, got[i], ref[i])
+			}
+		}
+		return nil
+	}
+
+	var out []ShardPoint
+	var refSingle, refBatch, refKNN []answer
+	globalGroups := 0
+	for _, shards := range []int{1, 2, 4, 8} {
+		if shards > data.N() {
+			break
+		}
+		pt := ShardPoint{Population: name, Shards: shards}
+
+		var eng *shard.Engine
+		pt.BuildSeconds = math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			start := time.Now()
+			e, err := shard.Build(data, buildCfg, shards)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s shard build shards=%d: %w", name, shards, err)
+			}
+			if s := time.Since(start).Seconds(); s < pt.BuildSeconds {
+				pt.BuildSeconds = s
+			}
+			eng = e
+		}
+		pt.IndexBytes = eng.SizeBytes()
+		for _, st := range eng.ShardStats() {
+			pt.ShardSeries = append(pt.ShardSeries, st.Series)
+			pt.ShardGroups = append(pt.ShardGroups, st.Groups)
+			pt.SumShardGroups += st.Groups
+			if st.Groups > pt.MaxShardGroups {
+				pt.MaxShardGroups = st.Groups
+			}
+		}
+		if shards == 1 {
+			globalGroups = pt.SumShardGroups
+		}
+		pt.GlobalGroups = globalGroups
+
+		// Single-query latency.
+		var single []answer
+		secs := math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			single = single[:0]
+			start := time.Now()
+			for _, q := range queries {
+				m, err := eng.BestMatch(q, query.MatchAny)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s shard query shards=%d: %w", name, shards, err)
+				}
+				single = append(single, answer{m.SeriesID, m.Start, m.Length, m.Dist})
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		pt.QueryMillis = secs * 1000 / float64(len(queries))
+		if refSingle == nil {
+			refSingle = append([]answer(nil), single...)
+		} else if err := check("query", shards, refSingle, single); err != nil {
+			return nil, err
+		}
+
+		// Batch latency.
+		var batch []answer
+		secs = math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			batch = batch[:0]
+			start := time.Now()
+			for _, br := range eng.BestMatchBatch(queries, query.MatchAny) {
+				if br.Err != nil {
+					return nil, br.Err
+				}
+				batch = append(batch, answer{br.Match.SeriesID, br.Match.Start, br.Match.Length, br.Match.Dist})
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		pt.BatchMillis = secs * 1000 / float64(len(queries))
+		if refBatch == nil {
+			refBatch = append([]answer(nil), batch...)
+		} else if err := check("batch", shards, refBatch, batch); err != nil {
+			return nil, err
+		}
+
+		// k-NN latency, answers verified too.
+		var knn []answer
+		secs = math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			knn = knn[:0]
+			start := time.Now()
+			for _, q := range queries {
+				ms, err := eng.BestKMatches(q, query.MatchAny, 5)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s shard knn shards=%d: %w", name, shards, err)
+				}
+				for _, m := range ms {
+					knn = append(knn, answer{m.SeriesID, m.Start, m.Length, m.Dist})
+				}
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		pt.KNNMillis = secs * 1000 / float64(len(queries))
+		if refKNN == nil {
+			refKNN = append([]answer(nil), knn...)
+		} else if err := check("knn", shards, refKNN, knn); err != nil {
+			return nil, err
+		}
+
+		out = append(out, pt)
+		cfg.progressf("shard: %s shards=%d build %.3fs query %.3fms batch %.3fms knn %.3fms maxShardGroups %d/%d",
+			name, shards, pt.BuildSeconds, pt.QueryMillis, pt.BatchMillis, pt.KNNMillis, pt.MaxShardGroups, pt.GlobalGroups)
+	}
+	return out, nil
+}
+
+// WriteShardReport serializes the report as indented JSON.
+func WriteShardReport(rep *ShardReport, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

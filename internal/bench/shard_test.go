@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunShardSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard sweep in -short mode")
+	}
+	rep, tables, err := RunShardSweep(Config{ST: 0.2, Seed: 1, Scale: 0.3, Repeats: 1, Queries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatal("sweep reported non-equivalent answers")
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("sweep produced no points")
+	}
+	populations := map[string]bool{}
+	for _, pt := range rep.Points {
+		populations[pt.Population] = true
+		if pt.BuildSeconds <= 0 || pt.QueryMillis <= 0 || pt.BatchMillis <= 0 || pt.KNNMillis <= 0 {
+			t.Errorf("%s shards=%d: non-positive timings %+v", pt.Population, pt.Shards, pt)
+		}
+		if len(pt.ShardSeries) != pt.Shards {
+			t.Errorf("%s shards=%d: %d shard-series entries", pt.Population, pt.Shards, len(pt.ShardSeries))
+		}
+		if pt.MaxShardGroups > pt.GlobalGroups || pt.SumShardGroups < pt.GlobalGroups {
+			t.Errorf("%s shards=%d: group accounting %d/%d/%d",
+				pt.Population, pt.Shards, pt.MaxShardGroups, pt.SumShardGroups, pt.GlobalGroups)
+		}
+		if pt.Shards == 1 && (pt.BuildSpeedup != 1 || pt.QuerySpeedup != 1) {
+			t.Errorf("%s baseline speedups %v/%v, want 1", pt.Population, pt.BuildSpeedup, pt.QuerySpeedup)
+		}
+	}
+	if len(populations) != 2 {
+		t.Errorf("sweep covered populations %v, want 2", populations)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != len(rep.Points) {
+		t.Error("table shape does not match the report")
+	}
+	var buf bytes.Buffer
+	if err := WriteShardReport(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ShardReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.BestQuerySpeedup != rep.BestQuerySpeedup || !round.Equivalent {
+		t.Error("report did not round-trip")
+	}
+}

@@ -83,7 +83,21 @@ type Engine struct {
 	// savedAt is the Save timestamp restored by Load (zero for engines that
 	// were built in-process or loaded from a version-1 stream).
 	savedAt time.Time
+	// rebuilds counts drift-triggered full rebuilds along this engine's
+	// maintenance lineage and lastRebuild records the most recent one's
+	// wall-clock cost — the observability counters of the amortized rebuild
+	// policy. Process-local: snapshots do not persist them.
+	rebuilds    int64
+	lastRebuild time.Duration
 }
+
+// Rebuilds returns how many drift-triggered full rebuilds this engine's
+// maintenance lineage (Append/Extend chains) has absorbed.
+func (e *Engine) Rebuilds() int64 { return e.rebuilds }
+
+// LastRebuild returns the wall-clock cost of the most recent drift-triggered
+// rebuild (zero if none happened).
+func (e *Engine) LastRebuild() time.Duration { return e.lastRebuild }
 
 // Meta summarizes an engine for catalogs and snapshot inspection.
 type Meta struct {
@@ -115,34 +129,48 @@ func (e *Engine) Meta() Meta {
 	}
 }
 
-// Build normalizes (a copy of) the dataset per cfg, constructs the
-// similarity groups, wraps them in the R-Space indexes and returns a ready
-// engine. The input dataset is never modified.
-func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
+// PrepareDataset validates the input and applies the configured input
+// normalization, returning the working dataset (a copy unless mode is
+// NormalizeNone) plus the dataset-wide min/max recorded for later
+// incremental scaling (zero unless mode is NormalizeDataset). It is the
+// shared front half of Build, factored out so the sharded engine
+// (internal/shard) prepares its data identically — bit-identical inputs to
+// grouping are what make Shards=1 and Shards=N answer alike.
+func PrepareDataset(d *ts.Dataset, mode NormalizeMode) (work *ts.Dataset, normMin, normMax float64, err error) {
 	if d == nil {
-		return nil, errors.New("core: nil dataset")
+		return nil, 0, 0, errors.New("core: nil dataset")
 	}
 	if err := d.Validate(); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	work := d
-	var normMin, normMax float64
-	switch cfg.Normalize {
+	work = d
+	switch mode {
 	case NormalizeDataset:
 		normMin, normMax = d.MinMax()
 		work = d.Clone()
 		if err := work.NormalizeMinMax(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	case NormalizePerSeries:
 		work = d.Clone()
 		if err := work.NormalizeMinMaxPerSeries(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	case NormalizeNone:
 		// Index raw values as provided.
 	default:
-		return nil, fmt.Errorf("core: unknown normalize mode %d", cfg.Normalize)
+		return nil, 0, 0, fmt.Errorf("core: unknown normalize mode %d", mode)
+	}
+	return work, normMin, normMax, nil
+}
+
+// Build normalizes (a copy of) the dataset per cfg, constructs the
+// similarity groups, wraps them in the R-Space indexes and returns a ready
+// engine. The input dataset is never modified.
+func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
+	work, normMin, normMax, err := PrepareDataset(d, cfg.Normalize)
+	if err != nil {
+		return nil, err
 	}
 
 	start := time.Now()
@@ -208,26 +236,9 @@ func (e *Engine) Extend(newSeries []*ts.Series) (*Engine, error) {
 		if i := ts.CheckFinite(s.Values); i >= 0 {
 			return nil, fmt.Errorf("core: new series has non-finite value %v at index %d", s.Values[i], i)
 		}
-		var values []float64
-		switch e.cfg.Normalize {
-		case NormalizeDataset:
-			values = e.scaleToDataset(s.Values)
-		case NormalizePerSeries:
-			min, max := math.Inf(1), math.Inf(-1)
-			for _, v := range s.Values {
-				min = math.Min(min, v)
-				max = math.Max(max, v)
-			}
-			if max == min {
-				return nil, ts.ErrConstantData
-			}
-			scale := 1 / (max - min)
-			values = make([]float64, len(s.Values))
-			for i, v := range s.Values {
-				values[i] = (v - min) * scale
-			}
-		default:
-			values = append([]float64(nil), s.Values...)
+		values, err := ScaleNewSeries(e.cfg.Normalize, e.normMin, e.normMax, s.Values)
+		if err != nil {
+			return nil, err
 		}
 		work.Append(s.Label, values)
 	}
@@ -285,14 +296,9 @@ func (e *Engine) Append(seriesID int, points []float64) (*Engine, error) {
 	if e.grouped == nil {
 		return nil, errors.New("core: threshold-adapted engines cannot be appended to; append to the original base first")
 	}
-	var scaled []float64
-	switch e.cfg.Normalize {
-	case NormalizeDataset:
-		scaled = e.scaleToDataset(points)
-	case NormalizePerSeries:
-		return nil, errors.New("core: per-series normalized bases cannot grow series in time (the original per-series scale is not retained); rebuild instead")
-	default:
-		scaled = append([]float64(nil), points...)
+	scaled, err := ScaleAppendPoints(e.cfg.Normalize, e.normMin, e.normMax, points)
+	if err != nil {
+		return nil, err
 	}
 
 	// Copy-on-write clone: indexed observations are immutable, so the grown
@@ -325,12 +331,56 @@ func (e *Engine) Append(seriesID int, points []float64) (*Engine, error) {
 // scaleToDataset maps raw values into the engine's indexed value space under
 // the dataset-wide min-max scaling recorded at build time.
 func (e *Engine) scaleToDataset(values []float64) []float64 {
-	scale := 1 / (e.normMax - e.normMin)
+	return scaleToRange(e.normMin, e.normMax, values)
+}
+
+func scaleToRange(normMin, normMax float64, values []float64) []float64 {
+	scale := 1 / (normMax - normMin)
 	out := make([]float64, len(values))
 	for i, v := range values {
-		out[i] = (v - e.normMin) * scale
+		out[i] = (v - normMin) * scale
 	}
 	return out
+}
+
+// ScaleAppendPoints maps a streamed point batch into the value space an
+// engine built with the given normalization indexes — the exact scaling
+// Engine.Append applies, exported so the sharded engine routes appends
+// through identical arithmetic. NormalizePerSeries bases cannot grow series
+// in time (the original per-series scale is not retained) and error.
+func ScaleAppendPoints(mode NormalizeMode, normMin, normMax float64, points []float64) ([]float64, error) {
+	switch mode {
+	case NormalizeDataset:
+		return scaleToRange(normMin, normMax, points), nil
+	case NormalizePerSeries:
+		return nil, errors.New("core: per-series normalized bases cannot grow series in time (the original per-series scale is not retained); rebuild instead")
+	default:
+		return append([]float64(nil), points...), nil
+	}
+}
+
+// ScaleNewSeries maps a whole new series into an engine's indexed value
+// space — the Extend scaling: dataset-wide min-max uses the min/max recorded
+// at build, per-series normalization scales the series by itself (constant
+// series error with ts.ErrConstantData), and NormalizeNone copies the raw
+// values.
+func ScaleNewSeries(mode NormalizeMode, normMin, normMax float64, values []float64) ([]float64, error) {
+	switch mode {
+	case NormalizeDataset:
+		return scaleToRange(normMin, normMax, values), nil
+	case NormalizePerSeries:
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		if max == min {
+			return nil, ts.ErrConstantData
+		}
+		return scaleToRange(min, max, values), nil
+	default:
+		return append([]float64(nil), values...), nil
+	}
 }
 
 // maintenanceConfig is the grouping configuration incremental maintenance
@@ -357,13 +407,7 @@ func (e *Engine) maintenanceConfig() grouping.Config {
 func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64,
 	incremental func() (*grouping.Result, *grouping.Delta, error)) (*Engine, error) {
 
-	threshold := e.cfg.RebuildDrift
-	if threshold == 0 {
-		threshold = DefaultRebuildDrift
-	}
-	total := e.grouped.TotalSubseq + newCount
-	rebuild := threshold > 0 && total > 0 &&
-		float64(e.grouped.IncrementalMembers+newCount)/float64(total) > threshold
+	rebuild := RebuildDue(e.cfg.RebuildDrift, e.grouped.TotalSubseq, e.grouped.IncrementalMembers, newCount)
 
 	start := time.Now()
 	var (
@@ -400,10 +444,31 @@ func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64,
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	next := &Engine{
 		Base: base, Proc: proc, BuildTime: elapsed,
 		cfg: e.cfg, normMin: e.normMin, normMax: e.normMax, grouped: gr,
-	}, nil
+		rebuilds: e.rebuilds, lastRebuild: e.lastRebuild,
+	}
+	if rebuild {
+		next.rebuilds++
+		next.lastRebuild = elapsed
+	}
+	return next, nil
+}
+
+// RebuildDue applies the amortized-rebuild policy's decision rule: whether
+// absorbing newCount more incremental members into a base of total members
+// (incremental of them already assigned incrementally) would push the drift
+// fraction past the configured threshold (0 selects DefaultRebuildDrift,
+// negative disables). Exported so the sharded engine reaches the exact same
+// rebuild decisions as the single-engine path.
+func RebuildDue(threshold float64, total, incremental, newCount int64) bool {
+	if threshold == 0 {
+		threshold = DefaultRebuildDrift
+	}
+	grown := total + newCount
+	return threshold > 0 && grown > 0 &&
+		float64(incremental+newCount)/float64(grown) > threshold
 }
 
 // WithThreshold adapts the engine to a new similarity threshold via the

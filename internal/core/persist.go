@@ -31,11 +31,16 @@ import (
 // configured length restriction — so catalogs (internal/hub) can report a
 // reloaded base exactly as the built one. Version 3 adds the incremental-
 // member counter after TotalSubseq, so the streaming-append drift (and its
-// amortized-rebuild policy) survives a snapshot round trip. Version-1/2
-// streams still load, with zero metadata / zero drift.
+// amortized-rebuild policy) survives a snapshot round trip. Version 4 adds
+// the shard count to the header: the intra-dataset sharded engine
+// (internal/shard) persists the same global dataset+groups payload — the
+// per-shard restrictions and index layers are derived state, recomputed on
+// load exactly like the Dc matrices — plus the layout needed to re-shard it.
+// Version-1/2/3 streams still load, with zero metadata / zero drift / one
+// shard.
 const (
 	persistMagic   = "ONEXBASE"
-	persistVersion = 3
+	persistVersion = 4
 )
 
 var (
@@ -68,6 +73,29 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// Snapshot is the decoded persistent state of an engine: everything a
+// Save stream carries. The sharded engine persists the same payload plus a
+// Shards count > 1; the per-shard restrictions, like every index layer, are
+// derived state recomputed on load.
+type Snapshot struct {
+	// Shards is the serving layout: 1 for a monolithic engine, else the
+	// shard count of an internal/shard engine.
+	Shards int
+	// Cfg is the build configuration (ST, seed, lengths, query options…).
+	Cfg BuildConfig
+	// NormMin/NormMax record the dataset-wide scaling applied at build.
+	NormMin, NormMax float64
+	// SavedAt is the Save wall-clock timestamp (zero for version-1 streams;
+	// ignored by EncodeSnapshot, which stamps the current time).
+	SavedAt time.Time
+	// BuildTime is the original offline construction cost.
+	BuildTime time.Duration
+	// Dataset is the normalized dataset the base indexes.
+	Dataset *ts.Dataset
+	// Grouped is the (global) grouping result, drift counters included.
+	Grouped *grouping.Result
+}
+
 // Save serializes the engine's base (normalized dataset + similarity
 // groups + build configuration) so it can be reloaded without re-running
 // Algorithm 1. Threshold-adapted engines cannot be saved (persist the
@@ -75,6 +103,26 @@ func (c *crcReader) Read(p []byte) (int, error) {
 func (e *Engine) Save(w io.Writer) error {
 	if e.grouped == nil {
 		return errors.New("core: threshold-adapted engines cannot be saved; save the original base")
+	}
+	return EncodeSnapshot(w, &Snapshot{
+		Shards:    1,
+		Cfg:       e.cfg,
+		NormMin:   e.normMin,
+		NormMax:   e.normMax,
+		BuildTime: e.BuildTime,
+		Dataset:   e.Base.Dataset,
+		Grouped:   e.grouped,
+	})
+}
+
+// EncodeSnapshot writes one snapshot as a version-4 ONEX base stream.
+func EncodeSnapshot(w io.Writer, snap *Snapshot) error {
+	if snap == nil || snap.Dataset == nil || snap.Grouped == nil {
+		return errors.New("core: incomplete snapshot")
+	}
+	shards := snap.Shards
+	if shards < 1 {
+		shards = 1
 	}
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
@@ -87,15 +135,16 @@ func (e *Engine) Save(w io.Writer) error {
 	}
 	// Header: build parameters needed to reconstruct behaviour.
 	if err := errJoin(
-		le(e.cfg.ST),
-		le(int64(e.cfg.Seed)),
-		le(uint8(e.cfg.Normalize)),
-		le(e.normMin), le(e.normMax),
-		le(uint8(boolByte(e.cfg.Query.DisableEarlyStop))),
-		le(uint8(boolByte(e.cfg.Query.DisableLowerBounds))),
-		le(int64(e.cfg.Query.CandidateLimit)),
-		le(int64(e.cfg.Query.Patience)),
-		le(e.cfg.RebuildDrift), // version ≥ 3
+		le(snap.Cfg.ST),
+		le(int64(snap.Cfg.Seed)),
+		le(uint8(snap.Cfg.Normalize)),
+		le(snap.NormMin), le(snap.NormMax),
+		le(uint8(boolByte(snap.Cfg.Query.DisableEarlyStop))),
+		le(uint8(boolByte(snap.Cfg.Query.DisableLowerBounds))),
+		le(int64(snap.Cfg.Query.CandidateLimit)),
+		le(int64(snap.Cfg.Query.Patience)),
+		le(snap.Cfg.RebuildDrift), // version ≥ 3
+		le(uint32(shards)),        // version ≥ 4
 	); err != nil {
 		return err
 	}
@@ -103,18 +152,18 @@ func (e *Engine) Save(w io.Writer) error {
 	// configured length restriction.
 	if err := errJoin(
 		le(time.Now().Unix()),
-		le(int64(e.BuildTime)),
-		le(uint32(len(e.cfg.Lengths))),
+		le(int64(snap.BuildTime)),
+		le(uint32(len(snap.Cfg.Lengths))),
 	); err != nil {
 		return err
 	}
-	for _, l := range e.cfg.Lengths {
+	for _, l := range snap.Cfg.Lengths {
 		if err := le(uint32(l)); err != nil {
 			return err
 		}
 	}
 	// Dataset.
-	d := e.Base.Dataset
+	d := snap.Dataset
 	if err := writeString(cw, d.Name); err != nil {
 		return err
 	}
@@ -133,7 +182,7 @@ func (e *Engine) Save(w io.Writer) error {
 		}
 	}
 	// Groups.
-	gr := e.grouped
+	gr := snap.Grouped
 	if err := errJoin(le(gr.TotalSubseq), le(gr.IncrementalMembers)); err != nil {
 		return err
 	}
@@ -167,9 +216,25 @@ func (e *Engine) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reconstructs an engine from a Save stream: the dataset and groups
-// are decoded, and the GTI/LSI/SP-Space index layers are rebuilt.
+// Load reconstructs a monolithic engine from a Save stream: the dataset and
+// groups are decoded, and the GTI/LSI/SP-Space index layers are rebuilt.
+// Streams written by the sharded engine (shard count > 1) are refused here —
+// load them through the onex package (or internal/shard), which re-derives
+// the shard layout.
 func Load(r io.Reader) (*Engine, error) {
+	snap, err := DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Shards > 1 {
+		return nil, fmt.Errorf("core: stream is a %d-shard base; load it through the onex package", snap.Shards)
+	}
+	return FromSnapshot(snap)
+}
+
+// DecodeSnapshot reads and checksums one ONEX base stream without building
+// any index state on top.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	cr := &crcReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
@@ -200,6 +265,15 @@ func Load(r io.Reader) (*Engine, error) {
 	if version >= 3 {
 		if err := le(&cfg.RebuildDrift); err != nil {
 			return nil, err
+		}
+	}
+	shards := uint32(1)
+	if version >= 4 {
+		if err := le(&shards); err != nil {
+			return nil, err
+		}
+		if shards < 1 || shards > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible shard count %d", ErrBadFormat, shards)
 		}
 	}
 	var savedAt time.Time
@@ -336,25 +410,42 @@ func Load(r io.Reader) (*Engine, error) {
 		return nil, ErrCorrupt
 	}
 
+	return &Snapshot{
+		Shards:    int(shards),
+		Cfg:       cfg,
+		NormMin:   normMin,
+		NormMax:   normMax,
+		SavedAt:   savedAt,
+		BuildTime: origBuild,
+		Dataset:   d,
+		Grouped:   gr,
+	}, nil
+}
+
+// FromSnapshot materializes a monolithic engine from a decoded snapshot:
+// the GTI/LSI/SP-Space index layers are rebuilt over the stored dataset and
+// groups. The snapshot's Shards field is ignored here — internal/shard uses
+// it to re-derive a sharded layout from the same payload.
+func FromSnapshot(snap *Snapshot) (*Engine, error) {
 	start := time.Now()
-	base, err := rspace.New(d, gr, rspace.Options{})
+	base, err := rspace.New(snap.Dataset, snap.Grouped, rspace.Options{})
 	if err != nil {
 		return nil, err
 	}
-	proc, err := query.New(base, cfg.Query)
+	proc, err := query.New(base, snap.Cfg.Query)
 	if err != nil {
 		return nil, err
 	}
 	buildTime := time.Since(start)
-	if origBuild > 0 {
+	if snap.BuildTime > 0 {
 		// Report the original offline construction cost, not the (much
 		// cheaper) index rebuild — the point of snapshots is skipping it.
-		buildTime = origBuild
+		buildTime = snap.BuildTime
 	}
 	return &Engine{
 		Base: base, Proc: proc, BuildTime: buildTime,
-		cfg: cfg, normMin: normMin, normMax: normMax, grouped: gr,
-		savedAt: savedAt,
+		cfg: snap.Cfg, normMin: snap.NormMin, normMax: snap.NormMax, grouped: snap.Grouped,
+		savedAt: snap.SavedAt,
 	}, nil
 }
 

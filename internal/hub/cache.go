@@ -123,11 +123,15 @@ func (c *resultCache) stats() CacheStats {
 
 // queryKey builds the cache key for one query against one dataset
 // registration (epoch, unique per Register so a drop/re-register under the
-// same name can never resurrect old results) and generation. The dataset
-// name (which cannot contain '|') leads so a whole dataset can be
-// invalidated by prefix; the parameters are folded into an FNV-1a hash
-// rather than spelled out, keeping keys short for long query vectors.
-func queryKey(name string, epoch, gen uint64, kind string, ints []int, floats []float64) string {
+// same name can never resurrect old results), generation, and shard layout
+// (onex.Base.LayoutSignature — the shard count plus each shard's series/
+// subsequence population, so the same data re-registered under a different
+// Shards value, or re-sharded any other way, can never alias a previous
+// incarnation's results even if epochs were ever reused). The dataset name
+// (which cannot contain '|') leads so a whole dataset can be invalidated by
+// prefix; the parameters are folded into an FNV-1a hash rather than spelled
+// out, keeping keys short for long query vectors.
+func queryKey(name string, epoch, gen, layout uint64, kind string, ints []int, floats []float64) string {
 	h := fnv.New64a()
 	var b [8]byte
 	for _, v := range ints {
@@ -138,5 +142,5 @@ func queryKey(name string, epoch, gen uint64, kind string, ints []int, floats []
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 		h.Write(b[:])
 	}
-	return fmt.Sprintf("%s|%d|%d|%s|%d|%d|%016x", name, epoch, gen, kind, len(ints), len(floats), h.Sum64())
+	return fmt.Sprintf("%s|%d|%d|%016x|%s|%d|%d|%016x", name, epoch, gen, layout, kind, len(ints), len(floats), h.Sum64())
 }

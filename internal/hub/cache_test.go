@@ -70,22 +70,23 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestQueryKeyDiscriminates(t *testing.T) {
-	base := queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25})
+	base := queryKey("d", 7, 1, 11, "match", []int{1, 2}, []float64{0.5, 0.25})
 	distinct := []string{
-		queryKey("d", 8, 1, "match", []int{1, 2}, []float64{0.5, 0.25}),    // epoch (re-registration)
-		queryKey("d", 7, 2, "match", []int{1, 2}, []float64{0.5, 0.25}),    // generation
-		queryKey("d", 7, 1, "range", []int{1, 2}, []float64{0.5, 0.25}),    // kind
-		queryKey("d", 7, 1, "match", []int{2, 2}, []float64{0.5, 0.25}),    // int params
-		queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.25, 0.5}),    // float order
-		queryKey("e", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25}),    // dataset
-		queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25, 0}), // arity
+		queryKey("d", 8, 1, 11, "match", []int{1, 2}, []float64{0.5, 0.25}),    // epoch (re-registration)
+		queryKey("d", 7, 2, 11, "match", []int{1, 2}, []float64{0.5, 0.25}),    // generation
+		queryKey("d", 7, 1, 12, "match", []int{1, 2}, []float64{0.5, 0.25}),    // shard layout
+		queryKey("d", 7, 1, 11, "range", []int{1, 2}, []float64{0.5, 0.25}),    // kind
+		queryKey("d", 7, 1, 11, "match", []int{2, 2}, []float64{0.5, 0.25}),    // int params
+		queryKey("d", 7, 1, 11, "match", []int{1, 2}, []float64{0.25, 0.5}),    // float order
+		queryKey("e", 7, 1, 11, "match", []int{1, 2}, []float64{0.5, 0.25}),    // dataset
+		queryKey("d", 7, 1, 11, "match", []int{1, 2}, []float64{0.5, 0.25, 0}), // arity
 	}
 	for i, k := range distinct {
 		if k == base {
 			t.Errorf("variant %d collides with base key %q", i, base)
 		}
 	}
-	if again := queryKey("d", 7, 1, "match", []int{1, 2}, []float64{0.5, 0.25}); again != base {
+	if again := queryKey("d", 7, 1, 11, "match", []int{1, 2}, []float64{0.5, 0.25}); again != base {
 		t.Errorf("identical params produced different keys: %q vs %q", again, base)
 	}
 }

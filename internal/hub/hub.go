@@ -371,11 +371,38 @@ type Stats struct {
 	Subsequences    int64 `json:"subsequences"`
 	// Cache reports the shared query-result cache.
 	Cache CacheStats `json:"cache"`
+	// Maintenance reports every ready dataset's incremental-maintenance
+	// health — drift fraction, rebuilds triggered, last rebuild cost — so
+	// the amortized rebuild policy is tunable from data (ROADMAP:
+	// observability).
+	Maintenance map[string]MaintenanceStats `json:"maintenance"`
+}
+
+// MaintenanceStats is one dataset's amortized-rebuild-policy counters.
+type MaintenanceStats struct {
+	// Drift is the incremental-member fraction since the last full build.
+	Drift float64 `json:"drift"`
+	// Rebuilds counts drift-triggered full rebuilds.
+	Rebuilds int64 `json:"rebuilds"`
+	// LastRebuildSeconds is the most recent rebuild's wall-clock cost.
+	LastRebuildSeconds float64 `json:"lastRebuildSeconds"`
+	// Shards is the dataset's serving layout (1 = unsharded).
+	Shards int `json:"shards"`
+}
+
+// ShardInfo is one shard of a dataset's serving layout, shaped for the REST
+// surface.
+type ShardInfo struct {
+	Shard        int   `json:"shard"`
+	Series       int   `json:"series"`
+	Groups       int   `json:"groups"`
+	Subsequences int64 `json:"subsequences"`
+	IndexBytes   int64 `json:"indexBytes"`
 }
 
 // Stats snapshots the hub-wide counters.
 func (h *Hub) Stats() Stats {
-	st := Stats{ByState: make(map[string]int)}
+	st := Stats{ByState: make(map[string]int), Maintenance: make(map[string]MaintenanceStats)}
 	for _, ds := range h.List() {
 		info := ds.Info()
 		st.Datasets++
@@ -384,6 +411,12 @@ func (h *Hub) Stats() Stats {
 			st.Representatives += info.Representatives
 			st.Series += info.Series
 			st.Subsequences += info.Subsequences
+			st.Maintenance[info.Name] = MaintenanceStats{
+				Drift:              info.Drift,
+				Rebuilds:           info.Rebuilds,
+				LastRebuildSeconds: info.LastRebuildSeconds,
+				Shards:             info.Shards,
+			}
 		}
 	}
 	st.Cache = h.cache.stats()
@@ -501,6 +534,18 @@ type Info struct {
 	Lengths         []int   `json:"lengths,omitempty"`
 	BuildSeconds    float64 `json:"buildSeconds,omitempty"`
 
+	// Maintenance observability: the incremental fraction since the last
+	// full build, how many drift-triggered rebuilds the base has absorbed,
+	// and the last one's cost (see onex.Options.RebuildDrift).
+	Drift              float64 `json:"drift"`
+	Rebuilds           int64   `json:"rebuilds"`
+	LastRebuildSeconds float64 `json:"lastRebuildSeconds,omitempty"`
+
+	// Shards is the serving layout (1 = unsharded); ShardStats breaks a
+	// sharded base down per shard (see onex.Options.Shards).
+	Shards     int         `json:"shards,omitempty"`
+	ShardStats []ShardInfo `json:"shardStats,omitempty"`
+
 	CreatedAt time.Time `json:"createdAt"`
 	ReadyAt   time.Time `json:"readyAt"`
 
@@ -544,6 +589,19 @@ func (d *Dataset) Info() Info {
 		info.STFinal = st.STFinal
 		info.Lengths = base.Lengths()
 		info.BuildSeconds = st.BuildTime.Seconds()
+		info.Drift = st.Drift
+		info.Rebuilds = st.Rebuilds
+		info.LastRebuildSeconds = st.LastRebuild.Seconds()
+		info.Shards = st.Shards
+		for _, sh := range st.PerShard {
+			info.ShardStats = append(info.ShardStats, ShardInfo{
+				Shard:        sh.Shard,
+				Series:       sh.Series,
+				Groups:       sh.Groups,
+				Subsequences: sh.Subsequences,
+				IndexBytes:   sh.IndexBytes,
+			})
+		}
 	}
 	info.CacheHits = d.hits.Load()
 	info.CacheMisses = d.misses.Load()
@@ -819,7 +877,7 @@ func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, 
 	if k < 1 {
 		k = 1
 	}
-	key := queryKey(d.name, d.epoch, gen, "match", []int{int(mode), k}, q)
+	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "match", []int{int(mode), k}, q)
 	v, err := d.cached(key, func() (any, error) {
 		if k == 1 {
 			m, err := base.BestMatch(q, mode)
@@ -851,8 +909,9 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 	out := make([]onex.BatchResult, len(qs))
 	keys := make([]string, len(qs))
 	missIdx := make([]int, 0, len(qs))
+	layout := base.LayoutSignature()
 	for i, q := range qs {
-		keys[i] = queryKey(d.name, d.epoch, gen, "match", []int{int(mode), 1}, q)
+		keys[i] = queryKey(d.name, d.epoch, gen, layout, "match", []int{int(mode), 1}, q)
 		if v, ok := d.hub.cache.get(keys[i]); ok {
 			d.hits.Add(1)
 			out[i] = onex.BatchResult{Match: v.([]onex.Match)[0]}
@@ -891,7 +950,7 @@ func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]
 	if exact {
 		kind = "rangex"
 	}
-	key := queryKey(d.name, d.epoch, gen, kind, []int{length}, append(append([]float64(nil), q...), radius))
+	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), kind, []int{length}, append(append([]float64(nil), q...), radius))
 	v, err := d.cached(key, func() (any, error) {
 		if exact {
 			return base.RangeSearchExact(q, length, radius)
@@ -911,7 +970,7 @@ func (d *Dataset) Seasonal(seriesID, length int) ([]onex.Pattern, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := queryKey(d.name, d.epoch, gen, "seasonal", []int{seriesID, length}, nil)
+	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "seasonal", []int{seriesID, length}, nil)
 	v, err := d.cached(key, func() (any, error) {
 		if seriesID < 0 {
 			return base.SeasonalAll(length)
@@ -931,7 +990,7 @@ func (d *Dataset) Recommend(degree onex.Degree, length int) (onex.Range, error) 
 	if err != nil {
 		return onex.Range{}, err
 	}
-	key := queryKey(d.name, d.epoch, gen, "recommend", []int{int(degree), length}, nil)
+	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "recommend", []int{int(degree), length}, nil)
 	v, err := d.cached(key, func() (any, error) { return base.RecommendThreshold(degree, length) })
 	if err != nil {
 		return onex.Range{}, err

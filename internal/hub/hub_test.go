@@ -383,7 +383,11 @@ func TestCacheNotResurrectedAcrossReRegister(t *testing.T) {
 	if _, err := ds1.Match(q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
-	staleKey := queryKey("name", ds1.epoch, 0, "match", []int{int(onex.MatchExact), 1}, q)
+	base1, _, err := ds1.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleKey := queryKey("name", ds1.epoch, 0, base1.LayoutSignature(), "match", []int{int(onex.MatchExact), 1}, q)
 
 	if err := h.Drop("name", true); err != nil {
 		t.Fatal(err)

@@ -92,20 +92,7 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 	// the whole length and the scan parallelizes without changing answers.
 	scanCutoff := heap.kth()*divisor + radiusRaw
 	scanOne := func(ws *dist.Workspace, k int) (float64, bool) {
-		rep := e.Groups[k].Rep
-		if !p.opts.DisableLowerBounds {
-			if dist.LBKim(q, rep) >= scanCutoff {
-				return 0, false
-			}
-			if sameLen {
-				env := e.Envelopes[k]
-				if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, scanCutoff); lb >= scanCutoff {
-					return 0, false
-				}
-			}
-		}
-		d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, scanCutoff)
-		return d, !math.IsInf(d, 1)
+		return p.scanRepFixed(ws, q, order, e.Groups[k].Rep, e.Envelopes[k], sameLen, scanCutoff)
 	}
 	var reps []repDist
 	if p.workers <= 1 || len(e.MedianOrder) < scanParallelMin {
@@ -147,66 +134,109 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 	// order the sequential scan appended in).
 	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
 
-	var ds, lbs []float64 // round buffers, allocated on first parallel group
+	var bufs knnBufs // round buffers, allocated on first parallel group
 	for _, rd := range reps {
 		// Re-check against the (possibly tightened) k-th distance.
 		if rd.d > heap.kth()*divisor+radiusRaw {
 			break
 		}
-		g := e.Groups[rd.k]
-		push := func(m grouping.Member, d float64) {
-			heap.push(Match{
-				SeriesID: m.SeriesIdx,
-				Start:    m.Start,
-				Length:   e.Length,
-				Dist:     d / divisor,
-				RawDTW:   d,
-				GroupID:  rd.k,
-			})
+		p.verifyGroupK(q, e.Groups[rd.k], rd.k, e.Length, divisor, heap, ws, &bufs)
+	}
+}
+
+// scanRepFixed is the fixed-cutoff representative cascade of the k-NN rep
+// scan: LB_Kim → (same-length) LB_Keogh → early-abandoning DTW, pruning
+// non-strictly (≥) against a cutoff that cannot tighten during the scan.
+// It returns the representative's raw DTW and whether it survived. Shared
+// by the monolithic per-length search and the scatter-gather executor so
+// the k-NN candidate set is structurally identical across layouts.
+func (p *Processor) scanRepFixed(ws *dist.Workspace, q []float64, order []int,
+	rep []float64, env rspace.Envelope, sameLen bool, cutoff float64) (float64, bool) {
+
+	if !p.opts.DisableLowerBounds {
+		if dist.LBKim(q, rep) >= cutoff {
+			return 0, false
 		}
-		if p.workers <= 1 || g.Count() < 2*mineBatchSize {
-			for _, m := range g.Members {
-				v := p.base.MemberValues(g, m)
-				cutoff := heap.kth() * divisor
-				if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
-					continue
-				}
-				d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
-				if math.IsInf(d, 1) {
+		if sameLen {
+			if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb >= cutoff {
+				return 0, false
+			}
+		}
+	}
+	d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
+	return d, !math.IsInf(d, 1)
+}
+
+// knnBufs holds the reusable round buffers of the parallel member
+// verification; the zero value allocates lazily on the first parallel group.
+type knnBufs struct {
+	lbs, ds []float64
+}
+
+// verifyGroupK verifies every member of one group against the running top-k
+// heap: lower-bound prune against the evolving k-th distance, then
+// early-abandoning DTW, pushing exact distances that beat the cutoff. The
+// parallel path evaluates fixed-size rounds concurrently and replays the
+// pushes in member order (see searchLengthK). Shared by the monolithic
+// per-length search and the scatter-gather executor (Scatter) — both
+// must reach bit-identical heap states, so the decision logic lives here
+// once. gid is the group id recorded on pushed matches (the caller's local
+// or global numbering).
+func (p *Processor) verifyGroupK(q []float64, g *grouping.Group, gid, length int,
+	divisor float64, heap *topK, ws *dist.Workspace, bufs *knnBufs) {
+
+	push := func(m grouping.Member, d float64) {
+		heap.push(Match{
+			SeriesID: m.SeriesIdx,
+			Start:    m.Start,
+			Length:   length,
+			Dist:     d / divisor,
+			RawDTW:   d,
+			GroupID:  gid,
+		})
+	}
+	if p.workers <= 1 || g.Count() < 2*mineBatchSize {
+		for _, m := range g.Members {
+			v := p.base.MemberValues(g, m)
+			cutoff := heap.kth() * divisor
+			if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
+				continue
+			}
+			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
+			if math.IsInf(d, 1) {
+				continue
+			}
+			push(m, d)
+		}
+		return
+	}
+	if bufs.ds == nil {
+		bufs.ds = make([]float64, mineBatchSize)
+		bufs.lbs = make([]float64, mineBatchSize)
+	}
+	for off := 0; off < g.Count(); off += mineBatchSize {
+		end := off + mineBatchSize
+		if end > g.Count() {
+			end = g.Count()
+		}
+		batch := g.Members[off:end]
+		roundCutoff := heap.kth() * divisor
+		p.evalRound(q, len(batch), roundCutoff, func(i int) []float64 {
+			return p.base.MemberValues(g, batch[i])
+		}, bufs.lbs, bufs.ds)
+		// Replay pushes in member order: a distance abandoned at the
+		// round cutoff is ≥ the (only-tightening) running k-th and could
+		// never enter the heap.
+		for i, m := range batch {
+			cutoff := heap.kth() * divisor
+			if !p.opts.DisableLowerBounds && bufs.lbs[i] >= cutoff {
+				continue
+			}
+			if d := bufs.ds[i]; !math.IsInf(d, 1) && d < roundCutoff {
+				if d >= cutoff {
 					continue
 				}
 				push(m, d)
-			}
-			continue
-		}
-		if ds == nil {
-			ds = make([]float64, mineBatchSize)
-			lbs = make([]float64, mineBatchSize)
-		}
-		for off := 0; off < g.Count(); off += mineBatchSize {
-			end := off + mineBatchSize
-			if end > g.Count() {
-				end = g.Count()
-			}
-			batch := g.Members[off:end]
-			roundCutoff := heap.kth() * divisor
-			p.evalRound(q, len(batch), roundCutoff, func(i int) []float64 {
-				return p.base.MemberValues(g, batch[i])
-			}, lbs, ds)
-			// Replay pushes in member order: a distance abandoned at the
-			// round cutoff is ≥ the (only-tightening) running k-th and could
-			// never enter the heap.
-			for i, m := range batch {
-				cutoff := heap.kth() * divisor
-				if !p.opts.DisableLowerBounds && lbs[i] >= cutoff {
-					continue
-				}
-				if d := ds[i]; !math.IsInf(d, 1) && d < roundCutoff {
-					if d >= cutoff {
-						continue
-					}
-					push(m, d)
-				}
 			}
 		}
 	}

@@ -1,0 +1,489 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"onex/internal/dist"
+	"onex/internal/parallel"
+	"onex/internal/rspace"
+)
+
+// Scatter is the scatter-gather query executor of the intra-dataset sharded
+// engine (internal/shard): the dataset's series are hash-partitioned across
+// shards, each shard holds the restriction of ONE deterministic global
+// grouping to its series (same representatives, same member ED order) with
+// its own GTI/LSI index layers, and Scatter re-enacts the monolithic
+// Algorithm 2 decision procedure across them.
+//
+// The split of work:
+//
+//   - the representative scan of a length fans out across the shard-owned
+//     group units (each global group is scanned by exactly one shard — the
+//     one holding its nearest member) with a shared atomic best-so-far
+//     bound, so early abandoning keeps pruning globally;
+//   - group mining and k-NN member verification replay the global pivot
+//     walk / heap bookkeeping against the global member lists (the shards'
+//     member lists are restrictions of these, so the values live in shared
+//     memory) using the exact code paths of the monolithic processor;
+//   - range search runs verbatim on every shard — its admission (Lemma 2
+//     premise per member) and per-member verification decisions depend only
+//     on the shared global representatives, so the union of shard result
+//     sets IS the monolithic result set — and concatenates in shard order;
+//   - seasonal queries read the global grouping directly.
+//
+// Answers are therefore identical to the single-engine path over the same
+// data, with one caveat: when two representatives tie on the exact DTW to
+// the query (bit-equal distances — impossible on continuous data, possible
+// with duplicated windows), the monolith breaks the tie by median-scan
+// position while Scatter breaks it by global group id, and the mined group
+// may differ. Everything downstream of the scan — pivot walks, patience
+// cuts, heap states, range admissions — replays decision-for-decision.
+type Scatter struct {
+	// global answers mining/seasonal work against the global grouping; its
+	// base carries the global dataset and per-length global group vectors
+	// but no scan index (no Dc, envelopes or median order — the per-shard
+	// entries hold those).
+	global *Processor
+	shards []ShardView
+	// units flattens the shard-owned scan work per length, sorted by global
+	// group id; units[l][k].global == k once validated.
+	units map[int][]scanUnit
+}
+
+// ShardView is one shard's contribution to a Scatter: its processor (over
+// the restricted base) plus the tables mapping its local numbering back to
+// the global one.
+type ShardView struct {
+	// Proc is the shard's query processor over its restricted base.
+	Proc *Processor
+	// Series maps local series index → global series id.
+	Series []int
+	// GlobalIDs maps, per length, local group index → global group id.
+	GlobalIDs map[int][]int
+	// Owned marks, per length, the local groups whose representative this
+	// shard scans (exactly one shard owns each global group).
+	Owned map[int][]bool
+}
+
+// scanUnit is one shard-resident representative to scan: the owning shard's
+// length entry (representative, envelope) plus its local and global ids.
+type scanUnit struct {
+	entry  *rspace.LengthEntry
+	local  int
+	global int
+}
+
+// NewScatter assembles the executor. global must hold the full dataset and,
+// per indexed length, the complete global group vector (Groups[k].ID == k);
+// the shard views must cover every global group exactly once through their
+// Owned tables.
+func NewScatter(global *rspace.Base, opts Options, shards []ShardView) (*Scatter, error) {
+	gp, err := New(global, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scatter{
+		global: gp,
+		shards: shards,
+		units:  make(map[int][]scanUnit, len(global.Lengths)),
+	}
+	for _, l := range global.Lengths {
+		e := global.Entry(l)
+		if e == nil {
+			return nil, fmt.Errorf("query: scatter length %d has no global entry", l)
+		}
+		units := make([]scanUnit, 0, len(e.Groups))
+		for _, sv := range shards {
+			se := sv.Proc.base.Entry(l)
+			if se == nil {
+				return nil, fmt.Errorf("query: shard is missing length %d", l)
+			}
+			owned, gids := sv.Owned[l], sv.GlobalIDs[l]
+			if len(owned) != len(se.Groups) || len(gids) != len(se.Groups) {
+				return nil, fmt.Errorf("query: shard tables for length %d cover %d/%d of %d groups",
+					l, len(owned), len(gids), len(se.Groups))
+			}
+			for local, own := range owned {
+				if own {
+					units = append(units, scanUnit{entry: se, local: local, global: gids[local]})
+				}
+			}
+		}
+		sort.Slice(units, func(a, b int) bool { return units[a].global < units[b].global })
+		if len(units) != len(e.Groups) {
+			return nil, fmt.Errorf("query: length %d: %d owned units for %d global groups", l, len(units), len(e.Groups))
+		}
+		for k, u := range units {
+			if u.global != k {
+				return nil, fmt.Errorf("query: length %d: global group %d owned %s", l,
+					k, map[bool]string{true: "more than once", false: "by no shard"}[u.global < k])
+			}
+		}
+		s.units[l] = units
+	}
+	return s, nil
+}
+
+// withWorkers returns a view of s whose executor fan-out is bounded to w
+// (BestMatchBatch parallelizes across queries instead of within them).
+func (s *Scatter) withWorkers(w int) *Scatter {
+	if s.global.workers == w {
+		return s
+	}
+	gp := *s.global
+	gp.workers = w
+	cp := *s
+	cp.global = &gp
+	return &cp
+}
+
+// BestMatch answers Q1 across the shards — the same search the monolithic
+// Processor.BestMatch runs, with the per-length representative scan
+// scattered over the shard-owned units.
+func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
+	if err := validateQuery(q); err != nil {
+		return Match{}, err
+	}
+	ws := s.global.pool.Get()
+	defer s.global.pool.Put(ws)
+	order := dist.QueryOrder(q)
+
+	switch mode {
+	case MatchExact:
+		e := s.global.base.Entry(len(q))
+		if e == nil {
+			return Match{}, fmt.Errorf("query: length %d not indexed", len(q))
+		}
+		best := Match{Dist: math.Inf(1)}
+		s.searchLength(q, order, e, ws, &best)
+		if !best.Found() {
+			return Match{}, fmt.Errorf("query: no candidate found (empty length entry)")
+		}
+		return best, nil
+	case MatchAny:
+		lengths := s.global.lengthOrder(len(q))
+		if len(lengths) == 0 {
+			return Match{}, fmt.Errorf("query: base has no indexed lengths")
+		}
+		best := Match{Dist: math.Inf(1)}
+		for _, l := range lengths {
+			repNorm := s.searchLength(q, order, s.global.base.Entry(l), ws, &best)
+			// Sec. 5.3 stop rule, on the globally best representative.
+			if !s.global.opts.DisableEarlyStop && repNorm <= s.global.base.ST/2 {
+				break
+			}
+		}
+		if !best.Found() {
+			return Match{}, fmt.Errorf("query: no candidate found")
+		}
+		return best, nil
+	default:
+		return Match{}, fmt.Errorf("query: unknown match mode %d", mode)
+	}
+}
+
+// searchLength scatters one length's representative scan across the shard
+// units, then mines the winning global group's full (global) member list —
+// the same compareRep + getKSim sequence as the monolithic searchLength.
+func (s *Scatter) searchLength(q []float64, order []int, e *rspace.LengthEntry,
+	ws *dist.Workspace, best *Match) float64 {
+
+	if e == nil || len(e.Groups) == 0 {
+		return math.Inf(1)
+	}
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	bestID, bestRaw := s.scanUnits(q, order, e.Length, s.units[e.Length])
+	if bestID < 0 {
+		return math.Inf(1)
+	}
+	var tr Trace
+	s.global.mineGroup(q, e, bestID, bestRaw/divisor, ws, best, &tr)
+	return bestRaw / divisor
+}
+
+// scanUnits computes the argmin representative over the shard-owned units
+// under the LB_Kim → LB_Keogh → early-abandoning-DTW cascade, with a shared
+// atomic bound across workers. The scan is exact: pruning is strict
+// (> cutoff), so every minimum-achieving representative is computed fully
+// and the (distance, global id) reduce is deterministic at every worker
+// count — ties on bit-equal distances resolve to the smallest global group
+// id.
+//
+// This is the tightening-bound twin of Processor.scanReps' parallel branch
+// (query.go) with the median-order stride replaced by the unit list; any
+// change to either cascade's pruning inequalities or cutoff arithmetic must
+// mirror the other, or layout equivalence breaks — the internal/shard
+// property suite enforces this.
+func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUnit) (int, float64) {
+	n := len(units)
+	if n == 0 {
+		return -1, math.Inf(1)
+	}
+	sameLen := length == len(q)
+	type hit struct {
+		raw float64
+		pos int
+	}
+	scan := func(lws *dist.Workspace, start, stride int, shared *parallel.MinBound, local *hit) {
+		for pos := start; pos < n; pos += stride {
+			u := units[pos]
+			cutoff := local.raw
+			if shared != nil {
+				if sb := shared.Load(); sb < cutoff {
+					cutoff = sb
+				}
+			}
+			rep := u.entry.Groups[u.local].Rep
+			if !s.global.opts.DisableLowerBounds {
+				if dist.LBKim(q, rep) > cutoff {
+					continue
+				}
+				if sameLen {
+					env := u.entry.Envelopes[u.local]
+					if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb > cutoff {
+						continue
+					}
+				}
+			}
+			d := lws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
+			if d < local.raw {
+				local.raw, local.pos = d, pos
+				if shared != nil {
+					shared.Relax(d)
+				}
+			}
+		}
+	}
+
+	workers := s.global.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < scanParallelMin {
+		lws := s.global.pool.Get()
+		defer s.global.pool.Put(lws)
+		local := hit{raw: math.Inf(1), pos: -1}
+		scan(lws, 0, 1, nil, &local)
+		if local.pos < 0 {
+			return -1, math.Inf(1)
+		}
+		return units[local.pos].global, local.raw
+	}
+	shared := parallel.NewMinBound(math.Inf(1))
+	locals := make([]hit, workers)
+	parallel.ForEach(workers, workers, func(w int) {
+		lws := s.global.pool.Get()
+		defer s.global.pool.Put(lws)
+		locals[w] = hit{raw: math.Inf(1), pos: -1}
+		scan(lws, w, workers, shared, &locals[w])
+	})
+	win := hit{raw: math.Inf(1), pos: -1}
+	for _, l := range locals {
+		if l.pos < 0 {
+			continue
+		}
+		if l.raw < win.raw || (l.raw == win.raw && l.pos < win.pos) {
+			win = l
+		}
+	}
+	if win.pos < 0 {
+		return -1, math.Inf(1)
+	}
+	return units[win.pos].global, win.raw
+}
+
+// BestKMatches answers k-NN across the shards: per length, the fixed-cutoff
+// representative scan scatters over the shard units, then the groups are
+// verified in increasing rep-DTW order against the global member lists —
+// the same procedure as the monolithic searchLengthK, heap bookkeeping
+// included.
+func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
+	}
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	ws := s.global.pool.Get()
+	defer s.global.pool.Put(ws)
+	order := dist.QueryOrder(q)
+	heap := newTopK(k)
+
+	var lengths []int
+	switch mode {
+	case MatchExact:
+		if s.global.base.Entry(len(q)) == nil {
+			return nil, fmt.Errorf("query: length %d not indexed", len(q))
+		}
+		lengths = []int{len(q)}
+	case MatchAny:
+		lengths = s.global.lengthOrder(len(q))
+		if len(lengths) == 0 {
+			return nil, fmt.Errorf("query: base has no indexed lengths")
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown match mode %d", mode)
+	}
+
+	for _, l := range lengths {
+		s.searchLengthK(q, order, s.global.base.Entry(l), ws, heap)
+	}
+	out := heap.sorted()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: no candidates found")
+	}
+	return out, nil
+}
+
+// searchLengthK is the scattered form of Processor.searchLengthK: the rep
+// scan's cutoff is fixed for the whole length (no heap pushes can happen
+// during it), so fanning it across the shard units is answer-preserving;
+// member verification then replays on the global member lists through the
+// shared verifyGroupK.
+func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
+	ws *dist.Workspace, heap *topK) {
+
+	if e == nil || len(e.Groups) == 0 {
+		return
+	}
+	units := s.units[e.Length]
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	sameLen := e.Length == len(q)
+	radiusRaw := s.global.base.ST / 2 * math.Sqrt(float64(e.Length))
+
+	scanCutoff := heap.kth()*divisor + radiusRaw
+	scanOne := func(lws *dist.Workspace, u scanUnit) (float64, bool) {
+		return s.global.scanRepFixed(lws, q, order,
+			u.entry.Groups[u.local].Rep, u.entry.Envelopes[u.local], sameLen, scanCutoff)
+	}
+
+	type repDist struct {
+		global int
+		d      float64
+	}
+	n := len(units)
+	var reps []repDist
+	workers := s.global.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < scanParallelMin {
+		reps = make([]repDist, 0, n)
+		for _, u := range units {
+			if d, ok := scanOne(ws, u); ok {
+				reps = append(reps, repDist{global: u.global, d: d})
+			}
+		}
+	} else {
+		found := make([]repDist, n)
+		kept := make([]bool, n)
+		parallel.ForEach(workers, workers, func(w int) {
+			lws := s.global.pool.Get()
+			defer s.global.pool.Put(lws)
+			for i := w; i < n; i += workers {
+				if d, ok := scanOne(lws, units[i]); ok {
+					found[i] = repDist{global: units[i].global, d: d}
+					kept[i] = true
+				}
+			}
+		})
+		reps = make([]repDist, 0, n)
+		for i, ok := range kept {
+			if ok {
+				reps = append(reps, found[i])
+			}
+		}
+	}
+	// Stable tie order: by distance, then by global group id (units are in
+	// global-id order, so stability gives exactly that).
+	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
+
+	var bufs knnBufs
+	for _, rd := range reps {
+		// Re-check against the (possibly tightened) k-th distance.
+		if rd.d > heap.kth()*divisor+radiusRaw {
+			break
+		}
+		s.global.verifyGroupK(q, e.Groups[rd.global], rd.global, e.Length, divisor, heap, ws, &bufs)
+	}
+}
+
+// BestMatchBatch answers many Q1 queries in one call, mirroring
+// Processor.BestMatchBatch: with at least as many queries as workers each
+// query runs the scattered pipeline on a single worker, smaller batches give
+// each query the leftover budget as intra-query fan-out. Results are
+// positional with per-query errors.
+func (s *Scatter) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	exec := s.withWorkers(1)
+	if inner := s.global.workers / len(qs); inner > 1 {
+		exec = s.withWorkers(inner)
+	}
+	parallel.ForEach(s.global.workers, len(qs), func(i int) {
+		m, err := exec.BestMatch(qs[i], mode)
+		out[i] = BatchResult{Match: m, Err: err}
+	})
+	return out
+}
+
+// RangeSearch scatters a range query: each shard answers it over its
+// restriction with the monolithic code path and the per-shard result slices
+// concatenate in shard order, remapped to global series/group ids. The
+// result SET equals the monolithic one exactly (admission and verification
+// decide per member against the shared global representative); only the
+// slice order differs, and range results are documented as unordered.
+func (s *Scatter) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
+	return s.scatterRange(q, length, radius, false)
+}
+
+// RangeSearchExact is RangeSearch with exact distances on the Lemma 2
+// guaranteed path, scattered the same way.
+func (s *Scatter) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
+	return s.scatterRange(q, length, radius, true)
+}
+
+func (s *Scatter) scatterRange(q []float64, length int, radius float64, exact bool) ([]RangeResult, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("query: invalid range radius %v", radius)
+	}
+	if s.global.base.Entry(length) == nil {
+		return nil, fmt.Errorf("query: length %d not indexed", length)
+	}
+	// Shards run sequentially here: each shard's own range search already
+	// fans its groups across the worker pool, so the budget is spent at the
+	// inner level and the concatenation order stays shard order.
+	var out []RangeResult
+	for _, sv := range s.shards {
+		rs, err := sv.Proc.rangeSearch(q, length, radius, exact)
+		if err != nil {
+			return nil, err
+		}
+		gids := sv.GlobalIDs[length]
+		for i := range rs {
+			rs[i].SeriesID = sv.Series[rs[i].SeriesID]
+			rs[i].GroupID = gids[rs[i].GroupID]
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// SeasonalSample answers the user-driven class II query from the global
+// grouping — identical to the monolithic answer, group ids included.
+func (s *Scatter) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error) {
+	return s.global.SeasonalSample(seriesID, length)
+}
+
+// SeasonalAll answers the data-driven class II query from the global
+// grouping.
+func (s *Scatter) SeasonalAll(length int) ([]SeasonalGroup, error) {
+	return s.global.SeasonalAll(length)
+}

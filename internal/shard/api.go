@@ -1,0 +1,367 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"onex/internal/query"
+	"onex/internal/rspace"
+)
+
+// ---- queries -----------------------------------------------------------
+
+// BestMatch answers Q1 — scattered across shards when the layout is sharded,
+// on the embedded single engine otherwise. Answers are identical either way.
+func (e *Engine) BestMatch(q []float64, mode query.MatchMode) (query.Match, error) {
+	if e.mono != nil {
+		return e.mono.Proc.BestMatch(q, mode)
+	}
+	return e.scatter.BestMatch(q, mode)
+}
+
+// BestMatchBatch answers many Q1 queries positionally with per-query errors.
+func (e *Engine) BestMatchBatch(qs [][]float64, mode query.MatchMode) []query.BatchResult {
+	if e.mono != nil {
+		return e.mono.Proc.BestMatchBatch(qs, mode)
+	}
+	return e.scatter.BestMatchBatch(qs, mode)
+}
+
+// BestKMatches answers the k-NN generalization of Q1.
+func (e *Engine) BestKMatches(q []float64, mode query.MatchMode, k int) ([]query.Match, error) {
+	if e.mono != nil {
+		return e.mono.Proc.BestKMatches(q, mode, k)
+	}
+	return e.scatter.BestKMatches(q, mode, k)
+}
+
+// RangeSearch answers a range query (ST-upper-bound distances on the
+// guaranteed path).
+func (e *Engine) RangeSearch(q []float64, length int, radius float64) ([]query.RangeResult, error) {
+	if e.mono != nil {
+		return e.mono.Proc.RangeSearch(q, length, radius)
+	}
+	return e.scatter.RangeSearch(q, length, radius)
+}
+
+// RangeSearchExact answers a range query with exact distances everywhere.
+func (e *Engine) RangeSearchExact(q []float64, length int, radius float64) ([]query.RangeResult, error) {
+	if e.mono != nil {
+		return e.mono.Proc.RangeSearchExact(q, length, radius)
+	}
+	return e.scatter.RangeSearchExact(q, length, radius)
+}
+
+// SeasonalSample answers the user-driven class II query.
+func (e *Engine) SeasonalSample(seriesID, length int) ([]query.SeasonalGroup, error) {
+	if e.mono != nil {
+		return e.mono.Proc.SeasonalSample(seriesID, length)
+	}
+	return e.scatter.SeasonalSample(seriesID, length)
+}
+
+// SeasonalAll answers the data-driven class II query.
+func (e *Engine) SeasonalAll(length int) ([]query.SeasonalGroup, error) {
+	if e.mono != nil {
+		return e.mono.Proc.SeasonalAll(length)
+	}
+	return e.scatter.SeasonalAll(length)
+}
+
+// Recommend answers the class III threshold recommendation. On a sharded
+// layout the critical values aggregate the per-shard SP-Spaces (the maximum
+// over shards, mirroring how the global values are maxima over lengths):
+// the exact global merge simulation needs the full O(g²) Dc matrix the
+// sharded layout deliberately never materializes, and the recommendation is
+// a guidance range, not a query answer.
+func (e *Engine) Recommend(d rspace.Degree, length int) (lo, hi float64, err error) {
+	if e.mono != nil {
+		return e.mono.Base.Recommend(d, length)
+	}
+	half, final, err := e.criticalValues(length)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch d {
+	case rspace.Strict:
+		return 0, half, nil
+	case rspace.Medium:
+		return half, final, nil
+	case rspace.Loose:
+		return final, math.Inf(1), nil
+	default:
+		return 0, 0, errors.New("rspace: unknown similarity degree")
+	}
+}
+
+// DegreeOf classifies a threshold on the engine's S/M/L scale.
+func (e *Engine) DegreeOf(st float64) rspace.Degree {
+	if e.mono != nil {
+		return e.mono.Base.DegreeOf(st)
+	}
+	half, final, _ := e.criticalValues(-1)
+	switch {
+	case st < half:
+		return rspace.Strict
+	case st < final:
+		return rspace.Medium
+	default:
+		return rspace.Loose
+	}
+}
+
+// criticalValues aggregates the per-shard critical thresholds; length < 0
+// uses the shard-global values.
+func (e *Engine) criticalValues(length int) (half, final float64, err error) {
+	if length >= 0 {
+		found := false
+		for _, p := range e.parts {
+			entry := p.base.Entry(length)
+			if entry == nil {
+				continue
+			}
+			found = true
+			if entry.STHalf > half {
+				half = entry.STHalf
+			}
+			if entry.STFinal > final {
+				final = entry.STFinal
+			}
+		}
+		if !found {
+			return 0, 0, errors.New("rspace: length not indexed")
+		}
+		return half, final, nil
+	}
+	for _, p := range e.parts {
+		if p.base.GlobalSTHalf > half {
+			half = p.base.GlobalSTHalf
+		}
+		if p.base.GlobalSTFinal > final {
+			final = p.base.GlobalSTFinal
+		}
+	}
+	return half, final, nil
+}
+
+// WithThreshold adapts the engine to a new similarity threshold (Sec. 5.2).
+// Sharded layouts refuse: the split/merge adaptation operates on the global
+// inter-representative structure the sharded layout partitions away —
+// rebuild at the new threshold (or adapt an unsharded base) instead.
+func (e *Engine) WithThreshold(stPrime float64) (*Engine, error) {
+	if e.mono != nil {
+		mono, err := e.mono.WithThreshold(stPrime)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{mono: mono}, nil
+	}
+	return nil, errors.New("shard: sharded bases cannot adapt thresholds in place; rebuild with the new ST (or adapt an unsharded base)")
+}
+
+// ---- accessors ---------------------------------------------------------
+
+// ST returns the build similarity threshold.
+func (e *Engine) ST() float64 {
+	if e.mono != nil {
+		return e.mono.Base.ST
+	}
+	return e.grouped.ST
+}
+
+// Name returns the dataset name.
+func (e *Engine) Name() string {
+	if e.mono != nil {
+		return e.mono.Base.Dataset.Name
+	}
+	return e.data.Name
+}
+
+// NumSeries returns the number of indexed series.
+func (e *Engine) NumSeries() int {
+	if e.mono != nil {
+		return e.mono.Base.Dataset.N()
+	}
+	return e.data.N()
+}
+
+// Lengths returns the indexed subsequence lengths, ascending (a fresh
+// slice).
+func (e *Engine) Lengths() []int {
+	if e.mono != nil {
+		return append([]int(nil), e.mono.Base.Lengths...)
+	}
+	return append([]int(nil), e.grouped.Lengths...)
+}
+
+// Window returns the normalized values of one indexed subsequence. The
+// slice aliases the engine's (immutable) data; callers must not mutate it.
+func (e *Engine) Window(seriesID, start, length int) []float64 {
+	if e.mono != nil {
+		return e.mono.Base.Dataset.Series[seriesID].Values[start : start+length]
+	}
+	return e.data.Series[seriesID].Values[start : start+length]
+}
+
+// Drift reports the incremental-member fraction since the last full build.
+func (e *Engine) Drift() float64 {
+	if e.mono != nil {
+		return e.mono.Drift()
+	}
+	return e.grouped.Drift()
+}
+
+// BuildTime reports the offline construction cost (or, after a snapshot
+// reload, the original build's).
+func (e *Engine) BuildTime() time.Duration {
+	if e.mono != nil {
+		return e.mono.BuildTime
+	}
+	return e.buildTime
+}
+
+// Rebuilds counts drift-triggered full rebuilds along the maintenance
+// lineage.
+func (e *Engine) Rebuilds() int64 {
+	if e.mono != nil {
+		return e.mono.Rebuilds()
+	}
+	return e.rebuilds
+}
+
+// LastRebuild is the wall-clock cost of the most recent drift-triggered
+// rebuild (zero if none).
+func (e *Engine) LastRebuild() time.Duration {
+	if e.mono != nil {
+		return e.mono.LastRebuild()
+	}
+	return e.lastRebuild
+}
+
+// TotalGroups counts representatives across all lengths.
+func (e *Engine) TotalGroups() int {
+	if e.mono != nil {
+		return e.mono.Base.TotalGroups()
+	}
+	return e.grouped.TotalGroups()
+}
+
+// TotalSubseq counts indexed subsequences.
+func (e *Engine) TotalSubseq() int64 {
+	if e.mono != nil {
+		return e.mono.Base.TotalSubseq
+	}
+	return e.grouped.TotalSubseq
+}
+
+// SizeBytes estimates the resident index size — for a sharded layout, the
+// sum of the per-shard GTI+LSI structures (whose Dc matrices are the point:
+// Σ gₛ² per length instead of one g²).
+func (e *Engine) SizeBytes() int64 {
+	if e.mono != nil {
+		return e.mono.Base.SizeBytes()
+	}
+	var total int64
+	for _, p := range e.parts {
+		total += p.base.SizeBytes()
+	}
+	return total
+}
+
+// STHalf returns the dataset-global half-merge critical threshold
+// (per-shard maximum on sharded layouts; see Recommend).
+func (e *Engine) STHalf() float64 {
+	if e.mono != nil {
+		return e.mono.Base.GlobalSTHalf
+	}
+	half, _, _ := e.criticalValues(-1)
+	return half
+}
+
+// STFinal returns the dataset-global all-merge critical threshold.
+func (e *Engine) STFinal() float64 {
+	if e.mono != nil {
+		return e.mono.Base.GlobalSTFinal
+	}
+	_, final, _ := e.criticalValues(-1)
+	return final
+}
+
+// ---- shard observability ----------------------------------------------
+
+// Stat describes one shard of the layout.
+type Stat struct {
+	// Shard is the shard index.
+	Shard int
+	// Series counts the series routed to this shard.
+	Series int
+	// Groups counts the restricted groups across lengths (a group spanning
+	// k shards appears in k of these counts).
+	Groups int
+	// Subsequences counts the indexed subsequences resident in the shard.
+	Subsequences int64
+	// IndexBytes estimates the shard's GTI+LSI size.
+	IndexBytes int64
+}
+
+// ShardCount reports the serving layout (1 for unsharded engines).
+func (e *Engine) ShardCount() int {
+	if e.mono != nil {
+		return 1
+	}
+	return e.shards
+}
+
+// ShardStats describes each shard of the layout; unsharded engines report
+// one shard covering everything.
+func (e *Engine) ShardStats() []Stat {
+	if e.mono != nil {
+		return []Stat{{
+			Shard:        0,
+			Series:       e.mono.Base.Dataset.N(),
+			Groups:       e.mono.Base.TotalGroups(),
+			Subsequences: e.mono.Base.TotalSubseq,
+			IndexBytes:   e.mono.Base.SizeBytes(),
+		}}
+	}
+	out := make([]Stat, len(e.parts))
+	for s, p := range e.parts {
+		out[s] = Stat{
+			Shard:        s,
+			Series:       len(p.series),
+			Groups:       p.base.TotalGroups(),
+			Subsequences: p.base.TotalSubseq,
+			IndexBytes:   p.base.SizeBytes(),
+		}
+	}
+	return out
+}
+
+// LayoutSignature fingerprints the serving layout — shard count plus each
+// shard's series and subsequence population. Serving caches fold it into
+// their keys so re-registering the same data under a different shard layout
+// can never alias a previous incarnation's entries. O(shards), cheap enough
+// to compute per query.
+func (e *Engine) LayoutSignature() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	if e.mono != nil {
+		put(uint64(e.mono.Base.Dataset.N()))
+		put(uint64(e.mono.Base.TotalSubseq))
+		put(1)
+		return h.Sum64()
+	}
+	for _, p := range e.parts {
+		put(uint64(len(p.series)))
+		put(uint64(p.base.TotalSubseq))
+	}
+	put(uint64(e.shards))
+	return h.Sum64()
+}

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"onex/internal/core"
+	"onex/internal/grouping"
+	"onex/internal/ts"
+)
+
+// Append grows one series in time, routing the maintenance work through the
+// series' home shard: the global assignment rule runs once (identical to
+// the unsharded path, so answers stay layout-invariant), then only the
+// shards holding a touched or new group — plus the home shard, whose data
+// grew — re-derive their index layers; every other shard is reused
+// wholesale. The amortized rebuild policy applies exactly as in
+// core.Engine.Append: crossing Options.RebuildDrift re-runs the full global
+// build (pinned to the indexed length set) and re-derives every shard.
+func (e *Engine) Append(seriesID int, points []float64) (*Engine, error) {
+	if e.mono != nil {
+		mono, err := e.mono.Append(seriesID, points)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{mono: mono}, nil
+	}
+	if len(points) == 0 {
+		return nil, errors.New("core: no points to append")
+	}
+	scaled, err := core.ScaleAppendPoints(e.cfg.Normalize, e.normMin, e.normMax, points)
+	if err != nil {
+		return nil, err
+	}
+	work := e.data.CloneShared()
+	oldLens := make([]int, work.N())
+	for i, s := range work.Series {
+		oldLens[i] = s.Len()
+	}
+	if err := work.AppendPoints(seriesID, scaled); err != nil {
+		return nil, err
+	}
+	var newCount int64
+	for _, l := range e.grouped.Lengths {
+		lo, hi := work.Series[seriesID].NewWindowStarts(oldLens[seriesID], l)
+		newCount += int64(hi - lo)
+	}
+	return e.maintainOrRebuild(work, newCount, []int{ShardOf(seriesID, e.shards)},
+		func() (*grouping.Result, *grouping.Delta, error) {
+			return grouping.AppendPoints(work, e.grouped, oldLens, e.maintenanceConfig())
+		})
+}
+
+// Extend adds series to the base incrementally. New series ids continue
+// after the existing ones and hash to their shards without disturbing the
+// placement of old series; the global assignment rule runs once and only
+// the affected shards re-derive.
+func (e *Engine) Extend(newSeries []*ts.Series) (*Engine, error) {
+	if e.mono != nil {
+		mono, err := e.mono.Extend(newSeries)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{mono: mono}, nil
+	}
+	if len(newSeries) == 0 {
+		return nil, errors.New("core: no series to add")
+	}
+	work := e.data.CloneShared()
+	from := work.N()
+	homes := make([]int, 0, len(newSeries))
+	for _, s := range newSeries {
+		if s == nil || s.Len() == 0 {
+			return nil, errors.New("core: empty new series")
+		}
+		if i := ts.CheckFinite(s.Values); i >= 0 {
+			return nil, fmt.Errorf("core: new series has non-finite value %v at index %d", s.Values[i], i)
+		}
+		values, err := core.ScaleNewSeries(e.cfg.Normalize, e.normMin, e.normMax, s.Values)
+		if err != nil {
+			return nil, err
+		}
+		homes = append(homes, ShardOf(work.N(), e.shards))
+		work.Append(s.Label, values)
+	}
+	var newCount int64
+	for _, s := range work.Series[from:] {
+		for _, l := range e.grouped.Lengths {
+			if n := s.Len() - l + 1; n > 0 {
+				newCount += int64(n)
+			}
+		}
+	}
+	return e.maintainOrRebuild(work, newCount, homes,
+		func() (*grouping.Result, *grouping.Delta, error) {
+			return grouping.Extend(work, e.grouped, from, e.maintenanceConfig())
+		})
+}
+
+func (e *Engine) maintenanceConfig() grouping.Config {
+	return grouping.Config{
+		ST:      e.cfg.ST,
+		Seed:    e.cfg.Seed,
+		Workers: e.cfg.Workers,
+	}
+}
+
+// maintainOrRebuild finishes a maintenance step over the grown dataset,
+// applying the exact rebuild decision rule of the unsharded engine
+// (core.RebuildDue over the global drift counters) so a sharded base
+// rebuilds at precisely the same appends a Shards=1 base would. homes lists
+// the shards whose data grew; shards holding a touched group join them in
+// re-deriving their index layers, everything else is reused.
+func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64, homes []int,
+	incremental func() (*grouping.Result, *grouping.Delta, error)) (*Engine, error) {
+
+	rebuild := core.RebuildDue(e.cfg.RebuildDrift, e.grouped.TotalSubseq, e.grouped.IncrementalMembers, newCount)
+	start := time.Now()
+	next := &Engine{
+		shards: e.shards, cfg: e.cfg, normMin: e.normMin, normMax: e.normMax,
+		data: work, rebuilds: e.rebuilds, lastRebuild: e.lastRebuild,
+	}
+	if rebuild {
+		gr, err := grouping.Build(work, grouping.Config{
+			ST:       e.cfg.ST,
+			Lengths:  e.grouped.Lengths, // pinned: the query surface never changes
+			Seed:     e.cfg.Seed,
+			Workers:  e.cfg.Workers,
+			Progress: e.cfg.Progress,
+			Cancel:   e.cfg.Cancel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		next.grouped = gr
+		if err := next.assemble(nil, nil, nil); err != nil {
+			return nil, err
+		}
+		next.buildTime = time.Since(start)
+		next.rebuilds++
+		next.lastRebuild = next.buildTime
+		return next, nil
+	}
+
+	gr, delta, err := incremental()
+	if err != nil {
+		return nil, err
+	}
+	next.grouped = gr
+	affected := e.affectedShards(delta, homes)
+	if err := next.assemble(e.parts, affected, delta); err != nil {
+		return nil, err
+	}
+	next.buildTime = time.Since(start)
+	return next, nil
+}
+
+// affectedShards marks the shards a maintenance delta invalidates: the home
+// shards (their sub-dataset and restricted member lists grew — new groups'
+// members are exclusively new positions, so homes cover them) and every
+// shard holding a touched group (its representative moved, so the shard's
+// Dc rows, envelope and restricted member order for that group are stale).
+// All other shards' state is value-identical to a fresh derivation and is
+// reused.
+func (e *Engine) affectedShards(delta *grouping.Delta, homes []int) []bool {
+	affected := make([]bool, e.shards)
+	for _, h := range homes {
+		affected[h] = true
+	}
+	for length, touched := range delta.Touched {
+		for _, k := range touched {
+			for s, p := range e.parts {
+				if !affected[s] && p.has(length, k) {
+					affected[s] = true
+				}
+			}
+		}
+	}
+	return affected
+}

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"io"
+	"time"
+
+	"onex/internal/core"
+)
+
+// Save serializes the engine as one ONEX base stream: the global
+// (normalized) dataset and grouping — exactly the monolithic payload — plus
+// the shard count. Per-shard restrictions and index layers are derived
+// state and are re-derived on load, the same way the monolithic format
+// recomputes its Dc matrices; keeping the snapshot a single stream
+// preserves the atomic-rename semantics serving layers (internal/hub)
+// depend on.
+func (e *Engine) Save(w io.Writer) error {
+	if e.mono != nil {
+		return e.mono.Save(w)
+	}
+	return core.EncodeSnapshot(w, &core.Snapshot{
+		Shards:    e.shards,
+		Cfg:       e.cfg,
+		NormMin:   e.normMin,
+		NormMax:   e.normMax,
+		BuildTime: e.buildTime,
+		Dataset:   e.data,
+		Grouped:   e.grouped,
+	})
+}
+
+// Load reopens an engine written by Save, dispatching on the stream's shard
+// count: version ≤ 3 snapshots (and version-4 snapshots of unsharded
+// engines) load as a plain single engine, sharded snapshots re-derive their
+// per-shard index layers from the stored global payload and answer
+// identically to the saved engine.
+func Load(r io.Reader) (*Engine, error) {
+	snap, err := core.DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Shards <= 1 {
+		mono, err := core.FromSnapshot(snap)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{mono: mono}, nil
+	}
+	shards := snap.Shards
+	if shards > snap.Dataset.N() {
+		shards = snap.Dataset.N() // defensive: Build clamps the same way
+	}
+	e := &Engine{
+		shards:  shards,
+		cfg:     snap.Cfg,
+		normMin: snap.NormMin,
+		normMax: snap.NormMax,
+		data:    snap.Dataset,
+		grouped: snap.Grouped,
+		savedAt: snap.SavedAt,
+	}
+	start := time.Now()
+	if err := e.assemble(nil, nil, nil); err != nil {
+		return nil, err
+	}
+	e.buildTime = time.Since(start)
+	if snap.BuildTime > 0 {
+		// Report the original offline construction cost, not the (much
+		// cheaper) shard re-derivation.
+		e.buildTime = snap.BuildTime
+	}
+	return e, nil
+}
+
+// SavedAt reports when the engine was serialized (zero if never saved or
+// loaded from a version-1 stream).
+func (e *Engine) SavedAt() time.Time {
+	if e.mono != nil {
+		return e.mono.Meta().SavedAt
+	}
+	return e.savedAt
+}

@@ -1,0 +1,450 @@
+// Package shard implements the intra-dataset sharded ONEX engine: one
+// dataset's series are hash-partitioned across N shards, each holding its
+// own GTI/LSI index layers (inter-representative distance matrix, envelopes,
+// scan orders) over just its series, built concurrently on the shared worker
+// pool and queried by scatter-gather (query.Scatter).
+//
+// # Why the grouping stays global
+//
+// ONEX's query semantics are grouping-dependent: BestMatch mines the group
+// of the nearest representative, k-NN's cut and walk orders derive from the
+// group structure, and seasonal patterns ARE the groups. Truly independent
+// per-shard groupings would therefore change answers — Algorithm 1 over a
+// subset of the series produces different groups than over the whole
+// dataset, and a scatter-gather min-merge over different groupings is a
+// different (uncomparable) approximation. This engine instead runs the ONE
+// deterministic global grouping every layout shares (the same
+// grouping.Build the single-engine path runs — bit-identical for a fixed
+// dataset/ST/lengths/seed at every worker count) and partitions everything
+// downstream of it by series:
+//
+//   - each shard gets the sub-dataset of its series (value arrays shared,
+//     zero copy) and the restriction of every global group to those series
+//     (shared representative, preserved member order and EDs);
+//   - the expensive per-length index layers — the O(g²) Dc matrix, the
+//     LB_Keogh envelopes, the scan orders — are built per shard over the
+//     restricted group sets, concurrently on the internal/parallel pool;
+//   - queries scatter across shards and gather exactly the monolithic
+//     decisions (see query.Scatter for the per-query argument), so
+//     Shards=1 and Shards=N answer identically;
+//   - incremental maintenance (Append/Extend) runs the global assignment
+//     rule once, then refreshes only the shards whose series or groups the
+//     step touched; untouched shards are reused wholesale.
+//
+// Shards(0|1) is the unsharded path: the engine embeds a plain core.Engine
+// and forwards, bit-compatible with previous releases.
+//
+// # Persistence
+//
+// A sharded engine snapshots as a single version-4 stream carrying the
+// global dataset + grouping payload (exactly the monolithic format) plus
+// the shard count: per-shard state is derived, like the Dc matrices, and is
+// re-derived on load. Version ≤ 3 snapshots load as one shard.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"onex/internal/core"
+	"onex/internal/grouping"
+	"onex/internal/parallel"
+	"onex/internal/query"
+	"onex/internal/rspace"
+	"onex/internal/ts"
+)
+
+// Engine is a serving engine over one dataset with a fixed shard layout.
+// Like core.Engine it is immutable after construction: Append/Extend/
+// WithThreshold return new engines and the receiver stays valid, so any
+// number of queries can run concurrently with maintenance swaps.
+type Engine struct {
+	// mono is the unsharded backend (Shards ≤ 1); when set, every method
+	// forwards to it and no sharded state exists.
+	mono *core.Engine
+
+	shards           int
+	cfg              core.BuildConfig
+	normMin, normMax float64
+	// data is the global normalized dataset; shard sub-datasets share its
+	// (immutable) value arrays.
+	data *ts.Dataset
+	// grouped is the global grouping — identical to what the single-engine
+	// path builds over the same data.
+	grouped *grouping.Result
+	parts   []*part
+	scatter *query.Scatter
+
+	buildTime   time.Duration
+	savedAt     time.Time
+	rebuilds    int64
+	lastRebuild time.Duration
+}
+
+// part is one shard: its series, the restricted base and its processor,
+// plus the local↔global translation tables.
+type part struct {
+	// series maps local series index → global series id (ascending).
+	series []int
+	base   *rspace.Base
+	proc   *query.Processor
+	// globalIDs maps, per length, local group index → global group id. A
+	// fresh derivation orders locals by global id; an incremental refresh
+	// preserves the previous local order (so index state can be reused) and
+	// appends newly-present groups, so the slice is NOT always sorted.
+	globalIDs map[int][]int
+	// sortedIDs holds the same ids per length in ascending order, for
+	// membership tests.
+	sortedIDs map[int][]int
+	// owned marks, per length, the local groups this shard scans for the
+	// global representative phase.
+	owned map[int][]bool
+}
+
+// has reports whether the part holds global group k of the given length.
+// sortedIDs (not globalIDs: an incremental refresh appends newly-present
+// groups out of id order) is searched.
+func (p *part) has(length, k int) bool {
+	ids := p.sortedIDs[length]
+	i := sort.SearchInts(ids, k)
+	return i < len(ids) && ids[i] == k
+}
+
+// ShardOf is the stable series→shard routing function: a splitmix64-style
+// mix of the global series id modulo the shard count. It depends only on
+// (seriesID, shards), so appends and extensions route deterministically
+// across processes and restarts, and new series ids (which continue after
+// the existing ones) hash without disturbing the placement of old ones.
+func ShardOf(seriesID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := uint64(seriesID) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// Build constructs an engine over the dataset with the requested shard
+// count. Shards ≤ 1 selects the unsharded path (a plain core.Engine —
+// bit-compatible with previous releases); counts above the series count
+// clamp to it (a shard needs at least a chance of holding a series);
+// negative counts error. The global grouping runs once on cfg.Workers
+// exactly as the unsharded build would, then the per-shard index layers are
+// derived concurrently on the same pool.
+func Build(d *ts.Dataset, cfg core.BuildConfig, shards int) (*Engine, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("shard: shard count must be ≥ 0, got %d", shards)
+	}
+	if shards > 1 && d != nil && d.N() > 0 && shards > d.N() {
+		shards = d.N()
+	}
+	if shards <= 1 {
+		mono, err := core.Build(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{mono: mono}, nil
+	}
+	work, normMin, normMax, err := core.PrepareDataset(d, cfg.Normalize)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	gr, err := grouping.Build(work, grouping.Config{
+		ST:       cfg.ST,
+		Lengths:  cfg.Lengths,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+		Cancel:   cfg.Cancel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		shards: shards, cfg: cfg, normMin: normMin, normMax: normMax,
+		data: work, grouped: gr,
+	}
+	if err := e.assemble(nil, nil, nil); err != nil {
+		return nil, err
+	}
+	e.buildTime = time.Since(start)
+	return e, nil
+}
+
+// assemble derives the per-shard state and the scatter executor from the
+// engine's global dataset + grouping. With prev/affected set, shards whose
+// affected flag is false reuse their previous part wholesale — valid
+// because an unaffected shard's series values are unchanged and every group
+// it holds is value-identical to its previous incarnation (incremental
+// maintenance copies untouched groups verbatim) — and affected shards
+// refresh incrementally from the maintenance delta when one is given
+// (refreshPart), paying index recomputation only for touched and new
+// groups instead of a from-scratch derivation.
+func (e *Engine) assemble(prev []*part, affected []bool, delta *grouping.Delta) error {
+	parts := make([]*part, e.shards)
+	errs := make([]error, e.shards)
+	parallel.ForEach(e.cfg.Workers, e.shards, func(s int) {
+		if prev != nil && !affected[s] {
+			parts[s] = prev[s]
+			return
+		}
+		if prev != nil && delta != nil {
+			parts[s], errs[s] = refreshPart(e.data, e.grouped, e.shards, s, e.cfg.Query, prev[s], delta)
+			return
+		}
+		parts[s], errs[s] = buildPart(e.data, e.grouped, e.shards, s, e.cfg.Query)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	views := make([]query.ShardView, e.shards)
+	for s, p := range parts {
+		views[s] = query.ShardView{
+			Proc:      p.proc,
+			Series:    p.series,
+			GlobalIDs: p.globalIDs,
+			Owned:     p.owned,
+		}
+	}
+	globalBase := &rspace.Base{
+		Dataset:     e.data,
+		ST:          e.grouped.ST,
+		Lengths:     append([]int(nil), e.grouped.Lengths...),
+		Entries:     make(map[int]*rspace.LengthEntry, len(e.grouped.Lengths)),
+		TotalSubseq: e.grouped.TotalSubseq,
+	}
+	for _, l := range e.grouped.Lengths {
+		globalBase.Entries[l] = &rspace.LengthEntry{Length: l, Groups: e.grouped.ByLength[l].Groups}
+	}
+	sc, err := query.NewScatter(globalBase, e.cfg.Query, views)
+	if err != nil {
+		return err
+	}
+	e.parts = parts
+	e.scatter = sc
+	return nil
+}
+
+// buildPart derives one shard: the sub-dataset of its series (shared value
+// arrays), the restriction of every global group to those series (shared
+// representative, member order and EDs preserved — restriction of a sorted
+// list is sorted), and the full GTI/LSI index layers over the restricted
+// group set. Group ownership — which shard scans a representative — goes to
+// the shard holding the group's nearest member (Members[0] of the global
+// LSI order), a pure function of the global grouping.
+func buildPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts query.Options) (*part, error) {
+	p := &part{
+		globalIDs: make(map[int][]int, len(gr.Lengths)),
+		sortedIDs: make(map[int][]int, len(gr.Lengths)),
+		owned:     make(map[int][]bool, len(gr.Lengths)),
+	}
+	localOf := p.collectSeries(data, shards, s)
+
+	res := &grouping.Result{
+		ST:       gr.ST,
+		Lengths:  append([]int(nil), gr.Lengths...),
+		ByLength: make(map[int]*grouping.LengthGroups, len(gr.Lengths)),
+	}
+	for _, l := range gr.Lengths {
+		src := gr.ByLength[l]
+		lg := &grouping.LengthGroups{Length: l}
+		gids := make([]int, 0, len(src.Groups))
+		owned := make([]bool, 0, len(src.Groups))
+		for k, g := range src.Groups {
+			members := restrictMembers(g, shards, s, localOf)
+			if len(members) == 0 {
+				continue
+			}
+			lg.Groups = append(lg.Groups, &grouping.Group{
+				Length:  l,
+				ID:      len(lg.Groups),
+				Rep:     g.Rep, // immutable, shared with the global group
+				Members: members,
+			})
+			gids = append(gids, k)
+			owned = append(owned, ShardOf(g.Members[0].SeriesIdx, shards) == s)
+			res.TotalSubseq += int64(len(members))
+		}
+		res.ByLength[l] = lg
+		p.globalIDs[l] = gids
+		p.sortedIDs[l] = gids // fresh derivations order locals by global id
+		p.owned[l] = owned
+	}
+
+	base, err := rspace.New(p.sub(data, s), res, rspace.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(base, qopts)
+}
+
+// collectSeries fills p.series with the shard's series (ascending global
+// id) and returns the global→local index map. The sub-dataset itself is
+// derived separately (sub) so refreshPart can share this step.
+func (p *part) collectSeries(data *ts.Dataset, shards, s int) map[int]int {
+	localOf := make(map[int]int)
+	for id := range data.Series {
+		if ShardOf(id, shards) != s {
+			continue
+		}
+		localOf[id] = len(p.series)
+		p.series = append(p.series, id)
+	}
+	return localOf
+}
+
+// sub materializes the shard's sub-dataset: fresh series headers sharing
+// the (immutable) global value arrays, local ids in p.series order.
+func (p *part) sub(data *ts.Dataset, s int) *ts.Dataset {
+	sub := &ts.Dataset{Name: fmt.Sprintf("%s#%d", data.Name, s)}
+	for _, id := range p.series {
+		sub.Append(data.Series[id].Label, data.Series[id].Values)
+	}
+	return sub
+}
+
+// finish wraps the restricted base with its query processor.
+func (p *part) finish(base *rspace.Base, qopts query.Options) (*part, error) {
+	proc, err := query.New(base, qopts)
+	if err != nil {
+		return nil, err
+	}
+	p.base = base
+	p.proc = proc
+	return p, nil
+}
+
+// restrictMembers filters one global group's member list down to the
+// shard's series, remapping to local ids. Restriction of the (ED-sorted)
+// global LSI order preserves it.
+func restrictMembers(g *grouping.Group, shards, s int, localOf map[int]int) []grouping.Member {
+	var members []grouping.Member
+	for _, m := range g.Members {
+		if ShardOf(m.SeriesIdx, shards) != s {
+			continue
+		}
+		members = append(members, grouping.Member{
+			SeriesIdx: localOf[m.SeriesIdx],
+			Start:     m.Start,
+			EDToRep:   m.EDToRep,
+		})
+	}
+	return members
+}
+
+// refreshPart is buildPart's incremental form, run on the shards a
+// maintenance delta touched: previously-present groups keep their local
+// indices (untouched ones reuse the previous restricted group object
+// wholesale — it is value-identical), groups the step touched re-restrict,
+// and groups newly present in the shard (touched groups gaining their
+// first member here, or brand-new groups) append at the end. The
+// prefix-stable local order lets rspace.Refresh reuse every Dc entry and
+// envelope not involving a touched or appended group, so the refresh costs
+// O(changed·gₛ·L + gₛ²) instead of buildPart's O(gₛ²·L) — and is proven
+// bit-identical to a fresh derivation (rspace.Refresh's contract, plus the
+// structural equality test in this package).
+//
+// The shard's series membership only grows (new ids hash in above all old
+// ids), so the previous local series order is a prefix of the new one and
+// every reused member index stays valid.
+func refreshPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts query.Options,
+	prev *part, delta *grouping.Delta) (*part, error) {
+
+	p := &part{
+		globalIDs: make(map[int][]int, len(gr.Lengths)),
+		sortedIDs: make(map[int][]int, len(gr.Lengths)),
+		owned:     make(map[int][]bool, len(gr.Lengths)),
+	}
+	localOf := p.collectSeries(data, shards, s)
+
+	res := &grouping.Result{
+		ST:       gr.ST,
+		Lengths:  append([]int(nil), gr.Lengths...),
+		ByLength: make(map[int]*grouping.LengthGroups, len(gr.Lengths)),
+	}
+	localDelta := &grouping.Delta{
+		PrevGroups: make(map[int]int, len(gr.Lengths)),
+		Touched:    make(map[int][]int, len(gr.Lengths)),
+	}
+	for _, l := range gr.Lengths {
+		src := gr.ByLength[l]
+		prevIDs := prev.globalIDs[l]
+		prevGroups := prev.base.Entry(l).Groups
+		touched := make(map[int]bool, len(delta.Touched[l]))
+		for _, k := range delta.Touched[l] {
+			touched[k] = true
+		}
+
+		lg := &grouping.LengthGroups{Length: l}
+		gids := make([]int, 0, len(prevIDs))
+		owned := make([]bool, 0, len(prevIDs))
+		var localTouched []int
+		for li, k := range prevIDs {
+			g := src.Groups[k]
+			rg := prevGroups[li]
+			if touched[k] {
+				rg = &grouping.Group{
+					Length:  l,
+					ID:      li,
+					Rep:     g.Rep,
+					Members: restrictMembers(g, shards, s, localOf),
+				}
+				localTouched = append(localTouched, li)
+			}
+			lg.Groups = append(lg.Groups, rg)
+			gids = append(gids, k)
+			owned = append(owned, ShardOf(g.Members[0].SeriesIdx, shards) == s)
+			res.TotalSubseq += int64(len(rg.Members))
+		}
+
+		// Only groups whose membership changed can newly enter the shard:
+		// touched old groups not present before, and brand-new groups.
+		candidates := make([]int, 0, len(delta.Touched[l]))
+		for _, k := range delta.Touched[l] {
+			if !prev.has(l, k) {
+				candidates = append(candidates, k)
+			}
+		}
+		for k := delta.PrevGroups[l]; k < len(src.Groups); k++ {
+			candidates = append(candidates, k)
+		}
+		sort.Ints(candidates)
+		for _, k := range candidates {
+			g := src.Groups[k]
+			members := restrictMembers(g, shards, s, localOf)
+			if len(members) == 0 {
+				continue
+			}
+			lg.Groups = append(lg.Groups, &grouping.Group{
+				Length:  l,
+				ID:      len(lg.Groups),
+				Rep:     g.Rep,
+				Members: members,
+			})
+			gids = append(gids, k)
+			owned = append(owned, ShardOf(g.Members[0].SeriesIdx, shards) == s)
+			res.TotalSubseq += int64(len(members))
+		}
+
+		res.ByLength[l] = lg
+		p.globalIDs[l] = gids
+		sorted := append([]int(nil), gids...)
+		sort.Ints(sorted)
+		p.sortedIDs[l] = sorted
+		p.owned[l] = owned
+		localDelta.PrevGroups[l] = len(prevIDs)
+		localDelta.Touched[l] = localTouched
+	}
+
+	base, err := rspace.Refresh(p.sub(data, s), res, rspace.Options{}, prev.base, localDelta)
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(base, qopts)
+}

@@ -32,6 +32,7 @@ import (
 	"onex/internal/core"
 	"onex/internal/query"
 	"onex/internal/rspace"
+	"onex/internal/shard"
 	"onex/internal/ts"
 )
 
@@ -63,7 +64,7 @@ func buildDataset(d *ts.Dataset, opts Options) (*Base, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.Build(d, cfg)
+	eng, err := shard.Build(d, cfg, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -73,9 +74,12 @@ func buildDataset(d *ts.Dataset, opts Options) (*Base, error) {
 // Base is a built ONEX knowledge base: the similarity groups of every
 // indexed subsequence length, their representatives, the GTI/LSI index
 // layers, and the Similarity Parameter Space. A Base is immutable and safe
-// for concurrent queries.
+// for concurrent queries. With Options.Shards > 1 the base serves through
+// the intra-dataset sharded engine (series hash-partitioned across shards,
+// queries scattered and gathered) — answers are identical to the unsharded
+// path over the same data.
 type Base struct {
-	eng  *core.Engine
+	eng  *shard.Engine
 	opts Options
 }
 
@@ -84,17 +88,26 @@ type Base struct {
 var ErrBuildCanceled = core.ErrCanceled
 
 // ST returns the similarity threshold the base was built with.
-func (b *Base) ST() float64 { return b.eng.Base.ST }
+func (b *Base) ST() float64 { return b.eng.ST() }
 
 // Name returns the dataset name the base was built over.
-func (b *Base) Name() string { return b.eng.Base.Dataset.Name }
+func (b *Base) Name() string { return b.eng.Name() }
 
 // NumSeries returns the number of indexed series.
-func (b *Base) NumSeries() int { return b.eng.Base.Dataset.N() }
+func (b *Base) NumSeries() int { return b.eng.NumSeries() }
+
+// Shards returns the serving layout's shard count (1 for unsharded bases).
+func (b *Base) Shards() int { return b.eng.ShardCount() }
+
+// LayoutSignature fingerprints the serving layout (shard count plus each
+// shard's series/subsequence population). Result caches keyed on a base
+// should fold it in so the same data served under a different shard layout
+// never aliases a previous incarnation's entries.
+func (b *Base) LayoutSignature() uint64 { return b.eng.LayoutSignature() }
 
 // Lengths returns the indexed subsequence lengths in increasing order.
 func (b *Base) Lengths() []int {
-	return append([]int(nil), b.eng.Base.Lengths...)
+	return b.eng.Lengths()
 }
 
 // BestMatch answers similarity queries (class I, Q1): the subsequence most
@@ -102,7 +115,7 @@ func (b *Base) Lengths() []int {
 // MatchAny searches every indexed length with the paper's length-ordering
 // and early-stop optimizations.
 func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
-	m, err := b.eng.Proc.BestMatch(q, query.MatchMode(mode))
+	m, err := b.eng.BestMatch(q, query.MatchMode(mode))
 	if err != nil {
 		return Match{}, err
 	}
@@ -110,7 +123,7 @@ func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
 }
 
 func (b *Base) toPublicMatch(m query.Match) Match {
-	values := b.eng.Base.Dataset.Series[m.SeriesID].Values[m.Start : m.Start+m.Length]
+	values := b.eng.Window(m.SeriesID, m.Start, m.Length)
 	return Match{
 		SeriesID: m.SeriesID,
 		Start:    m.Start,
@@ -135,7 +148,7 @@ type BatchResult struct {
 // included. Malformed queries never panic; a nil or empty batch returns an
 // empty slice.
 func (b *Base) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
-	rs := b.eng.Proc.BestMatchBatch(qs, query.MatchMode(mode))
+	rs := b.eng.BestMatchBatch(qs, query.MatchMode(mode))
 	out := make([]BatchResult, len(rs))
 	for i, r := range rs {
 		if r.Err != nil {
@@ -151,7 +164,7 @@ func (b *Base) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
 // best first. Fewer than k results are returned only when the base holds
 // fewer candidates.
 func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
-	ms, err := b.eng.Proc.BestKMatches(q, query.MatchMode(mode), k)
+	ms, err := b.eng.BestKMatches(q, query.MatchMode(mode), k)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +191,7 @@ type RangeMatch struct {
 // whole groups are admitted through the Lemma 2 triangle inequality without
 // per-member DTW computations.
 func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatch, error) {
-	rs, err := b.eng.Proc.RangeSearch(q, length, radius)
+	rs, err := b.eng.RangeSearch(q, length, radius)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +209,7 @@ func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatc
 // the subsequences within radius, independent of the base's grouping, so
 // Distance is always safe to sort or re-threshold on.
 func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]RangeMatch, error) {
-	rs, err := b.eng.Proc.RangeSearchExact(q, length, radius)
+	rs, err := b.eng.RangeSearchExact(q, length, radius)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +274,7 @@ func (b *Base) Extend(series []Series) (*Base, error) {
 // patterns of one series — every group of the given length holding two or
 // more subsequences of that series.
 func (b *Base) Seasonal(seriesID, length int) ([]Pattern, error) {
-	gs, err := b.eng.Proc.SeasonalSample(seriesID, length)
+	gs, err := b.eng.SeasonalSample(seriesID, length)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +284,7 @@ func (b *Base) Seasonal(seriesID, length int) ([]Pattern, error) {
 // SeasonalAll answers the data-driven class II query: every recurring
 // similarity pattern of the given length across the whole dataset.
 func (b *Base) SeasonalAll(length int) ([]Pattern, error) {
-	gs, err := b.eng.Proc.SeasonalAll(length)
+	gs, err := b.eng.SeasonalAll(length)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +314,7 @@ func (b *Base) toPatterns(gs []query.SeasonalGroup) []Pattern {
 // length < 0 uses the dataset-global critical values; otherwise the values
 // local to that subsequence length.
 func (b *Base) RecommendThreshold(d Degree, length int) (Range, error) {
-	lo, hi, err := b.eng.Base.Recommend(rspace.Degree(d), length)
+	lo, hi, err := b.eng.Recommend(rspace.Degree(d), length)
 	if err != nil {
 		return Range{}, err
 	}
@@ -310,7 +323,7 @@ func (b *Base) RecommendThreshold(d Degree, length int) (Range, error) {
 
 // DegreeOf classifies a threshold on the base's Strict/Medium/Loose scale.
 func (b *Base) DegreeOf(st float64) Degree {
-	return Degree(b.eng.Base.DegreeOf(st))
+	return Degree(b.eng.DegreeOf(st))
 }
 
 // WithThreshold derives a base for a different similarity threshold using
@@ -335,7 +348,7 @@ func (b *Base) Save(w io.Writer) error {
 // Load reopens a base written by Save. The derived index layers are rebuilt
 // from the stored groups; queries answer identically to the saved base.
 func Load(r io.Reader) (*Base, error) {
-	eng, err := core.Load(r)
+	eng, err := shard.Load(r)
 	if err != nil {
 		return nil, err
 	}
@@ -383,15 +396,29 @@ func LoadFile(path string) (*Base, error) {
 	return Load(f)
 }
 
-// Stats reports the size and construction cost of the base (Table 4).
+// Stats reports the size and construction cost of the base (Table 4), plus
+// the maintenance and shard-layout observability counters.
 func (b *Base) Stats() Stats {
-	return Stats{
-		Representatives: b.eng.Base.TotalGroups(),
-		Subsequences:    b.eng.Base.TotalSubseq,
-		IndexBytes:      b.eng.Base.SizeBytes(),
-		BuildTime:       b.eng.BuildTime,
-		STHalf:          b.eng.Base.GlobalSTHalf,
-		STFinal:         b.eng.Base.GlobalSTFinal,
+	st := Stats{
+		Representatives: b.eng.TotalGroups(),
+		Subsequences:    b.eng.TotalSubseq(),
+		IndexBytes:      b.eng.SizeBytes(),
+		BuildTime:       b.eng.BuildTime(),
+		STHalf:          b.eng.STHalf(),
+		STFinal:         b.eng.STFinal(),
 		Drift:           b.eng.Drift(),
+		Rebuilds:        b.eng.Rebuilds(),
+		LastRebuild:     b.eng.LastRebuild(),
+		Shards:          b.eng.ShardCount(),
 	}
+	for _, s := range b.eng.ShardStats() {
+		st.PerShard = append(st.PerShard, ShardStat{
+			Shard:        s.Shard,
+			Series:       s.Series,
+			Groups:       s.Groups,
+			Subsequences: s.Subsequences,
+			IndexBytes:   s.IndexBytes,
+		})
+	}
+	return st
 }

@@ -34,6 +34,23 @@ type Options struct {
 	// setting — parallel execution is answer-invariant by construction —
 	// so this is purely a latency/throughput knob.
 	Parallelism int
+	// Shards hash-partitions the dataset's series across this many engine
+	// shards, each with its own index layers built concurrently and queried
+	// by scatter-gather. 0 or 1 keeps the single-engine path (bit-compatible
+	// with previous releases); counts above the series count clamp to it;
+	// negative counts error. Query answers — BestMatch, BestKMatches,
+	// RangeSearch(Exact), Seasonal, batches — are identical at every shard
+	// count: the similarity grouping is computed globally and the
+	// scatter-gather replays the single-engine decision procedure, so like
+	// Parallelism this is a scale/latency knob, not a semantics knob.
+	// Two exceptions, both outside the query classes: threshold adaptation
+	// (WithThreshold) requires an unsharded base, and the SP-Space guidance
+	// surface — RecommendThreshold, DegreeOf, Stats.STHalf/STFinal — is
+	// aggregated from the per-shard merge structures on a sharded base (the
+	// exact global values need the full O(g²) inter-representative matrix
+	// the sharded layout deliberately never materializes), so those guidance
+	// ranges can differ between layouts.
+	Shards int
 	// RebuildDrift tunes the amortized rebuild policy of incremental
 	// maintenance (Append and Extend): when the fraction of indexed
 	// subsequences that joined incrementally (since the last full offline
@@ -76,6 +93,9 @@ func (o Options) toCore() (core.BuildConfig, error) {
 	}
 	if o.CandidateLimit < 0 {
 		return core.BuildConfig{}, fmt.Errorf("onex: Options.CandidateLimit must be ≥ 0, got %d", o.CandidateLimit)
+	}
+	if o.Shards < 0 {
+		return core.BuildConfig{}, fmt.Errorf("onex: Options.Shards must be ≥ 0, got %d", o.Shards)
 	}
 	workers := o.Workers
 	if workers == 0 {

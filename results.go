@@ -67,4 +67,29 @@ type Stats struct {
 	// (Append/Extend) since the last full offline build — see
 	// Options.RebuildDrift.
 	Drift float64
+	// Rebuilds counts drift-triggered full rebuilds along the base's
+	// Append/Extend lineage and LastRebuild records the most recent one's
+	// wall-clock cost (zero if none) — the amortized rebuild policy's
+	// observability counters. Process-local: snapshots do not persist them.
+	Rebuilds    int64
+	LastRebuild time.Duration
+	// Shards is the serving layout's shard count (1 for unsharded bases)
+	// and PerShard describes each shard — see Options.Shards.
+	Shards   int
+	PerShard []ShardStat
+}
+
+// ShardStat describes one shard of a base's serving layout.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Series counts the series routed to the shard.
+	Series int
+	// Groups counts the shard's restricted similarity groups across lengths
+	// (a group whose members span k shards appears in k of these counts).
+	Groups int
+	// Subsequences counts the indexed subsequences resident in the shard.
+	Subsequences int64
+	// IndexBytes estimates the shard's GTI+LSI index size.
+	IndexBytes int64
 }
