@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream bench-shard lint coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream bench-shard bench-load lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -33,7 +33,11 @@ serve-smoke: ## Boot onex-server, drive the v1 API end to end (CI's serve-smoke 
 
 bench-serve: ## Emit BENCH_serve.json: cold vs cached /match latency over HTTP
 	ONEX_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
-		$(GO) test ./cmd/onex-server -run '^TestEmitServeBench$$' -v -count=1
+		$(GO) test ./internal/api -run '^TestEmitServeBench$$' -v -count=1
+
+bench-load: ## Emit BENCH_load.json: closed-loop mixed-traffic latency vs offered load
+	$(GO) run ./cmd/onex-bench -exp load \
+		-load-out $(CURDIR)/BENCH_load.json
 
 bench-parallel: ## Emit BENCH_parallel.json: sequential vs parallel build/query/batch sweep
 	$(GO) run ./cmd/onex-bench -exp parallel -scale 2 \

@@ -3,7 +3,12 @@
 // a fixed small scale, so `go test -bench=.` completes in minutes);
 // cmd/onex-bench regenerates the full tables/series and EXPERIMENTS.md
 // records paper-vs-measured values.
-package onex
+//
+// This file lives in the external test package: it only touches internal
+// packages directly, and internal/bench now imports internal/api (for the
+// serve-load sweep), which imports onex — an in-package test here would be
+// an import cycle.
+package onex_test
 
 import (
 	"fmt"

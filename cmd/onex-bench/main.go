@@ -5,7 +5,7 @@
 //
 //	onex-bench [flags]
 //
-//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", "shard", or "all" (default "all")
+//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", "shard", "load", or "all" (default "all")
 //	-datasets string comma-separated subset of the six paper datasets
 //	-st float        similarity threshold (default 0.2, the paper's sweet spot)
 //	-scale float     multiplier on bench-scale dataset cardinalities (default 1)
@@ -30,7 +30,10 @@
 // machine-readable report to -parallel-out. The "shard" experiment sweeps
 // the intra-dataset sharded engine at shard counts 1/2/4/8 the same way
 // (build + query/batch/k-NN latency, per-shard index footprint, built-in
-// unsharded-equivalence check), writing to -shard-out.
+// unsharded-equivalence check), writing to -shard-out. The "load"
+// experiment boots a live in-process onex-server and drives it with
+// closed-loop mixed traffic (sync queries, uniform batches, async jobs) at
+// client counts 1..16, writing latency-vs-offered-load to -load-out.
 package main
 
 import (
@@ -95,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"output path of the -exp stream JSON report")
 		shardOut = fs.String("shard-out", "BENCH_shard.json",
 			"output path of the -exp shard JSON report")
+		loadOut = fs.String("load-out", "BENCH_load.json",
+			"output path of the -exp load JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +136,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			func(w io.Writer) error { return bench.WriteStreamReport(rep, w) },
 			fmt.Sprintf("best sweep point: incremental append %.1fx cheaper than per-batch rebuilds",
 				rep.LargestSpeedup))
+	}
+	if *exp == "load" {
+		rep, tables, err := bench.RunServeLoad(cfg)
+		if err != nil {
+			return err
+		}
+		return emitReport(stdout, tables, *loadOut,
+			func(w io.Writer) error { return bench.WriteLoadReport(rep, w) },
+			fmt.Sprintf("gomaxprocs=%d, peak %.0f req/s with p99 %.2fms",
+				rep.GOMAXPROCS, rep.PeakThroughput, rep.P99AtPeak))
 	}
 	if *exp == "shard" {
 		rep, tables, err := bench.RunShardSweep(cfg)

@@ -1,60 +1,31 @@
 // Command onex-server serves ONEX bases over HTTP — the service form of the
-// paper's interactive exploration tool, scaled from a single-base demo to a
-// multi-dataset hub (internal/hub): datasets are registered at runtime,
-// built asynchronously on a bounded worker pool, optionally snapshotted to
-// disk for instant reloads, and queried through a bounded LRU result cache.
+// paper's interactive exploration tool. The entire serving surface lives in
+// internal/api (so it is testable and benchmarkable in-process); this
+// binary only parses flags, boots the server and handles signals.
 //
 // Usage:
 //
 //	onex-server [-addr :8080] [-data file.tsv | -generate ECG] [-st 0.2]
 //	            [-lengths 16] [-scale 0.25] [-seed 1]
 //	            [-snapshot-dir dir] [-cache-entries 1024] [-build-workers 2]
+//	            [-job-workers 2] [-max-jobs 1024] [-job-ttl 10m] [-legacy]
 //
-// The flags describe the default dataset, registered at startup exactly as
-// previous single-dataset versions served it; the legacy unversioned
-// endpoints keep working against it. See README.md in this directory for
-// the full v1 API with curl examples.
-//
-// Versioned surface (JSON in/out; errors are {"error": "..."}):
-//
-//	POST   /v1/datasets                  register a dataset (async build)
-//	GET    /v1/datasets                  list datasets + lifecycle states
-//	GET    /v1/datasets/{name}           one dataset's status/metadata
-//	DELETE /v1/datasets/{name}[?purge=1] drop (purge also deletes snapshot)
-//	POST   /v1/datasets/{name}/match     best match / k-NN (Q1)
-//	POST   /v1/datasets/{name}/match/batch  many best-match queries at once
-//	POST   /v1/datasets/{name}/range     range search within a radius
-//	POST   /v1/datasets/{name}/extend    incrementally add series
-//	POST   /v1/datasets/{name}/append    stream points onto an existing series
-//	GET    /v1/datasets/{name}/seasonal  recurring patterns (Q2)
-//	GET    /v1/datasets/{name}/recommend threshold recommendation (Q3)
-//	GET    /v1/datasets/{name}/stats     per-dataset stats + cache counters
-//	GET    /v1/stats                     hub-wide stats (cache hit/miss, states)
-//	GET    /healthz                      liveness
-//
-// Legacy single-dataset endpoints (served by the default dataset):
-// POST /match, POST /range, GET /seasonal, GET /recommend, GET /stats.
+// The flags describe the default dataset, registered at startup. See
+// README.md in this directory for a surface overview and docs/api.md for
+// the endpoint reference.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"runtime"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"onex"
-	"onex/internal/hub"
+	"onex/internal/api"
 )
 
 func main() {
@@ -71,30 +42,36 @@ func main() {
 		buildWorkers = flag.Int("build-workers", 2, "concurrent dataset builds")
 		parallelism  = flag.Int("parallelism", 0, "per-query/build worker fan-out (0 = GOMAXPROCS)")
 		shards       = flag.Int("shards", 0, "intra-dataset shard count of the default dataset (0/1 = unsharded)")
-		maxBody      = flag.Int64("max-body-bytes", defaultMaxBody, "request body size cap")
+		maxBody      = flag.Int64("max-body-bytes", api.DefaultMaxBody, "request body size cap")
 		allowFS      = flag.Bool("allow-fs", false,
 			"let /v1/datasets register from server filesystem paths (path/snapshot fields)")
+		legacy = flag.Bool("legacy", false,
+			"serve the deprecated pre-/v1 endpoints (/match, /range, /seasonal, /recommend, /stats)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent async query jobs")
+		maxJobs    = flag.Int("max-jobs", 1024, "job table bound (live + retained terminal jobs)")
+		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "how long finished job results stay pollable")
 	)
 	flag.Parse()
 
-	srv, err := newServer(serverConfig{
+	srv, err := api.New(api.Config{
 		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
 		Scale: *scale, Seed: *seed, Parallelism: *parallelism, Shards: *shards,
 		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
+		Legacy: *legacy, JobWorkers: *jobWorkers, MaxJobs: *maxJobs, JobTTL: *jobTTL,
 	})
 	if err != nil {
 		log.Fatal("onex-server: ", err)
 	}
-	defer srv.hub.Close()
+	defer srv.Close()
 
-	info, _ := srv.defaultInfo()
+	info, _ := srv.DefaultInfo()
 	log.Printf("onex-server: default dataset %q ready (%d representatives), listening on %s",
-		srv.defaultName, info.Representatives, *addr)
+		srv.DefaultName(), info.Representatives, *addr)
 
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.routes(),
+		Handler:           srv.Routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      120 * time.Second,
@@ -111,710 +88,12 @@ func main() {
 		log.Fatal("onex-server: ", err)
 	case <-ctx.Done():
 		stop()
-		log.Print("onex-server: shutting down (draining in-flight queries)")
+		log.Print("onex-server: shutting down (draining in-flight queries, aborting jobs)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			log.Print("onex-server: shutdown: ", err)
 		}
-		srv.hub.Close() // aborts in-flight builds cleanly
+		srv.Close() // aborts in-flight jobs and builds cleanly
 	}
-}
-
-const defaultMaxBody = 8 << 20 // 8 MiB: ~1M-point query vectors
-
-// maxShards bounds client-requested shard counts (the engine additionally
-// clamps to the dataset's series count).
-const maxShards = 256
-
-// serverConfig aggregates the startup flags (kept as a struct so tests can
-// build servers directly).
-type serverConfig struct {
-	DataPath, Generator string
-	ST                  float64
-	Lengths             int
-	Scale               float64
-	Seed                int64
-	// Parallelism is the default dataset's build/query worker fan-out
-	// (0 = GOMAXPROCS).
-	Parallelism int
-	// Shards is the default dataset's intra-dataset shard count
-	// (0/1 = unsharded; answers are identical at every count).
-	Shards       int
-	SnapshotDir  string
-	CacheEntries int
-	BuildWorkers int
-	MaxBody      int64
-	// AllowFS lets v1 registration requests name server filesystem paths
-	// (path/snapshot). Off by default: a remote client must not be able to
-	// read arbitrary host files. The startup -data flag is unaffected
-	// (operator-controlled).
-	AllowFS bool
-}
-
-// server is the HTTP face of a hub. Handlers are safe for concurrent use.
-type server struct {
-	hub         *hub.Hub
-	defaultName string
-	maxBody     int64
-	allowFS     bool
-	started     time.Time
-}
-
-// newServer starts a hub, registers the default dataset per cfg and waits
-// for it to become ready, mirroring the old single-dataset startup.
-func newServer(cfg serverConfig) (*server, error) {
-	if cfg.MaxBody <= 0 {
-		cfg.MaxBody = defaultMaxBody
-	}
-	h := hub.New(hub.Config{
-		BuildWorkers: cfg.BuildWorkers,
-		SnapshotDir:  cfg.SnapshotDir,
-		CacheEntries: cfg.CacheEntries,
-	})
-	s := &server{hub: h, maxBody: cfg.MaxBody, allowFS: cfg.AllowFS, started: time.Now()}
-
-	spec := hub.Spec{
-		Scale:       cfg.Scale,
-		Seed:        cfg.Seed,
-		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Shards: cfg.Shards},
-		LengthCount: cfg.Lengths,
-	}
-	name := cfg.Generator
-	if cfg.DataPath != "" {
-		spec.Path = cfg.DataPath
-		name = datasetNameFromPath(cfg.DataPath)
-	} else {
-		spec.Generator = cfg.Generator
-	}
-	ds, err := h.Register(name, spec)
-	if err != nil {
-		h.Close()
-		return nil, err
-	}
-	if err := ds.Wait(context.Background()); err != nil {
-		h.Close()
-		return nil, fmt.Errorf("default dataset %q: %w", name, err)
-	}
-	s.defaultName = name
-	return s, nil
-}
-
-// datasetNameFromPath derives a catalog-safe name from a file path.
-func datasetNameFromPath(path string) string {
-	base := filepath.Base(path)
-	// filepath.Base only understands the host separator; strip Windows-style
-	// components regardless of platform.
-	if i := strings.LastIndexByte(base, '\\'); i >= 0 {
-		base = base[i+1:]
-	}
-	out := make([]byte, 0, len(base))
-	for i := 0; i < len(base); i++ {
-		c := base[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '.', c == '_', c == '-':
-			out = append(out, c)
-		default:
-			out = append(out, '_')
-		}
-	}
-	if len(out) == 0 || !isAlnum(out[0]) {
-		out = append([]byte{'d'}, out...)
-	}
-	if len(out) > 64 {
-		out = out[:64]
-	}
-	return string(out)
-}
-
-func isAlnum(c byte) bool {
-	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
-}
-
-func (s *server) defaultInfo() (hub.Info, error) {
-	ds, err := s.hub.Get(s.defaultName)
-	if err != nil {
-		return hub.Info{}, err
-	}
-	return ds.Info(), nil
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-
-	// Versioned multi-dataset surface.
-	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
-	mux.HandleFunc("GET /v1/datasets", s.handleList)
-	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetInfo)
-	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
-	mux.HandleFunc("POST /v1/datasets/{name}/match", s.handleMatch)
-	mux.HandleFunc("POST /v1/datasets/{name}/match/batch", s.handleMatchBatch)
-	mux.HandleFunc("POST /v1/datasets/{name}/range", s.handleRange)
-	mux.HandleFunc("POST /v1/datasets/{name}/extend", s.handleExtend)
-	mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
-	mux.HandleFunc("GET /v1/datasets/{name}/seasonal", s.handleSeasonal)
-	mux.HandleFunc("GET /v1/datasets/{name}/recommend", s.handleRecommend)
-	mux.HandleFunc("GET /v1/datasets/{name}/stats", s.handleDatasetStats)
-	mux.HandleFunc("GET /v1/stats", s.handleHubStats)
-
-	// Legacy single-dataset endpoints, served by the default dataset.
-	mux.HandleFunc("POST /match", s.handleMatch)
-	mux.HandleFunc("POST /range", s.handleRange)
-	mux.HandleFunc("GET /seasonal", s.handleSeasonal)
-	mux.HandleFunc("GET /recommend", s.handleRecommend)
-	mux.HandleFunc("GET /stats", s.handleLegacyStats)
-	return mux
-}
-
-// ---- request plumbing -------------------------------------------------
-
-type httpError struct {
-	code int
-	msg  string
-}
-
-func (e httpError) Error() string { return e.msg }
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("onex-server: encode: %v", err)
-	}
-}
-
-// writeErr maps an error onto a structured {"error": ...} response with the
-// right status code.
-func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
-	var he httpError
-	var mbe *http.MaxBytesError
-	switch {
-	case errors.As(err, &he):
-		code = he.code
-	case errors.As(err, &mbe):
-		code = http.StatusRequestEntityTooLarge
-	case errors.Is(err, hub.ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, hub.ErrExists), errors.Is(err, hub.ErrNotReady),
-		errors.Is(err, hub.ErrConflict):
-		code = http.StatusConflict
-	case errors.Is(err, hub.ErrFailed):
-		code = http.StatusInternalServerError
-	case errors.Is(err, hub.ErrClosed), errors.Is(err, onex.ErrBuildCanceled):
-		// A drift-triggered rebuild inside an append/extend handler aborts
-		// with ErrBuildCanceled when the hub shuts down mid-request — a
-		// server condition, not a client error.
-		code = http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// decodeStrict reads one JSON value: unknown fields are rejected, the body
-// is capped at s.maxBody, and trailing garbage is an error.
-func (s *server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return err
-		}
-		return httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()}
-	}
-	if dec.More() {
-		return httpError{http.StatusBadRequest, "invalid JSON: trailing data after request object"}
-	}
-	return nil
-}
-
-// dataset resolves the {name} path value, falling back to the default
-// dataset for the legacy unversioned routes.
-func (s *server) dataset(r *http.Request) (*hub.Dataset, error) {
-	name := r.PathValue("name")
-	if name == "" {
-		name = s.defaultName
-	}
-	return s.hub.Get(name)
-}
-
-// ---- dataset lifecycle ------------------------------------------------
-
-type seriesJSON struct {
-	Label  string    `json:"label"`
-	Values []float64 `json:"values"`
-}
-
-type registerRequest struct {
-	Name      string       `json:"name"`
-	Generator string       `json:"generator"`
-	Path      string       `json:"path"`
-	Snapshot  string       `json:"snapshot"`
-	Series    []seriesJSON `json:"series"`
-	Scale     float64      `json:"scale"`
-	Seed      int64        `json:"seed"`
-	ST        float64      `json:"st"`
-	Lengths   int          `json:"lengths"`
-	// Parallelism bounds the dataset's build and query worker fan-out
-	// (0 = GOMAXPROCS; answers are identical for every value).
-	Parallelism int `json:"parallelism"`
-	// Shards hash-partitions the dataset's series across engine shards
-	// built concurrently and queried by scatter-gather (0/1 = unsharded;
-	// answers are identical at every count — see /v1/datasets/{name}/stats
-	// for the per-shard breakdown).
-	Shards int  `json:"shards"`
-	Wait   bool `json:"wait"`
-}
-
-func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var req registerRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	if req.Name == "" {
-		writeErr(w, httpError{http.StatusBadRequest, "name is required"})
-		return
-	}
-	if req.Parallelism < 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "parallelism must be ≥ 0"})
-		return
-	}
-	// Clamp client-requested fan-out: parallel.Resolve accepts any positive
-	// value (it only oversubscribes), but a remote tenant must not be able
-	// to make every query spawn thousands of goroutines.
-	if limit := 4 * runtime.GOMAXPROCS(0); req.Parallelism > limit {
-		req.Parallelism = limit
-	}
-	if req.Shards < 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "shards must be ≥ 0"})
-		return
-	}
-	// Cap the shard count: the engine clamps to the series count anyway,
-	// but a remote tenant must not get to size O(shards) allocations before
-	// that clamp is known.
-	if req.Shards > maxShards {
-		writeErr(w, httpError{http.StatusBadRequest,
-			fmt.Sprintf("shards must be ≤ %d", maxShards)})
-		return
-	}
-	if (req.Path != "" || req.Snapshot != "") && !s.allowFS {
-		writeErr(w, httpError{http.StatusForbidden,
-			"filesystem sources (path/snapshot) are disabled; start the server with -allow-fs"})
-		return
-	}
-	st := req.ST
-	if st == 0 && req.Snapshot == "" {
-		st = 0.2 // the paper's sweet spot (Sec. 6.3)
-	}
-	lengths := req.Lengths
-	if lengths == 0 {
-		lengths = 16
-	}
-	spec := hub.Spec{
-		Generator:   req.Generator,
-		Path:        req.Path,
-		Snapshot:    req.Snapshot,
-		Scale:       req.Scale,
-		Seed:        req.Seed,
-		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism, Shards: req.Shards},
-		LengthCount: lengths,
-	}
-	for _, sr := range req.Series {
-		spec.Series = append(spec.Series, onex.Series{Label: sr.Label, Values: sr.Values})
-	}
-	ds, err := s.hub.Register(req.Name, spec)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if req.Wait {
-		if err := ds.Wait(r.Context()); err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
-				"error": err.Error(), "dataset": ds.Info(),
-			})
-			return
-		}
-		writeJSON(w, http.StatusCreated, ds.Info())
-		return
-	}
-	writeJSON(w, http.StatusAccepted, ds.Info())
-}
-
-func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
-	datasets := s.hub.List()
-	infos := make([]hub.Info, 0, len(datasets))
-	for _, ds := range datasets {
-		infos = append(infos, ds.Info())
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(infos), "datasets": infos})
-}
-
-func (s *server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ds.Info())
-}
-
-func (s *server) handleDrop(w http.ResponseWriter, r *http.Request) {
-	purge := false
-	switch v := r.URL.Query().Get("purge"); v {
-	case "", "false", "0":
-	case "true", "1":
-		purge = true
-	default:
-		writeErr(w, httpError{http.StatusBadRequest, "purge must be true or false"})
-		return
-	}
-	if err := s.hub.Drop(r.PathValue("name"), purge); err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"dropped": r.PathValue("name"), "purged": purge})
-}
-
-type extendRequest struct {
-	Series []seriesJSON `json:"series"`
-}
-
-func (s *server) handleExtend(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var req extendRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	if len(req.Series) == 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "series must be non-empty"})
-		return
-	}
-	series := make([]onex.Series, 0, len(req.Series))
-	for _, sr := range req.Series {
-		series = append(series, onex.Series{Label: sr.Label, Values: sr.Values})
-	}
-	if err := ds.Extend(series); err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ds.Info())
-}
-
-type appendRequest struct {
-	// SeriesID targets an existing series of the dataset (0-based, as
-	// reported by match results). A pointer distinguishes "missing" from 0.
-	SeriesID *int      `json:"seriesId"`
-	Points   []float64 `json:"points"`
-}
-
-// handleAppend serves POST /v1/datasets/{name}/append: streaming point
-// ingestion onto one existing series. The grown base swaps in atomically
-// (generation bump, cache invalidation, re-snapshot); in-flight queries
-// keep answering on the previous base.
-func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var req appendRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	if req.SeriesID == nil {
-		writeErr(w, httpError{http.StatusBadRequest, "seriesId is required"})
-		return
-	}
-	if *req.SeriesID < 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "seriesId must be ≥ 0"})
-		return
-	}
-	if len(req.Points) == 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "points must be non-empty"})
-		return
-	}
-	if err := ds.Append(*req.SeriesID, req.Points); err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ds.Info())
-}
-
-// ---- queries ----------------------------------------------------------
-
-type matchRequest struct {
-	Query []float64 `json:"query"`
-	Mode  string    `json:"mode"` // "any" (default) or "exact"
-	K     int       `json:"k"`    // 0/1 = best match; >1 = k-NN
-}
-
-type matchResponse struct {
-	SeriesID int       `json:"seriesId"`
-	Start    int       `json:"start"`
-	Length   int       `json:"length"`
-	Distance float64   `json:"distance"`
-	Values   []float64 `json:"values,omitempty"`
-}
-
-func toMatchResponse(m onex.Match, withValues bool) matchResponse {
-	r := matchResponse{
-		SeriesID: m.SeriesID, Start: m.Start, Length: m.Length, Distance: m.Distance,
-	}
-	if withValues {
-		r.Values = m.Values
-	}
-	return r
-}
-
-func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var req matchRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	mode := onex.MatchAny
-	switch req.Mode {
-	case "", "any":
-	case "exact":
-		mode = onex.MatchExact
-	default:
-		writeErr(w, httpError{http.StatusBadRequest, `mode must be "any" or "exact"`})
-		return
-	}
-	if req.K < 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "k must be ≥ 0"})
-		return
-	}
-	withValues := r.URL.Query().Get("values") == "true"
-	ms, err := ds.Match(req.Query, mode, req.K)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if req.K > 1 {
-		out := make([]matchResponse, 0, len(ms))
-		for _, m := range ms {
-			out = append(out, toMatchResponse(m, withValues))
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"matches": out})
-		return
-	}
-	writeJSON(w, http.StatusOK, toMatchResponse(ms[0], withValues))
-}
-
-type batchMatchRequest struct {
-	Queries [][]float64 `json:"queries"`
-	Mode    string      `json:"mode"` // "any" (default) or "exact"
-}
-
-// batchEntryResponse is one positional result of a batch match: either a
-// match or a per-query error.
-type batchEntryResponse struct {
-	*matchResponse
-	Error string `json:"error,omitempty"`
-}
-
-func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var req batchMatchRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	mode := onex.MatchAny
-	switch req.Mode {
-	case "", "any":
-	case "exact":
-		mode = onex.MatchExact
-	default:
-		writeErr(w, httpError{http.StatusBadRequest, `mode must be "any" or "exact"`})
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeErr(w, httpError{http.StatusBadRequest, "queries must be non-empty"})
-		return
-	}
-	withValues := r.URL.Query().Get("values") == "true"
-	rs, err := ds.MatchBatch(req.Queries, mode)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	out := make([]batchEntryResponse, 0, len(rs))
-	errors := 0
-	for _, br := range rs {
-		if br.Err != nil {
-			errors++
-			out = append(out, batchEntryResponse{Error: br.Err.Error()})
-			continue
-		}
-		m := toMatchResponse(br.Match, withValues)
-		out = append(out, batchEntryResponse{matchResponse: &m})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"count": len(out), "errors": errors, "results": out,
-	})
-}
-
-type rangeRequest struct {
-	Query  []float64 `json:"query"`
-	Length int       `json:"length"`
-	Radius float64   `json:"radius"`
-	// Exact computes true DTW distances for matches admitted through the
-	// Lemma 2 guarantee instead of reporting the ST upper bound.
-	Exact bool `json:"exact"`
-}
-
-func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var req rangeRequest
-	if err := s.decodeStrict(w, r, &req); err != nil {
-		writeErr(w, err)
-		return
-	}
-	ms, err := ds.Range(req.Query, req.Length, req.Radius, req.Exact)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	type rangeResponse struct {
-		matchResponse
-		Guaranteed bool `json:"guaranteed"`
-	}
-	out := make([]rangeResponse, 0, len(ms))
-	for _, m := range ms {
-		out = append(out, rangeResponse{toMatchResponse(m.Match, false), m.Guaranteed})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "results": out})
-}
-
-func (s *server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	q := r.URL.Query()
-	length, err := strconv.Atoi(q.Get("length"))
-	if err != nil {
-		writeErr(w, httpError{http.StatusBadRequest, "length must be an integer"})
-		return
-	}
-	seriesID := -1 // dataset-wide
-	if sid := q.Get("series"); sid != "" {
-		if seriesID, err = strconv.Atoi(sid); err != nil || seriesID < 0 {
-			writeErr(w, httpError{http.StatusBadRequest, "series must be a non-negative integer"})
-			return
-		}
-	}
-	patterns, err := ds.Seasonal(seriesID, length)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(patterns), "patterns": patterns})
-}
-
-func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	q := r.URL.Query()
-	var deg onex.Degree
-	switch q.Get("degree") {
-	case "S", "s":
-		deg = onex.Strict
-	case "M", "m":
-		deg = onex.Medium
-	case "L", "l":
-		deg = onex.Loose
-	default:
-		writeErr(w, httpError{http.StatusBadRequest, "degree must be S, M or L"})
-		return
-	}
-	length := -1
-	if ls := q.Get("length"); ls != "" {
-		var err error
-		if length, err = strconv.Atoi(ls); err != nil {
-			writeErr(w, httpError{http.StatusBadRequest, "length must be an integer"})
-			return
-		}
-	}
-	rng, err := ds.Recommend(deg, length)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"degree": deg.String(), "low": rng.Low, "high": rng.High,
-	})
-}
-
-// ---- stats ------------------------------------------------------------
-
-func (s *server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ds.Info())
-}
-
-func (s *server) handleHubStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hub":            s.hub.Stats(),
-		"defaultDataset": s.defaultName,
-		"uptimeSeconds":  time.Since(s.started).Seconds(),
-	})
-}
-
-// handleLegacyStats preserves the pre-hub /stats response shape for the
-// default dataset.
-func (s *server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
-	ds, err := s.dataset(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	info := ds.Info()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":         info.Name,
-		"st":              info.ST,
-		"representatives": info.Representatives,
-		"subsequences":    info.Subsequences,
-		"indexBytes":      info.IndexBytes,
-		"buildSeconds":    info.BuildSeconds,
-		"stHalf":          info.STHalf,
-		"stFinal":         info.STFinal,
-		"lengths":         info.Lengths,
-		"uptimeSeconds":   time.Since(s.started).Seconds(),
-	})
 }

@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"math"
@@ -9,7 +9,7 @@ import (
 
 func TestAppendEndpoint(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
-	base := hs.URL + "/v1/datasets/" + srv.defaultName
+	base := hs.URL + "/v1/datasets/" + srv.DefaultName()
 
 	before := getJSON(t, base, http.StatusOK)
 	beforeSubseq := before["subsequences"].(float64)
@@ -55,9 +55,9 @@ func TestAppendEndpoint(t *testing.T) {
 
 func TestRangeExactEndpoint(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
-	base := hs.URL + "/v1/datasets/" + srv.defaultName
+	base := hs.URL + "/v1/datasets/" + srv.DefaultName()
 	q := queryFor(t, srv)
-	info, err := srv.defaultInfo()
+	info, err := srv.DefaultInfo()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestRangeExactEndpoint(t *testing.T) {
 // finite (NaN would break the encoder mid-stream).
 func TestConstantQueryOverHTTP(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
-	base := hs.URL + "/v1/datasets/" + srv.defaultName
+	base := hs.URL + "/v1/datasets/" + srv.DefaultName()
 	q := queryFor(t, srv)
 	flat := make([]float64, len(q))
 	for i := range flat {

@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"bytes"
@@ -8,6 +8,14 @@ import (
 	"sync"
 	"testing"
 )
+
+// legacyBatchRequest is the deprecated match/batch request shape
+// (array-of-arrays queries with one top-level mode), kept as a test type to
+// pin backward compatibility.
+type legacyBatchRequest struct {
+	Queries [][]float64 `json:"queries"`
+	Mode    string      `json:"mode,omitempty"`
+}
 
 // postJSONRaw posts a body and returns only the status code, verifying the
 // response is well-formed JSON (used from racing goroutines where any of
@@ -37,7 +45,7 @@ func TestV1MatchBatch(t *testing.T) {
 	// by FuzzBestMatchBatch at the API layer).
 	bad := []float64{1, 2, 3}
 	out := postJSON(t, hs.URL+"/v1/datasets/ItalyPower/match/batch",
-		batchMatchRequest{Queries: [][]float64{q, q, bad, {}}, Mode: "exact"}, http.StatusOK)
+		legacyBatchRequest{Queries: [][]float64{q, q, bad, {}}, Mode: "exact"}, http.StatusOK)
 	if out["count"].(float64) != 4 {
 		t.Fatalf("count = %v", out["count"])
 	}
@@ -73,10 +81,10 @@ func TestV1MatchBatch(t *testing.T) {
 func TestV1MatchBatchValidation(t *testing.T) {
 	_, hs := testServer(t, testConfig())
 	url := hs.URL + "/v1/datasets/ItalyPower/match/batch"
-	postJSON(t, url, batchMatchRequest{Queries: nil}, http.StatusBadRequest)
-	postJSON(t, url, batchMatchRequest{Queries: [][]float64{{1, 2}}, Mode: "fuzzy"}, http.StatusBadRequest)
+	postJSON(t, url, legacyBatchRequest{Queries: nil}, http.StatusBadRequest)
+	postJSON(t, url, legacyBatchRequest{Queries: [][]float64{{1, 2}}, Mode: "fuzzy"}, http.StatusBadRequest)
 	postJSON(t, hs.URL+"/v1/datasets/nope/match/batch",
-		batchMatchRequest{Queries: [][]float64{{1, 2}}}, http.StatusNotFound)
+		legacyBatchRequest{Queries: [][]float64{{1, 2}}}, http.StatusNotFound)
 	postJSON(t, url, map[string]any{"queries": [][]float64{{1, 2}}, "bogus": 1}, http.StatusBadRequest)
 }
 
@@ -103,7 +111,7 @@ func TestV1MatchBatchRacingDrop(t *testing.T) {
 					return
 				default:
 				}
-				req := batchMatchRequest{Queries: [][]float64{q, q}, Mode: "exact"}
+				req := legacyBatchRequest{Queries: [][]float64{q, q}, Mode: "exact"}
 				resp, err := postJSONRaw(client, url, req)
 				if err != nil {
 					t.Errorf("batch request failed: %v", err)

@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"bytes"
@@ -14,16 +14,16 @@ import (
 )
 
 // benchServer builds a serving stack once per benchmark binary.
-func benchServer(tb testing.TB) (*server, *httptest.Server, []float64) {
+func benchServer(tb testing.TB) (*Server, *httptest.Server, []float64) {
 	tb.Helper()
-	srv, err := newServer(testConfig())
+	srv, err := New(testConfig())
 	if err != nil {
 		tb.Fatal(err)
 	}
-	tb.Cleanup(srv.hub.Close)
-	hs := httptest.NewServer(srv.routes())
+	tb.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Routes())
 	tb.Cleanup(hs.Close)
-	info, err := srv.defaultInfo()
+	info, err := srv.DefaultInfo()
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func benchServer(tb testing.TB) (*server, *httptest.Server, []float64) {
 
 func postMatch(tb testing.TB, client *http.Client, url string, q []float64) {
 	tb.Helper()
-	data, err := json.Marshal(matchRequest{Query: q})
+	data, err := json.Marshal(matchItem{Query: q})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestEmitServeBench(t *testing.T) {
 	}
 	coldP50, coldMean := stats(cold)
 	cachedP50, cachedMean := stats(cached)
-	info, err := srv.defaultInfo()
+	info, err := srv.DefaultInfo()
 	if err != nil {
 		t.Fatal(err)
 	}

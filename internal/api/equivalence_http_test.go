@@ -1,0 +1,103 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestAsyncSyncEquivalenceProperty is the acceptance property of the jobs
+// redesign: for every query family, the async job path returns exactly the
+// answer the synchronous endpoint returns — at every Parallelism and
+// Shards setting, with the result cache disabled so both sides actually
+// compute.
+func TestAsyncSyncEquivalenceProperty(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("par%d_shards%d", par, shards), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Parallelism = par
+				cfg.Shards = shards
+				cfg.CacheEntries = -1
+				srv, hs := testServer(t, cfg)
+				q := queryFor(t, srv)
+				base := hs.URL + "/v1/datasets/" + srv.DefaultName()
+
+				type family struct {
+					name    string
+					syncFn  func() map[string]any
+					jobPath string
+					jobBody any
+				}
+				families := []family{
+					{
+						name: "match",
+						syncFn: func() map[string]any {
+							return postJSON(t, base+"/match", matchItem{Query: q, Mode: "exact"}, http.StatusOK)
+						},
+						jobPath: base + "/match/jobs",
+						jobBody: matchItem{Query: q, Mode: "exact"},
+					},
+					{
+						name:    "knn",
+						syncFn:  func() map[string]any { return postJSON(t, base+"/match", matchItem{Query: q, K: 4}, http.StatusOK) },
+						jobPath: base + "/match/jobs",
+						jobBody: matchItem{Query: q, K: 4},
+					},
+					{
+						name: "range",
+						syncFn: func() map[string]any {
+							return postJSON(t, base+"/range", rangeItem{Query: q, Length: len(q), Radius: 0.5}, http.StatusOK)
+						},
+						jobPath: base + "/range/jobs",
+						jobBody: rangeItem{Query: q, Length: len(q), Radius: 0.5},
+					},
+					{
+						name: "rangeExact",
+						syncFn: func() map[string]any {
+							return postJSON(t, base+"/range", rangeItem{Query: q, Length: len(q), Radius: 0.5, Exact: true}, http.StatusOK)
+						},
+						jobPath: base + "/range/jobs",
+						jobBody: rangeItem{Query: q, Length: len(q), Radius: 0.5, Exact: true},
+					},
+					{
+						name: "seasonal",
+						syncFn: func() map[string]any {
+							return getJSON(t, fmt.Sprintf("%s/seasonal?length=%d", base, len(q)), http.StatusOK)
+						},
+						jobPath: base + "/seasonal/jobs",
+						jobBody: map[string]any{"length": len(q)},
+					},
+				}
+				for _, f := range families {
+					sync := f.syncFn()
+					job := postJSON(t, f.jobPath, f.jobBody, http.StatusAccepted)
+					done := waitJob(t, hs.URL, job["id"].(string))
+					if done["state"] != "done" {
+						t.Fatalf("%s job: state %v (%v)", f.name, done["state"], done["error"])
+					}
+					if !reflect.DeepEqual(done["result"], map[string]any(sync)) {
+						t.Errorf("%s: async ≠ sync\nasync %v\nsync  %v", f.name, done["result"], sync)
+					}
+				}
+
+				// Batch path: every positional result equals its single-query
+				// answer.
+				body := map[string]any{"queries": []matchItem{
+					{Query: q, Mode: "exact"}, {Query: q, K: 4},
+				}}
+				batch := postJSON(t, base+"/match/batch", body, http.StatusOK)
+				items := batch["results"].([]any)
+				wantExact := families[0].syncFn()
+				wantKNN := families[1].syncFn()
+				if got := items[0].(map[string]any)["result"]; !reflect.DeepEqual(got, map[string]any(wantExact)) {
+					t.Errorf("batch item 0 ≠ single match: %v vs %v", got, wantExact)
+				}
+				if got := items[1].(map[string]any)["result"]; !reflect.DeepEqual(got, map[string]any(wantKNN)) {
+					t.Errorf("batch item 1 ≠ single k-NN: %v vs %v", got, wantKNN)
+				}
+			})
+		}
+	}
+}

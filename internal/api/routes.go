@@ -1,0 +1,77 @@
+package api
+
+import (
+	"net/http"
+	"time"
+)
+
+// Routes builds the server's handler tree. Every route is wrapped in the
+// latency middleware, so /v1/stats carries one histogram per route pattern.
+func (s *Server) Routes() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.timed(pattern, h))
+	}
+
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	// Versioned multi-dataset surface.
+	handle("POST /v1/datasets", s.handleRegister)
+	handle("GET /v1/datasets", s.handleList)
+	handle("GET /v1/datasets/{name}", s.handleDatasetInfo)
+	handle("DELETE /v1/datasets/{name}", s.handleDrop)
+	handle("POST /v1/datasets/{name}/match", s.handleMatch)
+	handle("POST /v1/datasets/{name}/match/batch", s.handleMatchBatch)
+	handle("POST /v1/datasets/{name}/range", s.handleRange)
+	handle("POST /v1/datasets/{name}/range/batch", s.handleRangeBatch)
+	handle("POST /v1/datasets/{name}/seasonal/batch", s.handleSeasonalBatch)
+	handle("POST /v1/datasets/{name}/extend", s.handleExtend)
+	handle("POST /v1/datasets/{name}/append", s.handleAppend)
+	handle("GET /v1/datasets/{name}/seasonal", s.handleSeasonal)
+	handle("GET /v1/datasets/{name}/recommend", s.handleRecommend)
+	handle("GET /v1/datasets/{name}/stats", s.handleDatasetStats)
+	handle("GET /v1/stats", s.handleHubStats)
+
+	// Async jobs: any query family as a pollable, cancelable job.
+	handle("POST /v1/datasets/{name}/match/jobs", s.handleMatchJob)
+	handle("POST /v1/datasets/{name}/range/jobs", s.handleRangeJob)
+	handle("POST /v1/datasets/{name}/seasonal/jobs", s.handleSeasonalJob)
+	handle("GET /v1/jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+
+	// Deprecated pre-/v1 single-dataset endpoints, served by the default
+	// dataset behind Config.Legacy; 410 Gone otherwise.
+	handle("POST /match", s.deprecated(s.handleMatch))
+	handle("POST /range", s.deprecated(s.handleRange))
+	handle("GET /seasonal", s.deprecated(s.handleSeasonal))
+	handle("GET /recommend", s.deprecated(s.handleRecommend))
+	handle("GET /stats", s.deprecated(s.handleLegacyStats))
+	return mux
+}
+
+// timed records the handler's wall-clock latency under the route pattern.
+func (s *Server) timed(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.Observe(pattern, time.Since(start))
+	}
+}
+
+// deprecated gates a legacy handler: with Config.Legacy it answers normally
+// plus a "Deprecation: true" header (RFC 8594 style); without it the route
+// is 410 Gone, pointing clients at the /v1 surface.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.legacy {
+			writeErr(w, apiError{http.StatusGone, CodeDeprecated,
+				"legacy endpoint disabled; use the /v1 API (or start the server with -legacy)"})
+			return
+		}
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package api
 
 import (
 	"bytes"
@@ -14,22 +14,34 @@ import (
 	"testing"
 )
 
-func testConfig() serverConfig {
-	return serverConfig{
+func testConfig() Config {
+	// Legacy is on so the deprecated-endpoint tests can exercise the old
+	// surface; the gating itself is covered by TestLegacyGating.
+	return Config{
 		Generator: "ItalyPower", ST: 0.25, Lengths: 6, Scale: 0.2, Seed: 1,
+		Legacy: true,
 	}
 }
 
-func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(cfg)
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.hub.Close)
-	hs := httptest.NewServer(srv.routes())
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Routes())
 	t.Cleanup(hs.Close)
 	return srv, hs
+}
+
+// newTestHTTP wires an httptest server around srv without tying srv's
+// lifetime to the test (for shutdown-semantics tests that Close early).
+func newTestHTTP(t *testing.T, srv *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(srv.Routes())
+	t.Cleanup(hs.Close)
+	return hs.URL
 }
 
 func doJSON(t *testing.T, method, url string, body any, wantCode int) map[string]any {
@@ -79,9 +91,9 @@ func postJSON(t *testing.T, url string, body any, wantCode int) map[string]any {
 
 // queryFor returns a query vector of an indexed length of the default
 // dataset.
-func queryFor(t *testing.T, srv *server) []float64 {
+func queryFor(t *testing.T, srv *Server) []float64 {
 	t.Helper()
-	info, err := srv.defaultInfo()
+	info, err := srv.DefaultInfo()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +128,11 @@ func TestServerHealthAndLegacyStats(t *testing.T) {
 func TestServerLegacyMatch(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
 	q := queryFor(t, srv)
-	out := postJSON(t, hs.URL+"/match", matchRequest{Query: q, Mode: "exact"}, http.StatusOK)
+	out := postJSON(t, hs.URL+"/match", matchItem{Query: q, Mode: "exact"}, http.StatusOK)
 	if out["length"].(float64) != float64(len(q)) {
 		t.Errorf("match length = %v, want %d", out["length"], len(q))
 	}
-	out = postJSON(t, hs.URL+"/match", matchRequest{Query: q, Mode: "any", K: 3}, http.StatusOK)
+	out = postJSON(t, hs.URL+"/match", matchItem{Query: q, Mode: "any", K: 3}, http.StatusOK)
 	if ms, ok := out["matches"].([]any); !ok || len(ms) != 3 {
 		t.Errorf("k-NN returned %v", out)
 	}
@@ -130,11 +142,11 @@ func TestServerLegacyRangeSeasonalRecommend(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
 	q := queryFor(t, srv)
 	l := len(q)
-	out := postJSON(t, hs.URL+"/range", rangeRequest{Query: q, Length: l, Radius: 0.5}, http.StatusOK)
+	out := postJSON(t, hs.URL+"/range", rangeItem{Query: q, Length: l, Radius: 0.5}, http.StatusOK)
 	if _, ok := out["count"].(float64); !ok {
 		t.Errorf("range response: %v", out)
 	}
-	postJSON(t, hs.URL+"/range", rangeRequest{Query: q, Length: l, Radius: -1}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/range", rangeItem{Query: q, Length: l, Radius: -1}, http.StatusBadRequest)
 
 	out = getJSON(t, fmt.Sprintf("%s/seasonal?length=%d", hs.URL, l), http.StatusOK)
 	if _, ok := out["count"].(float64); !ok {
@@ -178,8 +190,8 @@ func TestV1RegisterListQueryDrop(t *testing.T) {
 		q[i] = 0.4
 	}
 	// Query both datasets through the v1 routes.
-	postJSON(t, hs.URL+"/v1/datasets/ecg/match", matchRequest{Query: q, Mode: "exact"}, http.StatusOK)
-	postJSON(t, hs.URL+"/v1/datasets/ecg/range", rangeRequest{Query: q, Length: l, Radius: 0.4}, http.StatusOK)
+	postJSON(t, hs.URL+"/v1/datasets/ecg/match", matchItem{Query: q, Mode: "exact"}, http.StatusOK)
+	postJSON(t, hs.URL+"/v1/datasets/ecg/range", rangeItem{Query: q, Length: l, Radius: 0.4}, http.StatusOK)
 	getJSON(t, fmt.Sprintf("%s/v1/datasets/ecg/seasonal?length=%d", hs.URL, l), http.StatusOK)
 	getJSON(t, hs.URL+"/v1/datasets/ecg/recommend?degree=M", http.StatusOK)
 	st := getJSON(t, hs.URL+"/v1/datasets/ecg/stats", http.StatusOK)
@@ -191,7 +203,7 @@ func TestV1RegisterListQueryDrop(t *testing.T) {
 	// Drop and verify it is gone.
 	doJSON(t, http.MethodDelete, hs.URL+"/v1/datasets/ecg", nil, http.StatusOK)
 	getJSON(t, hs.URL+"/v1/datasets/ecg", http.StatusNotFound)
-	postJSON(t, hs.URL+"/v1/datasets/ecg/match", matchRequest{Query: q}, http.StatusNotFound)
+	postJSON(t, hs.URL+"/v1/datasets/ecg/match", matchItem{Query: q}, http.StatusNotFound)
 	doJSON(t, http.MethodDelete, hs.URL+"/v1/datasets/ecg", nil, http.StatusNotFound)
 }
 
@@ -242,7 +254,7 @@ func TestV1RegisterErrors(t *testing.T) {
 		t.Errorf("bogus dataset state = %v", info["state"])
 	}
 	// Queries against the failed dataset return 500.
-	postJSON(t, hs.URL+"/v1/datasets/bogus/match", matchRequest{Query: []float64{1}}, http.StatusInternalServerError)
+	postJSON(t, hs.URL+"/v1/datasets/bogus/match", matchItem{Query: []float64{1}}, http.StatusInternalServerError)
 }
 
 // ---- validation drift --------------------------------------------------
@@ -298,14 +310,14 @@ func TestRequestValidation(t *testing.T) {
 	assertErrorShape(t, resp, http.StatusBadRequest)
 
 	// Oversized body → 413.
-	srvSmall, hsSmall := testServer(t, func() serverConfig {
+	srvSmall, hsSmall := testServer(t, func() Config {
 		c := testConfig()
 		c.MaxBody = 64
 		return c
 	}())
 	_ = srvSmall
 	big := make([]float64, 64)
-	data, _ := json.Marshal(matchRequest{Query: big})
+	data, _ := json.Marshal(matchItem{Query: big})
 	resp, err = http.Post(hsSmall.URL+"/match", "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
@@ -313,10 +325,10 @@ func TestRequestValidation(t *testing.T) {
 	assertErrorShape(t, resp, http.StatusRequestEntityTooLarge)
 
 	// Bad mode / negative k.
-	postJSON(t, hs.URL+"/match", matchRequest{Query: q, Mode: "bogus"}, http.StatusBadRequest)
-	postJSON(t, hs.URL+"/match", matchRequest{Query: q, K: -1}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/match", matchItem{Query: q, Mode: "bogus"}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/match", matchItem{Query: q, K: -1}, http.StatusBadRequest)
 	// Empty query.
-	postJSON(t, hs.URL+"/match", matchRequest{}, http.StatusBadRequest)
+	postJSON(t, hs.URL+"/match", matchItem{}, http.StatusBadRequest)
 	// Wrong method.
 	resp, err = http.Get(hs.URL + "/match")
 	if err != nil {
@@ -338,7 +350,7 @@ func TestV1CacheHitCounters(t *testing.T) {
 	srv, hs := testServer(t, testConfig())
 	q := queryFor(t, srv)
 	for i := 0; i < 3; i++ {
-		postJSON(t, hs.URL+"/v1/datasets/ItalyPower/match", matchRequest{Query: q}, http.StatusOK)
+		postJSON(t, hs.URL+"/v1/datasets/ItalyPower/match", matchItem{Query: q}, http.StatusOK)
 	}
 	stats := getJSON(t, hs.URL+"/v1/stats", http.StatusOK)
 	cache := stats["hub"].(map[string]any)["cache"].(map[string]any)
@@ -370,7 +382,7 @@ func TestV1ConcurrentMatchWhileExtend(t *testing.T) {
 				}
 				qq := append([]float64(nil), q...)
 				qq[0] += float64(i%5) * 0.01
-				data, _ := json.Marshal(matchRequest{Query: qq})
+				data, _ := json.Marshal(matchItem{Query: qq})
 				resp, err := client.Post(hs.URL+"/v1/datasets/ItalyPower/match",
 					"application/json", bytes.NewReader(data))
 				if err != nil {
@@ -399,7 +411,7 @@ func TestV1ConcurrentMatchWhileExtend(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	info, err := srv.defaultInfo()
+	info, err := srv.DefaultInfo()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,17 +477,17 @@ func TestV1RegisterFromSnapshotWithAllowFS(t *testing.T) {
 func TestNewServerErrors(t *testing.T) {
 	bad := testConfig()
 	bad.Generator = "NotADataset"
-	if _, err := newServer(bad); err == nil {
+	if _, err := New(bad); err == nil {
 		t.Error("unknown dataset: want error")
 	}
 	missing := testConfig()
 	missing.DataPath = "/no/such/file.tsv"
-	if _, err := newServer(missing); err == nil {
+	if _, err := New(missing); err == nil {
 		t.Error("missing file: want error")
 	}
 	badST := testConfig()
 	badST.ST = -1
-	if _, err := newServer(badST); err == nil {
+	if _, err := New(badST); err == nil {
 		t.Error("bad ST: want error")
 	}
 }
@@ -489,8 +501,8 @@ func TestDatasetNameFromPath(t *testing.T) {
 		strings.Repeat("x", 80): strings.Repeat("x", 64),
 	}
 	for in, want := range cases {
-		if got := datasetNameFromPath(in); got != want {
-			t.Errorf("datasetNameFromPath(%q) = %q, want %q", in, got, want)
+		if got := DatasetNameFromPath(in); got != want {
+			t.Errorf("DatasetNameFromPath(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

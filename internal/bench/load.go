@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"onex/internal/api"
+	"onex/internal/stats"
+)
+
+// LoadReport is the machine-readable payload of the closed-loop serve-load
+// sweep (BENCH_load.json): a live onex-server (the real /v1 handler stack —
+// router, JSON, metrics middleware, hub, jobs) is driven by C concurrent
+// closed-loop clients issuing a fixed mix of sync single queries, uniform
+// batches and async jobs, at increasing C. Each point reports achieved
+// throughput and client-observed latency quantiles, so the curve shows how
+// latency degrades as offered load grows — the capacity planning view the
+// per-route histograms on /v1/stats provide in production.
+type LoadReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+
+	Dataset      string  `json:"dataset"`
+	Series       int     `json:"series"`
+	ST           float64 `json:"st"`
+	Seed         int64   `json:"seed"`
+	LevelSeconds float64 `json:"levelSeconds"`
+
+	// Mix is the op weighting every client draws from (closed loop: a
+	// client issues its next request only after the previous completes;
+	// "job" latency spans submit → terminal poll).
+	Mix map[string]int `json:"mix"`
+
+	Points []LoadPoint `json:"points"`
+
+	// PeakThroughput is the best achieved req/s across levels; P99AtPeak is
+	// that level's p99 — the headline capacity/latency pair.
+	PeakThroughput float64 `json:"peakThroughput"`
+	P99AtPeak      float64 `json:"p99AtPeakMillis"`
+}
+
+// LoadPoint is one offered-load level: C closed-loop clients.
+type LoadPoint struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Throughput  float64 `json:"throughputRPS"`
+
+	MeanMillis float64 `json:"meanMillis"`
+	P50Millis  float64 `json:"p50Millis"`
+	P90Millis  float64 `json:"p90Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+
+	// ByOp breaks latency out per op class (match, knn, range, seasonal,
+	// batch, job).
+	ByOp map[string]LoadOpStats `json:"byOp"`
+}
+
+// LoadOpStats is one op class's share of a load point.
+type LoadOpStats struct {
+	Requests  int     `json:"requests"`
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+}
+
+// loadMix is the fixed op weighting: mostly cheap sync queries, a steady
+// trickle of batches and async jobs — the production traffic shape the job
+// subsystem is designed to absorb.
+var loadMix = []struct {
+	op     string
+	weight int
+}{
+	{"match", 4},
+	{"knn", 2},
+	{"range", 2},
+	{"seasonal", 1},
+	{"batch", 2},
+	{"job", 1},
+}
+
+// RunServeLoad boots an in-process server on a generated dataset and sweeps
+// closed-loop client counts 1/2/4/8/16, recording client-observed latency
+// for every request. cfg.Repeats scales the per-level duration (500ms per
+// repeat), cfg.Scale the dataset size.
+func RunServeLoad(cfg Config) (*LoadReport, []Table, error) {
+	cfg.fillDefaults()
+	levelDur := time.Duration(cfg.Repeats) * 500 * time.Millisecond
+
+	srv, err := api.New(api.Config{
+		Generator:    "ItalyPower",
+		Scale:        0.5 * cfg.Scale,
+		ST:           cfg.ST,
+		Lengths:      6,
+		Seed:         cfg.Seed,
+		JobWorkers:   4,
+		MaxJobs:      4096,
+		JobTTL:       time.Minute,
+		CacheEntries: 0, // default cache: a realistic hit/miss mixture
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: load server: %w", err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Routes())
+	defer hs.Close()
+
+	info, err := srv.DefaultInfo()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(info.Lengths) == 0 {
+		return nil, nil, fmt.Errorf("bench: load dataset has no indexed lengths")
+	}
+	length := info.Lengths[len(info.Lengths)/2]
+
+	rep := &LoadReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Dataset:      srv.DefaultName(),
+		Series:       info.Series,
+		ST:           cfg.ST,
+		Seed:         cfg.Seed,
+		LevelSeconds: levelDur.Seconds(),
+		Mix:          map[string]int{},
+	}
+	for _, m := range loadMix {
+		rep.Mix[m.op] = m.weight
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+	}}
+	defer client.CloseIdleConnections()
+
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		pt, err := runLoadLevel(client, hs.URL, srv.DefaultName(), length, c, levelDur, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Points = append(rep.Points, *pt)
+		if pt.Throughput > rep.PeakThroughput {
+			rep.PeakThroughput = pt.Throughput
+			rep.P99AtPeak = pt.P99Millis
+		}
+		cfg.progressf("load: clients=%d %.0f req/s p50 %.2fms p99 %.2fms errors %d",
+			c, pt.Throughput, pt.P50Millis, pt.P99Millis, pt.Errors)
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("Closed-loop serve load sweep (%s, %d series, GOMAXPROCS=%d, %.1fs/level)",
+			rep.Dataset, rep.Series, rep.GOMAXPROCS, rep.LevelSeconds),
+		Header: []string{"clients", "req/s", "p50 ms", "p90 ms", "p99 ms", "mean ms", "errors"},
+	}
+	for _, pt := range rep.Points {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(pt.Concurrency),
+			fmt.Sprintf("%.0f", pt.Throughput),
+			fmt.Sprintf("%.2f", pt.P50Millis),
+			fmt.Sprintf("%.2f", pt.P90Millis),
+			fmt.Sprintf("%.2f", pt.P99Millis),
+			fmt.Sprintf("%.2f", pt.MeanMillis),
+			fmt.Sprint(pt.Errors),
+		})
+	}
+	return rep, []Table{table}, nil
+}
+
+// loadSample is one client-observed request: op class, wall latency, ok.
+type loadSample struct {
+	op     string
+	millis float64
+	ok     bool
+}
+
+// runLoadLevel runs c closed-loop clients against the live server for dur
+// and aggregates their samples into one LoadPoint.
+func runLoadLevel(client *http.Client, baseURL, dataset string, length, c int, dur time.Duration, seed int64) (*LoadPoint, error) {
+	base := baseURL + "/v1/datasets/" + dataset
+	deadline := time.Now().Add(dur)
+
+	perWorker := make([][]loadSample, c)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919 + int64(c)))
+			cl := &loadClient{client: client, base: base, baseURL: baseURL, length: length, rng: rng}
+			for time.Now().Before(deadline) {
+				perWorker[w] = append(perWorker[w], cl.next())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	pt := &LoadPoint{Concurrency: c, ByOp: map[string]LoadOpStats{}}
+	var all []float64
+	byOp := map[string][]float64{}
+	for _, ws := range perWorker {
+		for _, s := range ws {
+			pt.Requests++
+			if !s.ok {
+				pt.Errors++
+				continue
+			}
+			all = append(all, s.millis)
+			byOp[s.op] = append(byOp[s.op], s.millis)
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("bench: load level %d produced no successful requests", c)
+	}
+	pt.Throughput = float64(pt.Requests) / elapsed
+	pt.MeanMillis = stats.Mean(all)
+	var err error
+	if pt.P50Millis, err = stats.Percentile(all, 50); err != nil {
+		return nil, err
+	}
+	if pt.P90Millis, err = stats.Percentile(all, 90); err != nil {
+		return nil, err
+	}
+	if pt.P99Millis, err = stats.Percentile(all, 99); err != nil {
+		return nil, err
+	}
+	for op, xs := range byOp {
+		p50, err := stats.Percentile(xs, 50)
+		if err != nil {
+			return nil, err
+		}
+		p99, err := stats.Percentile(xs, 99)
+		if err != nil {
+			return nil, err
+		}
+		pt.ByOp[op] = LoadOpStats{Requests: len(xs), P50Millis: p50, P99Millis: p99}
+	}
+	return pt, nil
+}
+
+// loadClient issues one weighted-random request per next() call. Queries
+// are perturbed per request so the sweep exercises a cache hit/miss
+// mixture rather than a single hot entry.
+type loadClient struct {
+	client  *http.Client
+	base    string
+	baseURL string
+	length  int
+	rng     *rand.Rand
+}
+
+func (cl *loadClient) query() []float64 {
+	q := make([]float64, cl.length)
+	phase := cl.rng.Float64()
+	for i := range q {
+		q[i] = 0.5 + 0.3*float64(i%7)/7 + 0.05*phase
+	}
+	return q
+}
+
+func (cl *loadClient) next() loadSample {
+	pick := cl.rng.Intn(totalLoadWeight())
+	op := loadMix[0].op
+	for _, m := range loadMix {
+		if pick < m.weight {
+			op = m.op
+			break
+		}
+		pick -= m.weight
+	}
+	start := time.Now()
+	ok := cl.issue(op)
+	return loadSample{op: op, millis: float64(time.Since(start).Microseconds()) / 1000, ok: ok}
+}
+
+func totalLoadWeight() int {
+	n := 0
+	for _, m := range loadMix {
+		n += m.weight
+	}
+	return n
+}
+
+// issue performs one request of the given op class and reports success.
+func (cl *loadClient) issue(op string) bool {
+	switch op {
+	case "match":
+		return cl.post(cl.base+"/match", map[string]any{"query": cl.query()})
+	case "knn":
+		return cl.post(cl.base+"/match", map[string]any{"query": cl.query(), "k": 3})
+	case "range":
+		return cl.post(cl.base+"/range", map[string]any{
+			"query": cl.query(), "length": cl.length, "radius": 0.4,
+		})
+	case "seasonal":
+		resp, err := cl.client.Get(fmt.Sprintf("%s/seasonal?length=%d", cl.base, cl.length))
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	case "batch":
+		items := make([]map[string]any, 8)
+		for i := range items {
+			items[i] = map[string]any{"query": cl.query()}
+			if i%3 == 1 {
+				items[i]["k"] = 3
+			}
+		}
+		return cl.post(cl.base+"/match/batch", map[string]any{"queries": items})
+	case "job":
+		items := make([]map[string]any, 8)
+		for i := range items {
+			items[i] = map[string]any{"query": cl.query(), "length": cl.length, "radius": 0.4}
+		}
+		return cl.job(cl.base+"/range/jobs", map[string]any{"queries": items})
+	}
+	return false
+}
+
+// post issues one JSON POST and reports 2xx.
+func (cl *loadClient) post(url string, body any) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := cl.client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// job submits an async job and polls it to a terminal state; the sample's
+// latency is the full submit→done wall time a real async client observes.
+func (cl *loadClient) job(url string, body any) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := cl.client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		return false
+	}
+	for i := 0; i < 5000; i++ {
+		r, err := cl.client.Get(cl.baseURL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return false
+		}
+		err = json.NewDecoder(r.Body).Decode(&sub)
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			return false
+		}
+		switch sub.State {
+		case "done":
+			return true
+		case "failed", "canceled":
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// WriteLoadReport serializes the report as indented JSON.
+func WriteLoadReport(rep *LoadReport, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

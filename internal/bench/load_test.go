@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestServeLoadSmoke runs a miniature closed-loop sweep end to end: every
+// level must complete without errors and produce monotone sane quantiles,
+// and the report must round-trip through its JSON writer.
+func TestServeLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep boots a live server")
+	}
+	rep, tables, err := RunServeLoad(Config{Scale: 0.5, Repeats: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Requests == 0 {
+			t.Errorf("level %d: no requests", pt.Concurrency)
+		}
+		if pt.Errors != 0 {
+			t.Errorf("level %d: %d errored requests", pt.Concurrency, pt.Errors)
+		}
+		if pt.P50Millis <= 0 || pt.P99Millis < pt.P50Millis || pt.P90Millis > pt.P99Millis {
+			t.Errorf("level %d: incoherent quantiles p50=%v p90=%v p99=%v",
+				pt.Concurrency, pt.P50Millis, pt.P90Millis, pt.P99Millis)
+		}
+		if len(pt.ByOp) == 0 {
+			t.Errorf("level %d: no per-op breakdown", pt.Concurrency)
+		}
+	}
+	if rep.PeakThroughput <= 0 {
+		t.Errorf("peak throughput = %v", rep.PeakThroughput)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 5 {
+		t.Errorf("table shape: %+v", tables)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteLoadReport(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PeakThroughput != rep.PeakThroughput || len(back.Points) != len(rep.Points) {
+		t.Error("report did not round-trip through JSON")
+	}
+}

@@ -144,3 +144,48 @@ func queryKey(name string, epoch, gen, layout uint64, kind string, ints []int, f
 	}
 	return fmt.Sprintf("%s|%d|%d|%016x|%s|%d|%d|%016x", name, epoch, gen, layout, kind, len(ints), len(floats), h.Sum64())
 }
+
+// keyScope carries the identity every cache key embeds: the dataset name,
+// its registration epoch, the generation of the base answering, and the
+// serving layout signature.
+type keyScope struct {
+	name       string
+	epoch, gen uint64
+	layout     uint64
+}
+
+// The typed key builders below are the single source of truth for how each
+// query family keys the result cache. Singles and batches MUST build keys
+// through them — never through raw queryKey calls — so a batch item always
+// shares hits with the equivalent single query, and so every option that
+// changes the answer (k, radius, the exact flag, the seasonal scope) is
+// provably part of the key. The per-family kind strings keep families from
+// aliasing each other even at identical parameter hashes.
+
+// matchKey keys best-match and k-NN results: mode and k are answer-changing
+// options (a k=1 and a k=5 answer for the same q must never alias).
+func matchKey(s keyScope, mode int, k int, q []float64) string {
+	return queryKey(s.name, s.epoch, s.gen, s.layout, "match", []int{mode, k}, q)
+}
+
+// rangeKey keys range results on the full option set: length, the exact
+// flag (exact and guaranteed-bound answers differ for the same q/radius),
+// and the radius folded in with the query values.
+func rangeKey(s keyScope, length int, radius float64, exact bool, q []float64) string {
+	e := 0
+	if exact {
+		e = 1
+	}
+	return queryKey(s.name, s.epoch, s.gen, s.layout, "range", []int{length, e}, append(append([]float64(nil), q...), radius))
+}
+
+// seasonalKey keys seasonal results; seriesID < 0 (the data-driven form) is
+// part of the key, so a per-series and a dataset-wide answer never alias.
+func seasonalKey(s keyScope, seriesID, length int) string {
+	return queryKey(s.name, s.epoch, s.gen, s.layout, "seasonal", []int{seriesID, length}, nil)
+}
+
+// recommendKey keys threshold recommendations on degree and length scope.
+func recommendKey(s keyScope, degree, length int) string {
+	return queryKey(s.name, s.epoch, s.gen, s.layout, "recommend", []int{degree, length}, nil)
+}

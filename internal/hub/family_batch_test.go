@@ -1,0 +1,268 @@
+package hub
+
+import (
+	"math"
+	"testing"
+
+	"onex"
+)
+
+// TestKNNBatchEquivalenceAndCacheSharing pins the KNNBatch contract: items
+// are positional, K ≤ 1 answers are bit-identical to single Match answers
+// (shared cache keys included), and K > 1 answers equal BestKMatches.
+func TestKNNBatchEquivalenceAndCacheSharing(t *testing.T) {
+	h := New(Config{})
+	defer h.Close()
+	ds, err := h.Register("demo", testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, ds)
+
+	mk := func(i int) []float64 {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = math.Cos(float64(j+i) / 2)
+		}
+		return q
+	}
+	qs := []onex.KNNQuery{
+		{Query: mk(0), Mode: onex.MatchAny, K: 1},
+		{Query: mk(1), Mode: onex.MatchExact, K: 3},
+		{Query: mk(2), Mode: onex.MatchAny, K: 0}, // normalized to 1
+		{Query: nil, Mode: onex.MatchAny, K: 2},   // fails alone
+	}
+	rs, err := ds.KNNBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(qs) {
+		t.Fatalf("batch returned %d results for %d items", len(rs), len(qs))
+	}
+	if rs[3].Err == nil {
+		t.Fatal("malformed item did not fail")
+	}
+	for i := 0; i < 3; i++ {
+		if rs[i].Err != nil {
+			t.Fatalf("item %d failed: %v", i, rs[i].Err)
+		}
+	}
+	if len(rs[1].Matches) != 3 {
+		t.Fatalf("K=3 item returned %d matches", len(rs[1].Matches))
+	}
+
+	// Singles must hit the entries the batch populated, and agree exactly.
+	hits0 := ds.Info().CacheHits
+	single, err := ds.Match(qs[0].Query, onex.MatchAny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Info().CacheHits; got != hits0+1 {
+		t.Fatalf("single Match after batch: hits %d, want %d", got, hits0+1)
+	}
+	if a, b := single[0], rs[0].Matches[0]; a.SeriesID != b.SeriesID || a.Start != b.Start || a.Distance != b.Distance {
+		t.Fatalf("K=1 batch item differs from single Match: %+v vs %+v", b, a)
+	}
+	kres, err := ds.Match(qs[1].Query, onex.MatchExact, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Info().CacheHits; got != hits0+2 {
+		t.Fatalf("single k-NN after batch: hits %d, want %d", got, hits0+2)
+	}
+	for j := range kres {
+		a, b := kres[j], rs[1].Matches[j]
+		if a.SeriesID != b.SeriesID || a.Start != b.Start || a.Distance != b.Distance {
+			t.Fatalf("K=3 batch item %d differs from single: %+v vs %+v", j, b, a)
+		}
+	}
+}
+
+// TestRangeAndSeasonalBatchCacheSharing pins the remaining family batches:
+// positional results, per-item errors, singles hitting batch-populated
+// entries.
+func TestRangeAndSeasonalBatchCacheSharing(t *testing.T) {
+	h := New(Config{})
+	defer h.Close()
+	ds, err := h.Register("demo", testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, ds)
+	base, _, err := ds.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := base.Lengths()[0]
+	q := make([]float64, length)
+	for j := range q {
+		q[j] = math.Sin(float64(j) / 3)
+	}
+
+	rrs, err := ds.RangeBatch([]onex.RangeQuery{
+		{Query: q, Length: length, Radius: 0.5},
+		{Query: q, Length: length, Radius: 0.5, Exact: true},
+		{Query: q, Length: -1, Radius: 0.5}, // unindexed length fails alone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs[0].Err != nil || rrs[1].Err != nil {
+		t.Fatalf("range items failed: %v / %v", rrs[0].Err, rrs[1].Err)
+	}
+	if rrs[2].Err == nil {
+		t.Fatal("unindexed-length item did not fail")
+	}
+
+	hits0 := ds.Info().CacheHits
+	if _, err := ds.Range(q, length, 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Info().CacheHits; got != hits0+1 {
+		t.Fatalf("single exact Range after batch: hits %d, want %d", got, hits0+1)
+	}
+
+	srs, err := ds.SeasonalBatch([]onex.SeasonalQuery{
+		{SeriesID: 0, Length: length},
+		{SeriesID: -1, Length: length},
+		{SeriesID: 0, Length: -7}, // unindexed length fails alone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srs[0].Err != nil || srs[1].Err != nil {
+		t.Fatalf("seasonal items failed: %v / %v", srs[0].Err, srs[1].Err)
+	}
+	if srs[2].Err == nil {
+		t.Fatal("unindexed-length seasonal item did not fail")
+	}
+	hits1 := ds.Info().CacheHits
+	if _, err := ds.Seasonal(-3, length); err != nil { // any negative id = dataset-wide
+		t.Fatal(err)
+	}
+	if got := ds.Info().CacheHits; got != hits1+1 {
+		t.Fatalf("single SeasonalAll after batch: hits %d, want %d", got, hits1+1)
+	}
+}
+
+// TestCacheKeysCoverQueryOptions is the poisoned-key regression test for
+// the option-aliasing audit: k, radius and the exact flag are all part of
+// the cache key, so an answer cached under one option set can never be
+// served for another. Each case plants a sentinel under the would-be
+// aliasing key and asserts the differently-optioned query does not see it —
+// and that the correctly-optioned lookup does, proving the planted key is
+// exactly the one the builder produces.
+func TestCacheKeysCoverQueryOptions(t *testing.T) {
+	h := New(Config{})
+	defer h.Close()
+	ds, err := h.Register("demo", testSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, ds)
+	base, gen, err := ds.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := ds.scope(base, gen)
+	length := base.Lengths()[0]
+	q := make([]float64, length)
+	for j := range q {
+		q[j] = math.Sin(float64(j) / 4)
+	}
+	sentinel := []onex.Match{{SeriesID: -999}}
+
+	// k: a k=2 answer must never serve a k=1 query.
+	h.cache.put(matchKey(scope, int(onex.MatchExact), 2, q), sentinel)
+	ms, err := ds.Match(q, onex.MatchExact, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].SeriesID == -999 {
+		t.Fatal("k=1 query served the k=2 cache entry")
+	}
+	if v, ok := h.cache.get(matchKey(scope, int(onex.MatchExact), 2, q)); !ok || v.([]onex.Match)[0].SeriesID != -999 {
+		t.Fatal("planted k=2 sentinel is not where matchKey points")
+	}
+
+	// exact flag: an inexact range answer must never serve an exact query.
+	rsent := []onex.RangeMatch{{Match: onex.Match{SeriesID: -999}}}
+	h.cache.put(rangeKey(scope, length, 0.4, false, q), rsent)
+	rm, err := ds.Range(q, length, 0.4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rm {
+		if m.SeriesID == -999 {
+			t.Fatal("exact range query served the inexact cache entry")
+		}
+	}
+
+	// radius: a radius=0.4 answer must never serve radius=0.8.
+	h.cache.put(rangeKey(scope, length, 0.4, true, q), rsent)
+	rm, err = ds.Range(q, length, 0.8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rm {
+		if m.SeriesID == -999 {
+			t.Fatal("radius=0.8 query served the radius=0.4 cache entry")
+		}
+	}
+
+	// family: a match answer must never alias a range or seasonal key even
+	// at identical parameter hashes (kind strings separate them).
+	if matchKey(scope, 0, 1, q) == rangeKey(scope, 0, 1, false, q[:len(q)-1]) {
+		t.Fatal("match and range keys can collide")
+	}
+	if seasonalKey(scope, 0, length) == recommendKey(scope, 0, length) {
+		t.Fatal("seasonal and recommend keys can collide")
+	}
+}
+
+// TestQueryCountersThroughInfo checks the bound-pruning work tally surfaces
+// through Dataset.Info and the hub-wide stats.
+func TestQueryCountersThroughInfo(t *testing.T) {
+	h := New(Config{})
+	defer h.Close()
+	ds, err := h.Register("demo", testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, ds)
+	base, _, err := ds.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := base.Lengths()[0]
+	q := make([]float64, length)
+	for j := range q {
+		q[j] = math.Cos(float64(j) / 5)
+	}
+	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Range(q, length, 0.3, false); err != nil {
+		t.Fatal(err)
+	}
+	info := ds.Info()
+	if info.Query.Queries < 2 {
+		t.Fatalf("query counter = %d, want ≥ 2", info.Query.Queries)
+	}
+	if info.Query.RepsExamined == 0 {
+		t.Fatal("best-match query did not record examined representatives")
+	}
+	st := h.Stats()
+	if st.Query.Queries < info.Query.Queries {
+		t.Fatalf("hub stats query tally %d < dataset tally %d", st.Query.Queries, info.Query.Queries)
+	}
+
+	// Cache hits must not tick the work tally (the base never ran).
+	before := ds.Info().Query.Queries
+	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Info().Query.Queries; got != before {
+		t.Fatalf("cache hit ticked the query tally: %d → %d", before, got)
+	}
+}

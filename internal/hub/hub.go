@@ -376,6 +376,29 @@ type Stats struct {
 	// the amortized rebuild policy is tunable from data (ROADMAP:
 	// observability).
 	Maintenance map[string]MaintenanceStats `json:"maintenance"`
+	// Query sums the online-query work tallies (queries answered,
+	// bound-pruning counters) over ready datasets.
+	Query QueryCounters `json:"query"`
+}
+
+// QueryCounters is a dataset's lifetime online-query work tally, shaped for
+// the REST surface (see onex.QueryStats for field semantics).
+type QueryCounters struct {
+	Queries       uint64 `json:"queries"`
+	RepsExamined  uint64 `json:"repsExamined"`
+	PrunedByKim   uint64 `json:"prunedByKim"`
+	PrunedByKeogh uint64 `json:"prunedByKeogh"`
+	DTWComputed   uint64 `json:"dtwComputed"`
+	MembersTested uint64 `json:"membersTested"`
+}
+
+func (c *QueryCounters) add(o QueryCounters) {
+	c.Queries += o.Queries
+	c.RepsExamined += o.RepsExamined
+	c.PrunedByKim += o.PrunedByKim
+	c.PrunedByKeogh += o.PrunedByKeogh
+	c.DTWComputed += o.DTWComputed
+	c.MembersTested += o.MembersTested
 }
 
 // MaintenanceStats is one dataset's amortized-rebuild-policy counters.
@@ -417,6 +440,7 @@ func (h *Hub) Stats() Stats {
 				LastRebuildSeconds: info.LastRebuildSeconds,
 				Shards:             info.Shards,
 			}
+			st.Query.add(info.Query)
 		}
 	}
 	st.Cache = h.cache.stats()
@@ -552,6 +576,10 @@ type Info struct {
 	// CacheHits / CacheMisses count this dataset's query-cache outcomes.
 	CacheHits   uint64 `json:"cacheHits"`
 	CacheMisses uint64 `json:"cacheMisses"`
+
+	// Query tallies the online work the current base has answered (cache
+	// hits don't tick it; process-local, reset by rebuild-class swaps).
+	Query QueryCounters `json:"query"`
 }
 
 // Info snapshots the dataset's state, metadata and cache counters.
@@ -593,6 +621,14 @@ func (d *Dataset) Info() Info {
 		info.Rebuilds = st.Rebuilds
 		info.LastRebuildSeconds = st.LastRebuild.Seconds()
 		info.Shards = st.Shards
+		info.Query = QueryCounters{
+			Queries:       st.Query.Queries,
+			RepsExamined:  st.Query.RepsExamined,
+			PrunedByKim:   st.Query.PrunedByKim,
+			PrunedByKeogh: st.Query.PrunedByKeogh,
+			DTWComputed:   st.Query.DTWComputed,
+			MembersTested: st.Query.MembersTested,
+		}
 		for _, sh := range st.PerShard {
 			info.ShardStats = append(info.ShardStats, ShardInfo{
 				Shard:        sh.Shard,
@@ -867,6 +903,12 @@ func (d *Dataset) cached(key string, compute func() (any, error)) (any, error) {
 	return v, nil
 }
 
+// scope builds the cache-key identity for queries against one (base, gen)
+// observation.
+func (d *Dataset) scope(base *onex.Base, gen uint64) keyScope {
+	return keyScope{name: d.name, epoch: d.epoch, gen: gen, layout: base.LayoutSignature()}
+}
+
 // Match answers a similarity query (k ≤ 1 = best match, else k-NN) through
 // the result cache. The returned slice is shared; do not mutate it.
 func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, error) {
@@ -877,7 +919,7 @@ func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, 
 	if k < 1 {
 		k = 1
 	}
-	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "match", []int{int(mode), k}, q)
+	key := matchKey(d.scope(base, gen), int(mode), k, q)
 	v, err := d.cached(key, func() (any, error) {
 		if k == 1 {
 			m, err := base.BestMatch(q, mode)
@@ -909,9 +951,9 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 	out := make([]onex.BatchResult, len(qs))
 	keys := make([]string, len(qs))
 	missIdx := make([]int, 0, len(qs))
-	layout := base.LayoutSignature()
+	scope := d.scope(base, gen)
 	for i, q := range qs {
-		keys[i] = queryKey(d.name, d.epoch, gen, layout, "match", []int{int(mode), 1}, q)
+		keys[i] = matchKey(scope, int(mode), 1, q)
 		if v, ok := d.hub.cache.get(keys[i]); ok {
 			d.hits.Add(1)
 			out[i] = onex.BatchResult{Match: v.([]onex.Match)[0]}
@@ -937,6 +979,167 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 	return out, nil
 }
 
+// KNNBatch answers many match/k-NN queries in one call. Each item goes
+// through the result cache under the same key the equivalent single Match
+// uses (mode and k included), so batches and singles share hits. K ≤ 1
+// items compute through the BestMatch path — exactly the single k=1 Match
+// computation — and K > 1 items through BestKMatchesBatch; both miss sets
+// fan across the base's worker pool. Results are positional with per-item
+// errors; only successes are cached. Returned matches are shared — treat
+// them as immutable.
+func (d *Dataset) KNNBatch(qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]onex.KNNBatchResult, len(qs))
+	keys := make([]string, len(qs))
+	scope := d.scope(base, gen)
+	var missOne, missK []int
+	for i, q := range qs {
+		k := q.K
+		if k < 1 {
+			k = 1
+		}
+		keys[i] = matchKey(scope, int(q.Mode), k, q.Query)
+		if v, ok := d.hub.cache.get(keys[i]); ok {
+			d.hits.Add(1)
+			out[i] = onex.KNNBatchResult{Matches: v.([]onex.Match)}
+			continue
+		}
+		d.misses.Add(1)
+		if k == 1 {
+			missOne = append(missOne, i)
+		} else {
+			missK = append(missK, i)
+		}
+	}
+	if len(missOne) > 0 {
+		// BestMatch path, per mode, so a batch K=1 answer is bit-identical
+		// to the single Match answer cached under the same key.
+		byMode := map[onex.MatchMode][]int{}
+		for _, i := range missOne {
+			byMode[qs[i].Mode] = append(byMode[qs[i].Mode], i)
+		}
+		for mode, idxs := range byMode {
+			sub := make([][]float64, len(idxs))
+			for j, i := range idxs {
+				sub[j] = qs[i].Query
+			}
+			for j, r := range base.BestMatchBatch(sub, mode) {
+				i := idxs[j]
+				if r.Err != nil {
+					out[i] = onex.KNNBatchResult{Err: r.Err}
+					continue
+				}
+				ms := []onex.Match{r.Match}
+				out[i] = onex.KNNBatchResult{Matches: ms}
+				d.hub.cache.put(keys[i], ms)
+			}
+		}
+	}
+	if len(missK) > 0 {
+		sub := make([]onex.KNNQuery, len(missK))
+		for j, i := range missK {
+			sub[j] = qs[i]
+		}
+		for j, r := range base.BestKMatchesBatch(sub) {
+			i := missK[j]
+			out[i] = r
+			if r.Err == nil {
+				d.hub.cache.put(keys[i], r.Matches)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RangeBatch answers many range queries in one call, each item cached under
+// the same key the equivalent single Range uses (length, radius and the
+// exact flag included). Results are positional with per-item errors; only
+// successes are cached. Returned matches are shared — treat them as
+// immutable.
+func (d *Dataset) RangeBatch(qs []onex.RangeQuery) ([]onex.RangeBatchResult, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]onex.RangeBatchResult, len(qs))
+	keys := make([]string, len(qs))
+	missIdx := make([]int, 0, len(qs))
+	scope := d.scope(base, gen)
+	for i, q := range qs {
+		keys[i] = rangeKey(scope, q.Length, q.Radius, q.Exact, q.Query)
+		if v, ok := d.hub.cache.get(keys[i]); ok {
+			d.hits.Add(1)
+			out[i] = onex.RangeBatchResult{Matches: v.([]onex.RangeMatch)}
+			continue
+		}
+		d.misses.Add(1)
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	sub := make([]onex.RangeQuery, len(missIdx))
+	for j, i := range missIdx {
+		sub[j] = qs[i]
+	}
+	for j, r := range base.RangeSearchBatch(sub) {
+		i := missIdx[j]
+		out[i] = r
+		if r.Err == nil {
+			d.hub.cache.put(keys[i], r.Matches)
+		}
+	}
+	return out, nil
+}
+
+// SeasonalBatch answers many seasonal queries in one call, each item cached
+// under the same key the equivalent single Seasonal uses (SeriesID < 0 =
+// dataset-wide). Results are positional with per-item errors; only
+// successes are cached. Returned patterns are shared — treat them as
+// immutable.
+func (d *Dataset) SeasonalBatch(qs []onex.SeasonalQuery) ([]onex.SeasonalBatchResult, error) {
+	base, gen, err := d.Base()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]onex.SeasonalBatchResult, len(qs))
+	keys := make([]string, len(qs))
+	missIdx := make([]int, 0, len(qs))
+	scope := d.scope(base, gen)
+	for i, q := range qs {
+		sid := q.SeriesID
+		if sid < 0 {
+			sid = -1 // every dataset-wide form keys identically
+		}
+		keys[i] = seasonalKey(scope, sid, q.Length)
+		if v, ok := d.hub.cache.get(keys[i]); ok {
+			d.hits.Add(1)
+			out[i] = onex.SeasonalBatchResult{Patterns: v.([]onex.Pattern)}
+			continue
+		}
+		d.misses.Add(1)
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	sub := make([]onex.SeasonalQuery, len(missIdx))
+	for j, i := range missIdx {
+		sub[j] = qs[i]
+	}
+	for j, r := range base.SeasonalBatch(sub) {
+		i := missIdx[j]
+		out[i] = r
+		if r.Err == nil {
+			d.hub.cache.put(keys[i], r.Patterns)
+		}
+	}
+	return out, nil
+}
+
 // Range answers a range query through the result cache. With exact set,
 // matches admitted through the Lemma 2 guarantee carry their true DTW
 // instead of the ST upper bound (onex.Base.RangeSearchExact); the two modes
@@ -946,11 +1149,7 @@ func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]
 	if err != nil {
 		return nil, err
 	}
-	kind := "range"
-	if exact {
-		kind = "rangex"
-	}
-	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), kind, []int{length}, append(append([]float64(nil), q...), radius))
+	key := rangeKey(d.scope(base, gen), length, radius, exact, q)
 	v, err := d.cached(key, func() (any, error) {
 		if exact {
 			return base.RangeSearchExact(q, length, radius)
@@ -970,7 +1169,10 @@ func (d *Dataset) Seasonal(seriesID, length int) ([]onex.Pattern, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "seasonal", []int{seriesID, length}, nil)
+	if seriesID < 0 {
+		seriesID = -1
+	}
+	key := seasonalKey(d.scope(base, gen), seriesID, length)
 	v, err := d.cached(key, func() (any, error) {
 		if seriesID < 0 {
 			return base.SeasonalAll(length)
@@ -990,7 +1192,7 @@ func (d *Dataset) Recommend(degree onex.Degree, length int) (onex.Range, error) 
 	if err != nil {
 		return onex.Range{}, err
 	}
-	key := queryKey(d.name, d.epoch, gen, base.LayoutSignature(), "recommend", []int{int(degree), length}, nil)
+	key := recommendKey(d.scope(base, gen), int(degree), length)
 	v, err := d.cached(key, func() (any, error) { return base.RecommendThreshold(degree, length) })
 	if err != nil {
 		return onex.Range{}, err

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},             // 1024µs ≤ 2^10 µs
+		{time.Second, 20},                  // 1e6 µs ≤ 2^20 µs
+		{10 * time.Minute, numBuckets - 1}, // saturates
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	var h Histogram
+	// 100 observations spread over four decades.
+	for i := 0; i < 50; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(30 * time.Millisecond)
+	}
+	h.Observe(2 * time.Second)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if !(s.P50Millis <= s.P90Millis && s.P90Millis <= s.P99Millis) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	// p50 must land in the 100µs bucket's neighbourhood, p99 in the 30ms
+	// one — log-bucket estimates are within a factor of ~2.
+	if s.P50Millis < 0.05 || s.P50Millis > 0.2 {
+		t.Errorf("p50 = %vms, want ≈ 0.1ms", s.P50Millis)
+	}
+	if s.P99Millis < 15 || s.P99Millis > 60 {
+		t.Errorf("p99 = %vms, want ≈ 30ms", s.P99Millis)
+	}
+	// Exact mean: (50*0.1 + 40*2 + 9*30 + 2000) / 100 = 23.55ms.
+	if math.Abs(s.MeanMillis-23.55) > 1e-9 {
+		t.Errorf("mean = %vms, want 23.55ms", s.MeanMillis)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.P99Millis != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "c"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(names[(w+i)%len(names)], time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != len(names) {
+		t.Fatalf("registry has %d entries, want %d", len(snap), len(names))
+	}
+	var total uint64
+	for _, s := range snap {
+		total += s.Count
+	}
+	if total != 8*500 {
+		t.Fatalf("total observations %d, want %d", total, 8*500)
+	}
+	if r.Get("missing") != nil {
+		t.Fatal("Get(missing) should be nil")
+	}
+}

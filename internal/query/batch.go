@@ -10,35 +10,193 @@ type BatchResult struct {
 	Err   error
 }
 
-// BestMatchBatch answers many similarity queries in one call, fanning the
-// queries across the processor's worker pool. The worker budget is split
-// between the two parallelism axes: with at least p.workers queries each
-// query runs the standard BestMatch pipeline on a single worker
-// (cross-query parallelism has the least synchronization), while smaller
-// batches give each query the leftover budget as intra-query fan-out so a
-// 1-query batch is exactly as fast as a single BestMatch call. The split is
-// answer-invariant — every parallelism assignment returns identical
-// results, so it is purely a scheduling decision.
-//
-// Results are positional: out[i] answers qs[i]. Queries are validated
-// independently — a ragged, empty or non-finite query yields a per-query
-// Err without affecting its neighbours, and a nil or empty batch returns an
-// empty slice. BestMatchBatch never panics on malformed input and is safe
-// for concurrent use.
-func (p *Processor) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
-	out := make([]BatchResult, len(qs))
+// KNNQuery is one item of a k-NN batch. K ≤ 1 asks for the single best
+// match (identical answer to BestMatch).
+type KNNQuery struct {
+	Query []float64
+	Mode  MatchMode
+	K     int
+}
+
+// KNNBatchResult is one positional k-NN batch outcome.
+type KNNBatchResult struct {
+	Matches []Match
+	Err     error
+}
+
+// RangeQuery is one item of a range batch; Exact selects
+// RangeSearchExact semantics.
+type RangeQuery struct {
+	Query  []float64
+	Length int
+	Radius float64
+	Exact  bool
+}
+
+// RangeBatchResult is one positional range batch outcome.
+type RangeBatchResult struct {
+	Results []RangeResult
+	Err     error
+}
+
+// SeasonalQuery is one item of a seasonal batch. SeriesID < 0 asks the
+// data-driven form (SeasonalAll); otherwise the user-driven form over that
+// series.
+type SeasonalQuery struct {
+	SeriesID int
+	Length   int
+}
+
+// SeasonalBatchResult is one positional seasonal batch outcome.
+type SeasonalBatchResult struct {
+	Groups []SeasonalGroup
+	Err    error
+}
+
+// runBatch is the one batch scaffold every query family shares, at both the
+// monolithic and scattered layers. The worker budget splits between the two
+// parallelism axes: with at least budget queries each item runs its standard
+// single-query pipeline on one worker (cross-query parallelism has the least
+// synchronization), while smaller batches hand each item the leftover budget
+// as intra-query fan-out — so a 1-item batch is exactly as fast as the
+// single call. The split is answer-invariant: every per-item pipeline
+// returns identical results at every worker count, so it is purely a
+// scheduling decision. Results are positional — out[i] answers qs[i] — with
+// per-item errors, and a nil or empty batch returns an empty slice.
+func runBatch[Q, R any](budget int, qs []Q, run func(inner int, q Q) R) []R {
+	out := make([]R, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
-	exec := p.sequential()
-	if inner := p.workers / len(qs); inner > 1 {
-		cp := *p
-		cp.workers = inner
-		exec = &cp
+	inner := 1
+	if v := budget / len(qs); v > 1 {
+		inner = v
 	}
-	parallel.ForEach(p.workers, len(qs), func(i int) {
-		m, tr, err := exec.BestMatchTraced(qs[i], mode)
-		out[i] = BatchResult{Match: m, Trace: tr, Err: err}
+	parallel.ForEach(budget, len(qs), func(i int) {
+		out[i] = run(inner, qs[i])
 	})
 	return out
+}
+
+// innerExec returns the processor view answering one batch item with the
+// given intra-query worker budget.
+func (p *Processor) innerExec(inner int) *Processor {
+	if inner <= 1 {
+		return p.sequential()
+	}
+	if inner == p.workers {
+		return p
+	}
+	cp := *p
+	cp.workers = inner
+	return &cp
+}
+
+// BestMatchBatch answers many Q1 queries in one call, fanning them across
+// the processor's worker pool through the shared batch scaffold (see
+// runBatch for the worker split and the positional-errors contract).
+// Queries are validated independently — a ragged, empty or non-finite query
+// yields a per-query Err without affecting its neighbours. BestMatchBatch
+// never panics on malformed input and is safe for concurrent use.
+func (p *Processor) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+	return runBatch(p.workers, qs, func(inner int, q []float64) BatchResult {
+		m, tr, err := p.innerExec(inner).BestMatchTraced(q, mode)
+		return BatchResult{Match: m, Trace: tr, Err: err}
+	})
+}
+
+// BestKMatchesBatch answers many k-NN queries positionally (runBatch
+// contract); each item equals the corresponding BestKMatches call.
+func (p *Processor) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
+	return runBatch(p.workers, qs, func(inner int, q KNNQuery) KNNBatchResult {
+		k := q.K
+		if k < 1 {
+			k = 1
+		}
+		ms, err := p.innerExec(inner).BestKMatches(q.Query, q.Mode, k)
+		return KNNBatchResult{Matches: ms, Err: err}
+	})
+}
+
+// RangeSearchBatch answers many range queries positionally (runBatch
+// contract); each item equals the corresponding RangeSearch or
+// RangeSearchExact call.
+func (p *Processor) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
+	return runBatch(p.workers, qs, func(inner int, q RangeQuery) RangeBatchResult {
+		exec := p.innerExec(inner)
+		var (
+			rs  []RangeResult
+			err error
+		)
+		if q.Exact {
+			rs, err = exec.RangeSearchExact(q.Query, q.Length, q.Radius)
+		} else {
+			rs, err = exec.RangeSearch(q.Query, q.Length, q.Radius)
+		}
+		return RangeBatchResult{Results: rs, Err: err}
+	})
+}
+
+// SeasonalBatch answers many seasonal queries positionally (runBatch
+// contract); SeriesID < 0 selects SeasonalAll.
+func (p *Processor) SeasonalBatch(qs []SeasonalQuery) []SeasonalBatchResult {
+	return runBatch(p.workers, qs, func(inner int, q SeasonalQuery) SeasonalBatchResult {
+		exec := p.innerExec(inner)
+		var (
+			gs  []SeasonalGroup
+			err error
+		)
+		if q.SeriesID < 0 {
+			gs, err = exec.SeasonalAll(q.Length)
+		} else {
+			gs, err = exec.SeasonalSample(q.SeriesID, q.Length)
+		}
+		return SeasonalBatchResult{Groups: gs, Err: err}
+	})
+}
+
+// BestMatchBatch answers many Q1 queries across the shards, mirroring
+// Processor.BestMatchBatch through the shared runBatch scaffold.
+func (s *Scatter) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+	return runBatch(s.global.workers, qs, func(inner int, q []float64) BatchResult {
+		m, err := s.withWorkers(inner).BestMatch(q, mode)
+		return BatchResult{Match: m, Err: err}
+	})
+}
+
+// BestKMatchesBatch answers many k-NN queries across the shards,
+// positionally (runBatch contract).
+func (s *Scatter) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
+	return runBatch(s.global.workers, qs, func(inner int, q KNNQuery) KNNBatchResult {
+		k := q.K
+		if k < 1 {
+			k = 1
+		}
+		ms, err := s.withWorkers(inner).BestKMatches(q.Query, q.Mode, k)
+		return KNNBatchResult{Matches: ms, Err: err}
+	})
+}
+
+// RangeSearchBatch answers many range queries across the shards,
+// positionally (runBatch contract).
+func (s *Scatter) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
+	return runBatch(s.global.workers, qs, func(inner int, q RangeQuery) RangeBatchResult {
+		exec := s.withWorkers(inner)
+		var (
+			rs  []RangeResult
+			err error
+		)
+		if q.Exact {
+			rs, err = exec.RangeSearchExact(q.Query, q.Length, q.Radius)
+		} else {
+			rs, err = exec.RangeSearch(q.Query, q.Length, q.Radius)
+		}
+		return RangeBatchResult{Results: rs, Err: err}
+	})
+}
+
+// SeasonalBatch answers many seasonal queries positionally; seasonal
+// answers read the global grouping, so this equals the monolithic form.
+func (s *Scatter) SeasonalBatch(qs []SeasonalQuery) []SeasonalBatchResult {
+	return s.global.SeasonalBatch(qs)
 }

@@ -23,6 +23,7 @@ import (
 // group, the processor continues through remaining representatives whose
 // lower bounds beat the current k-th distance.
 func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
+	p.counters.tick()
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
 	}

@@ -106,6 +106,10 @@ type Processor struct {
 	// pool recycles DTW scratch across queries and across the workers of
 	// one query. See the ownership rule above and on dist.Workspace.
 	pool *parallel.WorkspacePool
+	// counters is the lifetime work tally, shared (by pointer) with every
+	// view derived from this processor — sequential(), batch executors and
+	// threshold adaptations keep accounting against the same instance.
+	counters *Counters
 }
 
 // New builds a processor over a base.
@@ -117,10 +121,11 @@ func New(b *rspace.Base, opts Options) (*Processor, error) {
 		return nil, fmt.Errorf("query: negative candidate limit %d", opts.CandidateLimit)
 	}
 	return &Processor{
-		base:    b,
-		opts:    opts,
-		workers: parallel.Resolve(opts.Parallelism),
-		pool:    &parallel.WorkspacePool{},
+		base:     b,
+		opts:     opts,
+		workers:  parallel.Resolve(opts.Parallelism),
+		pool:     &parallel.WorkspacePool{},
+		counters: &Counters{},
 	}, nil
 }
 
@@ -190,6 +195,7 @@ func (p *Processor) BestMatch(q []float64, mode MatchMode) (Match, error) {
 // BestMatchTraced is BestMatch plus the work counters.
 func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, error) {
 	var tr Trace
+	defer func() { p.counters.tick(); p.counters.fold(tr) }()
 	if err := validateQuery(q); err != nil {
 		return Match{}, tr, err
 	}

@@ -43,6 +43,7 @@ type RangeResult struct {
 // carry the ST upper bound in Dist (see RangeResult.Guaranteed). Results are
 // unordered.
 func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
+	p.counters.tick()
 	return p.rangeSearch(q, length, radius, false)
 }
 
@@ -54,6 +55,7 @@ func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]Rang
 // normalized DTW is within radius — independent of how the base happens to
 // be grouped — at the cost of one DTW per guaranteed member.
 func (p *Processor) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
+	p.counters.tick()
 	return p.rangeSearch(q, length, radius, true)
 }
 

@@ -143,6 +143,7 @@ func (s *Scatter) withWorkers(w int) *Scatter {
 // Processor.BestMatch runs, with the per-length representative scan
 // scattered over the shard-owned units.
 func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
+	s.global.counters.tick()
 	if err := validateQuery(q); err != nil {
 		return Match{}, err
 	}
@@ -200,6 +201,7 @@ func (s *Scatter) searchLength(q []float64, order []int, e *rspace.LengthEntry,
 	}
 	var tr Trace
 	s.global.mineGroup(q, e, bestID, bestRaw/divisor, ws, best, &tr)
+	s.global.counters.fold(tr)
 	return bestRaw / divisor
 }
 
@@ -226,9 +228,10 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 		raw float64
 		pos int
 	}
-	scan := func(lws *dist.Workspace, start, stride int, shared *parallel.MinBound, local *hit) {
+	scan := func(lws *dist.Workspace, start, stride int, shared *parallel.MinBound, local *hit, ltr *Trace) {
 		for pos := start; pos < n; pos += stride {
 			u := units[pos]
+			ltr.RepsExamined++
 			cutoff := local.raw
 			if shared != nil {
 				if sb := shared.Load(); sb < cutoff {
@@ -238,15 +241,18 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 			rep := u.entry.Groups[u.local].Rep
 			if !s.global.opts.DisableLowerBounds {
 				if dist.LBKim(q, rep) > cutoff {
+					ltr.PrunedByKim++
 					continue
 				}
 				if sameLen {
 					env := u.entry.Envelopes[u.local]
 					if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb > cutoff {
+						ltr.PrunedByKeogh++
 						continue
 					}
 				}
 			}
+			ltr.DTWComputed++
 			d := lws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
 			if d < local.raw {
 				local.raw, local.pos = d, pos
@@ -265,7 +271,9 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 		lws := s.global.pool.Get()
 		defer s.global.pool.Put(lws)
 		local := hit{raw: math.Inf(1), pos: -1}
-		scan(lws, 0, 1, nil, &local)
+		var tr Trace
+		scan(lws, 0, 1, nil, &local, &tr)
+		s.global.counters.fold(tr)
 		if local.pos < 0 {
 			return -1, math.Inf(1)
 		}
@@ -273,12 +281,16 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 	}
 	shared := parallel.NewMinBound(math.Inf(1))
 	locals := make([]hit, workers)
+	traces := make([]Trace, workers)
 	parallel.ForEach(workers, workers, func(w int) {
 		lws := s.global.pool.Get()
 		defer s.global.pool.Put(lws)
 		locals[w] = hit{raw: math.Inf(1), pos: -1}
-		scan(lws, w, workers, shared, &locals[w])
+		scan(lws, w, workers, shared, &locals[w], &traces[w])
 	})
+	for _, t := range traces {
+		s.global.counters.fold(t)
+	}
 	win := hit{raw: math.Inf(1), pos: -1}
 	for _, l := range locals {
 		if l.pos < 0 {
@@ -300,6 +312,7 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 // the same procedure as the monolithic searchLengthK, heap bookkeeping
 // included.
 func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
+	s.global.counters.tick()
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
 	}
@@ -410,27 +423,6 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 	}
 }
 
-// BestMatchBatch answers many Q1 queries in one call, mirroring
-// Processor.BestMatchBatch: with at least as many queries as workers each
-// query runs the scattered pipeline on a single worker, smaller batches give
-// each query the leftover budget as intra-query fan-out. Results are
-// positional with per-query errors.
-func (s *Scatter) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
-	out := make([]BatchResult, len(qs))
-	if len(qs) == 0 {
-		return out
-	}
-	exec := s.withWorkers(1)
-	if inner := s.global.workers / len(qs); inner > 1 {
-		exec = s.withWorkers(inner)
-	}
-	parallel.ForEach(s.global.workers, len(qs), func(i int) {
-		m, err := exec.BestMatch(qs[i], mode)
-		out[i] = BatchResult{Match: m, Err: err}
-	})
-	return out
-}
-
 // RangeSearch scatters a range query: each shard answers it over its
 // restriction with the monolithic code path and the per-shard result slices
 // concatenate in shard order, remapped to global series/group ids. The
@@ -448,6 +440,7 @@ func (s *Scatter) RangeSearchExact(q []float64, length int, radius float64) ([]R
 }
 
 func (s *Scatter) scatterRange(q []float64, length int, radius float64, exact bool) ([]RangeResult, error) {
+	s.global.counters.tick()
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}

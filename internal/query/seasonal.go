@@ -22,6 +22,7 @@ type SeasonalGroup struct {
 // subsequences of the sample series — i.e. the sample's recurring intra-
 // series similarity patterns.
 func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error) {
+	p.counters.tick()
 	e := p.base.Entry(length)
 	if e == nil {
 		return nil, fmt.Errorf("query: length %d not indexed", length)
@@ -48,6 +49,7 @@ func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error
 // queryType=NULL): every group of the given length holding at least two
 // subsequences — the dataset's recurring similarity patterns at that scale.
 func (p *Processor) SeasonalAll(length int) ([]SeasonalGroup, error) {
+	p.counters.tick()
 	e := p.base.Entry(length)
 	if e == nil {
 		return nil, fmt.Errorf("query: length %d not indexed", length)

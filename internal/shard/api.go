@@ -38,6 +38,42 @@ func (e *Engine) BestKMatches(q []float64, mode query.MatchMode, k int) ([]query
 	return e.scatter.BestKMatches(q, mode, k)
 }
 
+// BestKMatchesBatch answers many k-NN queries positionally with per-query
+// errors; each item equals the corresponding BestKMatches call.
+func (e *Engine) BestKMatchesBatch(qs []query.KNNQuery) []query.KNNBatchResult {
+	if e.mono != nil {
+		return e.mono.Proc.BestKMatchesBatch(qs)
+	}
+	return e.scatter.BestKMatchesBatch(qs)
+}
+
+// RangeSearchBatch answers many range queries positionally with per-query
+// errors; each item equals the corresponding RangeSearch(Exact) call.
+func (e *Engine) RangeSearchBatch(qs []query.RangeQuery) []query.RangeBatchResult {
+	if e.mono != nil {
+		return e.mono.Proc.RangeSearchBatch(qs)
+	}
+	return e.scatter.RangeSearchBatch(qs)
+}
+
+// SeasonalBatch answers many seasonal queries positionally with per-query
+// errors; SeriesID < 0 selects the data-driven form.
+func (e *Engine) SeasonalBatch(qs []query.SeasonalQuery) []query.SeasonalBatchResult {
+	if e.mono != nil {
+		return e.mono.Proc.SeasonalBatch(qs)
+	}
+	return e.scatter.SeasonalBatch(qs)
+}
+
+// QueryCounters snapshots the engine's lifetime query work tally (queries
+// answered across every family plus the Q1 bound-pruning counters).
+func (e *Engine) QueryCounters() query.CountersSnapshot {
+	if e.mono != nil {
+		return e.mono.Proc.Counters().Snapshot()
+	}
+	return e.scatter.Counters().Snapshot()
+}
+
 // RangeSearch answers a range query (ST-upper-bound distances on the
 // guaranteed path).
 func (e *Engine) RangeSearch(q []float64, length int, radius float64) ([]query.RangeResult, error) {

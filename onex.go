@@ -160,6 +160,47 @@ func (b *Base) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
 	return out
 }
 
+// KNNQuery is one item of a BestKMatchesBatch: the query sequence, its
+// match mode, and how many neighbours to return (K ≤ 1 asks for the single
+// best match).
+type KNNQuery struct {
+	Query []float64
+	Mode  MatchMode
+	K     int
+}
+
+// KNNBatchResult is one positional BestKMatchesBatch outcome: the ordered
+// neighbours for its query, or a per-query error.
+type KNNBatchResult struct {
+	Matches []Match
+	Err     error
+}
+
+// BestKMatchesBatch answers many k-NN queries in one call through the same
+// worker-split scaffold as BestMatchBatch. Results are positional — out[i]
+// answers qs[i] and equals what BestKMatches(qs[i].Query, qs[i].Mode,
+// qs[i].K) would return, errors included.
+func (b *Base) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
+	in := make([]query.KNNQuery, len(qs))
+	for i, q := range qs {
+		in[i] = query.KNNQuery{Query: q.Query, Mode: query.MatchMode(q.Mode), K: q.K}
+	}
+	rs := b.eng.BestKMatchesBatch(in)
+	out := make([]KNNBatchResult, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			out[i] = KNNBatchResult{Err: r.Err}
+			continue
+		}
+		ms := make([]Match, 0, len(r.Matches))
+		for _, m := range r.Matches {
+			ms = append(ms, b.toPublicMatch(m))
+		}
+		out[i] = KNNBatchResult{Matches: ms}
+	}
+	return out
+}
+
 // BestKMatches generalizes BestMatch to the k nearest subsequences, ordered
 // best first. Fewer than k results are returned only when the base holds
 // fewer candidates.
@@ -218,6 +259,46 @@ func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]Rang
 		out = append(out, RangeMatch{Match: b.toPublicMatch(r.Match), Guaranteed: r.Guaranteed})
 	}
 	return out, nil
+}
+
+// RangeQuery is one item of a RangeSearchBatch; Exact selects
+// RangeSearchExact semantics for that item.
+type RangeQuery struct {
+	Query  []float64
+	Length int
+	Radius float64
+	Exact  bool
+}
+
+// RangeBatchResult is one positional RangeSearchBatch outcome.
+type RangeBatchResult struct {
+	Matches []RangeMatch
+	Err     error
+}
+
+// RangeSearchBatch answers many range queries in one call through the same
+// worker-split scaffold as BestMatchBatch. Results are positional and each
+// equals the corresponding RangeSearch or RangeSearchExact call, errors
+// included.
+func (b *Base) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
+	in := make([]query.RangeQuery, len(qs))
+	for i, q := range qs {
+		in[i] = query.RangeQuery{Query: q.Query, Length: q.Length, Radius: q.Radius, Exact: q.Exact}
+	}
+	rs := b.eng.RangeSearchBatch(in)
+	out := make([]RangeBatchResult, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			out[i] = RangeBatchResult{Err: r.Err}
+			continue
+		}
+		ms := make([]RangeMatch, 0, len(r.Results))
+		for _, m := range r.Results {
+			ms = append(ms, RangeMatch{Match: b.toPublicMatch(m.Match), Guaranteed: m.Guaranteed})
+		}
+		out[i] = RangeBatchResult{Matches: ms}
+	}
+	return out
 }
 
 // Append grows one existing series in time — streaming point ingestion.
@@ -305,6 +386,40 @@ func (b *Base) toPatterns(gs []query.SeasonalGroup) []Pattern {
 			})
 		}
 		out = append(out, p)
+	}
+	return out
+}
+
+// SeasonalQuery is one item of a SeasonalBatch. SeriesID < 0 asks the
+// data-driven form (SeasonalAll); otherwise the user-driven form over that
+// series.
+type SeasonalQuery struct {
+	SeriesID int
+	Length   int
+}
+
+// SeasonalBatchResult is one positional SeasonalBatch outcome.
+type SeasonalBatchResult struct {
+	Patterns []Pattern
+	Err      error
+}
+
+// SeasonalBatch answers many seasonal queries in one call. Results are
+// positional and each equals the corresponding Seasonal or SeasonalAll
+// call, errors included.
+func (b *Base) SeasonalBatch(qs []SeasonalQuery) []SeasonalBatchResult {
+	in := make([]query.SeasonalQuery, len(qs))
+	for i, q := range qs {
+		in[i] = query.SeasonalQuery{SeriesID: q.SeriesID, Length: q.Length}
+	}
+	rs := b.eng.SeasonalBatch(in)
+	out := make([]SeasonalBatchResult, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			out[i] = SeasonalBatchResult{Err: r.Err}
+			continue
+		}
+		out[i] = SeasonalBatchResult{Patterns: b.toPatterns(r.Groups)}
 	}
 	return out
 }
@@ -410,6 +525,15 @@ func (b *Base) Stats() Stats {
 		Rebuilds:        b.eng.Rebuilds(),
 		LastRebuild:     b.eng.LastRebuild(),
 		Shards:          b.eng.ShardCount(),
+	}
+	qc := b.eng.QueryCounters()
+	st.Query = QueryStats{
+		Queries:       qc.Queries,
+		RepsExamined:  qc.RepsExamined,
+		PrunedByKim:   qc.PrunedByKim,
+		PrunedByKeogh: qc.PrunedByKeogh,
+		DTWComputed:   qc.DTWComputed,
+		MembersTested: qc.MembersTested,
 	}
 	for _, s := range b.eng.ShardStats() {
 		st.PerShard = append(st.PerShard, ShardStat{

@@ -77,6 +77,28 @@ type Stats struct {
 	// and PerShard describes each shard — see Options.Shards.
 	Shards   int
 	PerShard []ShardStat
+	// Query tallies the online work the base has answered since
+	// construction. Process-local: snapshots do not persist it, and
+	// Extend/Append/WithThreshold derivatives start a fresh tally.
+	Query QueryStats
+}
+
+// QueryStats is a base's lifetime online-query work tally.
+type QueryStats struct {
+	// Queries counts answered queries across every family (match, k-NN,
+	// range, seasonal — batch items count individually).
+	Queries uint64
+	// RepsExamined through MembersTested are the cumulative Q1 BestMatch
+	// work counters — the path where the LB_Kim/LB_Keogh pruning cascade
+	// operates. The split between PrunedByKim and PrunedByKeogh depends on
+	// bound-tightening timing in parallel scans (a hopeless representative
+	// is counted under whichever check happened to kill it); the totals are
+	// the signal.
+	RepsExamined  uint64
+	PrunedByKim   uint64
+	PrunedByKeogh uint64
+	DTWComputed   uint64
+	MembersTested uint64
 }
 
 // ShardStat describes one shard of a base's serving layout.

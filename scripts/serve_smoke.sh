@@ -21,8 +21,10 @@ echo "== build"
 go build -o "$BIN" ./cmd/onex-server
 
 echo "== start ($ADDR)"
+# -legacy keeps the deprecated pre-/v1 endpoints answering (with a
+# Deprecation header) so the smoke can cover both surfaces.
 "$BIN" -addr "$ADDR" -generate ItalyPower -scale 0.2 -st 0.25 -lengths 6 \
-    -snapshot-dir "$SNAPDIR" &
+    -snapshot-dir "$SNAPDIR" -legacy &
 SERVER_PID=$!
 
 echo "== wait for /healthz"
@@ -62,12 +64,41 @@ check_code GET "$BASE/v1/datasets" 200
 check_code GET "$BASE/v1/stats" 200
 check_code POST "$BASE/match" 200 "{\"query\":$LEGACY_Q}"
 
+echo "== legacy endpoints carry the Deprecation header"
+curl -sf -D - -o /dev/null "$BASE/stats" | grep -qi '^deprecation: true' \
+    || { echo "FAIL: legacy /stats missing Deprecation header" >&2; exit 1; }
+
+echo "== uniform batch endpoint"
+check_code POST "$BASE/v1/datasets/ItalyPower/match/batch" 200 \
+    "{\"queries\":[{\"query\":$LEGACY_Q},{\"query\":$LEGACY_Q,\"k\":3}]}"
+
+echo "== async job: submit, poll to done"
+JOB_ID=$(curl -sf -X POST -d "{\"query\":$LEGACY_Q}" \
+    "$BASE/v1/datasets/ItalyPower/match/jobs" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$JOB_ID" ] || { echo "FAIL: job submission returned no id" >&2; exit 1; }
+for i in $(seq 1 50); do
+    STATE=$(curl -sf "$BASE/v1/jobs/$JOB_ID" | sed 's/.*"state":"\([^"]*\)".*/\1/')
+    [ "$STATE" = "done" ] && break
+    [ "$STATE" = "failed" ] && { echo "FAIL: job failed" >&2; exit 1; }
+    sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "FAIL: job stuck in state $STATE" >&2; exit 1; }
+echo "ok: job $JOB_ID -> done"
+
 echo "== verify the repeated query hit the cache"
 curl -sf "$BASE/v1/stats" | grep -q '"hits":0,' && { echo "FAIL: no cache hits" >&2; exit 1; }
 
-echo "== error paths return structured JSON"
+echo "== /v1/stats exposes latency histograms and job counters"
+STATS=$(curl -sf "$BASE/v1/stats")
+echo "$STATS" | grep -q '"latency"' || { echo "FAIL: stats missing latency map" >&2; exit 1; }
+echo "$STATS" | grep -q '"p99Millis"' || { echo "FAIL: stats missing latency quantiles" >&2; exit 1; }
+echo "$STATS" | grep -q '"submitted":' || { echo "FAIL: stats missing job counters" >&2; exit 1; }
+
+echo "== error paths return structured JSON with machine-readable codes"
 check_code GET "$BASE/v1/datasets/nope" 404
 check_code POST "$BASE/v1/datasets" 400 '{"name":"bad","generator":"ECG","bogus":1}'
+curl -s "$BASE/v1/datasets/nope" | grep -q '"code":"not_found"' \
+    || { echo "FAIL: 404 body missing code field" >&2; exit 1; }
 
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$SERVER_PID"
