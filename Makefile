@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke bench-serve bench-parallel bench-stream bench-shard bench-load lint coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke obs-smoke bench-serve bench-parallel bench-stream bench-shard bench-load lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -30,6 +30,9 @@ bench: ## Run every benchmark once (CI's bench-smoke job)
 
 serve-smoke: ## Boot onex-server, drive the v1 API end to end (CI's serve-smoke job)
 	sh scripts/serve_smoke.sh
+
+obs-smoke: ## Boot onex-server with tracing/logging/pprof on and verify the observability surface
+	sh scripts/obs_smoke.sh
 
 bench-serve: ## Emit BENCH_serve.json: cold vs cached /match latency over HTTP
 	ONEX_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
@@ -73,4 +76,4 @@ coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel+shard
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min) ? 1 : 0 }' \
 		|| { echo "coverage $$total% is below $(COVER_MIN)%" >&2; exit 1; }
 
-ci: fmt-check vet lint build test bench coverage serve-smoke ## The full local gate, same checks as CI
+ci: fmt-check vet lint build test bench coverage serve-smoke obs-smoke ## The full local gate, same checks as CI

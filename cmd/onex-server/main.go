@@ -9,6 +9,8 @@
 //	            [-lengths 16] [-scale 0.25] [-seed 1]
 //	            [-snapshot-dir dir] [-cache-entries 1024] [-build-workers 2]
 //	            [-job-workers 2] [-max-jobs 1024] [-job-ttl 10m] [-legacy]
+//	            [-log-level info] [-log-format text] [-slow-query 0]
+//	            [-pprof]
 //
 // The flags describe the default dataset, registered at startup. See
 // README.md in this directory for a surface overview and docs/api.md for
@@ -18,7 +20,8 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,6 +30,38 @@ import (
 
 	"onex/internal/api"
 )
+
+// buildLogger turns the -log-level/-log-format flags into the process-wide
+// structured logger (also installed as the slog default so stray library
+// logging shares the format).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn or error (got %q)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("-log-format must be json or text (got %q)", format)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}
 
 func main() {
 	var (
@@ -50,8 +85,20 @@ func main() {
 		jobWorkers = flag.Int("job-workers", 2, "concurrent async query jobs")
 		maxJobs    = flag.Int("max-jobs", 1024, "job table bound (live + retained terminal jobs)")
 		jobTTL     = flag.Duration("job-ttl", 10*time.Minute, "how long finished job results stay pollable")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		slowQuery  = flag.Duration("slow-query", 0,
+			"log requests at or above this duration at warn level with a slowQuery marker (0 = off)")
+		pprofFlag = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (profiles expose memory contents; opt-in)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onex-server:", err)
+		os.Exit(2)
+	}
 
 	srv, err := api.New(api.Config{
 		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
@@ -59,15 +106,20 @@ func main() {
 		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
 		Legacy: *legacy, JobWorkers: *jobWorkers, MaxJobs: *maxJobs, JobTTL: *jobTTL,
+		Logger: logger, SlowQuery: *slowQuery, Pprof: *pprofFlag,
 	})
 	if err != nil {
-		log.Fatal("onex-server: ", err)
+		logger.Error("onex-server: startup", "error", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
 
 	info, _ := srv.DefaultInfo()
-	log.Printf("onex-server: default dataset %q ready (%d representatives), listening on %s",
-		srv.DefaultName(), info.Representatives, *addr)
+	logger.Info("onex-server: ready",
+		"dataset", srv.DefaultName(),
+		"representatives", info.Representatives,
+		"addr", *addr,
+		"pprof", *pprofFlag)
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -85,14 +137,15 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		log.Fatal("onex-server: ", err)
+		logger.Error("onex-server: serve", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		log.Print("onex-server: shutting down (draining in-flight queries, aborting jobs)")
+		logger.Info("onex-server: shutting down (draining in-flight queries, aborting jobs)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Print("onex-server: shutdown: ", err)
+			logger.Warn("onex-server: shutdown", "error", err)
 		}
 		srv.Close() // aborts in-flight jobs and builds cleanly
 	}

@@ -24,14 +24,18 @@ package api
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"onex"
 	"onex/internal/hub"
 	"onex/internal/jobs"
 	"onex/internal/metrics"
+	"onex/internal/obs"
 )
 
 // DefaultMaxBody caps request bodies at 8 MiB: ~1M-point query vectors.
@@ -74,6 +78,15 @@ type Config struct {
 	JobWorkers int
 	MaxJobs    int
 	JobTTL     time.Duration
+	// Logger receives the structured request log (nil = discard, keeping
+	// tests and benchmarks quiet).
+	Logger *slog.Logger
+	// SlowQuery raises requests at or above this duration to warn-level
+	// log lines with a slowQuery marker (0 = no slow threshold).
+	SlowQuery time.Duration
+	// Pprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/. Off by default: profiles expose memory contents.
+	Pprof bool
 }
 
 // Server is the HTTP face of a hub. Handlers are safe for concurrent use.
@@ -86,6 +99,14 @@ type Server struct {
 	allowFS     bool
 	legacy      bool
 	started     time.Time
+
+	logger    *slog.Logger
+	slowQuery time.Duration
+	pprof     bool
+	slow      *obs.SlowLog
+
+	reqMu     sync.Mutex
+	reqCounts map[reqKey]uint64
 }
 
 // New starts a hub, registers the default dataset per cfg and waits for it
@@ -99,16 +120,24 @@ func New(cfg Config) (*Server, error) {
 		SnapshotDir:  cfg.SnapshotDir,
 		CacheEntries: cfg.CacheEntries,
 	})
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		hub: h,
 		jobs: jobs.NewManager(jobs.Config{
 			Workers: cfg.JobWorkers, MaxJobs: cfg.MaxJobs, TTL: cfg.JobTTL,
 		}),
-		metrics: &metrics.Registry{},
-		maxBody: cfg.MaxBody,
-		allowFS: cfg.AllowFS,
-		legacy:  cfg.Legacy,
-		started: time.Now(),
+		metrics:   &metrics.Registry{},
+		maxBody:   cfg.MaxBody,
+		allowFS:   cfg.AllowFS,
+		legacy:    cfg.Legacy,
+		started:   time.Now(),
+		logger:    logger,
+		slowQuery: cfg.SlowQuery,
+		pprof:     cfg.Pprof,
+		slow:      obs.NewSlowLog(slowLogCap),
 	}
 
 	spec := hub.Spec{

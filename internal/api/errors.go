@@ -3,7 +3,7 @@ package api
 import (
 	"encoding/json"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 
 	"onex"
@@ -80,13 +80,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("onex-server: encode: %v", err)
+		slog.Error("onex-server: response encode", "error", err)
 	}
 }
 
 // writeErr renders err as the uniform {"error", "code"} envelope with the
-// status classify assigns.
+// status classify assigns. When w is the middleware's status recorder the
+// machine code is fed back so the request log line carries it.
 func writeErr(w http.ResponseWriter, err error) {
 	status, code := classify(err)
+	if rec, ok := w.(interface{ setErrCode(string) }); ok {
+		rec.setErrCode(code)
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }

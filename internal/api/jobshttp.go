@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"onex/internal/jobs"
+	"onex/internal/obs"
 )
 
 // jobView is a job snapshot plus the uniform error fields for terminal
@@ -125,13 +126,22 @@ func (s *Server) handleMatchJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	reqID := requestIDFrom(r.Context())
+	route := r.URL.Path
+	explain := req.Explain || explainRequested(r)
 	s.submitJob(w, "match", ds.Name(), func(jc *jobs.Context) (any, error) {
 		return runSingle(jc, func() (any, error) {
-			ms, err := ds.Match(kq.Query, kq.Mode, kq.K)
+			tr := obs.NewTrace(reqID)
+			ms, err := ds.MatchObserved(kq.Query, kq.Mode, kq.K, tr)
 			if err != nil {
 				return nil, err
 			}
-			return matchResult(kq.K, ms, withValues), nil
+			s.recordSlow(route, ds.Name(), "match", jc.JobID(), tr)
+			out := matchResult(kq.K, ms, withValues)
+			if explain {
+				out = explained(out, tr)
+			}
+			return out, nil
 		})
 	})
 }
@@ -169,13 +179,22 @@ func (s *Server) handleRangeJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	reqID := requestIDFrom(r.Context())
+	route := r.URL.Path
+	explain := req.Explain || explainRequested(r)
 	s.submitJob(w, "range", ds.Name(), func(jc *jobs.Context) (any, error) {
 		return runSingle(jc, func() (any, error) {
-			ms, err := ds.Range(req.Query, req.Length, req.Radius, req.Exact)
+			tr := obs.NewTrace(reqID)
+			ms, err := ds.RangeObserved(req.Query, req.Length, req.Radius, req.Exact, tr)
 			if err != nil {
 				return nil, err
 			}
-			return rangeResult(ms), nil
+			s.recordSlow(route, ds.Name(), "range", jc.JobID(), tr)
+			out := rangeResult(ms)
+			if explain {
+				out = explained(out, tr)
+			}
+			return out, nil
 		})
 	})
 }
@@ -213,13 +232,22 @@ func (s *Server) handleSeasonalJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	reqID := requestIDFrom(r.Context())
+	route := r.URL.Path
+	explain := req.Explain || explainRequested(r)
 	s.submitJob(w, "seasonal", ds.Name(), func(jc *jobs.Context) (any, error) {
 		return runSingle(jc, func() (any, error) {
-			patterns, err := ds.Seasonal(req.seriesID(), req.Length)
+			tr := obs.NewTrace(reqID)
+			patterns, err := ds.SeasonalObserved(req.seriesID(), req.Length, tr)
 			if err != nil {
 				return nil, err
 			}
-			return seasonalResult(patterns), nil
+			s.recordSlow(route, ds.Name(), "seasonal", jc.JobID(), tr)
+			out := seasonalResult(patterns)
+			if explain {
+				out = explained(out, tr)
+			}
+			return out, nil
 		})
 	})
 }

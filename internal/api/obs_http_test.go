@@ -1,0 +1,308 @@
+package api
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceFrom digs the trace object out of an explain-wrapped response.
+func traceFrom(t *testing.T, body map[string]any) map[string]any {
+	t.Helper()
+	tr, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no trace object: %v", body)
+	}
+	if _, ok := body["result"]; !ok {
+		t.Fatalf("explained response has no result: %v", body)
+	}
+	return tr
+}
+
+// workOf returns the trace's work counter map (possibly nil).
+func workOf(tr map[string]any) map[string]any {
+	w, _ := tr["work"].(map[string]any)
+	return w
+}
+
+// queryWork extracts the hub-wide query work tallies from /v1/stats.
+func queryWork(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	stats := getJSON(t, base+"/v1/stats", http.StatusOK)
+	hub, _ := stats["hub"].(map[string]any)
+	q, _ := hub["query"].(map[string]any)
+	out := make(map[string]float64, len(q))
+	for k, v := range q {
+		f, _ := v.(float64)
+		out[k] = f
+	}
+	return out
+}
+
+// TestExplainTraces drives every query family with explain enabled and
+// checks the trace shape, plus the headline consistency property: the
+// trace's work counters equal the /v1/stats deltas the query caused.
+func TestExplainTraces(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheEntries = -1 // every query runs the cascade (no cache short-circuit)
+	srv, hs := testServer(t, cfg)
+	name := srv.DefaultName()
+	q := queryFor(t, srv)
+
+	before := queryWork(t, hs.URL)
+	body := postJSON(t, hs.URL+"/v1/datasets/"+name+"/match",
+		map[string]any{"query": q, "explain": true}, http.StatusOK)
+	after := queryWork(t, hs.URL)
+
+	tr := traceFrom(t, body)
+	spans, _ := tr["spans"].([]any)
+	if len(spans) == 0 {
+		t.Fatal("match trace has no spans")
+	}
+	work := workOf(tr)
+	for _, k := range []string{"repsExamined", "dtwComputed"} {
+		delta := after[k] - before[k]
+		got, _ := work[k].(float64)
+		if math.Abs(got-delta) > 0 {
+			t.Errorf("work[%q] = %v, but /v1/stats delta = %v", k, got, delta)
+		}
+	}
+	if after["queries"]-before["queries"] != 1 {
+		t.Errorf("queries delta = %v, want 1", after["queries"]-before["queries"])
+	}
+
+	// ?explain=1 is equivalent to the body field; k-NN and range also trace.
+	body = postJSON(t, hs.URL+"/v1/datasets/"+name+"/match?explain=1",
+		map[string]any{"query": q, "k": 3}, http.StatusOK)
+	traceFrom(t, body)
+	body = postJSON(t, hs.URL+"/v1/datasets/"+name+"/range",
+		map[string]any{"query": q, "length": len(q), "radius": 0.5, "explain": true}, http.StatusOK)
+	traceFrom(t, body)
+	body = getJSON(t, fmt.Sprintf("%s/v1/datasets/%s/seasonal?length=%d&explain=1", hs.URL, name, len(q)),
+		http.StatusOK)
+	tr = traceFrom(t, body)
+	if spans, _ := tr["spans"].([]any); len(spans) == 0 {
+		t.Error("seasonal trace has no spans")
+	}
+
+	// Without explain the response keeps its original shape.
+	body = postJSON(t, hs.URL+"/v1/datasets/"+name+"/match",
+		map[string]any{"query": q}, http.StatusOK)
+	if _, ok := body["trace"]; ok {
+		t.Error("unexplained response leaked a trace")
+	}
+}
+
+// TestRequestIDRoundTrip checks the middleware mints an id, honors a
+// well-formed inbound X-Request-Id, and threads it into the trace.
+func TestRequestIDRoundTrip(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	name := srv.DefaultName()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("no X-Request-Id minted on plain request")
+	}
+
+	q := queryFor(t, srv)
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/datasets/"+name+"/match?explain=1",
+		strings.NewReader(fmt.Sprintf(`{"query": %s}`, floatsJSON(q))))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "client-chosen-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-42" {
+		t.Errorf("X-Request-Id echoed %q, want client-chosen-42", got)
+	}
+	if !strings.Contains(string(raw), `"requestId":"client-chosen-42"`) {
+		t.Errorf("trace does not carry the inbound request id: %s", raw)
+	}
+}
+
+func floatsJSON(q []float64) string {
+	parts := make([]string, len(q))
+	for i, v := range q {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TestDebugSlow checks queries land in the slow buffer with their traces.
+func TestDebugSlow(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	name := srv.DefaultName()
+	q := queryFor(t, srv)
+	postJSON(t, hs.URL+"/v1/datasets/"+name+"/match", map[string]any{"query": q}, http.StatusOK)
+
+	body := getJSON(t, hs.URL+"/v1/debug/slow", http.StatusOK)
+	count, _ := body["count"].(float64)
+	if count < 1 {
+		t.Fatalf("slow buffer empty after a query: %v", body)
+	}
+	entries, _ := body["slow"].([]any)
+	e, _ := entries[0].(map[string]any)
+	if e["family"] == "" || e["dataset"] != name {
+		t.Errorf("slow entry missing family/dataset: %v", e)
+	}
+	if _, ok := e["trace"].(map[string]any); !ok {
+		t.Errorf("slow entry has no trace: %v", e)
+	}
+}
+
+// TestJobExplain checks single-form jobs run traced: with explain the job
+// result carries the trace, and the slow log tags the entry with the job id.
+func TestJobExplain(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	name := srv.DefaultName()
+	q := queryFor(t, srv)
+
+	body := postJSON(t, hs.URL+"/v1/datasets/"+name+"/match/jobs",
+		map[string]any{"query": q, "explain": true}, http.StatusAccepted)
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id: %v", body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var job map[string]any
+	for {
+		job = getJSON(t, hs.URL+"/v1/jobs/"+id, http.StatusOK)
+		if st, _ := job["state"].(string); st == "done" || st == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %v", job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	result, _ := job["result"].(map[string]any)
+	if result == nil {
+		t.Fatalf("job has no result: %v", job)
+	}
+	traceFrom(t, result)
+
+	slow := getJSON(t, hs.URL+"/v1/debug/slow", http.StatusOK)
+	entries, _ := slow["slow"].([]any)
+	found := false
+	for _, raw := range entries {
+		if e, _ := raw.(map[string]any); e != nil && e["jobId"] == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no slow entry tagged with job id %s: %v", id, slow)
+	}
+}
+
+// TestMetricsExposition scrapes /metrics and validates the Prometheus text
+// format properties a scraper relies on: the content type, required
+// families, histogram bucket monotonicity and the +Inf bucket == _count
+// invariant.
+func TestMetricsExposition(t *testing.T) {
+	srv, hs := testServer(t, testConfig())
+	name := srv.DefaultName()
+	q := queryFor(t, srv)
+	postJSON(t, hs.URL+"/v1/datasets/"+name+"/match", map[string]any{"query": q}, http.StatusOK)
+	postJSON(t, hs.URL+"/v1/datasets/"+name+"/match", map[string]any{"query": q}, http.StatusOK)
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+
+	seen := map[string]bool{}
+	// route → ordered cumulative bucket values, plus _count per route.
+	buckets := map[string][]float64{}
+	counts := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "HELP" {
+				seen[fields[2]] = true
+			}
+			continue
+		}
+		// Label values may contain spaces ("POST /v1/..."), so the value
+		// is whatever follows the final space.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("sample line %q: no value field", line)
+		}
+		val, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			t.Fatalf("sample line %q: bad value: %v", line, err)
+		}
+		metric := line[:cut]
+		switch {
+		case strings.HasPrefix(metric, "onex_http_request_duration_seconds_bucket{"):
+			route := labelValue(t, metric, "route")
+			buckets[route] = append(buckets[route], val)
+		case strings.HasPrefix(metric, "onex_http_request_duration_seconds_count{"):
+			counts[labelValue(t, metric, "route")] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fam := range []string{
+		"onex_http_request_duration_seconds", "onex_http_requests_total",
+		"onex_cache_lookups_total", "onex_query_work_total",
+		"onex_lifecycle_events_total", "onex_datasets", "onex_jobs_total",
+		"onex_goroutines", "onex_uptime_seconds",
+	} {
+		if !seen[fam] {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets exposed")
+	}
+	for route, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] < bs[i-1] {
+				t.Errorf("route %s: bucket %d decreases (%v < %v)", route, i, bs[i], bs[i-1])
+			}
+		}
+		if got := bs[len(bs)-1]; got != counts[route] {
+			t.Errorf("route %s: +Inf bucket %v != _count %v", route, got, counts[route])
+		}
+	}
+}
+
+// labelValue extracts one label value from a metric sample name.
+func labelValue(t *testing.T, metric, label string) string {
+	t.Helper()
+	i := strings.Index(metric, label+`="`)
+	if i < 0 {
+		t.Fatalf("metric %q has no %s label", metric, label)
+	}
+	rest := metric[i+len(label)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		t.Fatalf("metric %q: unterminated %s label", metric, label)
+	}
+	return rest[:j]
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"onex"
+	"onex/internal/obs"
 )
 
 // matchItem is one match/k-NN query — the body of the single endpoint and
@@ -14,6 +15,11 @@ type matchItem struct {
 	Query []float64 `json:"query"`
 	Mode  string    `json:"mode"` // "any" (default) or "exact"
 	K     int       `json:"k"`    // 0/1 = best match; >1 = k-NN
+	// Explain returns the query's trace alongside the result (single and
+	// single-form job endpoints; accepted but ignored on batch items —
+	// batches answer many queries through one engine call and have no
+	// per-item trace).
+	Explain bool `json:"explain"`
 }
 
 func parseMode(s string) (onex.MatchMode, error) {
@@ -88,12 +94,18 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	withValues := r.URL.Query().Get("values") == "true"
-	ms, err := ds.Match(kq.Query, kq.Mode, kq.K)
+	tr := obs.NewTrace(requestIDFrom(r.Context()))
+	ms, err := ds.MatchObserved(kq.Query, kq.Mode, kq.K, tr)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, matchResult(kq.K, ms, withValues))
+	s.recordSlow(r.URL.Path, ds.Name(), "match", "", tr)
+	body := matchResult(kq.K, ms, withValues)
+	if req.Explain || explainRequested(r) {
+		body = explained(body, tr)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // rangeItem is one range query — single body and batch/jobs item shape.
@@ -104,6 +116,9 @@ type rangeItem struct {
 	// Exact computes true DTW distances for matches admitted through the
 	// Lemma 2 guarantee instead of reporting the ST upper bound.
 	Exact bool `json:"exact"`
+	// Explain returns the query's trace alongside the result (single and
+	// single-form job endpoints; accepted but ignored on batch items).
+	Explain bool `json:"explain"`
 }
 
 type rangeMatchResponse struct {
@@ -131,12 +146,18 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	ms, err := ds.Range(req.Query, req.Length, req.Radius, req.Exact)
+	tr := obs.NewTrace(requestIDFrom(r.Context()))
+	ms, err := ds.RangeObserved(req.Query, req.Length, req.Radius, req.Exact, tr)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rangeResult(ms))
+	s.recordSlow(r.URL.Path, ds.Name(), "range", "", tr)
+	body := rangeResult(ms)
+	if req.Explain || explainRequested(r) {
+		body = explained(body, tr)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // seasonalItem is one seasonal query: the batch/jobs item shape (the single
@@ -145,6 +166,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 type seasonalItem struct {
 	Series *int `json:"series"`
 	Length int  `json:"length"`
+	// Explain returns the query's trace alongside the result (single-form
+	// job endpoint; accepted but ignored on batch items).
+	Explain bool `json:"explain"`
 }
 
 func (it seasonalItem) seriesID() int {
@@ -178,12 +202,18 @@ func (s *Server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	patterns, err := ds.Seasonal(seriesID, length)
+	tr := obs.NewTrace(requestIDFrom(r.Context()))
+	patterns, err := ds.SeasonalObserved(seriesID, length, tr)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, seasonalResult(patterns))
+	s.recordSlow(r.URL.Path, ds.Name(), "seasonal", "", tr)
+	body := seasonalResult(patterns)
+	if explainRequested(r) {
+		body = explained(body, tr)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {

@@ -2,7 +2,6 @@ package api
 
 import (
 	"net/http"
-	"time"
 )
 
 // Routes builds the server's handler tree. Every route is wrapped in the
@@ -34,6 +33,13 @@ func (s *Server) Routes() http.Handler {
 	handle("GET /v1/datasets/{name}/stats", s.handleDatasetStats)
 	handle("GET /v1/stats", s.handleHubStats)
 
+	// Observability: Prometheus text exposition and the slow-query buffer.
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/debug/slow", s.handleDebugSlow)
+	if s.pprof {
+		mountPprof(mux)
+	}
+
 	// Async jobs: any query family as a pollable, cancelable job.
 	handle("POST /v1/datasets/{name}/match/jobs", s.handleMatchJob)
 	handle("POST /v1/datasets/{name}/range/jobs", s.handleRangeJob)
@@ -50,15 +56,6 @@ func (s *Server) Routes() http.Handler {
 	handle("GET /recommend", s.deprecated(s.handleRecommend))
 	handle("GET /stats", s.deprecated(s.handleLegacyStats))
 	return mux
-}
-
-// timed records the handler's wall-clock latency under the route pattern.
-func (s *Server) timed(pattern string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h(w, r)
-		s.metrics.Observe(pattern, time.Since(start))
-	}
 }
 
 // deprecated gates a legacy handler: with Config.Legacy it answers normally

@@ -46,6 +46,62 @@ type LoadReport struct {
 	// that level's p99 — the headline capacity/latency pair.
 	PeakThroughput float64 `json:"peakThroughput"`
 	P99AtPeak      float64 `json:"p99AtPeakMillis"`
+
+	// Work is the server-side work the whole sweep induced, scraped from
+	// GET /v1/stats after the last level — it ties the client-observed
+	// latency curve to the engine work (pruning cascade counters), cache
+	// effectiveness and lifecycle/job events behind it.
+	Work LoadWork `json:"work"`
+}
+
+// LoadWork is the /v1/stats counter snapshot recorded at the end of the
+// sweep (the same tallies /metrics exposes to Prometheus).
+type LoadWork struct {
+	Query  map[string]uint64 `json:"query"`
+	Cache  map[string]uint64 `json:"cache"`
+	Events map[string]uint64 `json:"events"`
+	Jobs   map[string]uint64 `json:"jobs"`
+}
+
+// scrapeLoadWork reads GET /v1/stats over the wire (the same surface a
+// monitoring agent scrapes) and flattens the counter sections.
+func scrapeLoadWork(client *http.Client, baseURL string) (LoadWork, error) {
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return LoadWork{}, fmt.Errorf("bench: scrape /v1/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return LoadWork{}, fmt.Errorf("bench: scrape /v1/stats: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Hub struct {
+			Query  map[string]uint64 `json:"query"`
+			Cache  map[string]uint64 `json:"cache"`
+			Events map[string]uint64 `json:"events"`
+		} `json:"hub"`
+		Jobs struct {
+			Submitted uint64 `json:"submitted"`
+			Rejected  uint64 `json:"rejected"`
+			Done      uint64 `json:"done"`
+			Failed    uint64 `json:"failed"`
+			Canceled  uint64 `json:"canceled"`
+			Evicted   uint64 `json:"evicted"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return LoadWork{}, fmt.Errorf("bench: decode /v1/stats: %w", err)
+	}
+	return LoadWork{
+		Query:  st.Hub.Query,
+		Cache:  st.Hub.Cache,
+		Events: st.Hub.Events,
+		Jobs: map[string]uint64{
+			"submitted": st.Jobs.Submitted, "rejected": st.Jobs.Rejected,
+			"done": st.Jobs.Done, "failed": st.Jobs.Failed,
+			"canceled": st.Jobs.Canceled, "evicted": st.Jobs.Evicted,
+		},
+	}, nil
 }
 
 // LoadPoint is one offered-load level: C closed-loop clients.
@@ -156,6 +212,15 @@ func RunServeLoad(cfg Config) (*LoadReport, []Table, error) {
 		cfg.progressf("load: clients=%d %.0f req/s p50 %.2fms p99 %.2fms errors %d",
 			c, pt.Throughput, pt.P50Millis, pt.P99Millis, pt.Errors)
 	}
+
+	work, err := scrapeLoadWork(client, hs.URL)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Work = work
+	cfg.progressf("load: observed work queries=%d dtw=%d cache hit/miss=%d/%d jobs done=%d",
+		work.Query["queries"], work.Query["dtwComputed"],
+		work.Cache["hits"], work.Cache["misses"], work.Jobs["done"])
 
 	table := Table{
 		Title: fmt.Sprintf("Closed-loop serve load sweep (%s, %d series, GOMAXPROCS=%d, %.1fs/level)",

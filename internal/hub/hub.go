@@ -28,6 +28,7 @@ import (
 
 	"onex"
 	"onex/internal/dataset"
+	"onex/internal/obs"
 )
 
 // Lifecycle and lookup errors.
@@ -170,6 +171,13 @@ type Hub struct {
 	// cache keys, so a dropped-and-re-registered name can never be served
 	// another incarnation's cached results.
 	epochs atomic.Uint64
+
+	// events counts hub-lifetime lifecycle work (monotonic, so the metrics
+	// surface can expose them as Prometheus counters; they survive Drop,
+	// unlike per-dataset tallies).
+	events struct {
+		builds, buildFailures, extends, appends, rebuilds atomic.Uint64
+	}
 }
 
 // New starts a hub with cfg's worker pool running.
@@ -379,6 +387,22 @@ type Stats struct {
 	// Query sums the online-query work tallies (queries answered,
 	// bound-pruning counters) over ready datasets.
 	Query QueryCounters `json:"query"`
+	// Events counts hub-lifetime lifecycle work; monotonic (they never
+	// decrease on Drop), so safe to expose as Prometheus counters.
+	Events EventStats `json:"events"`
+}
+
+// EventStats counts lifecycle events since the hub started.
+type EventStats struct {
+	// Builds counts successful offline constructions and snapshot loads;
+	// BuildFailures counts registrations that reached StateFailed.
+	Builds        uint64 `json:"builds"`
+	BuildFailures uint64 `json:"buildFailures"`
+	// Extends and Appends count successful incremental-maintenance swaps.
+	Extends uint64 `json:"extends"`
+	Appends uint64 `json:"appends"`
+	// Rebuilds counts drift-triggered full rebuilds absorbed by swaps.
+	Rebuilds uint64 `json:"rebuilds"`
 }
 
 // QueryCounters is a dataset's lifetime online-query work tally, shaped for
@@ -444,6 +468,13 @@ func (h *Hub) Stats() Stats {
 		}
 	}
 	st.Cache = h.cache.stats()
+	st.Events = EventStats{
+		Builds:        h.events.builds.Load(),
+		BuildFailures: h.events.buildFailures.Load(),
+		Extends:       h.events.extends.Load(),
+		Appends:       h.events.appends.Load(),
+		Rebuilds:      h.events.rebuilds.Load(),
+	}
 	return st
 }
 
@@ -690,6 +721,7 @@ func (d *Dataset) build() {
 	d.readyAt = time.Now()
 	d.snapshotErr = snapErr
 	d.mu.Unlock()
+	d.hub.events.builds.Add(1)
 	d.once.Do(func() { close(d.ready) })
 }
 
@@ -794,11 +826,15 @@ func spreadLengths(max, count int) []int {
 // and releases waiters.
 func (d *Dataset) fail(err error) {
 	d.mu.Lock()
-	if d.state != StateReady && d.state != StateFailed {
+	failed := d.state != StateReady && d.state != StateFailed
+	if failed {
 		d.state = StateFailed
 		d.err = err
 	}
 	d.mu.Unlock()
+	if failed {
+		d.hub.events.buildFailures.Add(1)
+	}
 	d.once.Do(func() { close(d.ready) })
 }
 
@@ -809,7 +845,7 @@ func (d *Dataset) fail(err error) {
 // ErrConflict. When the hub persists snapshots the new base is re-saved so
 // a reload reflects the extension.
 func (d *Dataset) Extend(series []onex.Series) error {
-	return d.swap(func(base *onex.Base) (*onex.Base, error) {
+	return d.swap(&d.hub.events.extends, func(base *onex.Base) (*onex.Base, error) {
 		return base.Extend(series)
 	})
 }
@@ -820,7 +856,7 @@ func (d *Dataset) Extend(series []onex.Series) error {
 // dataset's cached results are invalidated, and the snapshot is re-saved so
 // a reload reflects the appended points.
 func (d *Dataset) Append(seriesID int, points []float64) error {
-	return d.swap(func(base *onex.Base) (*onex.Base, error) {
+	return d.swap(&d.hub.events.appends, func(base *onex.Base) (*onex.Base, error) {
 		return base.Append(seriesID, points...)
 	})
 }
@@ -829,13 +865,16 @@ func (d *Dataset) Append(seriesID int, points []float64) error {
 // from the current one (outside any lock), then the pointer swap is
 // validated against the generation observed before growing — a concurrent
 // modification returns ErrConflict rather than silently dropping either
-// update. After a successful swap the dataset's cache entries are purged
-// and the snapshot re-written.
-func (d *Dataset) swap(grow func(*onex.Base) (*onex.Base, error)) error {
+// update. After a successful swap the dataset's cache entries are purged,
+// event (the caller's hub-lifetime counter) ticks, any drift-triggered
+// rebuild the grow absorbed ticks the rebuild counter, and the snapshot is
+// re-written.
+func (d *Dataset) swap(event *atomic.Uint64, grow func(*onex.Base) (*onex.Base, error)) error {
 	base, gen, err := d.Base()
 	if err != nil {
 		return err
 	}
+	preRebuilds := base.Stats().Rebuilds
 	next, err := grow(base)
 	if err != nil {
 		return err
@@ -849,6 +888,10 @@ func (d *Dataset) swap(grow func(*onex.Base) (*onex.Base, error)) error {
 	d.base = next
 	d.gen++
 	d.mu.Unlock()
+	event.Add(1)
+	if delta := next.Stats().Rebuilds - preRebuilds; delta > 0 {
+		d.hub.events.rebuilds.Add(uint64(delta))
+	}
 	d.hub.cache.purgePrefix(d.name + "|")
 	d.resnapshot()
 	return nil
@@ -890,11 +933,28 @@ func (d *Dataset) resnapshot() {
 // cached runs compute through the hub's result cache. Results are shared —
 // callers must treat them as immutable.
 func (d *Dataset) cached(key string, compute func() (any, error)) (any, error) {
+	return d.cachedT(key, nil, compute)
+}
+
+// cachedT is cached with tracing: a non-nil rec gets a "cache" span whose
+// hit attribute is 1 on a cache hit (in which case no engine spans follow —
+// a hit does zero cascade work) and 0 on the computing path.
+func (d *Dataset) cachedT(key string, rec *obs.Trace, compute func() (any, error)) (any, error) {
+	var sc obs.SpanScope
+	if rec != nil {
+		sc = rec.StartSpan("cache")
+	}
 	if v, ok := d.hub.cache.get(key); ok {
 		d.hits.Add(1)
+		if rec != nil {
+			sc.Attr("hit", 1).End()
+		}
 		return v, nil
 	}
 	d.misses.Add(1)
+	if rec != nil {
+		sc.Attr("hit", 0).End()
+	}
 	v, err := compute()
 	if err != nil {
 		return nil, err
@@ -912,6 +972,14 @@ func (d *Dataset) scope(base *onex.Base, gen uint64) keyScope {
 // Match answers a similarity query (k ≤ 1 = best match, else k-NN) through
 // the result cache. The returned slice is shared; do not mutate it.
 func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, error) {
+	return d.MatchObserved(q, mode, k, nil)
+}
+
+// MatchObserved is Match with optional tracing: a non-nil rec records the
+// cache lookup and — on a miss — the engine's scan/refine spans and work
+// counters. Answers are identical to Match, and cache hits still populate
+// the trace (with zero engine work).
+func (d *Dataset) MatchObserved(q []float64, mode onex.MatchMode, k int, rec *obs.Trace) ([]onex.Match, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -920,15 +988,15 @@ func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, 
 		k = 1
 	}
 	key := matchKey(d.scope(base, gen), int(mode), k, q)
-	v, err := d.cached(key, func() (any, error) {
+	v, err := d.cachedT(key, rec, func() (any, error) {
 		if k == 1 {
-			m, err := base.BestMatch(q, mode)
+			m, err := base.BestMatchObserved(q, mode, rec)
 			if err != nil {
 				return nil, err
 			}
 			return []onex.Match{m}, nil
 		}
-		return base.BestKMatches(q, mode, k)
+		return base.BestKMatchesObserved(q, mode, k, rec)
 	})
 	if err != nil {
 		return nil, err
@@ -1145,16 +1213,18 @@ func (d *Dataset) SeasonalBatch(qs []onex.SeasonalQuery) ([]onex.SeasonalBatchRe
 // instead of the ST upper bound (onex.Base.RangeSearchExact); the two modes
 // cache under distinct keys.
 func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]onex.RangeMatch, error) {
+	return d.RangeObserved(q, length, radius, exact, nil)
+}
+
+// RangeObserved is Range with optional tracing (see MatchObserved).
+func (d *Dataset) RangeObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]onex.RangeMatch, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
 	}
 	key := rangeKey(d.scope(base, gen), length, radius, exact, q)
-	v, err := d.cached(key, func() (any, error) {
-		if exact {
-			return base.RangeSearchExact(q, length, radius)
-		}
-		return base.RangeSearch(q, length, radius)
+	v, err := d.cachedT(key, rec, func() (any, error) {
+		return base.RangeSearchObserved(q, length, radius, exact, rec)
 	})
 	if err != nil {
 		return nil, err
@@ -1165,6 +1235,11 @@ func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]
 // Seasonal answers a seasonal-pattern query through the result cache;
 // seriesID < 0 means dataset-wide (SeasonalAll).
 func (d *Dataset) Seasonal(seriesID, length int) ([]onex.Pattern, error) {
+	return d.SeasonalObserved(seriesID, length, nil)
+}
+
+// SeasonalObserved is Seasonal with optional tracing (see MatchObserved).
+func (d *Dataset) SeasonalObserved(seriesID, length int, rec *obs.Trace) ([]onex.Pattern, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -1173,11 +1248,11 @@ func (d *Dataset) Seasonal(seriesID, length int) ([]onex.Pattern, error) {
 		seriesID = -1
 	}
 	key := seasonalKey(d.scope(base, gen), seriesID, length)
-	v, err := d.cached(key, func() (any, error) {
+	v, err := d.cachedT(key, rec, func() (any, error) {
 		if seriesID < 0 {
-			return base.SeasonalAll(length)
+			return base.SeasonalAllObserved(length, rec)
 		}
-		return base.Seasonal(seriesID, length)
+		return base.SeasonalObserved(seriesID, length, rec)
 	})
 	if err != nil {
 		return nil, err

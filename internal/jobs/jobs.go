@@ -107,6 +107,10 @@ func (c *Context) Progress(done, total int) {
 }
 
 // Canceled reports whether the job's Cancel channel has closed.
+// JobID returns the running job's table id (observability labels: the API
+// layer tags slow-query entries from async jobs with it).
+func (c *Context) JobID() string { return c.job.id }
+
 func (c *Context) Canceled() bool {
 	select {
 	case <-c.Cancel:

@@ -61,6 +61,23 @@ func (h *Histogram) Observe(d time.Duration) {
 // bucketUpper returns bucket i's upper bound.
 func bucketUpper(i int) time.Duration { return bucketBase << uint(i) }
 
+// Merge adds o's observations into h — used to aggregate per-route
+// histograms into a whole-server series. Loads and adds are per-bucket
+// atomic, so concurrent Observes are never lost, though a merge racing
+// writers may see a slightly torn cross-bucket view (fine for exposition).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sumNano.Add(o.sumNano.Load())
+}
+
 // Quantile estimates the q-th quantile (0 < q ≤ 1) as the geometric
 // midpoint of the bucket holding the q-th observation. It returns 0 when
 // the histogram is empty.
@@ -150,6 +167,23 @@ func (r *Registry) Get(name string) *Histogram {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.m[name]
+}
+
+// Each calls f for every histogram in sorted name order. The *Histogram
+// handles stay live (atomics), so f may read without further locking.
+func (r *Registry) Each(f func(name string, h *Histogram)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if h := r.Get(name); h != nil {
+			f(name, h)
+		}
+	}
 }
 
 // Snapshot summarizes every histogram, keyed by name.

@@ -22,6 +22,18 @@ func TestBucketOf(t *testing.T) {
 		{time.Millisecond, 10},             // 1024µs ≤ 2^10 µs
 		{time.Second, 20},                  // 1e6 µs ≤ 2^20 µs
 		{10 * time.Minute, numBuckets - 1}, // saturates
+		// Exact power-of-two boundaries: the bound itself stays in its
+		// bucket, one nanosecond over spills into the next.
+		{bucketUpper(5), 5},
+		{bucketUpper(5) + 1, 6},
+		{bucketUpper(10), 10},
+		{bucketUpper(10) + 1, 11},
+		// Saturation boundary: the last finite bound and everything past
+		// it land in the final bucket.
+		{bucketUpper(numBuckets - 2), numBuckets - 2},
+		{bucketUpper(numBuckets-2) + 1, numBuckets - 1},
+		{bucketUpper(numBuckets - 1), numBuckets - 1},
+		{bucketUpper(numBuckets-1) + 1, numBuckets - 1},
 	}
 	for _, c := range cases {
 		if got := bucketOf(c.d); got != c.want {
@@ -72,6 +84,75 @@ func TestEmptyHistogram(t *testing.T) {
 	}
 	if s := h.Snapshot(); s.Count != 0 || s.P99Millis != 0 {
 		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestSingleObservationQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond) // bucket 7: (64µs, 128µs]
+	lo, hi := 64*time.Microsecond, 128*time.Microsecond
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want in (%v, %v]", q, got, lo, hi)
+		}
+	}
+	// With one observation every quantile is the same bucket midpoint.
+	if h.Quantile(0.01) != h.Quantile(1) {
+		t.Errorf("single-observation quantiles differ: %v vs %v", h.Quantile(0.01), h.Quantile(1))
+	}
+	if s := h.Snapshot(); s.Count != 1 || s.MeanMillis != 0.1 {
+		t.Errorf("snapshot = %+v, want count 1 mean 0.1ms", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 30; i++ {
+		b.Observe(10 * time.Millisecond)
+	}
+	b.Observe(2 * time.Second)
+
+	a.Merge(&b)
+	if got := a.count.Load(); got != 41 {
+		t.Fatalf("merged count = %d, want 41", got)
+	}
+	wantSum := int64(10*100*time.Microsecond + 30*10*time.Millisecond + 2*time.Second)
+	if got := a.sumNano.Load(); got != wantSum {
+		t.Fatalf("merged sum = %d, want %d", got, wantSum)
+	}
+	// Bucket mass must be additive: b's observations dominate, so the
+	// merged p50 sits in the 10ms bucket's neighbourhood.
+	if p50 := a.Quantile(0.5); p50 < 5*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Fatalf("merged p50 = %v, want ≈ 10ms", p50)
+	}
+	// b is untouched and a nil merge is a no-op.
+	if b.count.Load() != 31 {
+		t.Fatalf("merge mutated source: count = %d", b.count.Load())
+	}
+	a.Merge(nil)
+	if a.count.Load() != 41 {
+		t.Fatal("Merge(nil) changed the histogram")
+	}
+}
+
+func TestRegistryEachSorted(t *testing.T) {
+	var r Registry
+	r.Observe("b", time.Millisecond)
+	r.Observe("a", time.Millisecond)
+	r.Observe("c", time.Millisecond)
+	var names []string
+	r.Each(func(name string, h *Histogram) {
+		if h == nil {
+			t.Fatalf("nil histogram for %q", name)
+		}
+		names = append(names, name)
+	})
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Each order = %v, want [a b c]", names)
 	}
 }
 

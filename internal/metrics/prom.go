@@ -1,0 +1,116 @@
+package metrics
+
+// Hand-rolled Prometheus text exposition (format 0.0.4) — no client
+// library dependency. GET /metrics renders the per-route latency
+// histograms as native Prometheus histograms whose `le` bounds are this
+// package's log-bucket upper bounds in seconds, plus whatever counters and
+// gauges the server layers on top.
+//
+// Invariants the writer guarantees (and the obs smoke test asserts):
+// cumulative _bucket series are monotone in le, the +Inf bucket equals
+// _count, and every sample is written from one bucket snapshot so a race
+// with concurrent Observes can never produce a decreasing series.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one Prometheus label pair.
+type Label struct{ Name, Value string }
+
+// PromWriter renders metric families in the text exposition format. Errors
+// are sticky: check Err once after writing everything.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w for exposition writing.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP / # TYPE preamble of a metric family. Call once
+// per family, before its samples. typ is "counter", "gauge" or
+// "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one counter/gauge sample line.
+func (p *PromWriter) Sample(name string, labels []Label, value float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(value))
+}
+
+// Hist emits one histogram series (cumulative _bucket/_sum/_count) from a
+// log-bucketed latency histogram. Bucket counts are loaded once into a
+// local snapshot; _count and the +Inf bucket are the snapshot's total, so
+// the series is internally consistent even under concurrent writers.
+func (p *PromWriter) Hist(name string, labels []Label, h *Histogram) {
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := 0; i < numBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += counts[i]
+		le := strconv.FormatFloat(bucketUpper(i).Seconds(), 'g', -1, 64)
+		p.printf("%s_bucket%s %d\n", name, formatLabels(withLe(labels, le)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, formatLabels(withLe(labels, "+Inf")), total)
+	p.printf("%s_sum%s %s\n", name, formatLabels(labels),
+		formatFloat(time.Duration(h.sumNano.Load()).Seconds()))
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), total)
+}
+
+func withLe(labels []Label, le string) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Name: "le", Value: le})
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromHistExposition(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(10 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("onex_http_request_duration_seconds", "Latency by route.", "histogram")
+	p.Hist("onex_http_request_duration_seconds", []Label{{Name: "route", Value: "/v1/x"}}, &h)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if !strings.Contains(out, "# TYPE onex_http_request_duration_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+
+	// Parse the bucket series: cumulative counts must be monotone, le
+	// bounds ascending, +Inf bucket equal to _count.
+	var lastCum uint64
+	var lastLe float64
+	var infCum, count uint64
+	buckets := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "onex_http_request_duration_seconds_bucket{"):
+			fields := strings.Fields(line)
+			cum, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket value in %q: %v", line, err)
+			}
+			if cum < lastCum {
+				t.Fatalf("bucket series not monotone at %q (prev %d)", line, lastCum)
+			}
+			lastCum = cum
+			leStr := line[strings.Index(line, `le="`)+4:]
+			leStr = leStr[:strings.Index(leStr, `"`)]
+			if leStr == "+Inf" {
+				infCum = cum
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					t.Fatalf("bad le in %q: %v", line, err)
+				}
+				if le <= lastLe {
+					t.Fatalf("le bounds not ascending at %q", line)
+				}
+				lastLe = le
+			}
+			if !strings.Contains(line, `route="/v1/x"`) {
+				t.Fatalf("bucket line lost the route label: %q", line)
+			}
+			buckets++
+		case strings.HasPrefix(line, "onex_http_request_duration_seconds_count{"):
+			n, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	if buckets != numBuckets+1 {
+		t.Fatalf("emitted %d bucket lines, want %d", buckets, numBuckets+1)
+	}
+	if count != 4 || infCum != count {
+		t.Fatalf("+Inf bucket %d vs _count %d, want both 4", infCum, count)
+	}
+	// _sum is the exact running sum in seconds.
+	if !strings.Contains(out, `onex_http_request_duration_seconds_sum{route="/v1/x"} 2.0102`) {
+		t.Fatalf("missing/incorrect _sum line:\n%s", out)
+	}
+}
+
+func TestPromSampleAndEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("onex_cache_hits_total", `Hits with "quotes" and \slashes`, "counter")
+	p.Sample("onex_cache_hits_total", []Label{{Name: "dataset", Value: `we"ird\name` + "\n"}}, 42)
+	p.Sample("onex_up", nil, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP onex_cache_hits_total Hits with "quotes" and \\slashes`) {
+		t.Fatalf("HELP escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `onex_cache_hits_total{dataset="we\"ird\\name\n"} 42`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "onex_up 1\n") {
+		t.Fatalf("unlabeled sample wrong:\n%s", out)
+	}
+}

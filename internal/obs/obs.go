@@ -1,0 +1,157 @@
+// Package obs provides the request-scoped observability primitives shared
+// by the HTTP layer and the query engine: a nil-safe span-recording Trace
+// threaded hub → scatter → processor, a bounded keep-the-slowest log
+// backing GET /v1/debug/slow, and request-ID plumbing.
+//
+// The package is a stdlib-only leaf: it is imported by internal/query,
+// internal/hub and internal/api and imports none of them. Every method on
+// *Trace and SpanScope is safe on a nil/zero receiver and does no work
+// there — engine hot paths thread rec==nil when tracing is off, so the
+// disabled path stays allocation-free (guarded by
+// BenchmarkBestMatchObservedNilAllocs in internal/query).
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one integer annotation on a span ("repsExamined": 412). Fixed
+// int64 values keep recording free of interface boxing.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Span is one recorded stage of a request (cache lookup, per-shard rep
+// scan, refinement, merge). Times are microsecond offsets from the trace
+// start so a trace serializes compactly and is immune to wall-clock
+// adjustments mid-request.
+type Span struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"startMicros"`
+	DurMicros   int64  `json:"durationMicros"`
+	Attrs       []Attr `json:"attrs,omitempty"`
+}
+
+// Trace accumulates spans and work counters for one request. A nil *Trace
+// is the disabled state: every method no-ops, so engine code threads the
+// pointer unconditionally instead of branching on a flag. All methods are
+// safe for concurrent use (parallel scan workers may annotate spans).
+type Trace struct {
+	mu    sync.Mutex
+	id    string
+	start time.Time
+	spans []Span
+	work  map[string]int64
+}
+
+// NewTrace starts a trace identified by the given request ID.
+func NewTrace(requestID string) *Trace {
+	return &Trace{id: requestID, start: time.Now()}
+}
+
+// RequestID returns the ID the trace was created with ("" on nil).
+func (t *Trace) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named span and returns its scope. The scope is a value
+// type (no allocation on the disabled path) and is inert when t is nil.
+func (t *Trace) StartSpan(name string) SpanScope {
+	if t == nil {
+		return SpanScope{}
+	}
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, StartMicros: time.Since(t.start).Microseconds()})
+	t.mu.Unlock()
+	return SpanScope{t: t, idx: idx}
+}
+
+// Add accumulates a trace-level work counter — the roll-up the API returns
+// as the trace's "work" section. The engine folds exactly the same
+// per-query Trace it folds into its lifetime counters, so these totals sum
+// consistently with /v1/stats deltas.
+func (t *Trace) Add(key string, v int64) {
+	if t == nil || v == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.work == nil {
+		t.work = make(map[string]int64, 8)
+	}
+	t.work[key] += v
+	t.mu.Unlock()
+}
+
+// SpanScope annotates and ends one open span. The zero value is inert.
+type SpanScope struct {
+	t   *Trace
+	idx int
+}
+
+// Attr appends an integer attribute to the span and returns the scope for
+// chaining. Fixed arity (no variadic) keeps the disabled path free of
+// slice allocation.
+func (s SpanScope) Attr(key string, v int64) SpanScope {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.idx]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: v})
+	s.t.mu.Unlock()
+	return s
+}
+
+// End stamps the span's duration.
+func (s SpanScope) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.idx]
+	sp.DurMicros = time.Since(s.t.start).Microseconds() - sp.StartMicros
+	s.t.mu.Unlock()
+}
+
+// View is the serializable form of a trace: what "explain": true returns
+// and what /v1/debug/slow retains.
+type View struct {
+	RequestID      string           `json:"requestId,omitempty"`
+	DurationMicros int64            `json:"durationMicros"`
+	Spans          []Span           `json:"spans"`
+	Work           map[string]int64 `json:"work,omitempty"`
+}
+
+// Snapshot freezes the trace into its view. Attribute slices and the work
+// map are deep-copied so a retained view (slow log) never aliases a trace
+// that might still be written. Nil yields the zero view.
+func (t *Trace) Snapshot() View {
+	if t == nil {
+		return View{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := View{
+		RequestID:      t.id,
+		DurationMicros: time.Since(t.start).Microseconds(),
+		Spans:          append([]Span(nil), t.spans...),
+	}
+	for i := range v.Spans {
+		if len(v.Spans[i].Attrs) > 0 {
+			v.Spans[i].Attrs = append([]Attr(nil), v.Spans[i].Attrs...)
+		}
+	}
+	if len(t.work) > 0 {
+		v.Work = make(map[string]int64, len(t.work))
+		for k, val := range t.work {
+			v.Work[k] = val
+		}
+	}
+	return v
+}

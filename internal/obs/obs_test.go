@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sc := tr.StartSpan("scan")
+	sc = sc.Attr("reps", 7)
+	sc.End()
+	tr.Add("dtw", 3)
+	if got := tr.RequestID(); got != "" {
+		t.Fatalf("nil RequestID = %q", got)
+	}
+	v := tr.Snapshot()
+	if v.RequestID != "" || len(v.Spans) != 0 || v.Work != nil {
+		t.Fatalf("nil Snapshot = %+v", v)
+	}
+}
+
+func TestNilTraceAllocFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sc := tr.StartSpan("scan")
+		sc = sc.Attr("reps", 7)
+		sc.End()
+		tr.Add("dtw", 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil trace path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTraceSpansAndWork(t *testing.T) {
+	tr := NewTrace("req-1")
+	s1 := tr.StartSpan("cache").Attr("hit", 0)
+	s1.End()
+	s2 := tr.StartSpan("scan").Attr("reps", 12).Attr("dtw", 4)
+	s2.End()
+	tr.Add("repsExamined", 12)
+	tr.Add("repsExamined", 3)
+	tr.Add("dtwComputed", 4)
+	tr.Add("zero", 0) // zero deltas must not create keys
+
+	v := tr.Snapshot()
+	if v.RequestID != "req-1" {
+		t.Fatalf("RequestID = %q", v.RequestID)
+	}
+	if len(v.Spans) != 2 || v.Spans[0].Name != "cache" || v.Spans[1].Name != "scan" {
+		t.Fatalf("spans = %+v", v.Spans)
+	}
+	if len(v.Spans[1].Attrs) != 2 || v.Spans[1].Attrs[0] != (Attr{"reps", 12}) {
+		t.Fatalf("scan attrs = %+v", v.Spans[1].Attrs)
+	}
+	if v.Work["repsExamined"] != 15 || v.Work["dtwComputed"] != 4 {
+		t.Fatalf("work = %+v", v.Work)
+	}
+	if _, ok := v.Work["zero"]; ok {
+		t.Fatalf("zero-valued Add created a work key: %+v", v.Work)
+	}
+	if v.Spans[0].StartMicros < 0 || v.Spans[1].StartMicros < v.Spans[0].StartMicros {
+		t.Fatalf("span offsets not monotone: %+v", v.Spans)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("view not serializable: %v", err)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	tr := NewTrace("r")
+	sc := tr.StartSpan("scan").Attr("a", 1)
+	v := tr.Snapshot()
+	sc.Attr("b", 2).End()
+	tr.Add("late", 1)
+	if len(v.Spans[0].Attrs) != 1 {
+		t.Fatalf("snapshot aliased live attrs: %+v", v.Spans[0].Attrs)
+	}
+	if v.Work != nil {
+		t.Fatalf("snapshot aliased live work map: %+v", v.Work)
+	}
+}
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, d := range []int64{10, 50, 20, 5, 80, 30} {
+		l.Record(SlowEntry{DurationMicros: d, Time: time.Now()})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	want := []int64{80, 50, 30}
+	for i, e := range got {
+		if e.DurationMicros != want[i] {
+			t.Fatalf("entry %d = %d, want %d (all: %+v)", i, e.DurationMicros, want[i], got)
+		}
+	}
+}
+
+func TestSlowLogNilAndTinyCap(t *testing.T) {
+	var l *SlowLog
+	l.Record(SlowEntry{DurationMicros: 1})
+	if got := l.Snapshot(); got != nil {
+		t.Fatalf("nil SlowLog snapshot = %+v", got)
+	}
+	l2 := NewSlowLog(0) // clamps to 1
+	l2.Record(SlowEntry{DurationMicros: 1})
+	l2.Record(SlowEntry{DurationMicros: 9})
+	l2.Record(SlowEntry{DurationMicros: 4})
+	got := l2.Snapshot()
+	if len(got) != 1 || got[0].DurationMicros != 9 {
+		t.Fatalf("cap-1 snapshot = %+v", got)
+	}
+}
+
+func TestRequestIDHelpers(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("NewRequestID: %q vs %q", a, b)
+	}
+	cases := map[string]string{
+		"abc-123":                 "abc-123",
+		"":                        "",
+		"has space":               "",
+		"ctrl\x01char":            "",
+		"unicode-é":               "",
+		"ok_ID.v2/trace":          "ok_ID.v2/trace",
+		string(make([]byte, 200)): "",
+	}
+	for in, want := range cases {
+		if got := SanitizeRequestID(in); got != want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

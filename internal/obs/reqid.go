@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A rand failure is not worth failing the request over; a fixed
+		// fallback still lets the response carry *an* ID.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID validates an inbound X-Request-Id so untrusted input
+// cannot inject header/log noise: printable ASCII without spaces, at most
+// 128 bytes. Returns "" when unusable (caller then generates a fresh ID).
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' {
+			return ""
+		}
+	}
+	return id
+}

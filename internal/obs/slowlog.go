@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow query: where it ran, how long it took,
+// and the full trace explaining why.
+type SlowEntry struct {
+	RequestID      string    `json:"requestId"`
+	Route          string    `json:"route"`
+	Dataset        string    `json:"dataset,omitempty"`
+	Family         string    `json:"family"`
+	JobID          string    `json:"jobId,omitempty"`
+	Time           time.Time `json:"time"`
+	DurationMicros int64     `json:"durationMicros"`
+	Trace          View      `json:"trace"`
+}
+
+// SlowLog retains the N slowest queries seen so far under a mutex: Record
+// replaces the current minimum once full, Snapshot returns entries sorted
+// slowest first. Memory is bounded by the capacity; recording is O(N) with
+// small fixed N, negligible next to any query worth retaining.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry
+}
+
+// NewSlowLog returns a log retaining the `capacity` slowest queries.
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Record offers one finished query to the log. It is kept if the log has
+// room or if it is slower than the current fastest retained entry.
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	minI := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].DurationMicros < l.entries[minI].DurationMicros {
+			minI = i
+		}
+	}
+	if e.DurationMicros > l.entries[minI].DurationMicros {
+		l.entries[minI] = e
+	}
+}
+
+// Snapshot returns the retained entries sorted slowest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]SlowEntry(nil), l.entries...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationMicros > out[j].DurationMicros })
+	return out
+}

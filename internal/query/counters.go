@@ -9,11 +9,12 @@ import "sync/atomic"
 // dataset engine. All methods are safe for concurrent use.
 //
 // Queries counts every answered call of every family. The bound-pruning
-// counters (RepsExamined .. MembersTested) are folded from the Q1
-// BestMatch trace — the path where the LB_Kim/LB_Keogh cascade does its
-// work; k-NN, range and seasonal calls tick Queries only. Like Trace, the
-// pruning split between Kim and Keogh depends on bound-tightening timing
-// in parallel scans; the totals are what to alert on.
+// counters (RepsExamined .. MembersTested) fold in the per-query traces of
+// every cascade-running family — Q1 BestMatch, k-NN and range search alike;
+// seasonal queries read the grouping without running the cascade and tick
+// Queries only. Like Trace, the pruning split between Kim and Keogh depends
+// on bound-tightening timing in tightening-bound parallel scans; the totals
+// are what to alert on.
 type Counters struct {
 	queries       atomic.Uint64
 	repsExamined  atomic.Uint64

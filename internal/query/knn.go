@@ -7,6 +7,7 @@ import (
 
 	"onex/internal/dist"
 	"onex/internal/grouping"
+	"onex/internal/obs"
 	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
@@ -23,7 +24,17 @@ import (
 // group, the processor continues through remaining representatives whose
 // lower bounds beat the current k-th distance.
 func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
-	p.counters.tick()
+	return p.BestKMatchesObserved(q, mode, k, nil)
+}
+
+// BestKMatchesObserved is BestKMatches with work accounting: the cascade's
+// trace folds into the lifetime Counters (so /v1/stats counts k-NN work,
+// not just Q1's) and, with a non-nil rec, per-length scan/refine spans and
+// the query's work totals are recorded. Tracing only observes — results
+// are bit-identical with rec nil or not.
+func (p *Processor) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+	var tr Trace
+	defer func() { p.counters.tick(); p.counters.fold(tr); observe(rec, tr) }()
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
 	}
@@ -52,7 +63,10 @@ func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, e
 	}
 
 	for _, l := range lengths {
-		p.searchLengthK(q, order, p.base.Entry(l), ws, heap)
+		if mode == MatchAny {
+			tr.LengthsVisited++
+		}
+		p.searchLengthK(q, order, p.base.Entry(l), ws, heap, &tr, rec)
 	}
 	out := heap.sorted()
 	if len(out) == 0 {
@@ -76,7 +90,7 @@ func (p *Processor) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, e
 // member order against the exact distances, reaching the same heap state as
 // the sequential scan (see mineGroup for the argument).
 func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, heap *topK) {
+	ws *dist.Workspace, heap *topK, tr *Trace, rec *obs.Trace) {
 
 	if e == nil || len(e.Groups) == 0 {
 		return
@@ -85,6 +99,12 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 	sameLen := e.Length == len(q)
 	radiusRaw := p.base.ST / 2 * math.Sqrt(float64(e.Length)) // group radius in raw-ED units
 
+	var sc obs.SpanScope
+	var pre Trace
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("scan")
+	}
 	type repDist struct {
 		k int
 		d float64
@@ -92,14 +112,14 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 	// No heap pushes happen during the rep scan, so the cutoff is fixed for
 	// the whole length and the scan parallelizes without changing answers.
 	scanCutoff := heap.kth()*divisor + radiusRaw
-	scanOne := func(ws *dist.Workspace, k int) (float64, bool) {
-		return p.scanRepFixed(ws, q, order, e.Groups[k].Rep, e.Envelopes[k], sameLen, scanCutoff)
+	scanOne := func(ws *dist.Workspace, k int, ltr *Trace) (float64, bool) {
+		return p.scanRepFixed(ws, q, order, e.Groups[k].Rep, e.Envelopes[k], sameLen, scanCutoff, ltr)
 	}
 	var reps []repDist
 	if p.workers <= 1 || len(e.MedianOrder) < scanParallelMin {
 		reps = make([]repDist, 0, len(e.Groups))
 		for _, k := range e.MedianOrder {
-			if d, ok := scanOne(ws, k); ok {
+			if d, ok := scanOne(ws, k, tr); ok {
 				reps = append(reps, repDist{k: k, d: d})
 			}
 		}
@@ -110,20 +130,24 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 		if workers > len(e.MedianOrder) {
 			workers = len(e.MedianOrder)
 		}
+		traces := make([]Trace, workers)
 		// Stride positions across workers, one pooled workspace per worker
 		// for the whole scan (the cutoff is fixed, so assignment order is
-		// irrelevant to the answer).
+		// irrelevant to the answer — and to the counters).
 		parallel.ForEach(workers, workers, func(w int) {
 			lws := p.pool.Get()
 			defer p.pool.Put(lws)
 			for i := w; i < len(e.MedianOrder); i += workers {
 				k := e.MedianOrder[i]
-				if d, ok := scanOne(lws, k); ok {
+				if d, ok := scanOne(lws, k, &traces[w]); ok {
 					found[i] = repDist{k: k, d: d}
 					kept[i] = true
 				}
 			}
 		})
+		for _, t := range traces {
+			tr.add(t)
+		}
 		reps = make([]repDist, 0, len(e.MedianOrder))
 		for i, ok := range kept {
 			if ok {
@@ -131,39 +155,58 @@ func (p *Processor) searchLengthK(q []float64, order []int, e *rspace.LengthEntr
 			}
 		}
 	}
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)), pre, *tr).End()
+	}
 	// Stable tie order: by distance, then by median-order position (the
 	// order the sequential scan appended in).
 	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
 
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("refine")
+	}
+	groups := 0
 	var bufs knnBufs // round buffers, allocated on first parallel group
 	for _, rd := range reps {
 		// Re-check against the (possibly tightened) k-th distance.
 		if rd.d > heap.kth()*divisor+radiusRaw {
 			break
 		}
-		p.verifyGroupK(q, e.Groups[rd.k], rd.k, e.Length, divisor, heap, ws, &bufs)
+		groups++
+		p.verifyGroupK(q, e.Groups[rd.k], rd.k, e.Length, divisor, heap, ws, &bufs, tr)
+	}
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("groups", int64(groups)), pre, *tr).End()
 	}
 }
 
 // scanRepFixed is the fixed-cutoff representative cascade of the k-NN rep
 // scan: LB_Kim → (same-length) LB_Keogh → early-abandoning DTW, pruning
 // non-strictly (≥) against a cutoff that cannot tighten during the scan.
-// It returns the representative's raw DTW and whether it survived. Shared
-// by the monolithic per-length search and the scatter-gather executor so
-// the k-NN candidate set is structurally identical across layouts.
+// It returns the representative's raw DTW and whether it survived, ticking
+// tr for the examined rep and for whichever cascade stage resolved it —
+// the fixed cutoff makes these counts identical at every worker count.
+// Shared by the monolithic per-length search and the scatter-gather
+// executor so the k-NN candidate set is structurally identical across
+// layouts.
 func (p *Processor) scanRepFixed(ws *dist.Workspace, q []float64, order []int,
-	rep []float64, env rspace.Envelope, sameLen bool, cutoff float64) (float64, bool) {
+	rep []float64, env rspace.Envelope, sameLen bool, cutoff float64, tr *Trace) (float64, bool) {
 
+	tr.RepsExamined++
 	if !p.opts.DisableLowerBounds {
 		if dist.LBKim(q, rep) >= cutoff {
+			tr.PrunedByKim++
 			return 0, false
 		}
 		if sameLen {
 			if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb >= cutoff {
+				tr.PrunedByKeogh++
 				return 0, false
 			}
 		}
 	}
+	tr.DTWComputed++
 	d := ws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
 	return d, !math.IsInf(d, 1)
 }
@@ -182,9 +225,11 @@ type knnBufs struct {
 // per-length search and the scatter-gather executor (Scatter) — both
 // must reach bit-identical heap states, so the decision logic lives here
 // once. gid is the group id recorded on pushed matches (the caller's local
-// or global numbering).
+// or global numbering). Work ticks into tr; like mineGroup, the split
+// between Kim prunes and DTWs depends on round timing in the parallel path
+// while MembersTested is worker-invariant.
 func (p *Processor) verifyGroupK(q []float64, g *grouping.Group, gid, length int,
-	divisor float64, heap *topK, ws *dist.Workspace, bufs *knnBufs) {
+	divisor float64, heap *topK, ws *dist.Workspace, bufs *knnBufs, tr *Trace) {
 
 	push := func(m grouping.Member, d float64) {
 		heap.push(Match{
@@ -200,9 +245,12 @@ func (p *Processor) verifyGroupK(q []float64, g *grouping.Group, gid, length int
 		for _, m := range g.Members {
 			v := p.base.MemberValues(g, m)
 			cutoff := heap.kth() * divisor
+			tr.MembersTested++
 			if !p.opts.DisableLowerBounds && dist.LBKim(q, v) >= cutoff {
+				tr.PrunedByKim++
 				continue
 			}
+			tr.DTWComputed++
 			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, cutoff)
 			if math.IsInf(d, 1) {
 				continue
@@ -222,7 +270,7 @@ func (p *Processor) verifyGroupK(q []float64, g *grouping.Group, gid, length int
 		}
 		batch := g.Members[off:end]
 		roundCutoff := heap.kth() * divisor
-		p.evalRound(q, len(batch), roundCutoff, func(i int) []float64 {
+		tr.DTWComputed += p.evalRound(q, len(batch), roundCutoff, func(i int) []float64 {
 			return p.base.MemberValues(g, batch[i])
 		}, bufs.lbs, bufs.ds)
 		// Replay pushes in member order: a distance abandoned at the
@@ -230,7 +278,9 @@ func (p *Processor) verifyGroupK(q []float64, g *grouping.Group, gid, length int
 		// never enter the heap.
 		for i, m := range batch {
 			cutoff := heap.kth() * divisor
+			tr.MembersTested++
 			if !p.opts.DisableLowerBounds && bufs.lbs[i] >= cutoff {
+				tr.PrunedByKim++
 				continue
 			}
 			if d := bufs.ds[i]; !math.IsInf(d, 1) && d < roundCutoff {

@@ -41,6 +41,7 @@ import (
 
 	"onex/internal/dist"
 	"onex/internal/grouping"
+	"onex/internal/obs"
 	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
@@ -194,8 +195,17 @@ func (p *Processor) BestMatch(q []float64, mode MatchMode) (Match, error) {
 
 // BestMatchTraced is BestMatch plus the work counters.
 func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, error) {
+	return p.BestMatchObserved(q, mode, nil)
+}
+
+// BestMatchObserved is BestMatchTraced with optional span recording: a
+// non-nil rec receives per-length scan/refine spans plus the query's work
+// totals. rec == nil is the hot path and adds zero allocations
+// (BenchmarkBestMatchObservedNilAllocs enforces this); tracing only
+// observes, so results are bit-identical either way.
+func (p *Processor) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace) (Match, Trace, error) {
 	var tr Trace
-	defer func() { p.counters.tick(); p.counters.fold(tr) }()
+	defer func() { p.counters.tick(); p.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {
 		return Match{}, tr, err
 	}
@@ -210,7 +220,7 @@ func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, 
 			return Match{}, tr, fmt.Errorf("query: length %d not indexed", len(q))
 		}
 		best := Match{Dist: math.Inf(1)}
-		p.searchLength(q, order, e, ws, &best, &tr)
+		p.searchLength(q, order, e, ws, &best, &tr, rec)
 		if !best.Found() {
 			return Match{}, tr, errors.New("query: no candidate found (empty length entry)")
 		}
@@ -224,7 +234,7 @@ func (p *Processor) BestMatchTraced(q []float64, mode MatchMode) (Match, Trace, 
 		for _, l := range lengths {
 			tr.LengthsVisited++
 			e := p.base.Entry(l)
-			repNorm := p.searchLength(q, order, e, ws, &best, &tr)
+			repNorm := p.searchLength(q, order, e, ws, &best, &tr, rec)
 			// Sec. 5.3 stop rule: a representative within ST/2 guarantees
 			// (Lemma 2) its group's members are within ST of the query.
 			if !p.opts.DisableEarlyStop && repNorm <= p.base.ST/2 {
@@ -277,18 +287,36 @@ const (
 // compareRep step of Algorithm 2.A), then mines its group (getKSim),
 // updating best in place. It returns the normalized DTW of the chosen
 // representative (+Inf if the entry is empty) for the early-stop rule.
+// With a non-nil rec, the two stages are recorded as "scan" and "refine"
+// spans whose attrs are Trace deltas.
 func (p *Processor) searchLength(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, best *Match, tr *Trace) float64 {
+	ws *dist.Workspace, best *Match, tr *Trace, rec *obs.Trace) float64 {
 
 	if e == nil || len(e.Groups) == 0 {
 		return math.Inf(1)
 	}
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	var sc obs.SpanScope
+	var pre Trace
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("scan")
+	}
 	bestRep, bestRepRaw := p.scanReps(q, order, e, ws, tr)
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)), pre, *tr).End()
+	}
 	if bestRep < 0 {
 		return math.Inf(1)
 	}
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("refine")
+	}
 	p.mineGroup(q, e, bestRep, bestRepRaw/divisor, ws, best, tr)
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("group", int64(bestRep)), pre, *tr).End()
+	}
 	return bestRepRaw / divisor
 }
 
@@ -396,10 +424,7 @@ func (p *Processor) scanReps(q []float64, order []int, e *rspace.LengthEntry,
 		}
 	}
 	for _, t := range traces {
-		tr.RepsExamined += t.RepsExamined
-		tr.PrunedByKim += t.PrunedByKim
-		tr.PrunedByKeogh += t.PrunedByKeogh
-		tr.DTWComputed += t.DTWComputed
+		tr.add(t)
 	}
 	if win.pos < 0 {
 		return -1, math.Inf(1)

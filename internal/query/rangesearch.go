@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"onex/internal/dist"
+	"onex/internal/obs"
 	"onex/internal/parallel"
 )
 
@@ -43,8 +44,7 @@ type RangeResult struct {
 // carry the ST upper bound in Dist (see RangeResult.Guaranteed). Results are
 // unordered.
 func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
-	p.counters.tick()
-	return p.rangeSearch(q, length, radius, false)
+	return p.RangeSearchObserved(q, length, radius, false, nil)
 }
 
 // RangeSearchExact is RangeSearch with exact reported distances: members
@@ -55,11 +55,28 @@ func (p *Processor) RangeSearch(q []float64, length int, radius float64) ([]Rang
 // normalized DTW is within radius — independent of how the base happens to
 // be grouped — at the cost of one DTW per guaranteed member.
 func (p *Processor) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
-	p.counters.tick()
-	return p.rangeSearch(q, length, radius, true)
+	return p.RangeSearchObserved(q, length, radius, true, nil)
 }
 
-func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact bool) ([]RangeResult, error) {
+// RangeSearchObserved is the range search with work accounting: the
+// cascade's trace folds into the lifetime Counters and, with a non-nil
+// rec, a "range-scan" span and the query's work totals are recorded.
+// Range work is per-group against a fixed radius, so the counters are
+// identical at every Parallelism setting.
+func (p *Processor) RangeSearchObserved(q []float64, length int, radius float64,
+	exact bool, rec *obs.Trace) ([]RangeResult, error) {
+
+	var tr Trace
+	defer func() { p.counters.tick(); p.counters.fold(tr); observe(rec, tr) }()
+	return p.rangeSearch(q, length, radius, exact, &tr, rec)
+}
+
+// rangeSearch answers one range query, accumulating work into the
+// caller-owned tr (the scatter executor passes one tr across every shard
+// so the whole query folds into the global tally exactly once).
+func (p *Processor) rangeSearch(q []float64, length int, radius float64,
+	exact bool, tr *Trace, rec *obs.Trace) ([]RangeResult, error) {
+
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -75,11 +92,18 @@ func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact b
 	sqrtL := math.Sqrt(float64(length))
 	wholesale := radius >= p.base.ST
 
+	var sc obs.SpanScope
+	var pre Trace
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("range-scan")
+	}
 	// Each group's admission/verification depends only on the query and the
 	// fixed radius — never on other groups — so the group loop shards across
 	// the worker pool verbatim; per-group result slices are concatenated in
-	// group order so the output is identical to the sequential scan.
-	searchGroup := func(ws *dist.Workspace, k int) []RangeResult {
+	// group order so the output is identical to the sequential scan (and so
+	// are the per-group work counters).
+	searchGroup := func(ws *dist.Workspace, k int, tr *Trace) []RangeResult {
 		g := e.Groups[k]
 		n := g.Count()
 		if n == 0 {
@@ -89,6 +113,8 @@ func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact b
 		// Widest member deviation in raw-ED units (LSI is sorted ascending).
 		maxRawED := g.Members[n-1].EDToRep * sqrtL
 		pruneCutoff := radius*divisor + sqrtM*maxRawED
+		tr.RepsExamined++
+		tr.DTWComputed++
 		repRaw := ws.DTWEarlyAbandon(q, g.Rep, dist.Unconstrained, pruneCutoff)
 		if math.IsInf(repRaw, 1) {
 			return nil // no member can reach the radius
@@ -111,6 +137,8 @@ func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact b
 				nd, d := p.base.ST, p.base.ST*divisor
 				if exact {
 					v := p.base.MemberValues(g, m)
+					tr.MembersTested++
+					tr.DTWComputed++
 					d = ws.DTWEarlyAbandon(q, v, dist.Unconstrained, radius*divisor)
 					nd = d / divisor
 					if nd > radius {
@@ -133,9 +161,12 @@ func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact b
 
 		for _, m := range g.Members[verifyFrom:] {
 			v := p.base.MemberValues(g, m)
+			tr.MembersTested++
 			if dist.LBKim(q, v) > radius*divisor {
+				tr.PrunedByKim++
 				continue
 			}
+			tr.DTWComputed++
 			d := ws.DTWEarlyAbandon(q, v, dist.Unconstrained, radius*divisor)
 			if nd := d / divisor; nd <= radius {
 				out = append(out, RangeResult{
@@ -153,24 +184,30 @@ func (p *Processor) rangeSearch(q []float64, length int, radius float64, exact b
 		return out
 	}
 
+	var out []RangeResult
 	if p.workers <= 1 || len(e.Groups) < 4 {
 		ws := p.pool.Get()
-		defer p.pool.Put(ws)
-		var out []RangeResult
 		for k := range e.Groups {
-			out = append(out, searchGroup(ws, k)...)
+			out = append(out, searchGroup(ws, k, tr)...)
 		}
-		return out, nil
+		p.pool.Put(ws)
+	} else {
+		perGroup := make([][]RangeResult, len(e.Groups))
+		trs := make([]Trace, len(e.Groups))
+		parallel.ForEach(p.workers, len(e.Groups), func(k int) {
+			ws := p.pool.Get()
+			defer p.pool.Put(ws)
+			perGroup[k] = searchGroup(ws, k, &trs[k])
+		})
+		for k, rs := range perGroup {
+			tr.add(trs[k])
+			out = append(out, rs...)
+		}
 	}
-	perGroup := make([][]RangeResult, len(e.Groups))
-	parallel.ForEach(p.workers, len(e.Groups), func(k int) {
-		ws := p.pool.Get()
-		defer p.pool.Put(ws)
-		perGroup[k] = searchGroup(ws, k)
-	})
-	var out []RangeResult
-	for _, rs := range perGroup {
-		out = append(out, rs...)
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(length)).
+			Attr("groups", int64(len(e.Groups))).
+			Attr("results", int64(len(out))), pre, *tr).End()
 	}
 	return out, nil
 }

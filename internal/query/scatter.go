@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"onex/internal/dist"
+	"onex/internal/obs"
 	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
@@ -143,7 +144,15 @@ func (s *Scatter) withWorkers(w int) *Scatter {
 // Processor.BestMatch runs, with the per-length representative scan
 // scattered over the shard-owned units.
 func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
-	s.global.counters.tick()
+	return s.BestMatchObserved(q, mode, nil)
+}
+
+// BestMatchObserved is BestMatch with optional span recording (per-length
+// scan/refine spans plus the query's work totals on a non-nil rec).
+// Tracing only observes — answers are bit-identical either way.
+func (s *Scatter) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
+	var tr Trace
+	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {
 		return Match{}, err
 	}
@@ -158,7 +167,7 @@ func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
 			return Match{}, fmt.Errorf("query: length %d not indexed", len(q))
 		}
 		best := Match{Dist: math.Inf(1)}
-		s.searchLength(q, order, e, ws, &best)
+		s.searchLength(q, order, e, ws, &best, &tr, rec)
 		if !best.Found() {
 			return Match{}, fmt.Errorf("query: no candidate found (empty length entry)")
 		}
@@ -170,7 +179,8 @@ func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
 		}
 		best := Match{Dist: math.Inf(1)}
 		for _, l := range lengths {
-			repNorm := s.searchLength(q, order, s.global.base.Entry(l), ws, &best)
+			tr.LengthsVisited++
+			repNorm := s.searchLength(q, order, s.global.base.Entry(l), ws, &best, &tr, rec)
 			// Sec. 5.3 stop rule, on the globally best representative.
 			if !s.global.opts.DisableEarlyStop && repNorm <= s.global.base.ST/2 {
 				break
@@ -188,20 +198,35 @@ func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
 // searchLength scatters one length's representative scan across the shard
 // units, then mines the winning global group's full (global) member list —
 // the same compareRep + getKSim sequence as the monolithic searchLength.
+// Work accumulates into the caller-owned tr (folded once per query).
 func (s *Scatter) searchLength(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, best *Match) float64 {
+	ws *dist.Workspace, best *Match, tr *Trace, rec *obs.Trace) float64 {
 
 	if e == nil || len(e.Groups) == 0 {
 		return math.Inf(1)
 	}
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
-	bestID, bestRaw := s.scanUnits(q, order, e.Length, s.units[e.Length])
+	var sc obs.SpanScope
+	var pre Trace
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("scan")
+	}
+	bestID, bestRaw := s.scanUnits(q, order, e.Length, s.units[e.Length], tr)
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("shards", int64(len(s.shards))), pre, *tr).End()
+	}
 	if bestID < 0 {
 		return math.Inf(1)
 	}
-	var tr Trace
-	s.global.mineGroup(q, e, bestID, bestRaw/divisor, ws, best, &tr)
-	s.global.counters.fold(tr)
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("refine")
+	}
+	s.global.mineGroup(q, e, bestID, bestRaw/divisor, ws, best, tr)
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("group", int64(bestID)), pre, *tr).End()
+	}
 	return bestRaw / divisor
 }
 
@@ -218,7 +243,7 @@ func (s *Scatter) searchLength(q []float64, order []int, e *rspace.LengthEntry,
 // change to either cascade's pruning inequalities or cutoff arithmetic must
 // mirror the other, or layout equivalence breaks — the internal/shard
 // property suite enforces this.
-func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUnit) (int, float64) {
+func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUnit, tr *Trace) (int, float64) {
 	n := len(units)
 	if n == 0 {
 		return -1, math.Inf(1)
@@ -271,9 +296,7 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 		lws := s.global.pool.Get()
 		defer s.global.pool.Put(lws)
 		local := hit{raw: math.Inf(1), pos: -1}
-		var tr Trace
-		scan(lws, 0, 1, nil, &local, &tr)
-		s.global.counters.fold(tr)
+		scan(lws, 0, 1, nil, &local, tr)
 		if local.pos < 0 {
 			return -1, math.Inf(1)
 		}
@@ -289,7 +312,7 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 		scan(lws, w, workers, shared, &locals[w], &traces[w])
 	})
 	for _, t := range traces {
-		s.global.counters.fold(t)
+		tr.add(t)
 	}
 	win := hit{raw: math.Inf(1), pos: -1}
 	for _, l := range locals {
@@ -312,7 +335,15 @@ func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUn
 // the same procedure as the monolithic searchLengthK, heap bookkeeping
 // included.
 func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
-	s.global.counters.tick()
+	return s.BestKMatchesObserved(q, mode, k, nil)
+}
+
+// BestKMatchesObserved is BestKMatches with optional span recording. The
+// scan cutoff is fixed per length, so the work counters are identical at
+// every worker count and shard layout for the decision-level fields.
+func (s *Scatter) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+	var tr Trace
+	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if k < 1 {
 		return nil, fmt.Errorf("query: k must be ≥ 1, got %d", k)
 	}
@@ -341,7 +372,10 @@ func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, err
 	}
 
 	for _, l := range lengths {
-		s.searchLengthK(q, order, s.global.base.Entry(l), ws, heap)
+		if mode == MatchAny {
+			tr.LengthsVisited++
+		}
+		s.searchLengthK(q, order, s.global.base.Entry(l), ws, heap, &tr, rec)
 	}
 	out := heap.sorted()
 	if len(out) == 0 {
@@ -356,7 +390,7 @@ func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, err
 // member verification then replays on the global member lists through the
 // shared verifyGroupK.
 func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, heap *topK) {
+	ws *dist.Workspace, heap *topK, tr *Trace, rec *obs.Trace) {
 
 	if e == nil || len(e.Groups) == 0 {
 		return
@@ -367,11 +401,17 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 	radiusRaw := s.global.base.ST / 2 * math.Sqrt(float64(e.Length))
 
 	scanCutoff := heap.kth()*divisor + radiusRaw
-	scanOne := func(lws *dist.Workspace, u scanUnit) (float64, bool) {
+	scanOne := func(lws *dist.Workspace, u scanUnit, ltr *Trace) (float64, bool) {
 		return s.global.scanRepFixed(lws, q, order,
-			u.entry.Groups[u.local].Rep, u.entry.Envelopes[u.local], sameLen, scanCutoff)
+			u.entry.Groups[u.local].Rep, u.entry.Envelopes[u.local], sameLen, scanCutoff, ltr)
 	}
 
+	var sc obs.SpanScope
+	var pre Trace
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("scan")
+	}
 	type repDist struct {
 		global int
 		d      float64
@@ -385,23 +425,27 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 	if workers <= 1 || n < scanParallelMin {
 		reps = make([]repDist, 0, n)
 		for _, u := range units {
-			if d, ok := scanOne(ws, u); ok {
+			if d, ok := scanOne(ws, u, tr); ok {
 				reps = append(reps, repDist{global: u.global, d: d})
 			}
 		}
 	} else {
 		found := make([]repDist, n)
 		kept := make([]bool, n)
+		traces := make([]Trace, workers)
 		parallel.ForEach(workers, workers, func(w int) {
 			lws := s.global.pool.Get()
 			defer s.global.pool.Put(lws)
 			for i := w; i < n; i += workers {
-				if d, ok := scanOne(lws, units[i]); ok {
+				if d, ok := scanOne(lws, units[i], &traces[w]); ok {
 					found[i] = repDist{global: units[i].global, d: d}
 					kept[i] = true
 				}
 			}
 		})
+		for _, t := range traces {
+			tr.add(t)
+		}
 		reps = make([]repDist, 0, n)
 		for i, ok := range kept {
 			if ok {
@@ -409,17 +453,29 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 			}
 		}
 	}
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("shards", int64(len(s.shards))), pre, *tr).End()
+	}
 	// Stable tie order: by distance, then by global group id (units are in
 	// global-id order, so stability gives exactly that).
 	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
 
+	if rec != nil {
+		pre = *tr
+		sc = rec.StartSpan("refine")
+	}
+	groups := 0
 	var bufs knnBufs
 	for _, rd := range reps {
 		// Re-check against the (possibly tightened) k-th distance.
 		if rd.d > heap.kth()*divisor+radiusRaw {
 			break
 		}
-		s.global.verifyGroupK(q, e.Groups[rd.global], rd.global, e.Length, divisor, heap, ws, &bufs)
+		groups++
+		s.global.verifyGroupK(q, e.Groups[rd.global], rd.global, e.Length, divisor, heap, ws, &bufs, tr)
+	}
+	if rec != nil {
+		spanWork(sc.Attr("length", int64(e.Length)).Attr("groups", int64(groups)), pre, *tr).End()
 	}
 }
 
@@ -430,17 +486,25 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 // decide per member against the shared global representative); only the
 // slice order differs, and range results are documented as unordered.
 func (s *Scatter) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
-	return s.scatterRange(q, length, radius, false)
+	return s.RangeSearchObserved(q, length, radius, false, nil)
 }
 
 // RangeSearchExact is RangeSearch with exact distances on the Lemma 2
 // guaranteed path, scattered the same way.
 func (s *Scatter) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
-	return s.scatterRange(q, length, radius, true)
+	return s.RangeSearchObserved(q, length, radius, true, nil)
 }
 
-func (s *Scatter) scatterRange(q []float64, length int, radius float64, exact bool) ([]RangeResult, error) {
-	s.global.counters.tick()
+// RangeSearchObserved is the scattered range search with work accounting:
+// one shared trace accumulates across the shard passes and folds into the
+// GLOBAL counters exactly once (the shard processors' own counters are not
+// touched — the scatter executor owns the tally). With a non-nil rec each
+// shard pass gets a "shard-range" span.
+func (s *Scatter) RangeSearchObserved(q []float64, length int, radius float64,
+	exact bool, rec *obs.Trace) ([]RangeResult, error) {
+
+	var tr Trace
+	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -454,17 +518,28 @@ func (s *Scatter) scatterRange(q []float64, length int, radius float64, exact bo
 	// fans its groups across the worker pool, so the budget is spent at the
 	// inner level and the concatenation order stays shard order.
 	var out []RangeResult
-	for _, sv := range s.shards {
-		rs, err := sv.Proc.rangeSearch(q, length, radius, exact)
+	for i, sv := range s.shards {
+		var sc obs.SpanScope
+		var pre Trace
+		if rec != nil {
+			pre = tr
+			sc = rec.StartSpan("shard-range")
+		}
+		// rec is nil on the inner call: the per-shard span above already
+		// covers it, and the shard's work lands in the shared tr.
+		rs, err := sv.Proc.rangeSearch(q, length, radius, exact, &tr, nil)
 		if err != nil {
 			return nil, err
 		}
 		gids := sv.GlobalIDs[length]
-		for i := range rs {
-			rs[i].SeriesID = sv.Series[rs[i].SeriesID]
-			rs[i].GroupID = gids[rs[i].GroupID]
+		for j := range rs {
+			rs[j].SeriesID = sv.Series[rs[j].SeriesID]
+			rs[j].GroupID = gids[rs[j].GroupID]
 		}
 		out = append(out, rs...)
+		if rec != nil {
+			spanWork(sc.Attr("shard", int64(i)).Attr("results", int64(len(rs))), pre, tr).End()
+		}
 	}
 	return out, nil
 }
@@ -475,8 +550,18 @@ func (s *Scatter) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error) 
 	return s.global.SeasonalSample(seriesID, length)
 }
 
+// SeasonalSampleObserved is SeasonalSample with span recording.
+func (s *Scatter) SeasonalSampleObserved(seriesID, length int, rec *obs.Trace) ([]SeasonalGroup, error) {
+	return s.global.SeasonalSampleObserved(seriesID, length, rec)
+}
+
 // SeasonalAll answers the data-driven class II query from the global
 // grouping.
 func (s *Scatter) SeasonalAll(length int) ([]SeasonalGroup, error) {
 	return s.global.SeasonalAll(length)
+}
+
+// SeasonalAllObserved is SeasonalAll with span recording.
+func (s *Scatter) SeasonalAllObserved(length int, rec *obs.Trace) ([]SeasonalGroup, error) {
+	return s.global.SeasonalAllObserved(length, rec)
 }

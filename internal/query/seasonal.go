@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"onex/internal/grouping"
+	"onex/internal/obs"
 )
 
 // SeasonalGroup is one answer unit of query class II: an ONEX similarity
@@ -22,6 +23,14 @@ type SeasonalGroup struct {
 // subsequences of the sample series — i.e. the sample's recurring intra-
 // series similarity patterns.
 func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error) {
+	return p.SeasonalSampleObserved(seriesID, length, nil)
+}
+
+// SeasonalSampleObserved is SeasonalSample with span recording. Seasonal
+// queries read the grouping directly — no lower-bound cascade runs — so
+// the span carries enumeration sizes and nothing folds into the work
+// counters beyond the Queries tick (its cascade trace is genuinely empty).
+func (p *Processor) SeasonalSampleObserved(seriesID, length int, rec *obs.Trace) ([]SeasonalGroup, error) {
 	p.counters.tick()
 	e := p.base.Entry(length)
 	if e == nil {
@@ -29,6 +38,10 @@ func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error
 	}
 	if seriesID < 0 || seriesID >= p.base.Dataset.N() {
 		return nil, fmt.Errorf("query: series %d out of range [0,%d)", seriesID, p.base.Dataset.N())
+	}
+	var sc obs.SpanScope
+	if rec != nil {
+		sc = rec.StartSpan("seasonal")
 	}
 	var out []SeasonalGroup
 	for k, g := range e.Groups {
@@ -42,6 +55,9 @@ func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error
 			out = append(out, SeasonalGroup{Length: length, GroupID: k, Members: mine, Rep: g.Rep})
 		}
 	}
+	if rec != nil {
+		seasonalSpan(sc, length, len(e.Groups), out).End()
+	}
 	return out, nil
 }
 
@@ -49,10 +65,20 @@ func (p *Processor) SeasonalSample(seriesID, length int) ([]SeasonalGroup, error
 // queryType=NULL): every group of the given length holding at least two
 // subsequences — the dataset's recurring similarity patterns at that scale.
 func (p *Processor) SeasonalAll(length int) ([]SeasonalGroup, error) {
+	return p.SeasonalAllObserved(length, nil)
+}
+
+// SeasonalAllObserved is SeasonalAll with span recording (see
+// SeasonalSampleObserved for what seasonal spans carry).
+func (p *Processor) SeasonalAllObserved(length int, rec *obs.Trace) ([]SeasonalGroup, error) {
 	p.counters.tick()
 	e := p.base.Entry(length)
 	if e == nil {
 		return nil, fmt.Errorf("query: length %d not indexed", length)
+	}
+	var sc obs.SpanScope
+	if rec != nil {
+		sc = rec.StartSpan("seasonal")
 	}
 	var out []SeasonalGroup
 	for k, g := range e.Groups {
@@ -60,5 +86,20 @@ func (p *Processor) SeasonalAll(length int) ([]SeasonalGroup, error) {
 			out = append(out, SeasonalGroup{Length: length, GroupID: k, Members: g.Members, Rep: g.Rep})
 		}
 	}
+	if rec != nil {
+		seasonalSpan(sc, length, len(e.Groups), out).End()
+	}
 	return out, nil
+}
+
+// seasonalSpan annotates a seasonal span with its enumeration sizes.
+func seasonalSpan(sc obs.SpanScope, length, groups int, out []SeasonalGroup) obs.SpanScope {
+	members := 0
+	for _, g := range out {
+		members += len(g.Members)
+	}
+	return sc.Attr("length", int64(length)).
+		Attr("groupsScanned", int64(groups)).
+		Attr("patterns", int64(len(out))).
+		Attr("members", int64(members))
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"onex/internal/obs"
 	"onex/internal/query"
 	"onex/internal/rspace"
 )
@@ -20,6 +21,16 @@ func (e *Engine) BestMatch(q []float64, mode query.MatchMode) (query.Match, erro
 		return e.mono.Proc.BestMatch(q, mode)
 	}
 	return e.scatter.BestMatch(q, mode)
+}
+
+// BestMatchObserved is BestMatch with optional span/work recording on a
+// non-nil rec (nil rec adds no overhead; answers are identical either way).
+func (e *Engine) BestMatchObserved(q []float64, mode query.MatchMode, rec *obs.Trace) (query.Match, error) {
+	if e.mono != nil {
+		m, _, err := e.mono.Proc.BestMatchObserved(q, mode, rec)
+		return m, err
+	}
+	return e.scatter.BestMatchObserved(q, mode, rec)
 }
 
 // BestMatchBatch answers many Q1 queries positionally with per-query errors.
@@ -36,6 +47,14 @@ func (e *Engine) BestKMatches(q []float64, mode query.MatchMode, k int) ([]query
 		return e.mono.Proc.BestKMatches(q, mode, k)
 	}
 	return e.scatter.BestKMatches(q, mode, k)
+}
+
+// BestKMatchesObserved is BestKMatches with optional span/work recording.
+func (e *Engine) BestKMatchesObserved(q []float64, mode query.MatchMode, k int, rec *obs.Trace) ([]query.Match, error) {
+	if e.mono != nil {
+		return e.mono.Proc.BestKMatchesObserved(q, mode, k, rec)
+	}
+	return e.scatter.BestKMatchesObserved(q, mode, k, rec)
 }
 
 // BestKMatchesBatch answers many k-NN queries positionally with per-query
@@ -91,6 +110,15 @@ func (e *Engine) RangeSearchExact(q []float64, length int, radius float64) ([]qu
 	return e.scatter.RangeSearchExact(q, length, radius)
 }
 
+// RangeSearchObserved answers a range query with optional span/work
+// recording; exact selects the RangeSearchExact distance semantics.
+func (e *Engine) RangeSearchObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]query.RangeResult, error) {
+	if e.mono != nil {
+		return e.mono.Proc.RangeSearchObserved(q, length, radius, exact, rec)
+	}
+	return e.scatter.RangeSearchObserved(q, length, radius, exact, rec)
+}
+
 // SeasonalSample answers the user-driven class II query.
 func (e *Engine) SeasonalSample(seriesID, length int) ([]query.SeasonalGroup, error) {
 	if e.mono != nil {
@@ -99,12 +127,28 @@ func (e *Engine) SeasonalSample(seriesID, length int) ([]query.SeasonalGroup, er
 	return e.scatter.SeasonalSample(seriesID, length)
 }
 
+// SeasonalSampleObserved is SeasonalSample with optional span recording.
+func (e *Engine) SeasonalSampleObserved(seriesID, length int, rec *obs.Trace) ([]query.SeasonalGroup, error) {
+	if e.mono != nil {
+		return e.mono.Proc.SeasonalSampleObserved(seriesID, length, rec)
+	}
+	return e.scatter.SeasonalSampleObserved(seriesID, length, rec)
+}
+
 // SeasonalAll answers the data-driven class II query.
 func (e *Engine) SeasonalAll(length int) ([]query.SeasonalGroup, error) {
 	if e.mono != nil {
 		return e.mono.Proc.SeasonalAll(length)
 	}
 	return e.scatter.SeasonalAll(length)
+}
+
+// SeasonalAllObserved is SeasonalAll with optional span recording.
+func (e *Engine) SeasonalAllObserved(length int, rec *obs.Trace) ([]query.SeasonalGroup, error) {
+	if e.mono != nil {
+		return e.mono.Proc.SeasonalAllObserved(length, rec)
+	}
+	return e.scatter.SeasonalAllObserved(length, rec)
 }
 
 // Recommend answers the class III threshold recommendation. On a sharded

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 
 	"onex/internal/core"
+	"onex/internal/obs"
 	"onex/internal/query"
 	"onex/internal/rspace"
 	"onex/internal/shard"
@@ -116,6 +117,18 @@ func (b *Base) Lengths() []int {
 // and early-stop optimizations.
 func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
 	m, err := b.eng.BestMatch(q, query.MatchMode(mode))
+	if err != nil {
+		return Match{}, err
+	}
+	return b.toPublicMatch(m), nil
+}
+
+// BestMatchObserved is BestMatch with optional tracing: a non-nil rec
+// records per-stage spans (scan, refine) and the query's work counters.
+// Tracing only observes — the answer is bit-identical to BestMatch, and a
+// nil rec adds no overhead on the search hot path.
+func (b *Base) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
+	m, err := b.eng.BestMatchObserved(q, query.MatchMode(mode), rec)
 	if err != nil {
 		return Match{}, err
 	}
@@ -216,6 +229,20 @@ func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error)
 	return out, nil
 }
 
+// BestKMatchesObserved is BestKMatches with optional tracing (see
+// BestMatchObserved).
+func (b *Base) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+	ms, err := b.eng.BestKMatchesObserved(q, query.MatchMode(mode), k, rec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, b.toPublicMatch(m))
+	}
+	return out, nil
+}
+
 // RangeMatch is one RangeSearch result.
 type RangeMatch struct {
 	Match
@@ -251,6 +278,21 @@ func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatc
 // Distance is always safe to sort or re-threshold on.
 func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]RangeMatch, error) {
 	rs, err := b.eng.RangeSearchExact(q, length, radius)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RangeMatch, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, RangeMatch{Match: b.toPublicMatch(r.Match), Guaranteed: r.Guaranteed})
+	}
+	return out, nil
+}
+
+// RangeSearchObserved is RangeSearch/RangeSearchExact with optional tracing
+// (see BestMatchObserved); exact selects the RangeSearchExact distance
+// semantics.
+func (b *Base) RangeSearchObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]RangeMatch, error) {
+	rs, err := b.eng.RangeSearchObserved(q, length, radius, exact, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -366,6 +408,25 @@ func (b *Base) Seasonal(seriesID, length int) ([]Pattern, error) {
 // similarity pattern of the given length across the whole dataset.
 func (b *Base) SeasonalAll(length int) ([]Pattern, error) {
 	gs, err := b.eng.SeasonalAll(length)
+	if err != nil {
+		return nil, err
+	}
+	return b.toPatterns(gs), nil
+}
+
+// SeasonalObserved is Seasonal with optional tracing: the span carries the
+// enumeration sizes (seasonal queries run no distance cascade).
+func (b *Base) SeasonalObserved(seriesID, length int, rec *obs.Trace) ([]Pattern, error) {
+	gs, err := b.eng.SeasonalSampleObserved(seriesID, length, rec)
+	if err != nil {
+		return nil, err
+	}
+	return b.toPatterns(gs), nil
+}
+
+// SeasonalAllObserved is SeasonalAll with optional tracing.
+func (b *Base) SeasonalAllObserved(length int, rec *obs.Trace) ([]Pattern, error) {
+	gs, err := b.eng.SeasonalAllObserved(length, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -94,6 +94,44 @@ echo "$STATS" | grep -q '"latency"' || { echo "FAIL: stats missing latency map" 
 echo "$STATS" | grep -q '"p99Millis"' || { echo "FAIL: stats missing latency quantiles" >&2; exit 1; }
 echo "$STATS" | grep -q '"submitted":' || { echo "FAIL: stats missing job counters" >&2; exit 1; }
 
+echo "== X-Request-Id: minted when absent, honored when sent"
+MINTED=$(curl -sf -D - -o /dev/null "$BASE/healthz" | awk 'tolower($1)=="x-request-id:"{print $2}' | tr -d '\r')
+[ -n "$MINTED" ] || { echo "FAIL: no X-Request-Id minted" >&2; exit 1; }
+ECHOED=$(curl -sf -D - -o /dev/null -H 'X-Request-Id: smoke-req-1' "$BASE/healthz" \
+    | awk 'tolower($1)=="x-request-id:"{print $2}' | tr -d '\r')
+[ "$ECHOED" = "smoke-req-1" ] || { echo "FAIL: inbound X-Request-Id not echoed (got '$ECHOED')" >&2; exit 1; }
+echo "ok: request ids round-trip"
+
+echo "== /metrics: Prometheus text format sanity"
+METRICS=$(curl -sf "$BASE/metrics")
+for FAM in onex_http_requests_total onex_cache_lookups_total onex_query_work_total \
+    onex_lifecycle_events_total onex_jobs_total onex_http_request_duration_seconds_sum; do
+    echo "$METRICS" | grep -q "^$FAM" || { echo "FAIL: /metrics missing $FAM" >&2; exit 1; }
+done
+# Native histograms must be cumulative (non-decreasing buckets per route)
+# and end at the +Inf bucket == _count.
+echo "$METRICS" | awk -F'} ' '
+    /^onex_http_request_duration_seconds_bucket\{/ {
+        route = $1; sub(/,le="[^"]*"/, "", route); val = $2 + 0
+        if (route in last && val < last[route]) {
+            print "FAIL: bucket decreases in " route; bad = 1; exit 1
+        }
+        last[route] = val; n++
+    }
+    /^onex_http_request_duration_seconds_count\{/ {
+        route = $1; sub(/_count\{/, "_bucket{", route); val = $2 + 0
+        if (last[route] != val) {
+            print "FAIL: +Inf bucket != _count for " route; bad = 1; exit 1
+        }
+        checked++
+    }
+    END {
+        if (bad) exit 1
+        if (n == 0 || checked == 0) { print "FAIL: no histogram samples scraped"; exit 1 }
+        printf "ok: %d bucket samples monotone, %d routes consistent\n", n, checked
+    }
+' || exit 1
+
 echo "== error paths return structured JSON with machine-readable codes"
 check_code GET "$BASE/v1/datasets/nope" 404
 check_code POST "$BASE/v1/datasets" 400 '{"name":"bad","generator":"ECG","bogus":1}'
