@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke obs-smoke bench-serve bench-parallel bench-stream bench-shard bench-load lint coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke obs-smoke bench-serve bench-parallel bench-stream bench-shard bench-load bench-kernel lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -54,6 +54,10 @@ bench-shard: ## Emit BENCH_shard.json: intra-dataset sharding sweep at shards 1/
 	$(GO) run ./cmd/onex-bench -exp shard -scale 2 \
 		-shard-out $(CURDIR)/BENCH_shard.json
 
+bench-kernel: ## Emit BENCH_kernel.json: fused vs reference DTW kernel, 1 goroutine
+	$(GO) run ./cmd/onex-bench -exp kernel -repeats 5 \
+		-kernel-out $(CURDIR)/BENCH_kernel.json
+
 # Static analysis beyond go vet (CI's lint job runs this target, so the
 # tool versions are pinned here alone). Tools are fetched on demand.
 STATICCHECK_VERSION = 2024.1.1
@@ -65,10 +69,11 @@ lint: ## staticcheck + govulncheck (downloads the tools on first use)
 # Coverage gate of the parallel/sharded execution engine: the packages the
 # concurrency and layout-equivalence test suites exercise must stay
 # ≥ $(COVER_MIN)% covered. -coverpkg merges cross-package coverage (the
-# shard suite drives most of query's scatter executor).
+# shard suite drives most of query's scatter executor, and the sparse-vs-
+# dense equivalence suites drive rspace's retention and threshold paths).
 COVER_MIN = 70
-COVER_PKGS = ./internal/query/ ./internal/grouping/ ./internal/parallel/ ./internal/shard/
-coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel+shard
+COVER_PKGS = ./internal/query/ ./internal/grouping/ ./internal/parallel/ ./internal/shard/ ./internal/rspace/
+coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel+shard+rspace
 	$(GO) test -count=1 -coverprofile=cover.out \
 		-coverpkg=$(shell echo "$(COVER_PKGS)" | tr ' ' ',') $(COVER_PKGS)
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \

@@ -5,7 +5,7 @@
 //
 //	onex-bench [flags]
 //
-//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", "shard", "load", or "all" (default "all")
+//	-exp string      experiment id: fig2..fig8, table1..table4, "parallel", "stream", "shard", "load", "kernel", or "all" (default "all")
 //	-datasets string comma-separated subset of the six paper datasets
 //	-st float        similarity threshold (default 0.2, the paper's sweet spot)
 //	-scale float     multiplier on bench-scale dataset cardinalities (default 1)
@@ -33,7 +33,11 @@
 // unsharded-equivalence check), writing to -shard-out. The "load"
 // experiment boots a live in-process onex-server and drives it with
 // closed-loop mixed traffic (sync queries, uniform batches, async jobs) at
-// client counts 1..16, writing latency-vs-offered-load to -load-out.
+// client counts 1..16, writing latency-vs-offered-load to -load-out. The
+// "kernel" experiment is the single-goroutine DTW microbench: the fused
+// cache-blocked kernel against the verbatim pre-optimization two-row
+// kernel, with a built-in bitwise equivalence check, writing to
+// -kernel-out.
 package main
 
 import (
@@ -100,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"output path of the -exp shard JSON report")
 		loadOut = fs.String("load-out", "BENCH_load.json",
 			"output path of the -exp load JSON report")
+		kernelOut = fs.String("kernel-out", "BENCH_kernel.json",
+			"output path of the -exp kernel JSON report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +152,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			func(w io.Writer) error { return bench.WriteLoadReport(rep, w) },
 			fmt.Sprintf("gomaxprocs=%d, peak %.0f req/s with p99 %.2fms",
 				rep.GOMAXPROCS, rep.PeakThroughput, rep.P99AtPeak))
+	}
+	if *exp == "kernel" {
+		rep, tables, err := bench.RunKernelSweep(cfg)
+		if err != nil {
+			return err
+		}
+		return emitReport(stdout, tables, *kernelOut,
+			func(w io.Writer) error { return bench.WriteKernelReport(rep, w) },
+			fmt.Sprintf("bit-identical=%v, min speedup %.2fx, geomean %.2fx",
+				rep.Equivalent, rep.MinSpeedup, rep.GeoMeanSpeedup))
 	}
 	if *exp == "shard" {
 		rep, tables, err := bench.RunShardSweep(cfg)

@@ -24,7 +24,11 @@
 // The distance kernel everything sits on lives in internal/dist: ED/DTW
 // with the paper's normalizations, LB_Kim/LB_Keogh lower bounds with
 // early abandoning, warping envelopes, and an allocation-reusing DTW
-// workspace. Run its benchmarks with:
+// workspace whose unconstrained path is a cache-blocked fused-row-pair
+// kernel — bit-identical to the plain two-row recurrence (locked by a
+// 2000-trial exact-equality test) and measured at a ~1.3× geomean
+// single-core speedup by the committed BENCH_kernel.json (`make
+// bench-kernel`, CI: bench-kernel). Run the package benchmarks with:
 //
 //	go test -bench . -run '^$' ./internal/dist
 //
@@ -106,22 +110,40 @@
 // identically to Shards: 0 (the single-engine path, bit-compatible with
 // previous releases), enforced by the layout-equivalence property suite in
 // internal/shard (random datasets, query mixes and Append/Extend
-// interleavings at Parallelism 1 and 8, under -race). Caveats: two
+// interleavings at Parallelism 1 and 8, under -race). The SP-Space
+// guidance surface — RecommendThreshold, DegreeOf, Stats.STHalf/STFinal —
+// is likewise computed from the one global grouping (via an on-demand
+// inter-representative distance oracle, so no global O(g²) matrix is ever
+// materialized) and is bit-identical at every shard count. Caveats: two
 // representatives tying on bit-equal DTW resolve by scan order, which
-// differs between layouts (impossible on continuous data); WithThreshold
-// requires an unsharded base; and the SP-Space guidance surface
-// (RecommendThreshold, DegreeOf, Stats.STHalf/STFinal) aggregates the
-// per-shard merge structures rather than simulating the global merge, so
-// those guidance ranges — unlike query answers — can differ between
-// layouts. Appends and extends route
+// differs between layouts (impossible on continuous data), and
+// WithThreshold requires an unsharded base. Appends and extends route
 // deterministically — series → shard is a pure hash — and refresh only the
 // shards whose series or groups the step touched; snapshots persist the
-// global payload plus the layout in one stream (format v4; v3 snapshots
-// load as one shard) and re-derive the shards on load. Stats().PerShard,
+// global payload plus the layout in one stream (format v5 adds the DcTopK
+// retention setting; v3 snapshots load as one shard, v4 and earlier with
+// the default retention) and re-derive the shards on load. Stats().PerShard,
 // the hub Info and /v1/datasets/{name}/stats report the per-shard series/
 // group/byte populations; `make bench-shard` (CI: bench-shard) emits
 // BENCH_shard.json sweeping shard counts 1/2/4/8 over a homogeneous and a
 // heterogeneous population with the unsharded-equivalence check baked in.
+//
+// # Index memory
+//
+// The one index layer that grew quadratically with the grouping — the
+// per-length inter-representative distance matrix Dc (Def. 10), O(g²)
+// per indexed length — is stored sparsely: each representative retains
+// only its Options.DcTopK nearest entries (default 32; negative retains
+// all) plus its exact row sum. This is safe because the dense matrix is
+// consumed ONLY at build time — the row sums, scan orders and merge
+// thresholds it feeds are stored exactly, and every query path that needs
+// an inter-representative distance recomputes it on demand from the
+// representatives — so retention is purely a memory knob: every query
+// answer, recommendation and maintenance result is bit-identical at every
+// DcTopK setting, enforced by the package-level sparse-vs-dense
+// equivalence property suite across sequential/parallel execution and
+// unsharded/sharded layouts. Stats().IndexBytes reflects the sparse
+// layout, so the memory saving is observable per dataset and per shard.
 //
 // # Serving
 //
@@ -162,8 +184,9 @@ package onex
 //	                              ED̄ to rep ≤ ST/2, nearest rep)
 //	representative R^i_k (Def. 7) grouping.Group.Rep (point-wise average)
 //	R-Space (Def. 9)              rspace.Base
-//	Dc (Def. 10)                  rspace.LengthEntry.Dc
-//	GTI (Sec. 4.3)                rspace.LengthEntry (group vector, Dc,
+//	Dc (Def. 10)                  rspace.LengthEntry.TopK (sparse top-k
+//	                              rows; dense Dc is build-time scratch)
+//	GTI (Sec. 4.3)                rspace.LengthEntry (group vector, TopK,
 //	                              Sums/SumOrder/MedianOrder, STHalf/STFinal)
 //	LSI (Sec. 4.3)                grouping.Group.Members (ED-sorted) +
 //	                              rspace.LengthEntry.Envelopes

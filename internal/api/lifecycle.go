@@ -52,7 +52,12 @@ type registerRequest struct {
 	// built concurrently and queried by scatter-gather (0/1 = unsharded;
 	// answers are identical at every count — see /v1/datasets/{name}/stats
 	// for the per-shard breakdown).
-	Shards int  `json:"shards"`
+	Shards int `json:"shards"`
+	// DcTopK bounds the per-representative sparse retention of the
+	// inter-representative distance index (0 = the engine default of 32;
+	// negative = dense-equivalent). Purely a memory knob: answers are
+	// bit-identical at every setting.
+	DcTopK int  `json:"dcTopK"`
 	Wait   bool `json:"wait"`
 }
 
@@ -106,7 +111,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Snapshot:    req.Snapshot,
 		Scale:       req.Scale,
 		Seed:        req.Seed,
-		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism, Shards: req.Shards},
+		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism, Shards: req.Shards, DcTopK: req.DcTopK},
 		LengthCount: lengths,
 	}
 	for _, sr := range req.Series {

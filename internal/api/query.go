@@ -1,6 +1,7 @@
 package api
 
 import (
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -248,8 +249,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// Loose's upper bound is +Inf (any larger threshold behaves the same),
+	// which JSON cannot carry — report it as null ("unbounded") instead of
+	// letting the encoder fail after the 200 header is out.
+	var high any
+	if !math.IsInf(rng.High, 1) {
+		high = rng.High
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"degree": deg.String(), "low": rng.Low, "high": rng.High,
+		"degree": deg.String(), "low": rng.Low, "high": high,
 	})
 }
 

@@ -160,6 +160,12 @@ func TestServerLegacyRangeSeasonalRecommend(t *testing.T) {
 	if out["degree"] != "S" || out["low"].(float64) != 0 {
 		t.Errorf("recommend = %v", out)
 	}
+	// Loose's +Inf upper bound must arrive as null, not as an encoding
+	// failure behind an already-sent 200 (regression: empty body).
+	out = getJSON(t, hs.URL+"/recommend?degree=L", http.StatusOK)
+	if out["degree"] != "L" || out["low"].(float64) <= 0 || out["high"] != nil {
+		t.Errorf("recommend L = %v, want positive low and null high", out)
+	}
 	getJSON(t, hs.URL+"/recommend?degree=Q", http.StatusBadRequest)
 	getJSON(t, hs.URL+"/recommend?degree=M&length=abc", http.StatusBadRequest)
 }

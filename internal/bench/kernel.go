@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"onex/internal/dist"
+)
+
+// KernelReport is the machine-readable payload of the DTW-kernel microbench
+// (BENCH_kernel.json): the cache-blocked fused kernel (dist.Workspace.
+// DTWEarlyAbandon) against the pre-optimization two-row kernel, single
+// goroutine, over sequence lengths 64..1024 with an infinite cutoff (the
+// full dynamic program) and a tight one (UCR-style early abandoning, the
+// shape pruned query verification runs). Equivalent records that every
+// sampled pair returned BIT-identical results from both kernels — the
+// optimization reorders memory traffic, never arithmetic.
+type KernelReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+
+	Pairs   int   `json:"pairs"`
+	Repeats int   `json:"repeats"`
+	Seed    int64 `json:"seed"`
+
+	Points []KernelPoint `json:"points"`
+
+	// Equivalent records that the fused kernel's result equaled the
+	// reference kernel's bit for bit on every (pair, cutoff) sampled.
+	Equivalent bool `json:"equivalent"`
+
+	// MinSpeedup/GeoMeanSpeedup summarize Points[].Speedup.
+	MinSpeedup     float64 `json:"minSpeedup"`
+	GeoMeanSpeedup float64 `json:"geoMeanSpeedup"`
+}
+
+// KernelPoint is one sweep setting: a sequence length at one cutoff regime,
+// timed over the same random pairs with both kernels.
+type KernelPoint struct {
+	// Length is the sequence length of both sides of every pair.
+	Length int `json:"length"`
+	// Cutoff is the abandoning regime: "inf" (full DP) or "tight"
+	// (cutoffs straddling the true distance, so some pairs abandon).
+	Cutoff string `json:"cutoff"`
+	// RefNanos/FusedNanos are best-of-Repeats per-call wall times.
+	RefNanos   float64 `json:"refNanos"`
+	FusedNanos float64 `json:"fusedNanos"`
+	// RefCellsPerSec/FusedCellsPerSec are nominal DP-cell throughputs
+	// (n·m cells per pair over wall time). In the tight regime abandoned
+	// pairs compute fewer cells than n·m, inflating both numbers equally —
+	// both kernels abandon at exactly the same row — so the ratio stays
+	// meaningful; compare absolute throughputs on the "inf" rows.
+	RefCellsPerSec   float64 `json:"refCellsPerSec"`
+	FusedCellsPerSec float64 `json:"fusedCellsPerSec"`
+	// Speedup is RefNanos / FusedNanos.
+	Speedup float64 `json:"speedup"`
+}
+
+// refWorkspace reuses scratch for referenceDTW so the comparison measures
+// the kernels, not the allocator.
+type refWorkspace struct {
+	prev, curr []float64
+}
+
+// referenceDTW is the pre-optimization DTW kernel, kept verbatim: the
+// two-row dynamic program with per-row band clamps, sentinel writes and
+// in-loop three-way reads. It is the timing baseline and the bitwise
+// equivalence oracle of the kernel sweep.
+func (w *refWorkspace) referenceDTW(q, c []float64, window int, cutoff float64) float64 {
+	n, m := len(q), len(c)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	band := window
+	if band >= 0 {
+		if d := n - m; d > band || -d > band {
+			if d < 0 {
+				d = -d
+			}
+			band = d
+		}
+	}
+	cutoffSq := cutoff * cutoff
+
+	inf := math.Inf(1)
+	if cap(w.prev) < m+1 {
+		w.prev = make([]float64, m+1)
+		w.curr = make([]float64, m+1)
+	}
+	prev, curr := w.prev[:m+1], w.curr[:m+1]
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		jLo, jHi := 1, m
+		if band >= 0 {
+			if lo := i - band; lo > jLo {
+				jLo = lo
+			}
+			if hi := i + band; hi < jHi {
+				jHi = hi
+			}
+		}
+		curr[jLo-1] = inf
+		if jHi < m {
+			curr[jHi+1] = inf
+		}
+		rowMin := inf
+		qi := q[i-1]
+		for j := jLo; j <= jHi; j++ {
+			best := prev[j]
+			if v := prev[j-1]; v < best {
+				best = v
+			}
+			if v := curr[j-1]; v < best {
+				best = v
+			}
+			d := qi - c[j-1]
+			acc := best + d*d
+			curr[j] = acc
+			if acc < rowMin {
+				rowMin = acc
+			}
+		}
+		if rowMin > cutoffSq {
+			return inf
+		}
+		prev, curr = curr, prev
+	}
+	w.prev, w.curr = prev[:cap(prev)], curr[:cap(curr)]
+	return math.Sqrt(prev[m])
+}
+
+// kernelPair is one pre-generated workload item: two sequences and the
+// cutoff each regime hands the kernels.
+type kernelPair struct {
+	q, c        []float64
+	tightCutoff float64
+}
+
+// RunKernelSweep times the fused DTW kernel against the verbatim
+// pre-optimization kernel on one goroutine — sequence lengths 64..1024,
+// infinite and tight cutoffs, best of Config.Repeats — and verifies every
+// result pair is bit-identical. The human-readable table goes to the
+// returned slice; the report is ready for JSON.
+func RunKernelSweep(cfg Config) (*KernelReport, []Table, error) {
+	cfg.fillDefaults()
+	pairs := int(16 * cfg.Scale)
+	if pairs < 4 {
+		pairs = 4
+	}
+	lengths := []int{64, 128, 256, 512, 1024}
+
+	rep := &KernelReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Pairs:       pairs,
+		Repeats:     cfg.Repeats,
+		Seed:        cfg.Seed,
+		Equivalent:  true,
+		MinSpeedup:  math.Inf(1),
+	}
+
+	var ref refWorkspace
+	var fused dist.Workspace
+	r := rand.New(rand.NewSource(cfg.Seed*86243 + 11))
+	for _, length := range lengths {
+		// The workload: random-walk pairs (continuous values, realistic
+		// warping structure). Tight cutoffs straddle each pair's true
+		// distance so the regime exercises both abandoning and full runs.
+		work := make([]kernelPair, pairs)
+		for i := range work {
+			p := kernelPair{q: randomWalkSeq(r, length), c: randomWalkSeq(r, length)}
+			exact := ref.referenceDTW(p.q, p.c, dist.Unconstrained, math.Inf(1))
+			p.tightCutoff = exact * (0.6 + 0.8*float64(i)/float64(pairs))
+			work[i] = p
+		}
+
+		for _, regime := range []string{"inf", "tight"} {
+			cutoffOf := func(p kernelPair) float64 {
+				if regime == "tight" {
+					return p.tightCutoff
+				}
+				return math.Inf(1)
+			}
+
+			// Bitwise equivalence before any timing.
+			for i, p := range work {
+				co := cutoffOf(p)
+				a := ref.referenceDTW(p.q, p.c, dist.Unconstrained, co)
+				b := fused.DTWEarlyAbandon(p.q, p.c, dist.Unconstrained, co)
+				if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+					rep.Equivalent = false
+					return nil, nil, fmt.Errorf("bench: kernel results diverged at length %d %s pair %d: reference %v, fused %v",
+						length, regime, i, a, b)
+				}
+			}
+
+			refSecs, fusedSecs := math.Inf(1), math.Inf(1)
+			var sink float64
+			for rr := 0; rr < cfg.Repeats; rr++ {
+				start := time.Now()
+				for _, p := range work {
+					sink += ref.referenceDTW(p.q, p.c, dist.Unconstrained, cutoffOf(p))
+				}
+				if s := time.Since(start).Seconds(); s < refSecs {
+					refSecs = s
+				}
+				start = time.Now()
+				for _, p := range work {
+					sink += fused.DTWEarlyAbandon(p.q, p.c, dist.Unconstrained, cutoffOf(p))
+				}
+				if s := time.Since(start).Seconds(); s < fusedSecs {
+					fusedSecs = s
+				}
+			}
+			_ = sink
+
+			cells := float64(pairs) * float64(length) * float64(length)
+			pt := KernelPoint{
+				Length:           length,
+				Cutoff:           regime,
+				RefNanos:         refSecs * 1e9 / float64(pairs),
+				FusedNanos:       fusedSecs * 1e9 / float64(pairs),
+				RefCellsPerSec:   cells / refSecs,
+				FusedCellsPerSec: cells / fusedSecs,
+				Speedup:          refSecs / fusedSecs,
+			}
+			rep.Points = append(rep.Points, pt)
+			cfg.progressf("kernel: length %d cutoff %s ref %.0fns fused %.0fns speedup %.2fx",
+				length, regime, pt.RefNanos, pt.FusedNanos, pt.Speedup)
+		}
+	}
+
+	logSum := 0.0
+	for _, pt := range rep.Points {
+		if pt.Speedup < rep.MinSpeedup {
+			rep.MinSpeedup = pt.Speedup
+		}
+		logSum += math.Log(pt.Speedup)
+	}
+	rep.GeoMeanSpeedup = math.Exp(logSum / float64(len(rep.Points)))
+
+	table := Table{
+		Title: fmt.Sprintf("DTW kernel microbench (1 goroutine, %d pairs, best of %d)",
+			pairs, cfg.Repeats),
+		Header: []string{"length", "cutoff", "ref ns/call", "fused ns/call", "fused Mcells/s", "speedup"},
+	}
+	for _, pt := range rep.Points {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(pt.Length),
+			pt.Cutoff,
+			fmt.Sprintf("%.0f", pt.RefNanos),
+			fmt.Sprintf("%.0f", pt.FusedNanos),
+			fmt.Sprintf("%.1f", pt.FusedCellsPerSec/1e6),
+			fmt.Sprintf("%.2fx", pt.Speedup),
+		})
+	}
+	return rep, []Table{table}, nil
+}
+
+// randomWalkSeq draws one normalized random-walk sequence.
+func randomWalkSeq(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	x := r.Float64()
+	for i := range v {
+		x += r.NormFloat64() * 0.05
+		v[i] = x
+	}
+	return v
+}
+
+// WriteKernelReport serializes the report as indented JSON.
+func WriteKernelReport(rep *KernelReport, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRunKernelSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel sweep in -short mode")
+	}
+	rep, tables, err := RunKernelSweep(Config{ST: 0.2, Seed: 1, Scale: 0.25, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent {
+		t.Fatal("sweep reported non-bit-identical kernels")
+	}
+	// 5 lengths × 2 cutoff regimes.
+	if len(rep.Points) != 10 {
+		t.Fatalf("sweep produced %d points, want 10", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.RefNanos <= 0 || pt.FusedNanos <= 0 || pt.Speedup <= 0 {
+			t.Errorf("length %d %s: non-positive timings %+v", pt.Length, pt.Cutoff, pt)
+		}
+		if pt.Cutoff != "inf" && pt.Cutoff != "tight" {
+			t.Errorf("length %d: unknown cutoff regime %q", pt.Length, pt.Cutoff)
+		}
+	}
+	if rep.MinSpeedup <= 0 || math.IsInf(rep.MinSpeedup, 1) ||
+		rep.GeoMeanSpeedup < rep.MinSpeedup {
+		t.Errorf("summary speedups min=%v geomean=%v", rep.MinSpeedup, rep.GeoMeanSpeedup)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != len(rep.Points) {
+		t.Error("table shape does not match the report")
+	}
+	var buf bytes.Buffer
+	if err := WriteKernelReport(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var round KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !round.Equivalent || round.GeoMeanSpeedup != rep.GeoMeanSpeedup {
+		t.Error("report did not round-trip")
+	}
+}

@@ -52,6 +52,12 @@ type BuildConfig struct {
 	RebuildDrift float64
 	// Normalize selects the input normalization.
 	Normalize NormalizeMode
+	// DcTopK bounds how many nearest-neighbor Dc entries each representative
+	// retains per length (rspace.Options.TopK): 0 selects
+	// rspace.DefaultTopK, negative retains every entry (the dense-equivalent
+	// layout). Purely a memory knob — answers are bit-identical at every
+	// setting (see the rspace package doc).
+	DcTopK int
 	// Query carries the online-processor options.
 	Query query.Options
 	// Progress, when non-nil, is invoked after each indexed length finishes
@@ -185,7 +191,7 @@ func Build(d *ts.Dataset, cfg BuildConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := rspace.New(work, gr, rspace.Options{})
+	base, err := rspace.New(work, gr, rspace.Options{TopK: cfg.DcTopK})
 	if err != nil {
 		return nil, err
 	}
@@ -427,14 +433,14 @@ func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64,
 		if err != nil {
 			return nil, err
 		}
-		base, err = rspace.New(work, gr, rspace.Options{})
+		base, err = rspace.New(work, gr, rspace.Options{TopK: e.cfg.DcTopK})
 	} else {
 		var delta *grouping.Delta
 		gr, delta, err = incremental()
 		if err != nil {
 			return nil, err
 		}
-		base, err = rspace.Refresh(work, gr, rspace.Options{}, e.Base, delta)
+		base, err = rspace.Refresh(work, gr, rspace.Options{TopK: e.cfg.DcTopK}, e.Base, delta)
 	}
 	if err != nil {
 		return nil, err

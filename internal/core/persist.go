@@ -22,9 +22,10 @@ import (
 //
 // Groups store representatives and member lists verbatim (preserving the
 // exact drift state of Algorithm 1's running averages); the derived index
-// layers (Dc, envelopes, SP-Space, sum orders) are recomputed on load —
-// they are pure functions of the groups and recomputing is cheaper than
-// storing the O(g²) matrices for every length.
+// layers (sparse Dc neighbor lists, envelopes, SP-Space, sum orders) are
+// recomputed on load — they are pure functions of the groups and the
+// retention knob, and recomputing is cheaper than storing them for every
+// length.
 //
 // Version 2 adds round-trip metadata between the header and the dataset:
 // the Save wall-clock timestamp, the original offline build time, and the
@@ -35,12 +36,16 @@ import (
 // the shard count to the header: the intra-dataset sharded engine
 // (internal/shard) persists the same global dataset+groups payload — the
 // per-shard restrictions and index layers are derived state, recomputed on
-// load exactly like the Dc matrices — plus the layout needed to re-shard it.
-// Version-1/2/3 streams still load, with zero metadata / zero drift / one
-// shard.
+// load exactly like the Dc layers — plus the layout needed to re-shard it.
+// Version 5 adds the DcTopK retention knob after the shard count: the sparse
+// top-k Dc layout is derived state too, but the knob is configuration and
+// must survive a round trip so maintenance after reload retains the same
+// widths. Version-1/2/3/4 streams still load, with zero metadata / zero
+// drift / one shard / the default retention (harmless: query answers are
+// retention-invariant, see the rspace package doc).
 const (
 	persistMagic   = "ONEXBASE"
-	persistVersion = 4
+	persistVersion = 5
 )
 
 var (
@@ -115,7 +120,7 @@ func (e *Engine) Save(w io.Writer) error {
 	})
 }
 
-// EncodeSnapshot writes one snapshot as a version-4 ONEX base stream.
+// EncodeSnapshot writes one snapshot as a version-5 ONEX base stream.
 func EncodeSnapshot(w io.Writer, snap *Snapshot) error {
 	if snap == nil || snap.Dataset == nil || snap.Grouped == nil {
 		return errors.New("core: incomplete snapshot")
@@ -143,8 +148,9 @@ func EncodeSnapshot(w io.Writer, snap *Snapshot) error {
 		le(uint8(boolByte(snap.Cfg.Query.DisableLowerBounds))),
 		le(int64(snap.Cfg.Query.CandidateLimit)),
 		le(int64(snap.Cfg.Query.Patience)),
-		le(snap.Cfg.RebuildDrift), // version ≥ 3
-		le(uint32(shards)),        // version ≥ 4
+		le(snap.Cfg.RebuildDrift),  // version ≥ 3
+		le(uint32(shards)),         // version ≥ 4
+		le(int64(snap.Cfg.DcTopK)), // version ≥ 5
 	); err != nil {
 		return err
 	}
@@ -275,6 +281,13 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		if shards < 1 || shards > 1<<20 {
 			return nil, fmt.Errorf("%w: implausible shard count %d", ErrBadFormat, shards)
 		}
+	}
+	if version >= 5 {
+		var dcTopK int64
+		if err := le(&dcTopK); err != nil {
+			return nil, err
+		}
+		cfg.DcTopK = int(dcTopK)
 	}
 	var savedAt time.Time
 	var origBuild time.Duration
@@ -428,7 +441,7 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 // it to re-derive a sharded layout from the same payload.
 func FromSnapshot(snap *Snapshot) (*Engine, error) {
 	start := time.Now()
-	base, err := rspace.New(snap.Dataset, snap.Grouped, rspace.Options{})
+	base, err := rspace.New(snap.Dataset, snap.Grouped, rspace.Options{TopK: snap.Cfg.DcTopK})
 	if err != nil {
 		return nil, err
 	}

@@ -65,14 +65,28 @@ func (w *Workspace) DTW(a, b []float64) float64 {
 
 // DTWEarlyAbandon computes the Sakoe-Chiba-banded DTW distance with
 // UCR-suite-style early abandoning: the O(n·m) dynamic program runs over
-// two rows of squared costs, and as soon as every cell of a row — i.e.
-// every prefix any warping path could extend — is at least cutoff², no
-// path can finish below cutoff and +Inf is returned. A finite return value
-// is always the exact banded DTW distance, even when it is ≥ cutoff.
+// rows of squared costs, and as soon as every cell of a row — i.e. every
+// prefix any warping path could extend — is above cutoff², no path can
+// finish below cutoff and +Inf is returned. A finite return value is
+// always the exact banded DTW distance, even when it is ≥ cutoff.
 //
 // window is the band half-width (|i−j| ≤ window); Unconstrained disables
 // it. When the sequences' lengths differ, the band is widened to at least
 // |len(q)−len(c)| so the corner-to-corner path stays feasible.
+//
+// The unconstrained case — the one every query path issues — runs a cache-
+// blocked kernel: two query rows are fused into one pass over the
+// candidate. The first row of each pair lives entirely in registers (its
+// cells are consumed by the second row within the same iteration), so per
+// DP-cell the kernel does half the row stores and half the carried-row
+// loads of the plain two-row recurrence; the row slices are re-sliced to
+// the candidate's length so the inner loop is free of bounds checks, and
+// there are no band clamps or sentinel writes. The result is bit-identical
+// to the straightforward two-row recurrence: each cell is still
+// min(prev_j, prev_{j−1}, curr_{j−1}) + d² evaluated in the same
+// floating-point order, and the fused pass abandons exactly when a per-row
+// pass would (it checks the two row minima in row order; computing the
+// second row of an abandoned pair is wasted work, never a changed answer).
 func (w *Workspace) DTWEarlyAbandon(q, c []float64, window int, cutoff float64) float64 {
 	n, m := len(q), len(c)
 	if n == 0 || m == 0 {
@@ -98,15 +112,104 @@ func (w *Workspace) DTWEarlyAbandon(q, c []float64, window int, cutoff float64) 
 		prev[j] = inf
 	}
 	prev[0] = 0
+
+	if band < 0 || band >= n-1+m-1 {
+		// Unconstrained fast path: fused row pairs, no clamps, no
+		// sentinels. The pair's first row is never stored — its cells flow
+		// through registers (diagA/leftA) straight into the second row's
+		// recurrence — and the column-0 boundary lives in registers too
+		// (leftA/leftB start at +Inf each pass); curr[0] is pinned to +Inf
+		// before each swap so prev[0] stays correct for later rows.
+		i := 1
+		for ; i+1 <= n; i += 2 {
+			qa, qb := q[i-1], q[i]
+			aMin, bMin := inf, inf
+			diagA := prev[0]
+			leftA, leftB := inf, inf
+			ps := prev[1 : m+1 : m+1]
+			ns := curr[1 : m+1 : m+1]
+			for jj, cj := range c {
+				pj := ps[jj]
+				// Row i: min(prev_j, prev_{j−1}, curr_{j−1}) + d².
+				best := pj
+				if diagA < best {
+					best = diagA
+				}
+				if leftA < best {
+					best = leftA
+				}
+				d := qa - cj
+				accA := best + d*d
+				if accA < aMin {
+					aMin = accA
+				}
+				// Row i+1: its prev row is row i — the diagonal value
+				// curr_{j−1} is leftA (still pre-update), curr_j is accA.
+				bestB := accA
+				if leftA < bestB {
+					bestB = leftA
+				}
+				if leftB < bestB {
+					bestB = leftB
+				}
+				d = qb - cj
+				accB := bestB + d*d
+				ns[jj] = accB
+				if accB < bMin {
+					bMin = accB
+				}
+				diagA = pj
+				leftA = accA
+				leftB = accB
+			}
+			if aMin > cutoffSq || bMin > cutoffSq {
+				return inf
+			}
+			curr[0] = inf
+			prev, curr = curr, prev
+		}
+		if i == n {
+			// Odd trailing row: single-row pass, registers carried.
+			qa := q[n-1]
+			rowMin := inf
+			diag := prev[0]
+			left := inf
+			ps := prev[1 : m+1 : m+1]
+			cs := curr[1 : m+1 : m+1]
+			for jj, cj := range c {
+				pj := ps[jj]
+				best := pj
+				if diag < best {
+					best = diag
+				}
+				if left < best {
+					best = left
+				}
+				d := qa - cj
+				acc := best + d*d
+				cs[jj] = acc
+				if acc < rowMin {
+					rowMin = acc
+				}
+				diag = pj
+				left = acc
+			}
+			if rowMin > cutoffSq {
+				return inf
+			}
+			prev, curr = curr, prev
+		}
+		w.prev, w.curr = prev[:cap(prev)], curr[:cap(curr)]
+		return math.Sqrt(prev[m])
+	}
+
 	for i := 1; i <= n; i++ {
 		jLo, jHi := 1, m
-		if band >= 0 {
-			if lo := i - band; lo > jLo {
-				jLo = lo
-			}
-			if hi := i + band; hi < jHi {
-				jHi = hi
-			}
+		if lo := i - band; lo > jLo {
+			jLo = lo
+		}
+		if hi := i + band; hi < jHi {
+			jHi = hi
 		}
 		// Cells just outside the band must read as unreachable for the
 		// next row (which may look one column left or right).
@@ -116,13 +219,16 @@ func (w *Workspace) DTWEarlyAbandon(q, c []float64, window int, cutoff float64) 
 		}
 		rowMin := inf
 		qi := q[i-1]
+		diag := prev[jLo-1]
+		left := inf
 		for j := jLo; j <= jHi; j++ {
-			best := prev[j]               // q advances alone
-			if v := prev[j-1]; v < best { // both advance
-				best = v
+			pj := prev[j]
+			best := pj       // q advances alone
+			if diag < best { // both advance
+				best = diag
 			}
-			if v := curr[j-1]; v < best { // c advances alone
-				best = v
+			if left < best { // c advances alone
+				best = left
 			}
 			d := qi - c[j-1]
 			acc := best + d*d
@@ -130,6 +236,8 @@ func (w *Workspace) DTWEarlyAbandon(q, c []float64, window int, cutoff float64) 
 			if acc < rowMin {
 				rowMin = acc
 			}
+			diag = pj
+			left = acc
 		}
 		if rowMin > cutoffSq {
 			return inf

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoRowDTW is the pre-optimization kernel, kept verbatim as the reference
+// the fused row-pair kernel must match BIT FOR BIT (not within a
+// tolerance): the optimization reorders memory traffic, never arithmetic.
+func twoRowDTW(q, c []float64, window int, cutoff float64) float64 {
+	n, m := len(q), len(c)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	band := window
+	if band >= 0 {
+		if d := n - m; d > band || -d > band {
+			if d < 0 {
+				d = -d
+			}
+			band = d
+		}
+	}
+	cutoffSq := cutoff * cutoff
+
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		jLo, jHi := 1, m
+		if band >= 0 {
+			if lo := i - band; lo > jLo {
+				jLo = lo
+			}
+			if hi := i + band; hi < jHi {
+				jHi = hi
+			}
+		}
+		curr[jLo-1] = inf
+		if jHi < m {
+			curr[jHi+1] = inf
+		}
+		rowMin := inf
+		qi := q[i-1]
+		for j := jLo; j <= jHi; j++ {
+			best := prev[j]
+			if v := prev[j-1]; v < best {
+				best = v
+			}
+			if v := curr[j-1]; v < best {
+				best = v
+			}
+			d := qi - c[j-1]
+			acc := best + d*d
+			curr[j] = acc
+			if acc < rowMin {
+				rowMin = acc
+			}
+		}
+		if rowMin > cutoffSq {
+			return inf
+		}
+		prev, curr = curr, prev
+	}
+	return math.Sqrt(prev[m])
+}
+
+// TestDTWFusedBitIdentical locks the fused kernel to the two-row reference
+// with exact float equality: every (odd/even length) shape, unconstrained
+// and banded, infinite and straddling cutoffs, including reuse of one
+// workspace across shapes.
+func TestDTWFusedBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	var w Workspace
+	abandoned, kept := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(48)
+		m := 1 + r.Intn(48)
+		a, b := randSeries(r, n), randSeries(r, m)
+		window := Unconstrained
+		switch trial % 4 {
+		case 1:
+			window = r.Intn(10) // banded
+		case 2:
+			window = n + m // wide band: takes the unconstrained fast path
+		}
+		cutoff := math.Inf(1)
+		if trial%2 == 1 {
+			exact := twoRowDTW(a, b, window, math.Inf(1))
+			cutoff = exact * (0.25 + 1.5*r.Float64())
+		}
+		want := twoRowDTW(a, b, window, cutoff)
+		got := w.DTWEarlyAbandon(a, b, window, cutoff)
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("trial %d (n=%d m=%d window=%d cutoff=%v): fused %v != reference %v",
+				trial, n, m, window, cutoff, got, want)
+		}
+		if math.IsInf(want, 1) {
+			abandoned++
+		} else {
+			kept++
+		}
+	}
+	if abandoned == 0 || kept == 0 {
+		t.Fatalf("degenerate trial mix: %d abandoned, %d kept", abandoned, kept)
+	}
+}

@@ -55,7 +55,7 @@ func (p *Processor) AdaptThreshold(stPrime float64) (*Processor, error) {
 		adapted.ByLength[l] = lg
 	}
 
-	nb, err := rspace.New(p.base.Dataset, adapted, rspace.Options{})
+	nb, err := rspace.New(p.base.Dataset, adapted, rspace.Options{TopK: p.base.TopK})
 	if err != nil {
 		return nil, err
 	}

@@ -61,8 +61,8 @@ func TestRefreshMatchesNewBitForBit(t *testing.T) {
 		if re == nil {
 			t.Fatalf("length %d missing from refreshed base", l)
 		}
-		if !reflect.DeepEqual(fe.Dc, re.Dc) {
-			t.Errorf("length %d: Dc differs", l)
+		if !reflect.DeepEqual(fe.TopK, re.TopK) {
+			t.Errorf("length %d: TopK neighbor lists differ", l)
 		}
 		if !reflect.DeepEqual(fe.Sums, re.Sums) || !reflect.DeepEqual(fe.SumOrder, re.SumOrder) ||
 			!reflect.DeepEqual(fe.MedianOrder, re.MedianOrder) {
@@ -94,7 +94,7 @@ func TestRefreshFallsBackWithoutPrev(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(b.Entries[6].Dc, fresh.Entries[6].Dc) {
+	if !reflect.DeepEqual(b.Entries[6].TopK, fresh.Entries[6].TopK) {
 		t.Error("fallback base differs from New")
 	}
 }

@@ -1,14 +1,44 @@
 // Package rspace materializes the ONEX base of Sec. 4: the Representative
 // Space (Def. 9) wrapped in the paper's two index layers —
 //
-//   - the Global Time Index (GTI): per length, the group vector, the
-//     pairwise Inter-Representative Distance matrix Dc (Def. 10), the
-//     representatives sorted by their Dc row sums (the Sec. 5.3 median-sum
-//     search order), and the SThalf/STfinal merge thresholds of the
-//     Similarity Parameter Space (Sec. 4.2);
+//   - the Global Time Index (GTI): per length, the group vector, a sparse
+//     top-k view of the pairwise Inter-Representative Distance matrix Dc
+//     (Def. 10) — each representative's k nearest peers plus its full Dc
+//     row sum — the representatives sorted by those row sums (the Sec. 5.3
+//     median-sum search order), and the SThalf/STfinal merge thresholds of
+//     the Similarity Parameter Space (Sec. 4.2);
 //   - the Local Sequence Index (LSI): per group, members sorted by ED to the
 //     representative (built by grouping.finalize), the representative
 //     vector, and its LB_Keogh envelope for pruning (Sec. 4.3).
+//
+// # Index memory: the sparse Dc layout and why it is exact
+//
+// The paper's Table 4 charges O(g²) floats per length for the dense Dc
+// matrix, and that term dominates GTI memory at loose thresholds (many
+// groups). This package no longer keeps the dense matrix resident. Instead
+// each LengthEntry stores, per representative, the TopK nearest other
+// representatives (Neighbor lists, ascending by distance, deterministic
+// index tie-break) and the exact full row sum — O(g·k) instead of O(g²).
+//
+// This is NOT an approximation, because no query-time consumer reads
+// arbitrary Dc cells:
+//
+//   - the representative scan (query.scanReps / scanRepFixed) walks
+//     MedianOrder, which is derived from the row sums alone;
+//   - group mining and k-NN verification (mineGroup / verifyGroupK) walk
+//     the per-group ED-sorted member lists and envelopes, never Dc;
+//   - the SP-Space guidance surface reads the precomputed STHalf/STFinal.
+//
+// The dense matrix is therefore only a build-time intermediate. New and
+// Refresh materialize it transiently (one O(g²) scratch buffer, released
+// before the entry is published), derive the exact sums, visit orders and
+// merge thresholds from it, keep the k smallest entries per row, and drop
+// the rest. Every derived quantity is bit-identical for every TopK setting
+// — the knob (Options.TopK, default DefaultTopK) only trades resident
+// memory against how much ED reuse a later incremental Refresh gets: a pair
+// absent from both representatives' retained lists must be recomputed. The
+// root-level sparse-vs-dense equivalence suite pins the bit-identity claim
+// across parallelism and shard layouts.
 package rspace
 
 import (
@@ -38,6 +68,17 @@ type Base struct {
 	GlobalSTHalf, GlobalSTFinal float64
 	// TotalSubseq counts all indexed subsequences (Table 4).
 	TotalSubseq int64
+	// TopK records the Options.TopK the base was built with, so derived
+	// bases (threshold adaptation) inherit the same retention policy.
+	TopK int
+}
+
+// Neighbor is one retained cell of a representative's Dc row: the peer
+// group's index within the same LengthEntry and the Inter-Representative
+// Distance to it (normalized ED, Def. 10).
+type Neighbor struct {
+	To int
+	D  float64
 }
 
 // LengthEntry is one GTI slot: everything the query processor needs for a
@@ -46,11 +87,14 @@ type LengthEntry struct {
 	Length int
 	// Groups are the ONEX similarity groups of this length; Groups[k].ID==k.
 	Groups []*grouping.Group
-	// Dc[k][l] is the Inter-Representative Distance (normalized ED) between
-	// representatives k and l (Def. 10).
-	Dc [][]float64
-	// Sums[k] is ΣₗDc[k][l]; SumOrder lists group indices sorted ascending
-	// by Sums — the array S_i(k, sum_k) of Sec. 4.3.
+	// TopK[k] lists representative k's nearest peers by Dc (Def. 10),
+	// ascending by distance with ties broken by peer index — the sparse
+	// resident view of the Dc matrix (min(TopK option, g−1) entries per
+	// row; see the package docs for the exactness argument).
+	TopK [][]Neighbor
+	// Sums[k] is the exact ΣₗDc[k][l] over the FULL row (not just the
+	// retained neighbors); SumOrder lists group indices sorted ascending by
+	// Sums — the array S_i(k, sum_k) of Sec. 4.3.
 	Sums     []float64
 	SumOrder []int
 	// MedianOrder is SumOrder re-traversed from the median outward
@@ -69,11 +113,38 @@ type Envelope struct {
 	Upper, Lower []float64
 }
 
+// DefaultTopK is the Dc neighbor-list width used when Options.TopK is 0.
+// Entries with g ≤ DefaultTopK+1 groups retain their full rows (so small
+// bases are byte-for-byte the dense layout), while large entries shrink
+// from O(g²) to O(g·k); 32 also keeps incremental Refresh's ED reuse full
+// for the common small-g lengths.
+const DefaultTopK = 32
+
 // Options configures base materialization.
 type Options struct {
 	// EnvelopeRadius returns the LB_Keogh radius for a given length.
 	// nil means full radius (admissible for the paper's unconstrained DTW).
 	EnvelopeRadius func(length int) int
+	// TopK bounds how many nearest Dc entries each representative retains
+	// (per row). 0 selects DefaultTopK; negative retains every neighbor
+	// (the dense-equivalent layout). Query answers are bit-identical at
+	// every setting — see the package docs — so this is purely a resident-
+	// memory / refresh-reuse knob.
+	TopK int
+}
+
+// retain resolves the Options.TopK knob against a row of g groups.
+func retain(topK, g int) int {
+	if topK == 0 {
+		topK = DefaultTopK
+	}
+	if topK < 0 || topK > g-1 {
+		topK = g - 1
+	}
+	if topK < 0 {
+		topK = 0
+	}
+	return topK
 }
 
 // New wraps a grouping result with the GTI/LSI index layers.
@@ -91,9 +162,10 @@ func New(d *ts.Dataset, gr *grouping.Result, opts Options) (*Base, error) {
 		Lengths:     append([]int(nil), gr.Lengths...),
 		Entries:     make(map[int]*LengthEntry, len(gr.Lengths)),
 		TotalSubseq: gr.TotalSubseq,
+		TopK:        opts.TopK,
 	}
 	for _, l := range gr.Lengths {
-		entry := newLengthEntry(gr.ByLength[l], gr.ST, radius(l))
+		entry := newLengthEntry(gr.ByLength[l], gr.ST, radius(l), opts.TopK)
 		b.Entries[l] = entry
 		if entry.STHalf > b.GlobalSTHalf {
 			b.GlobalSTHalf = entry.STHalf
@@ -107,12 +179,16 @@ func New(d *ts.Dataset, gr *grouping.Result, opts Options) (*Base, error) {
 
 // Refresh wraps an incrementally-maintained grouping result, reusing the
 // previous Base's per-length index work for everything the maintenance step
-// did not touch: Dc entries between two unchanged groups and the envelopes
-// of unchanged representatives are carried over, so only rows/columns
-// involving touched or new groups pay distance computations. The result is
-// bit-identical to New(d, gr, opts) — Refresh is purely a cost optimization.
-// prev must have been built with the same Options; a nil prev or delta falls
-// back to New.
+// did not touch: a Dc value between two unchanged groups is copied whenever
+// either group's retained neighbor list still holds it (they were computed
+// from byte-identical representatives), and the envelopes of unchanged
+// representatives are carried over wholesale. Pairs the sparse lists
+// dropped — and every pair involving a touched or new group — recompute.
+// The result is bit-identical to New(d, gr, opts): recomputing an ED
+// between immutable representatives reproduces the exact bits reuse would
+// have copied, so Refresh is purely a cost optimization and the TopK knob
+// only changes how much of it is realized. prev must have been built with
+// the same Options; a nil prev or delta falls back to New.
 func Refresh(d *ts.Dataset, gr *grouping.Result, opts Options, prev *Base, delta *grouping.Delta) (*Base, error) {
 	if prev == nil || delta == nil {
 		return New(d, gr, opts)
@@ -130,15 +206,16 @@ func Refresh(d *ts.Dataset, gr *grouping.Result, opts Options, prev *Base, delta
 		Lengths:     append([]int(nil), gr.Lengths...),
 		Entries:     make(map[int]*LengthEntry, len(gr.Lengths)),
 		TotalSubseq: gr.TotalSubseq,
+		TopK:        opts.TopK,
 	}
 	for _, l := range gr.Lengths {
 		var entry *LengthEntry
 		prevEntry := prev.Entries[l]
 		prevGroups, known := delta.PrevGroups[l]
 		if prevEntry == nil || !known {
-			entry = newLengthEntry(gr.ByLength[l], gr.ST, radius(l))
+			entry = newLengthEntry(gr.ByLength[l], gr.ST, radius(l), opts.TopK)
 		} else {
-			entry = refreshLengthEntry(gr.ByLength[l], gr.ST, radius(l),
+			entry = refreshLengthEntry(gr.ByLength[l], gr.ST, radius(l), opts.TopK,
 				prevEntry, prevGroups, delta.Touched[l])
 		}
 		b.Entries[l] = entry
@@ -152,42 +229,78 @@ func Refresh(d *ts.Dataset, gr *grouping.Result, opts Options, prev *Base, delta
 	return b, nil
 }
 
-func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int) *LengthEntry {
+// denseDc is the transient build-time Dc matrix: a flat row-major g×g
+// symmetric buffer that exists only inside newLengthEntry /
+// refreshLengthEntry and is garbage the moment finishEntry returns. Keeping
+// it flat (one allocation) also makes the O(g²) scratch cheap to allocate
+// and release per length.
+type denseDc struct {
+	g int
+	v []float64
+}
+
+func newDenseDc(g int) denseDc {
+	return denseDc{g: g, v: make([]float64, g*g)}
+}
+
+func (m denseDc) at(k, l int) float64 { return m.v[k*m.g+l] }
+
+func (m denseDc) set(k, l int, d float64) {
+	m.v[k*m.g+l] = d
+	m.v[l*m.g+k] = d
+}
+
+func newLengthEntry(lg *grouping.LengthGroups, st float64, envRadius, topK int) *LengthEntry {
 	g := len(lg.Groups)
 	e := &LengthEntry{
 		Length:    lg.Length,
 		Groups:    lg.Groups,
-		Dc:        make([][]float64, g),
 		Sums:      make([]float64, g),
 		SumOrder:  make([]int, g),
 		Envelopes: make([]Envelope, g),
 	}
 	invSqrtL := 1 / math.Sqrt(float64(lg.Length))
-	for k := range e.Dc {
-		e.Dc[k] = make([]float64, g)
-	}
+	dc := newDenseDc(g)
 	for k := 0; k < g; k++ {
 		for l := k + 1; l < g; l++ {
-			d := dist.ED(lg.Groups[k].Rep, lg.Groups[l].Rep) * invSqrtL
-			e.Dc[k][l] = d
-			e.Dc[l][k] = d
+			dc.set(k, l, dist.ED(lg.Groups[k].Rep, lg.Groups[l].Rep)*invSqrtL)
 		}
 	}
 	for k, grp := range lg.Groups {
 		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
 		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
 	}
-	finishEntry(e, st)
+	finishEntry(e, st, dc, topK)
 	return e
+}
+
+// dcAt looks a Dc cell up in the sparse resident layout: k's retained
+// neighbor list, then l's (the symmetric value was stored from the same
+// float, so either hit returns identical bits). The second return reports
+// whether the pair survived the top-k cut.
+func (e *LengthEntry) dcAt(k, l int) (float64, bool) {
+	for _, nb := range e.TopK[k] {
+		if nb.To == l {
+			return nb.D, true
+		}
+	}
+	for _, nb := range e.TopK[l] {
+		if nb.To == k {
+			return nb.D, true
+		}
+	}
+	return 0, false
 }
 
 // refreshLengthEntry derives one length's entry from its previous
 // incarnation after an incremental maintenance step: Dc values between two
-// unchanged groups are copied (they were computed from byte-identical
-// representatives), envelopes of unchanged groups are reused, and distance
-// computations run only for pairs involving a touched or new group — an
-// O(changed·g·L + g²) refresh instead of newLengthEntry's O(g²·L).
-func refreshLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int,
+// unchanged groups are copied when either group's retained neighbor list
+// still holds them, envelopes of unchanged groups are reused, and distance
+// computations run for pairs involving a touched or new group plus the
+// clean pairs the sparse layout dropped. With full retention (TopK < 0, or
+// g−1 ≤ k) this is the classic O(changed·g·L + g²) refresh; narrower lists
+// trade some of that reuse for resident memory, never exactness.
+func refreshLengthEntry(lg *grouping.LengthGroups, st float64, envRadius, topK int,
 	prev *LengthEntry, prevGroups int, touched []int) *LengthEntry {
 
 	g := len(lg.Groups)
@@ -201,25 +314,23 @@ func refreshLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int,
 	e := &LengthEntry{
 		Length:    lg.Length,
 		Groups:    lg.Groups,
-		Dc:        make([][]float64, g),
 		Sums:      make([]float64, g),
 		SumOrder:  make([]int, g),
 		Envelopes: make([]Envelope, g),
 	}
 	invSqrtL := 1 / math.Sqrt(float64(lg.Length))
-	for k := range e.Dc {
-		e.Dc[k] = make([]float64, g)
-	}
+	dc := newDenseDc(g)
 	for k := 0; k < g; k++ {
 		for l := k + 1; l < g; l++ {
 			var d float64
-			if !dirty[k] && !dirty[l] {
-				d = prev.Dc[k][l]
-			} else {
+			ok := false
+			if !dirty[k] && !dirty[l] && k < prevGroups && l < prevGroups {
+				d, ok = prev.dcAt(k, l)
+			}
+			if !ok {
 				d = dist.ED(lg.Groups[k].Rep, lg.Groups[l].Rep) * invSqrtL
 			}
-			e.Dc[k][l] = d
-			e.Dc[l][k] = d
+			dc.set(k, l, d)
 		}
 	}
 	for k, grp := range lg.Groups {
@@ -232,19 +343,21 @@ func refreshLengthEntry(lg *grouping.LengthGroups, st float64, envRadius int,
 		u, l := dist.Envelope(grp.Rep, envRadius, nil, nil)
 		e.Envelopes[k] = Envelope{Upper: u, Lower: l}
 	}
-	finishEntry(e, st)
+	finishEntry(e, st, dc, topK)
 	return e
 }
 
 // finishEntry derives the Dc-dependent state shared by the full and
-// incremental builders: row sums, the sum-sorted and median-expanded visit
-// orders, and the SP-Space merge thresholds.
-func finishEntry(e *LengthEntry, st float64) {
+// incremental builders from the transient dense matrix: exact row sums, the
+// sum-sorted and median-expanded visit orders, the SP-Space merge
+// thresholds, and the retained top-k neighbor lists. After it returns the
+// dense buffer is unreferenced.
+func finishEntry(e *LengthEntry, st float64, dc denseDc, topK int) {
 	g := len(e.Groups)
 	for k := 0; k < g; k++ {
 		var sum float64
 		for l := 0; l < g; l++ {
-			sum += e.Dc[k][l]
+			sum += dc.at(k, l)
 		}
 		e.Sums[k] = sum
 		e.SumOrder[k] = k
@@ -253,7 +366,35 @@ func finishEntry(e *LengthEntry, st float64) {
 		return e.Sums[e.SumOrder[a]] < e.Sums[e.SumOrder[b]]
 	})
 	e.MedianOrder = medianExpand(e.SumOrder)
-	e.STHalf, e.STFinal = mergeThresholds(e.Dc, st)
+	e.STHalf, e.STFinal = mergeThresholds(g, dc.at, st)
+
+	keep := retain(topK, g)
+	e.TopK = make([][]Neighbor, g)
+	if keep == 0 {
+		return
+	}
+	order := make([]int, 0, g-1)
+	for k := 0; k < g; k++ {
+		order = order[:0]
+		for l := 0; l < g; l++ {
+			if l != k {
+				order = append(order, l)
+			}
+		}
+		row := k * g
+		sort.Slice(order, func(a, b int) bool {
+			da, db := dc.v[row+order[a]], dc.v[row+order[b]]
+			if da != db {
+				return da < db
+			}
+			return order[a] < order[b]
+		})
+		list := make([]Neighbor, keep)
+		for i := 0; i < keep; i++ {
+			list[i] = Neighbor{To: order[i], D: dc.v[row+order[i]]}
+		}
+		e.TopK[k] = list
+	}
 }
 
 // medianExpand reorders sum-sorted indices to start at the median and
@@ -278,63 +419,75 @@ func medianExpand(sumOrder []int) []int {
 }
 
 // mergeThresholds simulates the Sec. 4.2 merge process: groups k and l merge
-// once ST′ ≥ ST + Dc(k,l). Processing edges in increasing Dc order with a
-// union-find gives the exact ST′ at which the number of surviving groups
-// first reaches ⌈g/2⌉ (STHalf) and 1 (STFinal) — these are minimum-spanning-
-// tree edge weights plus ST.
-func mergeThresholds(dc [][]float64, st float64) (stHalf, stFinal float64) {
-	g := len(dc)
+// once ST′ ≥ ST + Dc(k,l). The critical values are minimum-spanning-tree
+// edge weights plus ST: processing MST edges in increasing weight order, the
+// number of surviving groups first reaches ⌈g/2⌉ (STHalf) after g−⌈g/2⌉
+// merges and 1 (STFinal) at the heaviest MST edge. Prim's algorithm over
+// the at(k,l) oracle needs O(g) working memory and at most g²/2 oracle
+// calls — and since every MST of a graph has the same edge-weight multiset,
+// the result is independent of tie-breaking and of whether the oracle is a
+// dense matrix or on-demand distance evaluation (MergeThresholdsFor).
+func mergeThresholds(g int, at func(k, l int) float64, st float64) (stHalf, stFinal float64) {
 	if g <= 1 {
 		return st, st
 	}
-	type edge struct {
-		k, l int
-		d    float64
-	}
-	edges := make([]edge, 0, g*(g-1)/2)
-	for k := 0; k < g; k++ {
-		for l := k + 1; l < g; l++ {
-			edges = append(edges, edge{k, l, dc[k][l]})
-		}
-	}
-	sort.Slice(edges, func(a, b int) bool { return edges[a].d < edges[b].d })
-
-	parent := make([]int, g)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	components := g
+	w := mstWeights(g, at)
+	sort.Float64s(w)
 	halfTarget := (g + 1) / 2
-	stHalf, stFinal = st, st
-	haveHalf := g <= 1
-	for _, ed := range edges {
-		rk, rl := find(ed.k), find(ed.l)
-		if rk == rl {
-			continue
-		}
-		parent[rk] = rl
-		components--
-		if !haveHalf && components <= halfTarget {
-			stHalf = st + ed.d
-			haveHalf = true
-		}
-		if components == 1 {
-			stFinal = st + ed.d
-			break
-		}
-	}
-	if !haveHalf {
-		stHalf = stFinal
-	}
+	stHalf = st + w[g-halfTarget-1]
+	stFinal = st + w[len(w)-1]
 	return stHalf, stFinal
+}
+
+// mstWeights returns the g−1 minimum-spanning-tree edge weights of the
+// complete graph over vertices 0..g−1 with edge weights at(k,l), via Prim's
+// algorithm (O(g²) oracle calls, O(g) memory).
+func mstWeights(g int, at func(k, l int) float64) []float64 {
+	inTree := make([]bool, g)
+	best := make([]float64, g)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	best[0] = 0
+	weights := make([]float64, 0, g-1)
+	for it := 0; it < g; it++ {
+		u := -1
+		for v := 0; v < g; v++ {
+			if !inTree[v] && (u < 0 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		if it > 0 {
+			weights = append(weights, best[u])
+		}
+		for v := 0; v < g; v++ {
+			if !inTree[v] {
+				if d := at(u, v); d < best[v] {
+					best[v] = d
+				}
+			}
+		}
+	}
+	return weights
+}
+
+// MergeThresholdsFor computes one length's SP-Space critical values directly
+// from a group slice, evaluating Inter-Representative Distances on demand —
+// O(g) working memory, no materialized matrix. The distances use the exact
+// expression the index builders use, so the result is bit-identical to the
+// STHalf/STFinal a Base built over the same groups would report. The
+// sharded engine uses this to serve the GLOBAL grouping's guidance surface
+// without ever holding the global O(g²) matrix.
+func MergeThresholdsFor(groups []*grouping.Group, length int, st float64) (stHalf, stFinal float64) {
+	g := len(groups)
+	if g <= 1 {
+		return st, st
+	}
+	invSqrtL := 1 / math.Sqrt(float64(length))
+	return mergeThresholds(g, func(k, l int) float64 {
+		return dist.ED(groups[k].Rep, groups[l].Rep) * invSqrtL
+	}, st)
 }
 
 // Entry returns the GTI entry for a length, or nil if the length is not
@@ -354,9 +507,11 @@ func (b *Base) TotalGroups() int {
 }
 
 // SizeBytes estimates the resident size of the index structures, mirroring
-// the paper's Table 4 accounting: GTI (group identifier vector, Dc matrix,
-// sum array, thresholds) plus LSI (member identifiers with their EDs,
-// representative vectors, envelopes).
+// the paper's Table 4 accounting with the sparse Dc layout: GTI (group
+// identifier vector, retained neighbor lists, row sums, visit orders,
+// thresholds) plus LSI (member identifiers with their EDs, representative
+// vectors, envelopes). The neighbor lists are counted at their actual
+// lengths — O(g·k), no longer the dense g² term.
 func (b *Base) SizeBytes() int64 {
 	const (
 		intSize   = 8
@@ -365,10 +520,13 @@ func (b *Base) SizeBytes() int64 {
 	var total int64
 	for _, e := range b.Entries {
 		g := int64(len(e.Groups))
-		total += g * intSize               // group identifier vector
-		total += g * g * floatSize         // Dc matrix
-		total += g * (intSize + floatSize) // sum-sorted S_i array
-		total += 2 * floatSize             // STHalf, STFinal
+		total += g * intSize // group identifier vector
+		for _, nbs := range e.TopK {
+			total += int64(len(nbs)) * (intSize + floatSize) // sparse Dc rows
+		}
+		total += g * floatSize   // row sums
+		total += 2 * g * intSize // sum-sorted + median-expanded visit orders
+		total += 2 * floatSize   // STHalf, STFinal
 		for k, grp := range e.Groups {
 			total += int64(grp.Count()) * (2*intSize + floatSize) // member ids + ED
 			total += int64(len(grp.Rep)) * floatSize              // representative

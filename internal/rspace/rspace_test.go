@@ -2,6 +2,8 @@ package rspace
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"onex/internal/dataset"
@@ -43,26 +45,104 @@ func TestEntryLookup(t *testing.T) {
 	}
 }
 
-func TestDcMatrixProperties(t *testing.T) {
+// denseRows recomputes the full Dc matrix of an entry from its groups —
+// the reference the sparse resident layout is checked against in tests.
+func denseRows(e *LengthEntry) [][]float64 {
+	g := len(e.Groups)
+	invSqrtL := 1 / math.Sqrt(float64(e.Length))
+	dc := make([][]float64, g)
+	for k := range dc {
+		dc[k] = make([]float64, g)
+	}
+	for k := 0; k < g; k++ {
+		for l := k + 1; l < g; l++ {
+			d := dist.ED(e.Groups[k].Rep, e.Groups[l].Rep) * invSqrtL
+			dc[k][l] = d
+			dc[l][k] = d
+		}
+	}
+	return dc
+}
+
+func TestDcTopKProperties(t *testing.T) {
 	b := buildBase(t, 0.2, []int{6})
 	e := b.Entry(6)
 	g := len(e.Groups)
+	dc := denseRows(e)
+	want := DefaultTopK
+	if want > g-1 {
+		want = g - 1
+	}
 	for k := 0; k < g; k++ {
-		if e.Dc[k][k] != 0 {
-			t.Errorf("Dc[%d][%d] = %v, want 0", k, k, e.Dc[k][k])
+		nbs := e.TopK[k]
+		if len(nbs) != want {
+			t.Fatalf("row %d: %d neighbors, want %d", k, len(nbs), want)
 		}
+		for i, nb := range nbs {
+			if nb.To == k {
+				t.Errorf("row %d keeps its own diagonal", k)
+			}
+			if nb.D <= 0 {
+				t.Errorf("row %d neighbor %d: D = %v, want > 0 for distinct reps", k, nb.To, nb.D)
+			}
+			if nb.D != dc[k][nb.To] {
+				t.Errorf("row %d neighbor %d: D = %v, dense says %v", k, nb.To, nb.D, dc[k][nb.To])
+			}
+			ref := dist.NormalizedED(e.Groups[k].Rep, e.Groups[nb.To].Rep)
+			if math.Abs(nb.D-ref) > 1e-12 {
+				t.Errorf("row %d neighbor %d: D = %v, want %v", k, nb.To, nb.D, ref)
+			}
+			if i > 0 {
+				prev := nbs[i-1]
+				if nb.D < prev.D || (nb.D == prev.D && nb.To < prev.To) {
+					t.Errorf("row %d not sorted by (D, To) at %d", k, i)
+				}
+			}
+		}
+		// The retained entries really are the k smallest of the row: no
+		// dropped peer may beat the worst kept one (ties resolve by index).
+		if len(nbs) > 0 && len(nbs) < g-1 {
+			kept := make(map[int]bool, len(nbs))
+			for _, nb := range nbs {
+				kept[nb.To] = true
+			}
+			worst := nbs[len(nbs)-1]
+			for l := 0; l < g; l++ {
+				if l == k || kept[l] {
+					continue
+				}
+				if dc[k][l] < worst.D || (dc[k][l] == worst.D && l < worst.To) {
+					t.Errorf("row %d dropped %d (d=%v) but kept %d (d=%v)", k, l, dc[k][l], worst.To, worst.D)
+				}
+			}
+		}
+	}
+}
+
+func TestDcAtSymmetricLookup(t *testing.T) {
+	b := buildBase(t, 0.2, []int{6})
+	e := b.Entry(6)
+	g := len(e.Groups)
+	dc := denseRows(e)
+	hits := 0
+	for k := 0; k < g; k++ {
 		for l := 0; l < g; l++ {
-			if e.Dc[k][l] != e.Dc[l][k] {
-				t.Errorf("Dc not symmetric at %d,%d", k, l)
+			if l == k {
+				continue
 			}
-			if k != l && e.Dc[k][l] <= 0 {
-				t.Errorf("Dc[%d][%d] = %v, want > 0 for distinct reps", k, l, e.Dc[k][l])
-			}
-			want := dist.NormalizedED(e.Groups[k].Rep, e.Groups[l].Rep)
-			if math.Abs(e.Dc[k][l]-want) > 1e-12 {
-				t.Errorf("Dc[%d][%d] = %v, want %v", k, l, e.Dc[k][l], want)
+			if d, ok := e.dcAt(k, l); ok {
+				hits++
+				if d != dc[k][l] {
+					t.Errorf("dcAt(%d,%d) = %v, dense says %v", k, l, d, dc[k][l])
+				}
+				if d2, ok2 := e.dcAt(l, k); !ok2 || d2 != d {
+					t.Errorf("dcAt(%d,%d) asymmetric: %v/%v vs %v", l, k, d2, ok2, d)
+				}
 			}
 		}
+	}
+	if hits == 0 && g > 1 {
+		t.Error("dcAt never hits despite retained neighbor lists")
 	}
 }
 
@@ -77,10 +157,11 @@ func TestDistinctRepsAreFartherThanST(t *testing.T) {
 	if len(e.Groups) < 2 {
 		t.Skip("need ≥2 groups")
 	}
+	dc := denseRows(e)
 	var ds []float64
 	for k := 0; k < len(e.Groups); k++ {
 		for l := k + 1; l < len(e.Groups); l++ {
-			ds = append(ds, e.Dc[k][l])
+			ds = append(ds, dc[k][l])
 		}
 	}
 	above := 0
@@ -196,7 +277,7 @@ func TestMergeThresholds(t *testing.T) {
 		{3, 2, 0, 4},
 		{7, 6, 4, 0},
 	}
-	half, final := mergeThresholds(dc, 0.5)
+	half, final := mergeThresholds(len(dc), func(k, l int) float64 { return dc[k][l] }, 0.5)
 	if math.Abs(half-2.5) > 1e-12 {
 		t.Errorf("STHalf = %v, want 2.5", half)
 	}
@@ -206,18 +287,112 @@ func TestMergeThresholds(t *testing.T) {
 }
 
 func TestMergeThresholdsDegenerate(t *testing.T) {
-	if h, f := mergeThresholds(nil, 0.3); h != 0.3 || f != 0.3 {
+	never := func(k, l int) float64 { panic("oracle must not be called") }
+	if h, f := mergeThresholds(0, never, 0.3); h != 0.3 || f != 0.3 {
 		t.Errorf("empty: %v,%v want 0.3,0.3", h, f)
 	}
-	if h, f := mergeThresholds([][]float64{{0}}, 0.3); h != 0.3 || f != 0.3 {
+	if h, f := mergeThresholds(1, never, 0.3); h != 0.3 || f != 0.3 {
 		t.Errorf("single group: %v,%v want 0.3,0.3", h, f)
 	}
 	// Two groups: half target is 1, reached by the single merge; both
 	// thresholds coincide.
 	dc := [][]float64{{0, 2}, {2, 0}}
-	h, f := mergeThresholds(dc, 0.1)
+	h, f := mergeThresholds(len(dc), func(k, l int) float64 { return dc[k][l] }, 0.1)
 	if math.Abs(h-2.1) > 1e-12 || math.Abs(f-2.1) > 1e-12 {
 		t.Errorf("two groups: %v,%v want 2.1,2.1", h, f)
+	}
+}
+
+// TestMergeThresholdsMatchKruskal pins the Prim/MST-multiset implementation
+// to the direct merge simulation the package used before the sparse layout:
+// sort ALL g(g−1)/2 edges, union-find merge, record the edge weights at
+// which the component count first reaches ⌈g/2⌉ and 1. Run over seeded
+// random symmetric matrices, including heavy ties.
+func TestMergeThresholdsMatchKruskal(t *testing.T) {
+	kruskal := func(dc [][]float64, st float64) (float64, float64) {
+		g := len(dc)
+		if g <= 1 {
+			return st, st
+		}
+		type edge struct {
+			k, l int
+			d    float64
+		}
+		var edges []edge
+		for k := 0; k < g; k++ {
+			for l := k + 1; l < g; l++ {
+				edges = append(edges, edge{k, l, dc[k][l]})
+			}
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a].d < edges[b].d })
+		parent := make([]int, g)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		components, halfTarget := g, (g+1)/2
+		stHalf, stFinal := st, st
+		haveHalf := false
+		for _, ed := range edges {
+			rk, rl := find(ed.k), find(ed.l)
+			if rk == rl {
+				continue
+			}
+			parent[rk] = rl
+			components--
+			if !haveHalf && components <= halfTarget {
+				stHalf = st + ed.d
+				haveHalf = true
+			}
+			if components == 1 {
+				stFinal = st + ed.d
+				break
+			}
+		}
+		return stHalf, stFinal
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		g := 2 + rng.Intn(12)
+		dc := make([][]float64, g)
+		for k := range dc {
+			dc[k] = make([]float64, g)
+		}
+		for k := 0; k < g; k++ {
+			for l := k + 1; l < g; l++ {
+				var d float64
+				if rng.Intn(3) == 0 {
+					d = float64(1 + rng.Intn(3)) // force tied weights
+				} else {
+					d = rng.Float64() * 10
+				}
+				dc[k][l], dc[l][k] = d, d
+			}
+		}
+		wantH, wantF := kruskal(dc, 0.2)
+		gotH, gotF := mergeThresholds(g, func(k, l int) float64 { return dc[k][l] }, 0.2)
+		if gotH != wantH || gotF != wantF {
+			t.Fatalf("trial %d (g=%d): got (%v,%v), kruskal (%v,%v)", trial, g, gotH, gotF, wantH, wantF)
+		}
+	}
+}
+
+func TestMergeThresholdsForMatchesBase(t *testing.T) {
+	b := buildBase(t, 0.2, []int{6, 9})
+	for _, l := range b.Lengths {
+		e := b.Entry(l)
+		half, final := MergeThresholdsFor(e.Groups, l, b.ST)
+		if half != e.STHalf || final != e.STFinal {
+			t.Errorf("length %d: MergeThresholdsFor (%v,%v) != entry (%v,%v)",
+				l, half, final, e.STHalf, e.STFinal)
+		}
 	}
 }
 
@@ -293,6 +468,66 @@ func TestSizeBytesPositiveAndMonotone(t *testing.T) {
 	}
 	if big.SizeBytes() <= small.SizeBytes() {
 		t.Errorf("more lengths should grow the index: %d vs %d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+// TestSizeBytesTracksRepresentation walks the actual resident structures and
+// asserts the accounting matches them exactly — in particular that the Dc
+// term is the retained neighbor lists, not the old hard-coded g² matrix.
+func TestSizeBytesTracksRepresentation(t *testing.T) {
+	b := buildBase(t, 0.2, []int{5, 8})
+	const word = 8
+	var want int64
+	for _, e := range b.Entries {
+		g := int64(len(e.Groups))
+		want += g * word     // group id vector
+		want += g * word     // sums
+		want += 2 * g * word // sum + median orders
+		want += 2 * word     // thresholds
+		for _, nbs := range e.TopK {
+			want += int64(len(nbs)) * 2 * word
+		}
+		for k, grp := range e.Groups {
+			want += int64(grp.Count()) * 3 * word
+			want += int64(len(grp.Rep)) * word
+			want += int64(len(e.Envelopes[k].Upper)+len(e.Envelopes[k].Lower)) * word
+		}
+	}
+	if got := b.SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, representation walk says %d", got, want)
+	}
+}
+
+// TestSizeBytesSubQuadratic pins the memory-diet claim: at a narrow TopK the
+// Dc term must be O(g·k), so the per-entry index size minus the LSI terms
+// must stay far below the dense g² float cost once g ≫ k.
+func TestSizeBytesSubQuadratic(t *testing.T) {
+	d := dataset.ItalyPower.Scaled(0.5).Generate(4)
+	if err := d.NormalizeMinMax(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := grouping.Build(d, grouping.Config{ST: 0.05, Lengths: []int{6}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, gr, Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := b.Entry(6)
+	g := len(e.Groups)
+	if g < 8 {
+		t.Skipf("want many groups, got %d", g)
+	}
+	var dcBytes int64
+	for _, nbs := range e.TopK {
+		dcBytes += int64(len(nbs)) * 16
+	}
+	if maxWant := int64(g) * 2 * 16; dcBytes > maxWant {
+		t.Errorf("sparse Dc bytes %d exceed O(g·k) bound %d (g=%d)", dcBytes, maxWant, g)
+	}
+	if dense := int64(g) * int64(g) * 8; dcBytes >= dense {
+		t.Errorf("sparse Dc bytes %d not below dense %d (g=%d)", dcBytes, dense, g)
 	}
 }
 

@@ -151,17 +151,18 @@ func (e *Engine) SeasonalAllObserved(length int, rec *obs.Trace) ([]query.Season
 	return e.scatter.SeasonalAllObserved(length, rec)
 }
 
-// Recommend answers the class III threshold recommendation. On a sharded
-// layout the critical values aggregate the per-shard SP-Spaces (the maximum
-// over shards, mirroring how the global values are maxima over lengths):
-// the exact global merge simulation needs the full O(g²) Dc matrix the
-// sharded layout deliberately never materializes, and the recommendation is
-// a guidance range, not a query answer.
+// Recommend answers the class III threshold recommendation. The critical
+// values come from the ONE global grouping every layout shares — computed
+// at assemble time with on-demand inter-representative distances
+// (rspace.MergeThresholdsFor), never aggregated from per-shard structures —
+// so the recommendation is bit-identical to the unsharded engine's at every
+// shard count. length < 0 selects the dataset-global values, mirroring
+// rspace.Base.Recommend.
 func (e *Engine) Recommend(d rspace.Degree, length int) (lo, hi float64, err error) {
 	if e.mono != nil {
 		return e.mono.Base.Recommend(d, length)
 	}
-	half, final, err := e.criticalValues(length)
+	half, final, err := e.globalCriticalValues(length)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -177,54 +178,36 @@ func (e *Engine) Recommend(d rspace.Degree, length int) (lo, hi float64, err err
 	}
 }
 
-// DegreeOf classifies a threshold on the engine's S/M/L scale.
+// DegreeOf classifies a threshold on the engine's S/M/L scale. The
+// classification reads the precomputed dataset-global critical values
+// (which exist for every assembled engine, so no error path remains —
+// the previous implementation silently discarded a lookup error and
+// classified against zero thresholds).
 func (e *Engine) DegreeOf(st float64) rspace.Degree {
 	if e.mono != nil {
 		return e.mono.Base.DegreeOf(st)
 	}
-	half, final, _ := e.criticalValues(-1)
 	switch {
-	case st < half:
+	case st < e.globalSTHalf:
 		return rspace.Strict
-	case st < final:
+	case st < e.globalSTFinal:
 		return rspace.Medium
 	default:
 		return rspace.Loose
 	}
 }
 
-// criticalValues aggregates the per-shard critical thresholds; length < 0
-// uses the shard-global values.
-func (e *Engine) criticalValues(length int) (half, final float64, err error) {
-	if length >= 0 {
-		found := false
-		for _, p := range e.parts {
-			entry := p.base.Entry(length)
-			if entry == nil {
-				continue
-			}
-			found = true
-			if entry.STHalf > half {
-				half = entry.STHalf
-			}
-			if entry.STFinal > final {
-				final = entry.STFinal
-			}
-		}
-		if !found {
-			return 0, 0, errors.New("rspace: length not indexed")
-		}
-		return half, final, nil
+// globalCriticalValues returns the global grouping's critical thresholds;
+// length < 0 selects the dataset-global maxima over lengths.
+func (e *Engine) globalCriticalValues(length int) (half, final float64, err error) {
+	if length < 0 {
+		return e.globalSTHalf, e.globalSTFinal, nil
 	}
-	for _, p := range e.parts {
-		if p.base.GlobalSTHalf > half {
-			half = p.base.GlobalSTHalf
-		}
-		if p.base.GlobalSTFinal > final {
-			final = p.base.GlobalSTFinal
-		}
+	half, ok := e.spHalf[length]
+	if !ok {
+		return 0, 0, errors.New("rspace: length not indexed")
 	}
-	return half, final, nil
+	return half, e.spFinal[length], nil
 }
 
 // WithThreshold adapts the engine to a new similarity threshold (Sec. 5.2).
@@ -338,8 +321,8 @@ func (e *Engine) TotalSubseq() int64 {
 }
 
 // SizeBytes estimates the resident index size — for a sharded layout, the
-// sum of the per-shard GTI+LSI structures (whose Dc matrices are the point:
-// Σ gₛ² per length instead of one g²).
+// sum of the per-shard GTI+LSI structures (sparse top-k Dc neighbor lists,
+// envelopes and scan orders over each shard's restricted group sets).
 func (e *Engine) SizeBytes() int64 {
 	if e.mono != nil {
 		return e.mono.Base.SizeBytes()
@@ -351,14 +334,14 @@ func (e *Engine) SizeBytes() int64 {
 	return total
 }
 
-// STHalf returns the dataset-global half-merge critical threshold
-// (per-shard maximum on sharded layouts; see Recommend).
+// STHalf returns the dataset-global half-merge critical threshold, computed
+// from the global grouping (bit-identical at every shard count; see
+// Recommend).
 func (e *Engine) STHalf() float64 {
 	if e.mono != nil {
 		return e.mono.Base.GlobalSTHalf
 	}
-	half, _, _ := e.criticalValues(-1)
-	return half
+	return e.globalSTHalf
 }
 
 // STFinal returns the dataset-global all-merge critical threshold.
@@ -366,8 +349,7 @@ func (e *Engine) STFinal() float64 {
 	if e.mono != nil {
 		return e.mono.Base.GlobalSTFinal
 	}
-	_, final, _ := e.criticalValues(-1)
-	return final
+	return e.globalSTFinal
 }
 
 // ---- shard observability ----------------------------------------------

@@ -9,6 +9,7 @@ import (
 
 	"onex/internal/core"
 	"onex/internal/query"
+	"onex/internal/rspace"
 	"onex/internal/ts"
 )
 
@@ -209,6 +210,32 @@ func compareEngines(t *testing.T, ctx string, mono, sharded *Engine, queries [][
 		}
 		if amb[i].Err == nil {
 			matchesEqual(t, fmt.Sprintf("%s batch[%d]", ctx, i), amb[i].Match, bmb[i].Match)
+		}
+	}
+
+	// SP-Space guidance surface: bit-identical (==, no tolerance) at every
+	// layout — the sharded engine computes the critical values from the one
+	// global grouping, not from per-shard aggregates.
+	if mono.STHalf() != sharded.STHalf() || mono.STFinal() != sharded.STFinal() {
+		t.Fatalf("%s: critical values diverged: (%v,%v) vs (%v,%v)",
+			ctx, mono.STHalf(), mono.STFinal(), sharded.STHalf(), sharded.STFinal())
+	}
+	for _, length := range append([]int{-1, lengths[0] + 1}, lengths...) {
+		for _, deg := range []rspace.Degree{rspace.Strict, rspace.Medium, rspace.Loose} {
+			alo, ahi, aerr := mono.Recommend(deg, length)
+			blo, bhi, berr := sharded.Recommend(deg, length)
+			if (aerr == nil) != (berr == nil) {
+				t.Fatalf("%s: Recommend(%v,%d) error diverged: %v vs %v", ctx, deg, length, aerr, berr)
+			}
+			if aerr == nil && (alo != blo || ahi != bhi) {
+				t.Fatalf("%s: Recommend(%v,%d) diverged: [%v,%v] vs [%v,%v]",
+					ctx, deg, length, alo, ahi, blo, bhi)
+			}
+		}
+	}
+	for _, probe := range []float64{0, st * 0.5, mono.STHalf(), mono.STFinal(), st * 3} {
+		if a, b := mono.DegreeOf(probe), sharded.DegreeOf(probe); a != b {
+			t.Fatalf("%s: DegreeOf(%v) diverged: %v vs %v", ctx, probe, a, b)
 		}
 	}
 }

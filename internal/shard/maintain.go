@@ -149,7 +149,7 @@ func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64, homes []int
 	}
 	next.grouped = gr
 	affected := e.affectedShards(delta, homes)
-	if err := next.assemble(e.parts, affected, delta); err != nil {
+	if err := next.assemble(e, affected, delta); err != nil {
 		return nil, err
 	}
 	next.buildTime = time.Since(start)

@@ -21,12 +21,19 @@
 //   - each shard gets the sub-dataset of its series (value arrays shared,
 //     zero copy) and the restriction of every global group to those series
 //     (shared representative, preserved member order and EDs);
-//   - the expensive per-length index layers — the O(g²) Dc matrix, the
-//     LB_Keogh envelopes, the scan orders — are built per shard over the
-//     restricted group sets, concurrently on the internal/parallel pool;
+//   - the expensive per-length index layers — the sparse top-k Dc neighbor
+//     lists, the LB_Keogh envelopes, the scan orders — are built per shard
+//     over the restricted group sets, concurrently on the internal/parallel
+//     pool;
 //   - queries scatter across shards and gather exactly the monolithic
 //     decisions (see query.Scatter for the per-query argument), so
 //     Shards=1 and Shards=N answer identically;
+//   - the SP-Space guidance surface (Recommend, DegreeOf, STHalf/STFinal)
+//     is computed from the global grouping at assemble time via
+//     rspace.MergeThresholdsFor — Prim's algorithm with on-demand
+//     inter-representative distances, O(g) working memory — so it too is
+//     bit-identical at every shard count, without materializing a global
+//     distance matrix;
 //   - incremental maintenance (Append/Extend) runs the global assignment
 //     rule once, then refreshes only the shards whose series or groups the
 //     step touched; untouched shards are reused wholesale.
@@ -38,8 +45,8 @@
 //
 // A sharded engine snapshots as a single version-4 stream carrying the
 // global dataset + grouping payload (exactly the monolithic format) plus
-// the shard count: per-shard state is derived, like the Dc matrices, and is
-// re-derived on load. Version ≤ 3 snapshots load as one shard.
+// the shard count: per-shard state is derived, like the Dc neighbor lists,
+// and is re-derived on load. Version ≤ 3 snapshots load as one shard.
 package shard
 
 import (
@@ -75,6 +82,16 @@ type Engine struct {
 	grouped *grouping.Result
 	parts   []*part
 	scatter *query.Scatter
+
+	// spHalf/spFinal are the per-length SP-Space critical thresholds of the
+	// ONE global grouping, computed at assemble time with on-demand
+	// inter-representative distances (rspace.MergeThresholdsFor) — never
+	// from per-shard aggregates, so Recommend/DegreeOf/STHalf/STFinal answer
+	// bit-identically to the unsharded engine over the same data.
+	spHalf, spFinal map[int]float64
+	// globalSTHalf/globalSTFinal are the dataset-wide maxima over lengths,
+	// mirroring rspace.Base.GlobalSTHalf/GlobalSTFinal.
+	globalSTHalf, globalSTFinal float64
 
 	buildTime   time.Duration
 	savedAt     time.Time
@@ -175,16 +192,24 @@ func Build(d *ts.Dataset, cfg core.BuildConfig, shards int) (*Engine, error) {
 	return e, nil
 }
 
-// assemble derives the per-shard state and the scatter executor from the
-// engine's global dataset + grouping. With prev/affected set, shards whose
-// affected flag is false reuse their previous part wholesale — valid
-// because an unaffected shard's series values are unchanged and every group
-// it holds is value-identical to its previous incarnation (incremental
-// maintenance copies untouched groups verbatim) — and affected shards
-// refresh incrementally from the maintenance delta when one is given
-// (refreshPart), paying index recomputation only for touched and new
-// groups instead of a from-scratch derivation.
-func (e *Engine) assemble(prev []*part, affected []bool, delta *grouping.Delta) error {
+// assemble derives the per-shard state, the global SP-Space thresholds and
+// the scatter executor from the engine's global dataset + grouping. With
+// prevE/affected set, shards whose affected flag is false reuse their
+// previous part wholesale — valid because an unaffected shard's series
+// values are unchanged and every group it holds is value-identical to its
+// previous incarnation (incremental maintenance copies untouched groups
+// verbatim) — and affected shards refresh incrementally from the
+// maintenance delta when one is given (refreshPart), paying index
+// recomputation only for touched and new groups instead of a from-scratch
+// derivation. The per-length critical thresholds reuse the previous
+// engine's values for lengths the delta left untouched (no touched groups,
+// no new groups — the group set is then value-identical, so the thresholds
+// are too).
+func (e *Engine) assemble(prevE *Engine, affected []bool, delta *grouping.Delta) error {
+	var prev []*part
+	if prevE != nil {
+		prev = prevE.parts
+	}
 	parts := make([]*part, e.shards)
 	errs := make([]error, e.shards)
 	parallel.ForEach(e.cfg.Workers, e.shards, func(s int) {
@@ -193,14 +218,45 @@ func (e *Engine) assemble(prev []*part, affected []bool, delta *grouping.Delta) 
 			return
 		}
 		if prev != nil && delta != nil {
-			parts[s], errs[s] = refreshPart(e.data, e.grouped, e.shards, s, e.cfg.Query, prev[s], delta)
+			parts[s], errs[s] = refreshPart(e.data, e.grouped, e.shards, s, e.cfg, prev[s], delta)
 			return
 		}
-		parts[s], errs[s] = buildPart(e.data, e.grouped, e.shards, s, e.cfg.Query)
+		parts[s], errs[s] = buildPart(e.data, e.grouped, e.shards, s, e.cfg)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+
+	// Exact SP-Space over the global grouping: one Prim pass per length with
+	// on-demand distances — O(g) extra memory, never a materialized global
+	// matrix. Answers are bit-identical to the unsharded engine because both
+	// evaluate the same float expression over the same global groups.
+	lengths := e.grouped.Lengths
+	halves := make([]float64, len(lengths))
+	finals := make([]float64, len(lengths))
+	parallel.ForEach(e.cfg.Workers, len(lengths), func(i int) {
+		l := lengths[i]
+		groups := e.grouped.ByLength[l].Groups
+		if prevE != nil && delta != nil &&
+			len(delta.Touched[l]) == 0 && delta.PrevGroups[l] == len(groups) {
+			halves[i], finals[i] = prevE.spHalf[l], prevE.spFinal[l]
+			return
+		}
+		halves[i], finals[i] = rspace.MergeThresholdsFor(groups, l, e.grouped.ST)
+	})
+	e.spHalf = make(map[int]float64, len(lengths))
+	e.spFinal = make(map[int]float64, len(lengths))
+	e.globalSTHalf, e.globalSTFinal = 0, 0
+	for i, l := range lengths {
+		e.spHalf[l] = halves[i]
+		e.spFinal[l] = finals[i]
+		if halves[i] > e.globalSTHalf {
+			e.globalSTHalf = halves[i]
+		}
+		if finals[i] > e.globalSTFinal {
+			e.globalSTFinal = finals[i]
 		}
 	}
 	views := make([]query.ShardView, e.shards)
@@ -238,7 +294,7 @@ func (e *Engine) assemble(prev []*part, affected []bool, delta *grouping.Delta) 
 // group set. Group ownership — which shard scans a representative — goes to
 // the shard holding the group's nearest member (Members[0] of the global
 // LSI order), a pure function of the global grouping.
-func buildPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts query.Options) (*part, error) {
+func buildPart(data *ts.Dataset, gr *grouping.Result, shards, s int, cfg core.BuildConfig) (*part, error) {
 	p := &part{
 		globalIDs: make(map[int][]int, len(gr.Lengths)),
 		sortedIDs: make(map[int][]int, len(gr.Lengths)),
@@ -277,11 +333,11 @@ func buildPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts query
 		p.owned[l] = owned
 	}
 
-	base, err := rspace.New(p.sub(data, s), res, rspace.Options{})
+	base, err := rspace.New(p.sub(data, s), res, rspace.Options{TopK: cfg.DcTopK})
 	if err != nil {
 		return nil, err
 	}
-	return p.finish(base, qopts)
+	return p.finish(base, cfg.Query)
 }
 
 // collectSeries fills p.series with the shard's series (ascending global
@@ -353,7 +409,7 @@ func restrictMembers(g *grouping.Group, shards, s int, localOf map[int]int) []gr
 // The shard's series membership only grows (new ids hash in above all old
 // ids), so the previous local series order is a prefix of the new one and
 // every reused member index stays valid.
-func refreshPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts query.Options,
+func refreshPart(data *ts.Dataset, gr *grouping.Result, shards, s int, cfg core.BuildConfig,
 	prev *part, delta *grouping.Delta) (*part, error) {
 
 	p := &part{
@@ -442,9 +498,9 @@ func refreshPart(data *ts.Dataset, gr *grouping.Result, shards, s int, qopts que
 		localDelta.Touched[l] = localTouched
 	}
 
-	base, err := rspace.Refresh(p.sub(data, s), res, rspace.Options{}, prev.base, localDelta)
+	base, err := rspace.Refresh(p.sub(data, s), res, rspace.Options{TopK: cfg.DcTopK}, prev.base, localDelta)
 	if err != nil {
 		return nil, err
 	}
-	return p.finish(base, qopts)
+	return p.finish(base, cfg.Query)
 }

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"onex/internal/core"
 	"onex/internal/query"
+	"onex/internal/rspace"
 	"onex/internal/ts"
 )
 
@@ -314,7 +316,7 @@ func TestRefreshPartBitIdentical(t *testing.T) {
 			}
 		}
 		for s, got := range e.parts {
-			want, err := buildPart(e.data, e.grouped, e.shards, s, cfg.Query)
+			want, err := buildPart(e.data, e.grouped, e.shards, s, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -375,13 +377,63 @@ func comparePartState(t *testing.T, step, s int, got, want *part) {
 			if got.owned[l][gi] != want.owned[l][wi] {
 				t.Fatalf("step %d shard %d length %d group %d: ownership diverged", step, s, l, k)
 			}
-			// Dc row against every other global pair.
+			// Sparse Dc row: the retained neighbor distances are a pure
+			// function of the row (its k smallest), so the sorted value
+			// lists must match bit for bit even though local indices (and
+			// hence tie-breaks) differ between the two derivations.
+			gds := retainedDists(ge.TopK[gi])
+			wds := retainedDists(we.TopK[wi])
+			if len(gds) != len(wds) {
+				t.Fatalf("step %d shard %d length %d group %d: %d vs %d retained neighbors",
+					step, s, l, k, len(gds), len(wds))
+			}
+			for v := range gds {
+				if gds[v] != wds[v] {
+					t.Fatalf("step %d shard %d length %d group %d: retained Dc values diverged: %v vs %v",
+						step, s, l, k, gds[v], wds[v])
+				}
+			}
+			// And where both sides retain the same global pair, the looked-up
+			// values must agree exactly.
 			for wj, k2 := range want.globalIDs[l] {
-				if ge.Dc[gi][gLoc[k2]] != we.Dc[wi][wj] {
+				wd, wok := lookupDc(we, wi, wj)
+				gd, gok := lookupDc(ge, gi, gLoc[k2])
+				if wok && gok && wd != gd {
 					t.Fatalf("step %d shard %d length %d: Dc(%d,%d) diverged: %v vs %v",
-						step, s, l, k, k2, ge.Dc[gi][gLoc[k2]], we.Dc[wi][wj])
+						step, s, l, k, k2, gd, wd)
 				}
 			}
 		}
 	}
+}
+
+// retainedDists returns the distances of a sparse Dc row, sorted ascending.
+// The lists are already stored sorted by (distance, index); re-sorting by
+// value alone makes the comparison independent of local index assignment.
+func retainedDists(row []rspace.Neighbor) []float64 {
+	ds := make([]float64, len(row))
+	for i, n := range row {
+		ds[i] = n.D
+	}
+	sort.Float64s(ds)
+	return ds
+}
+
+// lookupDc mirrors the sparse symmetric lookup: Dc(i,j) is known if either
+// row retained the other as a neighbor.
+func lookupDc(e *rspace.LengthEntry, i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	for _, n := range e.TopK[i] {
+		if n.To == j {
+			return n.D, true
+		}
+	}
+	for _, n := range e.TopK[j] {
+		if n.To == i {
+			return n.D, true
+		}
+	}
+	return 0, false
 }

@@ -42,15 +42,25 @@ type Options struct {
 	// RangeSearch(Exact), Seasonal, batches — are identical at every shard
 	// count: the similarity grouping is computed globally and the
 	// scatter-gather replays the single-engine decision procedure, so like
-	// Parallelism this is a scale/latency knob, not a semantics knob.
-	// Two exceptions, both outside the query classes: threshold adaptation
-	// (WithThreshold) requires an unsharded base, and the SP-Space guidance
-	// surface — RecommendThreshold, DegreeOf, Stats.STHalf/STFinal — is
-	// aggregated from the per-shard merge structures on a sharded base (the
-	// exact global values need the full O(g²) inter-representative matrix
-	// the sharded layout deliberately never materializes), so those guidance
-	// ranges can differ between layouts.
+	// Parallelism this is a scale/latency knob, not a semantics knob. The
+	// SP-Space guidance surface — RecommendThreshold, DegreeOf,
+	// Stats.STHalf/STFinal — is likewise computed from the one global
+	// grouping (with on-demand inter-representative distances, so no global
+	// O(g²) matrix is ever materialized) and is bit-identical at every shard
+	// count. The one exception, outside the query classes: threshold
+	// adaptation (WithThreshold) requires an unsharded base.
 	Shards int
+	// DcTopK bounds how many nearest-neighbor inter-representative distance
+	// (Dc) entries each representative retains per indexed length: the index
+	// keeps, per representative, only the k smallest entries of its Dc row
+	// (plus the exact row sum), so Dc memory is O(groups·k) instead of
+	// O(groups²). 0 selects the default retention (currently 32); negative
+	// retains every entry — the dense-equivalent layout. Purely a memory
+	// knob: every query answer, recommendation and maintenance result is
+	// bit-identical at every setting, because the query paths never read the
+	// stored Dc entries — only state derived exactly at build time (see the
+	// "Index memory" section of the package documentation).
+	DcTopK int
 	// RebuildDrift tunes the amortized rebuild policy of incremental
 	// maintenance (Append and Extend): when the fraction of indexed
 	// subsequences that joined incrementally (since the last full offline
@@ -106,6 +116,7 @@ func (o Options) toCore() (core.BuildConfig, error) {
 		Lengths:      o.Lengths,
 		Seed:         o.Seed,
 		Workers:      workers,
+		DcTopK:       o.DcTopK,
 		RebuildDrift: o.RebuildDrift,
 		Normalize:    core.NormalizeMode(o.Normalize),
 		Progress:     o.Progress,

@@ -1,0 +1,177 @@
+package onex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestSparseDenseEquivalenceProperty is the package-level exactness proof of
+// the sparse top-k Dc index: for every query family the public API exposes —
+// BestMatch (any and exact mode), BestKMatches, RangeSearch and
+// RangeSearchExact, Seasonal/SeasonalAll, RecommendThreshold, DegreeOf and
+// the Stats critical thresholds — the answers under the default sparse
+// retention (DcTopK=0), an aggressive k=1 retention, and the dense-equivalent
+// layout (DcTopK=-1) must be identical BIT FOR BIT, across sequential and
+// parallel execution and across unsharded and sharded layouts. The stored Dc
+// entries are never read on a query path — everything a query consumes is
+// derived exactly at build time — so retention is a memory knob only; this
+// suite is the regression fence for that argument.
+func TestSparseDenseEquivalenceProperty(t *testing.T) {
+	series := walkSeries(12, 56, 1137)
+	lengths := []int{8, 16, 24}
+
+	queries := [][]float64{
+		append([]float64(nil), series[3].Values[9:25]...), // in-dataset window
+		walkSeries(1, 16, 2025)[0].Values,                 // out-of-dataset walk
+		walkSeries(1, 24, 7)[0].Values,                    // longer out-of-dataset
+	}
+
+	for _, shards := range []int{1, 3} {
+		for _, par := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards%d/par%d", shards, par), func(t *testing.T) {
+				opts := Options{
+					ST:          0.3,
+					Lengths:     lengths,
+					Seed:        5,
+					Parallelism: par,
+					Shards:      shards,
+				}
+				build := func(topk int) *Base {
+					o := opts
+					o.DcTopK = topk
+					b, err := Build("fixture", series, o)
+					if err != nil {
+						t.Fatalf("Build(DcTopK=%d): %v", topk, err)
+					}
+					return b
+				}
+				dense := build(-1)
+				for _, topk := range []int{0, 1} {
+					sparse := build(topk)
+					compareBases(t, dense, sparse, queries, lengths)
+
+					// Sparse retention must actually shrink the index: the
+					// memory knob does its job even while answers are fixed.
+					if ds, ss := dense.Stats().IndexBytes, sparse.Stats().IndexBytes; ss > ds {
+						t.Errorf("DcTopK=%d index (%d B) larger than dense (%d B)", topk, ss, ds)
+					}
+				}
+			})
+		}
+	}
+}
+
+// compareBases asserts bit-identical answers from every query family.
+func compareBases(t *testing.T, a, b *Base, queries [][]float64, lengths []int) {
+	t.Helper()
+
+	for qi, q := range queries {
+		for _, mode := range []MatchMode{MatchAny, MatchExact} {
+			am, aerr := a.BestMatch(q, mode)
+			bm, berr := b.BestMatch(q, mode)
+			if (aerr == nil) != (berr == nil) {
+				t.Fatalf("q%d BestMatch(%v) errors diverged: %v vs %v", qi, mode, aerr, berr)
+			}
+			if aerr == nil && !sameMatch(am, bm) {
+				t.Fatalf("q%d BestMatch(%v) diverged: %+v vs %+v", qi, mode, am, bm)
+			}
+
+			ak, aerr := a.BestKMatches(q, mode, 4)
+			bk, berr := b.BestKMatches(q, mode, 4)
+			if (aerr == nil) != (berr == nil) || len(ak) != len(bk) {
+				t.Fatalf("q%d BestKMatches(%v) shape diverged: %d/%v vs %d/%v",
+					qi, mode, len(ak), aerr, len(bk), berr)
+			}
+			for i := range ak {
+				if !sameMatch(ak[i], bk[i]) {
+					t.Fatalf("q%d BestKMatches(%v)[%d] diverged: %+v vs %+v", qi, mode, i, ak[i], bk[i])
+				}
+			}
+		}
+
+		for _, exact := range []bool{false, true} {
+			search := (*Base).RangeSearch
+			if exact {
+				search = (*Base).RangeSearchExact
+			}
+			ar, aerr := search(a, q, len(q), 0.35)
+			br, berr := search(b, q, len(q), 0.35)
+			if (aerr == nil) != (berr == nil) || len(ar) != len(br) {
+				t.Fatalf("q%d RangeSearch(exact=%v) shape diverged: %d/%v vs %d/%v",
+					qi, exact, len(ar), aerr, len(br), berr)
+			}
+			canonRange(ar)
+			canonRange(br)
+			for i := range ar {
+				if ar[i].SeriesID != br[i].SeriesID || ar[i].Start != br[i].Start ||
+					ar[i].Length != br[i].Length || ar[i].Guaranteed != br[i].Guaranteed ||
+					ar[i].Distance != br[i].Distance {
+					t.Fatalf("q%d RangeSearch(exact=%v)[%d] diverged: %+v vs %+v",
+						qi, exact, i, ar[i], br[i])
+				}
+			}
+		}
+	}
+
+	for _, l := range lengths {
+		ap, aerr := a.SeasonalAll(l)
+		bp, berr := b.SeasonalAll(l)
+		if (aerr == nil) != (berr == nil) || len(ap) != len(bp) {
+			t.Fatalf("SeasonalAll(%d) shape diverged: %d/%v vs %d/%v", l, len(ap), aerr, len(bp), berr)
+		}
+		for i := range ap {
+			if len(ap[i].Occurrences) != len(bp[i].Occurrences) {
+				t.Fatalf("SeasonalAll(%d) pattern %d occurrence counts diverged", l, i)
+			}
+			for j := range ap[i].Occurrences {
+				if ap[i].Occurrences[j] != bp[i].Occurrences[j] {
+					t.Fatalf("SeasonalAll(%d) pattern %d occurrence %d diverged", l, i, j)
+				}
+			}
+		}
+	}
+
+	// Guidance surface: thresholds and recommendations are bit-equal.
+	as, bs := a.Stats(), b.Stats()
+	if as.STHalf != bs.STHalf || as.STFinal != bs.STFinal {
+		t.Fatalf("critical thresholds diverged: (%v,%v) vs (%v,%v)",
+			as.STHalf, as.STFinal, bs.STHalf, bs.STFinal)
+	}
+	for _, l := range append([]int{-1}, lengths...) {
+		for _, d := range []Degree{Strict, Medium, Loose} {
+			ar, aerr := a.RecommendThreshold(d, l)
+			br, berr := b.RecommendThreshold(d, l)
+			if (aerr == nil) != (berr == nil) || ar != br {
+				t.Fatalf("RecommendThreshold(%v,%d) diverged: %v/%v vs %v/%v", d, l, ar, aerr, br, berr)
+			}
+		}
+	}
+	for _, p := range []float64{0, 1e-9, as.STHalf, math.Nextafter(as.STHalf, 2), as.STFinal, as.STFinal * 2} {
+		if ad, bd := a.DegreeOf(p), b.DegreeOf(p); ad != bd {
+			t.Fatalf("DegreeOf(%v) diverged: %v vs %v", p, ad, bd)
+		}
+	}
+}
+
+// sameMatch is bitwise match equality (Distance compared with ==, not a
+// tolerance).
+func sameMatch(a, b Match) bool {
+	return a.SeriesID == b.SeriesID && a.Start == b.Start &&
+		a.Length == b.Length && a.Distance == b.Distance
+}
+
+// canonRange orders range results by location so set equality can be
+// asserted position by position.
+func canonRange(rs []RangeMatch) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].SeriesID != rs[j].SeriesID {
+			return rs[i].SeriesID < rs[j].SeriesID
+		}
+		if rs[i].Start != rs[j].Start {
+			return rs[i].Start < rs[j].Start
+		}
+		return rs[i].Length < rs[j].Length
+	})
+}
