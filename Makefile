@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmt-check vet build test bench serve-smoke obs-smoke bench-serve bench-parallel bench-stream bench-shard bench-load bench-kernel lint coverage ci
+.PHONY: fmt fmt-check vet build test bench serve-smoke obs-smoke dist-smoke bench-serve bench-parallel bench-stream bench-shard bench-load bench-kernel bench-dist lint coverage ci
 
 fmt: ## Reformat all Go sources in place
 	gofmt -w .
@@ -34,6 +34,9 @@ serve-smoke: ## Boot onex-server, drive the v1 API end to end (CI's serve-smoke 
 obs-smoke: ## Boot onex-server with tracing/logging/pprof on and verify the observability surface
 	sh scripts/obs_smoke.sh
 
+dist-smoke: ## Boot 2 shard workers + coordinator, cross-check answers vs local references (incl. worker restart)
+	sh scripts/dist_smoke.sh
+
 bench-serve: ## Emit BENCH_serve.json: cold vs cached /match latency over HTTP
 	ONEX_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test ./internal/api -run '^TestEmitServeBench$$' -v -count=1
@@ -58,6 +61,10 @@ bench-kernel: ## Emit BENCH_kernel.json: fused vs reference DTW kernel, 1 gorout
 	$(GO) run ./cmd/onex-bench -exp kernel -repeats 5 \
 		-kernel-out $(CURDIR)/BENCH_kernel.json
 
+bench-dist: ## Emit BENCH_dist.json: local vs worker-served shard transport latency sweep
+	$(GO) run ./cmd/onex-bench -exp dist \
+		-dist-out $(CURDIR)/BENCH_dist.json
+
 # Static analysis beyond go vet (CI's lint job runs this target, so the
 # tool versions are pinned here alone). Tools are fetched on demand.
 STATICCHECK_VERSION = 2024.1.1
@@ -81,4 +88,4 @@ coverage: ## Enforce ≥ 70% statement coverage on query+grouping+parallel+shard
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min) ? 1 : 0 }' \
 		|| { echo "coverage $$total% is below $(COVER_MIN)%" >&2; exit 1; }
 
-ci: fmt-check vet lint build test bench coverage serve-smoke obs-smoke ## The full local gate, same checks as CI
+ci: fmt-check vet lint build test bench coverage serve-smoke obs-smoke dist-smoke ## The full local gate, same checks as CI

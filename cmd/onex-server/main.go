@@ -8,13 +8,19 @@
 //	onex-server [-addr :8080] [-data file.tsv | -generate ECG] [-st 0.2]
 //	            [-lengths 16] [-scale 0.25] [-seed 1]
 //	            [-snapshot-dir dir] [-cache-entries 1024] [-build-workers 2]
+//	            [-shard-workers http://w1:9102,http://w2:9102]
 //	            [-job-workers 2] [-max-jobs 1024] [-job-ttl 10m] [-legacy]
 //	            [-log-level info] [-log-format text] [-slow-query 0]
 //	            [-pprof]
+//	onex-server -role worker [-addr :9102] [-log-level info] [-log-format text]
 //
-// The flags describe the default dataset, registered at startup. See
-// README.md in this directory for a surface overview and docs/api.md for
-// the endpoint reference.
+// The flags describe the default dataset, registered at startup. With
+// -role worker the binary instead serves the stateless shard-worker
+// protocol (internal/shardrpc): a coordinator started with -shard-workers
+// (or a /v1/datasets registration naming shardWorkers) ships per-shard
+// state to the workers and scatters queries to them; answers are
+// bit-identical to in-process serving. See README.md in this directory for
+// a surface overview and docs/api.md for the endpoint reference.
 package main
 
 import (
@@ -25,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"onex/internal/api"
+	"onex/internal/shardrpc"
 )
 
 // buildLogger turns the -log-level/-log-format flags into the process-wide
@@ -63,9 +71,38 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 	return logger, nil
 }
 
+// serve runs hs until it fails or the process receives SIGINT/SIGTERM, then
+// drains it; onShutdown (optional) runs after the listener stops accepting.
+func serve(hs *http.Server, logger *slog.Logger, onShutdown func()) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		logger.Error("onex-server: serve", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("onex-server: shutting down (draining in-flight requests)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("onex-server: shutdown", "error", err)
+		}
+		if onShutdown != nil {
+			onShutdown()
+		}
+	}
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		role         = flag.String("role", "coordinator", `"coordinator" serves the /v1 query surface; "worker" serves the shard-worker protocol (stateless until a coordinator ships shards)`)
+		shardWorkers = flag.String("shard-workers", "",
+			"comma-separated worker base URLs serving the default dataset's shards (empty = in-process)")
 		dataPath     = flag.String("data", "", "UCR-format dataset file for the default dataset")
 		genName      = flag.String("generate", "ECG", "synthetic dataset to generate when -data is unset")
 		st           = flag.Float64("st", 0.2, "similarity threshold of the default dataset")
@@ -100,10 +137,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	switch *role {
+	case "worker":
+		worker := shardrpc.NewWorker(logger)
+		logger.Info("onex-server: worker ready (no shards yet — a coordinator ships them)",
+			"addr", *addr)
+		serve(&http.Server{
+			Addr:              *addr,
+			Handler:           worker.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			// No ReadTimeout: shard shipments can be large and the protocol
+			// is coordinator-to-worker only (not exposed to tenants).
+			WriteTimeout: 120 * time.Second,
+			IdleTimeout:  120 * time.Second,
+		}, logger, nil)
+		return
+	case "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "onex-server: -role must be coordinator or worker (got %q)\n", *role)
+		os.Exit(2)
+	}
+
+	var workers []string
+	if *shardWorkers != "" {
+		for _, u := range strings.Split(*shardWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, u)
+			}
+		}
+	}
+
 	srv, err := api.New(api.Config{
 		DataPath: *dataPath, Generator: *genName, ST: *st, Lengths: *lengths,
 		Scale: *scale, Seed: *seed, Parallelism: *parallelism, Shards: *shards,
-		SnapshotDir: *snapshotDir, CacheEntries: *cacheEntries,
+		ShardWorkers: workers,
+		SnapshotDir:  *snapshotDir, CacheEntries: *cacheEntries,
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
 		Legacy: *legacy, JobWorkers: *jobWorkers, MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		Logger: logger, SlowQuery: *slowQuery, Pprof: *pprofFlag,
@@ -121,32 +189,12 @@ func main() {
 		"addr", *addr,
 		"pprof", *pprofFlag)
 
-	hs := &http.Server{
+	serve(&http.Server{
 		Addr:              *addr,
 		Handler:           srv.Routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      120 * time.Second,
 		IdleTimeout:       120 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-
-	select {
-	case err := <-errCh:
-		logger.Error("onex-server: serve", "error", err)
-		os.Exit(1)
-	case <-ctx.Done():
-		stop()
-		logger.Info("onex-server: shutting down (draining in-flight queries, aborting jobs)")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(shutdownCtx); err != nil {
-			logger.Warn("onex-server: shutdown", "error", err)
-		}
-		srv.Close() // aborts in-flight jobs and builds cleanly
-	}
+	}, logger, srv.Close) // Close aborts in-flight jobs and builds cleanly
 }

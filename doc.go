@@ -165,6 +165,33 @@
 // for the hub driven directly from Go. The serve-smoke CI job (also
 // `make serve-smoke`) boots the server end to end, and `make bench-serve`
 // emits BENCH_serve.json comparing cold vs cached /match latency.
+//
+// # Distributed serving
+//
+// Every shard interaction inside the scatter-gather engine goes through
+// one seam, query.ShardTransport (Info / ScanBest / ScanFixed /
+// EvalMembers / Range / Stats / Close). The in-process engine is the
+// `local` transport (query.LocalShard); internal/shardrpc supplies the
+// `remote` one: `onex-server -role worker` serves per-shard REST
+// endpoints, and the coordinator — given Options.ShardWorkers (or the
+// server's -shard-workers flag) — computes the global grouping once,
+// ships each shard's series and owned groups to a worker keyed by
+// (dataset, generation, shard), and fans queries out with the same
+// bounds-as-hints protocol the local path uses. Because the coordinator
+// replays the monolithic decision procedure over transport answers, and
+// ±Inf-capable floats travel as math.Float64bits, a worker-served base
+// answers the full query mix bit-identically to the in-process engine —
+// including through mid-query worker restarts: shipping is idempotent on
+// the (dataset, generation, shard) key, so a client that sees
+// 404/unknown_generation re-ships the spec and retries, with per-call
+// timeouts and bounded backoff throughout (a worker down past the retry
+// budget surfaces as shardrpc.ErrUnavailable → HTTP 503). The remote
+// equivalence property suite in internal/shard locks all of this in
+// across parallelism and shard-count layouts under -race, worker
+// kill/restart included. See docs/api.md for the worker wire protocol
+// and cmd/onex-server/README.md for running a worker fleet;
+// `make dist-smoke` boots two workers plus a coordinator and
+// cross-checks answers against an unsharded server end to end.
 package onex
 
 // Paper-to-code glossary. The implementation follows the paper's notation

@@ -64,7 +64,7 @@ func main() {
 		q[i] = math.Sin(2 * math.Pi * float64(i) / 16)
 	}
 	for i := 0; i < 2; i++ {
-		ms, err := sensors.Match(q, onex.MatchAny, 1)
+		ms, err := sensors.Match(context.Background(), q, onex.MatchAny, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

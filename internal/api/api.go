@@ -60,7 +60,13 @@ type Config struct {
 	Parallelism int
 	// Shards is the default dataset's intra-dataset shard count
 	// (0/1 = unsharded; answers are identical at every count).
-	Shards       int
+	Shards int
+	// ShardWorkers lists remote worker base URLs serving the default
+	// dataset's shards over the worker protocol (internal/shardrpc); shard s
+	// goes to worker s mod len(ShardWorkers). Empty keeps every shard
+	// in-process. Answers are bit-identical either way. Operator-controlled
+	// like DataPath, so not subject to AllowFS.
+	ShardWorkers []string
 	SnapshotDir  string
 	CacheEntries int
 	BuildWorkers int
@@ -141,9 +147,10 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	spec := hub.Spec{
-		Scale:       cfg.Scale,
-		Seed:        cfg.Seed,
-		Opts:        onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism, Shards: cfg.Shards},
+		Scale: cfg.Scale,
+		Seed:  cfg.Seed,
+		Opts: onex.Options{ST: cfg.ST, Seed: cfg.Seed, Parallelism: cfg.Parallelism,
+			Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers},
 		LengthCount: cfg.Lengths,
 	}
 	name := cfg.Generator

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 
@@ -45,8 +46,11 @@ func checkCanceled(jc *jobs.Context) bool { return jc != nil && jc.Canceled() }
 
 // runMatchBatch executes match/k-NN items through the hub's batch path
 // (shared scatter executor and result cache) in jobChunk slices, reporting
-// progress and honoring cancellation between slices.
-func runMatchBatch(ds *hub.Dataset, items []matchItem, withValues bool, jc *jobs.Context) (any, error) {
+// progress and honoring cancellation between slices. ctx carries the
+// request id to remote shard workers and bounds their RPCs: synchronous
+// handlers pass the request context, job bodies a detached one (the
+// originating request ends at the 202).
+func runMatchBatch(ctx context.Context, ds *hub.Dataset, items []matchItem, withValues bool, jc *jobs.Context) (any, error) {
 	out := make([]batchItemOut, len(items))
 	// Validate everything first so a bad item costs nothing.
 	qs := make([]onex.KNNQuery, len(items))
@@ -76,7 +80,7 @@ func runMatchBatch(ds *hub.Dataset, items []matchItem, withValues bool, jc *jobs
 			}
 		}
 		if len(chunk) > 0 {
-			rs, err := ds.KNNBatch(chunk)
+			rs, err := ds.KNNBatch(ctx, chunk)
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +101,7 @@ func runMatchBatch(ds *hub.Dataset, items []matchItem, withValues bool, jc *jobs
 }
 
 // runRangeBatch is runMatchBatch for the range family.
-func runRangeBatch(ds *hub.Dataset, items []rangeItem, jc *jobs.Context) (any, error) {
+func runRangeBatch(ctx context.Context, ds *hub.Dataset, items []rangeItem, jc *jobs.Context) (any, error) {
 	out := make([]batchItemOut, len(items))
 	qs := make([]onex.RangeQuery, len(items))
 	for i, it := range items {
@@ -111,7 +115,7 @@ func runRangeBatch(ds *hub.Dataset, items []rangeItem, jc *jobs.Context) (any, e
 			return nil, jobs.ErrCanceled
 		}
 		hi := min(lo+jobChunk, len(items))
-		rs, err := ds.RangeBatch(qs[lo:hi])
+		rs, err := ds.RangeBatch(ctx, qs[lo:hi])
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +210,7 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, badRequest("queries must be an array of query objects"))
 			return
 		}
-		s.legacyMatchBatch(w, ds, legacy, req.Mode, withValues)
+		s.legacyMatchBatch(w, r, ds, legacy, req.Mode, withValues)
 		return
 	}
 	if req.Mode != "" {
@@ -217,7 +221,7 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("queries must be non-empty"))
 		return
 	}
-	out, err := runMatchBatch(ds, items, withValues, nil)
+	out, err := runMatchBatch(r.Context(), ds, items, withValues, nil)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -227,7 +231,7 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 
 // legacyMatchBatch answers the deprecated match/batch shape exactly as
 // before the uniform envelope existed.
-func (s *Server) legacyMatchBatch(w http.ResponseWriter, ds *hub.Dataset, queries [][]float64, modeStr string, withValues bool) {
+func (s *Server) legacyMatchBatch(w http.ResponseWriter, r *http.Request, ds *hub.Dataset, queries [][]float64, modeStr string, withValues bool) {
 	mode, err := parseMode(modeStr)
 	if err != nil {
 		writeErr(w, err)
@@ -237,7 +241,7 @@ func (s *Server) legacyMatchBatch(w http.ResponseWriter, ds *hub.Dataset, querie
 		writeErr(w, badRequest("queries must be non-empty"))
 		return
 	}
-	rs, err := ds.MatchBatch(queries, mode)
+	rs, err := ds.MatchBatch(r.Context(), queries, mode)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -280,7 +284,7 @@ func (s *Server) handleRangeBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("queries must be non-empty"))
 		return
 	}
-	out, err := runRangeBatch(ds, req.Queries, nil)
+	out, err := runRangeBatch(r.Context(), ds, req.Queries, nil)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -9,6 +9,7 @@ import (
 	"onex"
 	"onex/internal/hub"
 	"onex/internal/jobs"
+	"onex/internal/shardrpc"
 )
 
 // Machine-readable error codes, carried in every error envelope's "code"
@@ -67,7 +68,11 @@ func classify(err error) (status int, code string) {
 	case errors.Is(err, jobs.ErrCanceled):
 		return http.StatusServiceUnavailable, CodeCanceled
 	case errors.Is(err, jobs.ErrTableFull), errors.Is(err, jobs.ErrClosed),
-		errors.Is(err, hub.ErrClosed), errors.Is(err, onex.ErrBuildCanceled):
+		errors.Is(err, hub.ErrClosed), errors.Is(err, onex.ErrBuildCanceled),
+		errors.Is(err, shardrpc.ErrUnavailable):
+		// A shard worker that stays unreachable through the retry budget is a
+		// (hopefully transient) serving-infrastructure failure: 503 so clients
+		// retry, never 400.
 		// A drift-triggered rebuild inside an append/extend handler aborts
 		// with ErrBuildCanceled when the hub shuts down mid-request — a
 		// server condition, not a client error. Likewise a full job table.

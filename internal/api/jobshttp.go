@@ -2,12 +2,21 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 
 	"onex/internal/jobs"
 	"onex/internal/obs"
 )
+
+// jobContext builds the context a job body runs under: detached from the
+// originating request (which ends at the 202-accepted response) but still
+// carrying its request id, so outbound shard-worker calls stay correlated
+// with the submission in worker logs.
+func jobContext(reqID string) context.Context {
+	return obs.ContextWithRequestID(context.Background(), reqID)
+}
 
 // jobView is a job snapshot plus the uniform error fields for terminal
 // failures — the body of every /v1/jobs response.
@@ -111,8 +120,9 @@ func (s *Server) handleMatchJob(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, badRequest("queries must be non-empty"))
 			return
 		}
+		ctx := jobContext(requestIDFrom(r.Context()))
 		s.submitJob(w, "match", ds.Name(), func(jc *jobs.Context) (any, error) {
-			return runMatchBatch(ds, items, withValues, jc)
+			return runMatchBatch(ctx, ds, items, withValues, jc)
 		})
 		return
 	}
@@ -132,7 +142,7 @@ func (s *Server) handleMatchJob(w http.ResponseWriter, r *http.Request) {
 	s.submitJob(w, "match", ds.Name(), func(jc *jobs.Context) (any, error) {
 		return runSingle(jc, func() (any, error) {
 			tr := obs.NewTrace(reqID)
-			ms, err := ds.MatchObserved(kq.Query, kq.Mode, kq.K, tr)
+			ms, err := ds.MatchObserved(jobContext(reqID), kq.Query, kq.Mode, kq.K, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -169,8 +179,9 @@ func (s *Server) handleRangeJob(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, badRequest("queries must be non-empty"))
 			return
 		}
+		ctx := jobContext(requestIDFrom(r.Context()))
 		s.submitJob(w, "range", ds.Name(), func(jc *jobs.Context) (any, error) {
-			return runRangeBatch(ds, req.Queries, jc)
+			return runRangeBatch(ctx, ds, req.Queries, jc)
 		})
 		return
 	}
@@ -185,7 +196,7 @@ func (s *Server) handleRangeJob(w http.ResponseWriter, r *http.Request) {
 	s.submitJob(w, "range", ds.Name(), func(jc *jobs.Context) (any, error) {
 		return runSingle(jc, func() (any, error) {
 			tr := obs.NewTrace(reqID)
-			ms, err := ds.RangeObserved(req.Query, req.Length, req.Radius, req.Exact, tr)
+			ms, err := ds.RangeObserved(jobContext(reqID), req.Query, req.Length, req.Radius, req.Exact, tr)
 			if err != nil {
 				return nil, err
 			}

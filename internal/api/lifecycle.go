@@ -57,8 +57,14 @@ type registerRequest struct {
 	// inter-representative distance index (0 = the engine default of 32;
 	// negative = dense-equivalent). Purely a memory knob: answers are
 	// bit-identical at every setting.
-	DcTopK int  `json:"dcTopK"`
-	Wait   bool `json:"wait"`
+	DcTopK int `json:"dcTopK"`
+	// ShardWorkers lists remote worker base URLs serving the dataset's
+	// shards over the worker protocol (shard s goes to worker s mod len).
+	// Answers stay bit-identical to in-process serving. Like path/snapshot
+	// sources, the field makes the server open outbound connections to
+	// operator-named addresses and is therefore gated behind -allow-fs.
+	ShardWorkers []string `json:"shardWorkers"`
+	Wait         bool     `json:"wait"`
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +103,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			"filesystem sources (path/snapshot) are disabled; start the server with -allow-fs"})
 		return
 	}
+	if len(req.ShardWorkers) > 0 && !s.allowFS {
+		writeErr(w, apiError{http.StatusForbidden, CodeForbidden,
+			"shardWorkers is disabled (it opens outbound worker connections); start the server with -allow-fs"})
+		return
+	}
+	for _, u := range req.ShardWorkers {
+		if u == "" {
+			writeErr(w, badRequest("shardWorkers entries must be non-empty base URLs"))
+			return
+		}
+	}
 	st := req.ST
 	if st == 0 && req.Snapshot == "" {
 		st = 0.2 // the paper's sweet spot (Sec. 6.3)
@@ -106,12 +123,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		lengths = 16
 	}
 	spec := hub.Spec{
-		Generator:   req.Generator,
-		Path:        req.Path,
-		Snapshot:    req.Snapshot,
-		Scale:       req.Scale,
-		Seed:        req.Seed,
-		Opts:        onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism, Shards: req.Shards, DcTopK: req.DcTopK},
+		Generator: req.Generator,
+		Path:      req.Path,
+		Snapshot:  req.Snapshot,
+		Scale:     req.Scale,
+		Seed:      req.Seed,
+		Opts: onex.Options{ST: st, Seed: req.Seed, Parallelism: req.Parallelism,
+			Shards: req.Shards, DcTopK: req.DcTopK, ShardWorkers: req.ShardWorkers},
 		LengthCount: lengths,
 	}
 	for _, sr := range req.Series {

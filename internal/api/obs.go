@@ -17,17 +17,11 @@ import (
 // slowLogCap bounds the slow-query buffer behind GET /v1/debug/slow.
 const slowLogCap = 64
 
-// ctxKey is the private context-key namespace for request-scoped values.
-type ctxKey int
-
-const requestIDKey ctxKey = iota
-
 // requestIDFrom returns the request id the middleware minted (or honored
 // from an inbound X-Request-Id); "" outside the middleware (tests calling
 // handlers directly).
 func requestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
+	return obs.RequestIDFromContext(ctx)
 }
 
 // statusRecorder captures the response status (and the machine-readable
@@ -104,7 +98,7 @@ func (s *Server) timed(pattern string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-Id", reqID)
 		rec := &statusRecorder{ResponseWriter: w}
-		h(rec, r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID)))
+		h(rec, r.WithContext(obs.ContextWithRequestID(r.Context(), reqID)))
 		d := time.Since(start)
 		s.metrics.Observe(pattern, d)
 		if rec.status == 0 {

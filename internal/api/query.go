@@ -96,7 +96,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	withValues := r.URL.Query().Get("values") == "true"
 	tr := obs.NewTrace(requestIDFrom(r.Context()))
-	ms, err := ds.MatchObserved(kq.Query, kq.Mode, kq.K, tr)
+	ms, err := ds.MatchObserved(r.Context(), kq.Query, kq.Mode, kq.K, tr)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -148,7 +148,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := obs.NewTrace(requestIDFrom(r.Context()))
-	ms, err := ds.RangeObserved(req.Query, req.Length, req.Radius, req.Exact, tr)
+	ms, err := ds.RangeObserved(r.Context(), req.Query, req.Length, req.Radius, req.Exact, tr)
 	if err != nil {
 		writeErr(w, err)
 		return

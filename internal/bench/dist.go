@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"onex/internal/core"
+	"onex/internal/dataset"
+	"onex/internal/query"
+	"onex/internal/shard"
+	"onex/internal/shardrpc"
+)
+
+// DistReport is the machine-readable payload of the distributed transport
+// sweep (BENCH_dist.json): the same dataset served by the in-process
+// (`local`) and worker-backed (`remote`) shard transports at each shard
+// count, timing the offline build+ship and the single/batch/k-NN query
+// paths. The workers are real shardrpc HTTP servers on loopback listeners
+// — the measured overhead is the full wire cost (JSON round trips, bound
+// hints, merge) minus only true network distance. Equivalent records that
+// every remote answer was bit-identical to its local counterpart (the
+// transport contract; exact equality, not a tolerance).
+type DistReport struct {
+	GeneratedAt string `json:"generatedAt"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+
+	Series  int     `json:"series"`
+	Lengths []int   `json:"lengths"`
+	ST      float64 `json:"st"`
+	Seed    int64   `json:"seed"`
+	Queries int     `json:"queries"`
+	Repeats int     `json:"repeats"`
+	Workers int     `json:"workers"`
+
+	Points []DistPoint `json:"points"`
+
+	// Equivalent records that every remote answer (BestMatch, batch, k-NN)
+	// at every shard count was bit-identical to the local transport's.
+	Equivalent bool `json:"equivalent"`
+
+	// WorstQueryOverhead is the largest remote/local single-query latency
+	// ratio across the sweep — the wire tax at its worst.
+	WorstQueryOverhead float64 `json:"worstQueryOverhead"`
+}
+
+// DistPoint is one sweep setting: one transport at one shard count.
+type DistPoint struct {
+	// Transport is "local" (in-process LocalShard) or "remote" (shardrpc
+	// clients against loopback workers).
+	Transport string `json:"transport"`
+	// Shards is the layout.
+	Shards int `json:"shards"`
+	// BuildSeconds is the best-of-Repeats time to build the engine — for
+	// the remote transport this includes shipping every shard's spec to
+	// its worker and the worker-side index builds.
+	BuildSeconds float64 `json:"buildSeconds"`
+	// QueryMillis / BatchMillis / KNNMillis mirror the shard sweep: mean
+	// per-query latencies of BestMatch, BestMatchBatch and BestKMatches(5).
+	QueryMillis float64 `json:"queryMillis"`
+	BatchMillis float64 `json:"batchMillis"`
+	KNNMillis   float64 `json:"knnMillis"`
+	// QueryOverhead / BatchOverhead / KNNOverhead are this point's
+	// latencies divided by the local transport's at the same shard count
+	// (1.0 for the local points themselves).
+	QueryOverhead float64 `json:"queryOverhead"`
+	BatchOverhead float64 `json:"batchOverhead"`
+	KNNOverhead   float64 `json:"knnOverhead"`
+}
+
+// distWorkers boots n shardrpc workers on loopback listeners and returns
+// their base URLs plus a shutdown func.
+func distWorkers(n int) ([]string, func(), error) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	urls := make([]string, 0, n)
+	servers := make([]*http.Server, 0, n)
+	stop := func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("bench: listen for dist worker: %w", err)
+		}
+		srv := &http.Server{Handler: shardrpc.NewWorker(logger).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		servers = append(servers, srv)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, stop, nil
+}
+
+// RunDistSweep serves one population through the local and remote shard
+// transports at shard counts 2 and 4 (plus the unsharded baseline) and
+// times build/ship and the query paths at each, verifying along the way
+// that every remote answer is bit-identical to the local one.
+func RunDistSweep(cfg Config) (*DistReport, []Table, error) {
+	cfg.fillDefaults()
+	n := int(float64(48) * cfg.Scale)
+	if n < 32 {
+		n = 32
+	}
+	lengths := []int{32, 48}
+	const workers = 2
+
+	rep := &DistReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Series:      n,
+		Lengths:     lengths,
+		ST:          cfg.ST,
+		Seed:        cfg.Seed,
+		Queries:     cfg.Queries,
+		Repeats:     cfg.Repeats,
+		Workers:     workers,
+		Equivalent:  true,
+	}
+
+	spec := dataset.ECG
+	if n < spec.N {
+		spec.N = n
+	}
+	data := spec.Generate(cfg.Seed)
+	if err := data.NormalizeMinMax(); err != nil {
+		return nil, nil, err
+	}
+	buildCfg := core.BuildConfig{
+		ST: cfg.ST, Lengths: lengths, Seed: cfg.Seed,
+		Normalize: core.NormalizeNone, // pre-normalized above
+	}
+	queries := parallelQueries(data, lengths, cfg.Queries, cfg.Seed)
+
+	urls, stopWorkers, err := distWorkers(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer stopWorkers()
+
+	type answer struct {
+		sid, start, length int
+		dist               float64
+	}
+	// The remote transport must reproduce the local engine's answers bit
+	// for bit — exact equality, no tolerance.
+	check := func(stage string, shards int, ref, got []answer) error {
+		if len(ref) != len(got) {
+			rep.Equivalent = false
+			return fmt.Errorf("bench: dist %s shards=%d: %d answers, want %d", stage, shards, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				rep.Equivalent = false
+				return fmt.Errorf("bench: dist %s shards=%d: answer %d diverged from local (%+v vs %+v)",
+					stage, shards, i, got[i], ref[i])
+			}
+		}
+		return nil
+	}
+
+	measure := func(eng *shard.Engine) (q, b, k float64, single, batch, knn []answer, err error) {
+		secs := math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			single = single[:0]
+			start := time.Now()
+			for _, qv := range queries {
+				m, err := eng.BestMatch(context.Background(), qv, query.MatchAny)
+				if err != nil {
+					return 0, 0, 0, nil, nil, nil, fmt.Errorf("bench: dist query: %w", err)
+				}
+				single = append(single, answer{m.SeriesID, m.Start, m.Length, m.Dist})
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		q = secs * 1000 / float64(len(queries))
+
+		secs = math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			batch = batch[:0]
+			start := time.Now()
+			for _, br := range eng.BestMatchBatch(context.Background(), queries, query.MatchAny) {
+				if br.Err != nil {
+					return 0, 0, 0, nil, nil, nil, br.Err
+				}
+				batch = append(batch, answer{br.Match.SeriesID, br.Match.Start, br.Match.Length, br.Match.Dist})
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		b = secs * 1000 / float64(len(queries))
+
+		secs = math.Inf(1)
+		for r := 0; r < cfg.Repeats; r++ {
+			knn = knn[:0]
+			start := time.Now()
+			for _, qv := range queries {
+				ms, err := eng.BestKMatches(context.Background(), qv, query.MatchAny, 5)
+				if err != nil {
+					return 0, 0, 0, nil, nil, nil, fmt.Errorf("bench: dist knn: %w", err)
+				}
+				for _, m := range ms {
+					knn = append(knn, answer{m.SeriesID, m.Start, m.Length, m.Dist})
+				}
+			}
+			if s := time.Since(start).Seconds(); s < secs {
+				secs = s
+			}
+		}
+		k = secs * 1000 / float64(len(queries))
+		return q, b, k, single, batch, knn, nil
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		if shards > data.N() {
+			break
+		}
+		var localPt DistPoint
+		var refSingle, refBatch, refKNN []answer
+		for _, transport := range []string{"local", "remote"} {
+			var workerURLs []string
+			if transport == "remote" {
+				workerURLs = urls
+			}
+			pt := DistPoint{Transport: transport, Shards: shards}
+
+			var eng *shard.Engine
+			pt.BuildSeconds = math.Inf(1)
+			for r := 0; r < cfg.Repeats; r++ {
+				if eng != nil {
+					eng.Close()
+				}
+				start := time.Now()
+				e, err := shard.Build(data, buildCfg, shards, workerURLs)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bench: dist build %s shards=%d: %w", transport, shards, err)
+				}
+				if s := time.Since(start).Seconds(); s < pt.BuildSeconds {
+					pt.BuildSeconds = s
+				}
+				eng = e
+			}
+
+			q, b, k, single, batch, knn, err := measure(eng)
+			eng.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			pt.QueryMillis, pt.BatchMillis, pt.KNNMillis = q, b, k
+
+			if transport == "local" {
+				localPt = pt
+				refSingle = append([]answer(nil), single...)
+				refBatch = append([]answer(nil), batch...)
+				refKNN = append([]answer(nil), knn...)
+				pt.QueryOverhead, pt.BatchOverhead, pt.KNNOverhead = 1, 1, 1
+			} else {
+				if err := check("query", shards, refSingle, single); err != nil {
+					return nil, nil, err
+				}
+				if err := check("batch", shards, refBatch, batch); err != nil {
+					return nil, nil, err
+				}
+				if err := check("knn", shards, refKNN, knn); err != nil {
+					return nil, nil, err
+				}
+				pt.QueryOverhead = pt.QueryMillis / localPt.QueryMillis
+				pt.BatchOverhead = pt.BatchMillis / localPt.BatchMillis
+				pt.KNNOverhead = pt.KNNMillis / localPt.KNNMillis
+				if pt.QueryOverhead > rep.WorstQueryOverhead {
+					rep.WorstQueryOverhead = pt.QueryOverhead
+				}
+			}
+			rep.Points = append(rep.Points, pt)
+			cfg.progressf("dist: %s shards=%d build %.3fs query %.3fms batch %.3fms knn %.3fms",
+				transport, shards, pt.BuildSeconds, pt.QueryMillis, pt.BatchMillis, pt.KNNMillis)
+		}
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("Shard transport sweep (%d series, %d workers, GOMAXPROCS=%d)",
+			n, workers, rep.GOMAXPROCS),
+		Header: []string{"transport", "shards", "build s", "query ms", "batch ms", "knn ms", "query overhead"},
+	}
+	for _, pt := range rep.Points {
+		overhead := "—"
+		if pt.Transport == "remote" {
+			overhead = fmt.Sprintf("%.2fx", pt.QueryOverhead)
+		}
+		table.Rows = append(table.Rows, []string{
+			pt.Transport,
+			fmt.Sprint(pt.Shards),
+			fmt.Sprintf("%.4f", pt.BuildSeconds),
+			fmt.Sprintf("%.3f", pt.QueryMillis),
+			fmt.Sprintf("%.3f", pt.BatchMillis),
+			fmt.Sprintf("%.3f", pt.KNNMillis),
+			overhead,
+		})
+	}
+	return rep, []Table{table}, nil
+}
+
+// WriteDistReport serializes the report as indented JSON.
+func WriteDistReport(rep *DistReport, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -215,7 +216,7 @@ func runShardPopulation(cfg Config, rep *ShardReport, name string, data *ts.Data
 		pt.BuildSeconds = math.Inf(1)
 		for r := 0; r < cfg.Repeats; r++ {
 			start := time.Now()
-			e, err := shard.Build(data, buildCfg, shards)
+			e, err := shard.Build(data, buildCfg, shards, nil)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s shard build shards=%d: %w", name, shards, err)
 			}
@@ -245,7 +246,7 @@ func runShardPopulation(cfg Config, rep *ShardReport, name string, data *ts.Data
 			single = single[:0]
 			start := time.Now()
 			for _, q := range queries {
-				m, err := eng.BestMatch(q, query.MatchAny)
+				m, err := eng.BestMatch(context.Background(), q, query.MatchAny)
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s shard query shards=%d: %w", name, shards, err)
 				}
@@ -268,7 +269,7 @@ func runShardPopulation(cfg Config, rep *ShardReport, name string, data *ts.Data
 		for r := 0; r < cfg.Repeats; r++ {
 			batch = batch[:0]
 			start := time.Now()
-			for _, br := range eng.BestMatchBatch(queries, query.MatchAny) {
+			for _, br := range eng.BestMatchBatch(context.Background(), queries, query.MatchAny) {
 				if br.Err != nil {
 					return nil, br.Err
 				}
@@ -292,7 +293,7 @@ func runShardPopulation(cfg Config, rep *ShardReport, name string, data *ts.Data
 			knn = knn[:0]
 			start := time.Now()
 			for _, q := range queries {
-				ms, err := eng.BestKMatches(q, query.MatchAny, 5)
+				ms, err := eng.BestKMatches(context.Background(), q, query.MatchAny, 5)
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s shard knn shards=%d: %w", name, shards, err)
 				}

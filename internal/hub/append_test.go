@@ -82,7 +82,7 @@ func TestStaleSnapshotAfterExtendRegression(t *testing.T) {
 		t.Fatalf("re-registered base has %d series, want 5 (stale pre-extend snapshot reloaded)", b2.NumSeries())
 	}
 	// A query with the extended series' distinctive shape must resolve to it.
-	ms, err := ds2.Match(square[:16], onex.MatchExact, 1)
+	ms, err := ds2.Match(context.Background(), square[:16], onex.MatchExact, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +142,10 @@ func TestHubAppendValidationAndCache(t *testing.T) {
 	}
 	ds := readyDataset(t, h, "d", spec)
 	q := sineSeries(0, 48).Values[:8]
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
 	info := ds.Info()
@@ -157,7 +157,7 @@ func TestHubAppendValidationAndCache(t *testing.T) {
 	}
 	// Appending invalidates this dataset's cached results: same query misses.
 	misses := ds.Info().CacheMisses
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.Info().CacheMisses; got != misses+1 {
@@ -170,7 +170,7 @@ func TestHubAppendValidationAndCache(t *testing.T) {
 	if err := ds.Append(0, nil); err == nil {
 		t.Error("append with no points: want error")
 	}
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatalf("dataset broken after invalid appends: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -34,7 +35,7 @@ func TestMatchBatchPositionalAndCacheShared(t *testing.T) {
 	waitReady(t, ds)
 
 	qs := batchQueries(6)
-	rs, err := ds.MatchBatch(qs, onex.MatchAny)
+	rs, err := ds.MatchBatch(context.Background(), qs, onex.MatchAny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,13 +59,13 @@ func TestMatchBatchPositionalAndCacheShared(t *testing.T) {
 	// A single Match for one of the batch queries must hit the cache the
 	// batch populated, and a repeated batch must be all hits.
 	hits0 := ds.Info().CacheHits
-	if _, err := ds.Match(qs[0], onex.MatchAny, 1); err != nil {
+	if _, err := ds.Match(context.Background(), qs[0], onex.MatchAny, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.Info().CacheHits; got != hits0+1 {
 		t.Fatalf("single Match after batch: hits %d, want %d", got, hits0+1)
 	}
-	rs2, err := ds.MatchBatch(qs[:6], onex.MatchAny)
+	rs2, err := ds.MatchBatch(context.Background(), qs[:6], onex.MatchAny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestMatchBatchRacesDropAndExtend(t *testing.T) {
 					return
 				default:
 				}
-				rs, err := ds.MatchBatch(qs, onex.MatchAny)
+				rs, err := ds.MatchBatch(context.Background(), qs, onex.MatchAny)
 				if err != nil {
 					if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNotReady) && !errors.Is(err, ErrFailed) {
 						t.Errorf("unexpected batch error: %v", err)
@@ -137,7 +138,7 @@ func TestMatchBatchRacesDropAndExtend(t *testing.T) {
 	// Post-drop batches fail cleanly with the dataset's terminal error —
 	// the retained handle still answers (immutable base) per Dataset.Base
 	// semantics, so just ensure no panic and a well-formed result.
-	if _, err := ds.MatchBatch(qs, onex.MatchAny); err != nil &&
+	if _, err := ds.MatchBatch(context.Background(), qs, onex.MatchAny); err != nil &&
 		!errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNotReady) && !errors.Is(err, ErrFailed) {
 		t.Fatalf("post-drop batch error: %v", err)
 	}

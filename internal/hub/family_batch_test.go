@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestKNNBatchEquivalenceAndCacheSharing(t *testing.T) {
 		{Query: mk(2), Mode: onex.MatchAny, K: 0}, // normalized to 1
 		{Query: nil, Mode: onex.MatchAny, K: 2},   // fails alone
 	}
-	rs, err := ds.KNNBatch(qs)
+	rs, err := ds.KNNBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestKNNBatchEquivalenceAndCacheSharing(t *testing.T) {
 
 	// Singles must hit the entries the batch populated, and agree exactly.
 	hits0 := ds.Info().CacheHits
-	single, err := ds.Match(qs[0].Query, onex.MatchAny, 1)
+	single, err := ds.Match(context.Background(), qs[0].Query, onex.MatchAny, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestKNNBatchEquivalenceAndCacheSharing(t *testing.T) {
 	if a, b := single[0], rs[0].Matches[0]; a.SeriesID != b.SeriesID || a.Start != b.Start || a.Distance != b.Distance {
 		t.Fatalf("K=1 batch item differs from single Match: %+v vs %+v", b, a)
 	}
-	kres, err := ds.Match(qs[1].Query, onex.MatchExact, 3)
+	kres, err := ds.Match(context.Background(), qs[1].Query, onex.MatchExact, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRangeAndSeasonalBatchCacheSharing(t *testing.T) {
 		q[j] = math.Sin(float64(j) / 3)
 	}
 
-	rrs, err := ds.RangeBatch([]onex.RangeQuery{
+	rrs, err := ds.RangeBatch(context.Background(), []onex.RangeQuery{
 		{Query: q, Length: length, Radius: 0.5},
 		{Query: q, Length: length, Radius: 0.5, Exact: true},
 		{Query: q, Length: -1, Radius: 0.5}, // unindexed length fails alone
@@ -115,7 +116,7 @@ func TestRangeAndSeasonalBatchCacheSharing(t *testing.T) {
 	}
 
 	hits0 := ds.Info().CacheHits
-	if _, err := ds.Range(q, length, 0.5, true); err != nil {
+	if _, err := ds.Range(context.Background(), q, length, 0.5, true); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.Info().CacheHits; got != hits0+1 {
@@ -174,7 +175,7 @@ func TestCacheKeysCoverQueryOptions(t *testing.T) {
 
 	// k: a k=2 answer must never serve a k=1 query.
 	h.cache.put(matchKey(scope, int(onex.MatchExact), 2, q), sentinel)
-	ms, err := ds.Match(q, onex.MatchExact, 1)
+	ms, err := ds.Match(context.Background(), q, onex.MatchExact, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestCacheKeysCoverQueryOptions(t *testing.T) {
 	// exact flag: an inexact range answer must never serve an exact query.
 	rsent := []onex.RangeMatch{{Match: onex.Match{SeriesID: -999}}}
 	h.cache.put(rangeKey(scope, length, 0.4, false, q), rsent)
-	rm, err := ds.Range(q, length, 0.4, true)
+	rm, err := ds.Range(context.Background(), q, length, 0.4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestCacheKeysCoverQueryOptions(t *testing.T) {
 
 	// radius: a radius=0.4 answer must never serve radius=0.8.
 	h.cache.put(rangeKey(scope, length, 0.4, true, q), rsent)
-	rm, err = ds.Range(q, length, 0.8, true)
+	rm, err = ds.Range(context.Background(), q, length, 0.8, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,10 +240,10 @@ func TestQueryCountersThroughInfo(t *testing.T) {
 	for j := range q {
 		q[j] = math.Cos(float64(j) / 5)
 	}
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ds.Range(q, length, 0.3, false); err != nil {
+	if _, err := ds.Range(context.Background(), q, length, 0.3, false); err != nil {
 		t.Fatal(err)
 	}
 	info := ds.Info()
@@ -259,7 +260,7 @@ func TestQueryCountersThroughInfo(t *testing.T) {
 
 	// Cache hits must not tick the work tally (the base never ran).
 	before := ds.Info().Query.Queries
-	if _, err := ds.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.Info().Query.Queries; got != before {

@@ -600,6 +600,9 @@ type Info struct {
 	// sharded base down per shard (see onex.Options.Shards).
 	Shards     int         `json:"shards,omitempty"`
 	ShardStats []ShardInfo `json:"shardStats,omitempty"`
+	// ShardWorkers lists the remote worker processes serving the shards
+	// (absent for in-process layouts).
+	ShardWorkers []string `json:"shardWorkers,omitempty"`
 
 	CreatedAt time.Time `json:"createdAt"`
 	ReadyAt   time.Time `json:"readyAt"`
@@ -652,6 +655,7 @@ func (d *Dataset) Info() Info {
 		info.Rebuilds = st.Rebuilds
 		info.LastRebuildSeconds = st.LastRebuild.Seconds()
 		info.Shards = st.Shards
+		info.ShardWorkers = base.ShardWorkers()
 		info.Query = QueryCounters{
 			Queries:       st.Query.Queries,
 			RepsExamined:  st.Query.RepsExamined,
@@ -734,12 +738,12 @@ func (d *Dataset) build() {
 // falls back to the spec's source rather than failing the registration.
 func (d *Dataset) materialize() (base *onex.Base, fromSnapshot bool, err error) {
 	if path := d.hub.snapshotPath(d.name); path != "" {
-		if base, err := onex.LoadFile(path); err == nil {
+		if base, err := onex.LoadFileDistributed(path, d.spec.Opts.ShardWorkers); err == nil {
 			return base, true, nil
 		}
 	}
 	if d.spec.Snapshot != "" {
-		base, err = onex.LoadFile(d.spec.Snapshot)
+		base, err = onex.LoadFileDistributed(d.spec.Snapshot, d.spec.Opts.ShardWorkers)
 		return base, err == nil, err
 	}
 	series, name, err := d.spec.series(d.name)
@@ -970,16 +974,18 @@ func (d *Dataset) scope(base *onex.Base, gen uint64) keyScope {
 }
 
 // Match answers a similarity query (k ≤ 1 = best match, else k-NN) through
-// the result cache. The returned slice is shared; do not mutate it.
-func (d *Dataset) Match(q []float64, mode onex.MatchMode, k int) ([]onex.Match, error) {
-	return d.MatchObserved(q, mode, k, nil)
+// the result cache. The returned slice is shared; do not mutate it. ctx
+// carries cancellation and the request id into the engine's per-shard
+// fan-out (a canceled ctx stops distributed work between rounds).
+func (d *Dataset) Match(ctx context.Context, q []float64, mode onex.MatchMode, k int) ([]onex.Match, error) {
+	return d.MatchObserved(ctx, q, mode, k, nil)
 }
 
 // MatchObserved is Match with optional tracing: a non-nil rec records the
 // cache lookup and — on a miss — the engine's scan/refine spans and work
 // counters. Answers are identical to Match, and cache hits still populate
 // the trace (with zero engine work).
-func (d *Dataset) MatchObserved(q []float64, mode onex.MatchMode, k int, rec *obs.Trace) ([]onex.Match, error) {
+func (d *Dataset) MatchObserved(ctx context.Context, q []float64, mode onex.MatchMode, k int, rec *obs.Trace) ([]onex.Match, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -990,13 +996,13 @@ func (d *Dataset) MatchObserved(q []float64, mode onex.MatchMode, k int, rec *ob
 	key := matchKey(d.scope(base, gen), int(mode), k, q)
 	v, err := d.cachedT(key, rec, func() (any, error) {
 		if k == 1 {
-			m, err := base.BestMatchObserved(q, mode, rec)
+			m, err := base.BestMatchObserved(ctx, q, mode, rec)
 			if err != nil {
 				return nil, err
 			}
 			return []onex.Match{m}, nil
 		}
-		return base.BestKMatchesObserved(q, mode, k, rec)
+		return base.BestKMatchesObserved(ctx, q, mode, k, rec)
 	})
 	if err != nil {
 		return nil, err
@@ -1011,7 +1017,7 @@ func (d *Dataset) MatchObserved(q []float64, mode onex.MatchMode, k int, rec *ob
 // Results are positional and carry per-query errors (a malformed query
 // fails alone); only successful answers are cached. The returned matches
 // are shared — callers must treat them as immutable.
-func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchResult, error) {
+func (d *Dataset) MatchBatch(ctx context.Context, qs [][]float64, mode onex.MatchMode) ([]onex.BatchResult, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -1037,7 +1043,7 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 	for j, i := range missIdx {
 		sub[j] = qs[i]
 	}
-	for j, r := range base.BestMatchBatch(sub, mode) {
+	for j, r := range base.BestMatchBatch(ctx, sub, mode) {
 		i := missIdx[j]
 		out[i] = r
 		if r.Err == nil {
@@ -1055,7 +1061,7 @@ func (d *Dataset) MatchBatch(qs [][]float64, mode onex.MatchMode) ([]onex.BatchR
 // fan across the base's worker pool. Results are positional with per-item
 // errors; only successes are cached. Returned matches are shared — treat
 // them as immutable.
-func (d *Dataset) KNNBatch(qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
+func (d *Dataset) KNNBatch(ctx context.Context, qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -1094,7 +1100,7 @@ func (d *Dataset) KNNBatch(qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
 			for j, i := range idxs {
 				sub[j] = qs[i].Query
 			}
-			for j, r := range base.BestMatchBatch(sub, mode) {
+			for j, r := range base.BestMatchBatch(ctx, sub, mode) {
 				i := idxs[j]
 				if r.Err != nil {
 					out[i] = onex.KNNBatchResult{Err: r.Err}
@@ -1111,7 +1117,7 @@ func (d *Dataset) KNNBatch(qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
 		for j, i := range missK {
 			sub[j] = qs[i]
 		}
-		for j, r := range base.BestKMatchesBatch(sub) {
+		for j, r := range base.BestKMatchesBatch(ctx, sub) {
 			i := missK[j]
 			out[i] = r
 			if r.Err == nil {
@@ -1127,7 +1133,7 @@ func (d *Dataset) KNNBatch(qs []onex.KNNQuery) ([]onex.KNNBatchResult, error) {
 // exact flag included). Results are positional with per-item errors; only
 // successes are cached. Returned matches are shared — treat them as
 // immutable.
-func (d *Dataset) RangeBatch(qs []onex.RangeQuery) ([]onex.RangeBatchResult, error) {
+func (d *Dataset) RangeBatch(ctx context.Context, qs []onex.RangeQuery) ([]onex.RangeBatchResult, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
@@ -1153,7 +1159,7 @@ func (d *Dataset) RangeBatch(qs []onex.RangeQuery) ([]onex.RangeBatchResult, err
 	for j, i := range missIdx {
 		sub[j] = qs[i]
 	}
-	for j, r := range base.RangeSearchBatch(sub) {
+	for j, r := range base.RangeSearchBatch(ctx, sub) {
 		i := missIdx[j]
 		out[i] = r
 		if r.Err == nil {
@@ -1212,19 +1218,19 @@ func (d *Dataset) SeasonalBatch(qs []onex.SeasonalQuery) ([]onex.SeasonalBatchRe
 // matches admitted through the Lemma 2 guarantee carry their true DTW
 // instead of the ST upper bound (onex.Base.RangeSearchExact); the two modes
 // cache under distinct keys.
-func (d *Dataset) Range(q []float64, length int, radius float64, exact bool) ([]onex.RangeMatch, error) {
-	return d.RangeObserved(q, length, radius, exact, nil)
+func (d *Dataset) Range(ctx context.Context, q []float64, length int, radius float64, exact bool) ([]onex.RangeMatch, error) {
+	return d.RangeObserved(ctx, q, length, radius, exact, nil)
 }
 
 // RangeObserved is Range with optional tracing (see MatchObserved).
-func (d *Dataset) RangeObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]onex.RangeMatch, error) {
+func (d *Dataset) RangeObserved(ctx context.Context, q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]onex.RangeMatch, error) {
 	base, gen, err := d.Base()
 	if err != nil {
 		return nil, err
 	}
 	key := rangeKey(d.scope(base, gen), length, radius, exact, q)
 	v, err := d.cachedT(key, rec, func() (any, error) {
-		return base.RangeSearchObserved(q, length, radius, exact, rec)
+		return base.RangeSearchObserved(ctx, q, length, radius, exact, rec)
 	})
 	if err != nil {
 		return nil, err

@@ -67,11 +67,11 @@ func TestHubLifecycle(t *testing.T) {
 	for i := range q {
 		q[i] = math.Sin(float64(i) / 3)
 	}
-	ms, err := ds.Match(q, onex.MatchExact, 1)
+	ms, err := ds.Match(context.Background(), q, onex.MatchExact, 1)
 	if err != nil || len(ms) != 1 {
 		t.Fatalf("Match = %v, %v", ms, err)
 	}
-	if _, err := ds.Range(q, 8, 0.5, false); err != nil {
+	if _, err := ds.Range(context.Background(), q, 8, 0.5, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ds.Seasonal(-1, 8); err != nil {
@@ -103,7 +103,7 @@ func TestHubLifecycle(t *testing.T) {
 	if !info.FromSnapshot {
 		t.Error("re-register did not load from snapshot")
 	}
-	ms2, err := ds2.Match(q, onex.MatchExact, 1)
+	ms2, err := ds2.Match(context.Background(), q, onex.MatchExact, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +162,11 @@ func TestHubCacheHitsAndExtendInvalidation(t *testing.T) {
 	for i := range q {
 		q[i] = math.Sin(float64(i)/3) * 0.8
 	}
-	if _, err := ds.Match(q, onex.MatchAny, 3); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchAny, 3); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := ds.Match(q, onex.MatchAny, 3); err != nil {
+		if _, err := ds.Match(context.Background(), q, onex.MatchAny, 3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,7 +185,7 @@ func TestHubCacheHitsAndExtendInvalidation(t *testing.T) {
 	if g := ds.Generation(); g != 1 {
 		t.Errorf("generation after Extend = %d, want 1", g)
 	}
-	if _, err := ds.Match(q, onex.MatchAny, 3); err != nil {
+	if _, err := ds.Match(context.Background(), q, onex.MatchAny, 3); err != nil {
 		t.Fatal(err)
 	}
 	info = ds.Info()
@@ -224,7 +224,7 @@ func TestHubConcurrentMatchWhileExtend(t *testing.T) {
 				}
 				qq := append([]float64(nil), q...)
 				qq[0] += float64(i%7) * 0.01 // mix hits and misses
-				if _, err := ds.Match(qq, onex.MatchExact, 1); err != nil {
+				if _, err := ds.Match(context.Background(), qq, onex.MatchExact, 1); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -288,7 +288,7 @@ func TestHubBuildFailure(t *testing.T) {
 	if _, _, err := ds.Base(); !errors.Is(err, ErrFailed) {
 		t.Errorf("Base on failed dataset: %v", err)
 	}
-	if _, err := ds.Match([]float64{1, 2}, onex.MatchAny, 1); !errors.Is(err, ErrFailed) {
+	if _, err := ds.Match(context.Background(), []float64{1, 2}, onex.MatchAny, 1); !errors.Is(err, ErrFailed) {
 		t.Errorf("Match on failed dataset: %v", err)
 	}
 	st := h.Stats()
@@ -312,7 +312,7 @@ func TestHubQueryBeforeReady(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pending.Match([]float64{1, 2}, onex.MatchAny, 1); !errors.Is(err, ErrNotReady) {
+	if _, err := pending.Match(context.Background(), []float64{1, 2}, onex.MatchAny, 1); !errors.Is(err, ErrNotReady) {
 		t.Errorf("Match before ready: %v", err)
 	}
 	waitReady(t, slow)
@@ -332,7 +332,7 @@ func TestHubClose(t *testing.T) {
 		t.Errorf("Register after Close: %v", err)
 	}
 	// Ready datasets keep answering after Close.
-	if _, err := ds.Match(make([]float64, 8), onex.MatchExact, 1); err != nil {
+	if _, err := ds.Match(context.Background(), make([]float64, 8), onex.MatchExact, 1); err != nil {
 		t.Errorf("query after Close: %v", err)
 	}
 }
@@ -380,7 +380,7 @@ func TestCacheNotResurrectedAcrossReRegister(t *testing.T) {
 	for i := range q {
 		q[i] = 0.3
 	}
-	if _, err := ds1.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds1.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
 	base1, _, err := ds1.Base()
@@ -403,7 +403,7 @@ func TestCacheNotResurrectedAcrossReRegister(t *testing.T) {
 	if ds2.epoch == ds1.epoch {
 		t.Fatal("re-registration reused the epoch")
 	}
-	ms, err := ds2.Match(q, onex.MatchExact, 1)
+	ms, err := ds2.Match(context.Background(), q, onex.MatchExact, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package hub
 
 import (
+	"context"
 	"testing"
 
 	"onex"
@@ -39,7 +40,7 @@ func TestShardLayoutInCacheKeys(t *testing.T) {
 	for i := range q {
 		q[i] = 0.4
 	}
-	if _, err := ds1.Match(q, onex.MatchExact, 1); err != nil {
+	if _, err := ds1.Match(context.Background(), q, onex.MatchExact, 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,7 +69,7 @@ func TestShardLayoutInCacheKeys(t *testing.T) {
 		"match", []int{int(onex.MatchExact), 1}, q)
 	h.cache.put(poisoned, []onex.Match{{SeriesID: -999}})
 
-	ms, err := ds2.Match(q, onex.MatchExact, 1)
+	ms, err := ds2.Match(context.Background(), q, onex.MatchExact, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

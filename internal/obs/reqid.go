@@ -1,9 +1,32 @@
 package obs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 )
+
+// ctxKey is the private context-key namespace for request-scoped values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ContextWithRequestID returns a context carrying the request id, for
+// propagation across API boundaries (HTTP middleware → engine → shard
+// transports). An empty id returns ctx unchanged.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFromContext returns the request id stored by
+// ContextWithRequestID, or "" when none is set.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
 
 // NewRequestID returns a fresh 16-hex-char request ID.
 func NewRequestID() string {

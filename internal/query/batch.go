@@ -1,6 +1,10 @@
 package query
 
-import "onex/internal/parallel"
+import (
+	"context"
+
+	"onex/internal/parallel"
+)
 
 // BatchResult pairs one batch query with its outcome: exactly one of Match
 // (with Err == nil) or Err is meaningful.
@@ -156,30 +160,32 @@ func (p *Processor) SeasonalBatch(qs []SeasonalQuery) []SeasonalBatchResult {
 }
 
 // BestMatchBatch answers many Q1 queries across the shards, mirroring
-// Processor.BestMatchBatch through the shared runBatch scaffold.
-func (s *Scatter) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
+// Processor.BestMatchBatch through the shared runBatch scaffold. ctx stops
+// the remaining per-query fan-outs when canceled (items already answered
+// keep their results; canceled items carry ctx's error).
+func (s *Scatter) BestMatchBatch(ctx context.Context, qs [][]float64, mode MatchMode) []BatchResult {
 	return runBatch(s.global.workers, qs, func(inner int, q []float64) BatchResult {
-		m, err := s.withWorkers(inner).BestMatch(q, mode)
+		m, err := s.withWorkers(inner).BestMatch(ctx, q, mode)
 		return BatchResult{Match: m, Err: err}
 	})
 }
 
 // BestKMatchesBatch answers many k-NN queries across the shards,
 // positionally (runBatch contract).
-func (s *Scatter) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
+func (s *Scatter) BestKMatchesBatch(ctx context.Context, qs []KNNQuery) []KNNBatchResult {
 	return runBatch(s.global.workers, qs, func(inner int, q KNNQuery) KNNBatchResult {
 		k := q.K
 		if k < 1 {
 			k = 1
 		}
-		ms, err := s.withWorkers(inner).BestKMatches(q.Query, q.Mode, k)
+		ms, err := s.withWorkers(inner).BestKMatches(ctx, q.Query, q.Mode, k)
 		return KNNBatchResult{Matches: ms, Err: err}
 	})
 }
 
 // RangeSearchBatch answers many range queries across the shards,
 // positionally (runBatch contract).
-func (s *Scatter) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
+func (s *Scatter) RangeSearchBatch(ctx context.Context, qs []RangeQuery) []RangeBatchResult {
 	return runBatch(s.global.workers, qs, func(inner int, q RangeQuery) RangeBatchResult {
 		exec := s.withWorkers(inner)
 		var (
@@ -187,9 +193,9 @@ func (s *Scatter) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
 			err error
 		)
 		if q.Exact {
-			rs, err = exec.RangeSearchExact(q.Query, q.Length, q.Radius)
+			rs, err = exec.RangeSearchExact(ctx, q.Query, q.Length, q.Radius)
 		} else {
-			rs, err = exec.RangeSearch(q.Query, q.Length, q.Radius)
+			rs, err = exec.RangeSearch(ctx, q.Query, q.Length, q.Radius)
 		}
 		return RangeBatchResult{Results: rs, Err: err}
 	})

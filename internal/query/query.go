@@ -62,11 +62,11 @@ type Options struct {
 	// DisableEarlyStop turns off the Sec. 5.3 stop rule for Match=Any
 	// (stop once a representative within ST/2 has been explored) and scans
 	// every indexed length instead.
-	DisableEarlyStop bool
+	DisableEarlyStop bool `json:"disableEarlyStop"`
 	// CandidateLimit bounds how many members of the selected group are
 	// verified with DTW (pivot-ordered). 0 means no fixed limit; the walk
 	// is then bounded by Patience alone.
-	CandidateLimit int
+	CandidateLimit int `json:"candidateLimit"`
 	// Patience reproduces the paper's bounded pivot walk (Sec. 5.3: expand
 	// from the pivot "until we find the best match"): mining stops after
 	// this many consecutive non-improving members. 0 selects
@@ -74,16 +74,16 @@ type Options struct {
 	// verification). Large groups at loose thresholds make the exhaustive
 	// walk degenerate toward a linear scan, inverting the paper's
 	// time-vs-ST trend, so the bounded walk is the default.
-	Patience int
+	Patience int `json:"patience"`
 	// DisableLowerBounds turns off the LB_Kim/LB_Keogh cascade (for
 	// ablation benchmarks); DTW early abandoning remains.
-	DisableLowerBounds bool
+	DisableLowerBounds bool `json:"disableLowerBounds"`
 	// Parallelism bounds the worker fan-out of a single query and of
 	// BestMatchBatch. ≤ 0 selects runtime.GOMAXPROCS(0); 1 forces the
 	// sequential path; values above NumCPU are accepted and merely
 	// oversubscribe. Answers are identical for every setting — see the
 	// package documentation.
-	Parallelism int
+	Parallelism int `json:"parallelism"`
 }
 
 // DefaultPatience is the non-improving-member budget of the in-group pivot
@@ -163,13 +163,15 @@ type Match struct {
 func (m Match) Found() bool { return m.Length > 0 }
 
 // Trace counts the work a query performed, for the ablation benchmarks.
+// The JSON tags are the shard-transport wire shape (per-call work folds
+// back into the coordinator's trace).
 type Trace struct {
-	RepsExamined   int // representatives considered
-	PrunedByKim    int // skipped after LB_Kim
-	PrunedByKeogh  int // skipped after LB_Keogh
-	DTWComputed    int // full or early-abandoned DTW evaluations
-	MembersTested  int // group members verified with DTW
-	LengthsVisited int // lengths visited in Match=Any mode
+	RepsExamined   int `json:"repsExamined"`   // representatives considered
+	PrunedByKim    int `json:"prunedByKim"`    // skipped after LB_Kim
+	PrunedByKeogh  int `json:"prunedByKeogh"`  // skipped after LB_Keogh
+	DTWComputed    int `json:"dtwComputed"`    // full or early-abandoned DTW evaluations
+	MembersTested  int `json:"membersTested"`  // group members verified with DTW
+	LengthsVisited int `json:"lengthsVisited"` // lengths visited in Match=Any mode
 }
 
 func validateQuery(q []float64) error {

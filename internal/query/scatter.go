@@ -1,13 +1,15 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"onex/internal/dist"
+	"onex/internal/grouping"
 	"onex/internal/obs"
-	"onex/internal/parallel"
 	"onex/internal/rspace"
 )
 
@@ -18,21 +20,26 @@ import (
 // its own GTI/LSI index layers, and Scatter re-enacts the monolithic
 // Algorithm 2 decision procedure across them.
 //
-// The split of work:
+// Every shard interaction crosses the ShardTransport seam, so the same
+// coordinator drives in-process shards (LocalShard) and remote worker
+// processes (internal/shardrpc.Client) interchangeably. The split of work:
 //
-//   - the representative scan of a length fans out across the shard-owned
-//     group units (each global group is scanned by exactly one shard — the
-//     one holding its nearest member) with a shared atomic best-so-far
-//     bound, so early abandoning keeps pruning globally;
+//   - the representative scan of a length fans one ScanBest/ScanFixed call
+//     per shard (each global group is scanned by exactly one shard — the
+//     one holding its nearest member) and merges the per-shard results with
+//     the monolithic tie rule (smallest distance, then smallest global
+//     group id);
 //   - group mining and k-NN member verification replay the global pivot
-//     walk / heap bookkeeping against the global member lists (the shards'
-//     member lists are restrictions of these, so the values live in shared
-//     memory) using the exact code paths of the monolithic processor;
+//     walk / heap bookkeeping at the coordinator, shipping each fixed-size
+//     round's DTW work to the members' home shards (EvalMembers) with the
+//     current best-so-far bound threaded in the request — the bound hint
+//     that keeps early abandoning effective across the wire;
 //   - range search runs verbatim on every shard — its admission (Lemma 2
 //     premise per member) and per-member verification decisions depend only
 //     on the shared global representatives, so the union of shard result
 //     sets IS the monolithic result set — and concatenates in shard order;
-//   - seasonal queries read the global grouping directly.
+//   - seasonal queries read the global grouping directly (the coordinator
+//     holds it in full).
 //
 // Answers are therefore identical to the single-engine path over the same
 // data, with one caveat: when two representatives tie on the exact DTW to
@@ -42,87 +49,67 @@ import (
 // may differ. Everything downstream of the scan — pivot walks, patience
 // cuts, heap states, range admissions — replays decision-for-decision.
 type Scatter struct {
-	// global answers mining/seasonal work against the global grouping; its
-	// base carries the global dataset and per-length global group vectors
-	// but no scan index (no Dc, envelopes or median order — the per-shard
-	// entries hold those).
-	global *Processor
-	shards []ShardView
-	// units flattens the shard-owned scan work per length, sorted by global
-	// group id; units[l][k].global == k once validated.
-	units map[int][]scanUnit
+	// global answers mining/seasonal bookkeeping against the global
+	// grouping; its base carries the global dataset and per-length global
+	// group vectors but no scan index (no Dc, envelopes or median order —
+	// the per-shard indexes hold those).
+	global     *Processor
+	transports []ShardTransport
+	// infos caches each transport's layout slice (validated at assembly).
+	infos []ShardInfo
+	// route maps global series id → transports index (the member's home).
+	route map[int]int
 }
 
-// ShardView is one shard's contribution to a Scatter: its processor (over
-// the restricted base) plus the tables mapping its local numbering back to
-// the global one.
-type ShardView struct {
-	// Proc is the shard's query processor over its restricted base.
-	Proc *Processor
-	// Series maps local series index → global series id.
-	Series []int
-	// GlobalIDs maps, per length, local group index → global group id.
-	GlobalIDs map[int][]int
-	// Owned marks, per length, the local groups whose representative this
-	// shard scans (exactly one shard owns each global group).
-	Owned map[int][]bool
-}
-
-// scanUnit is one shard-resident representative to scan: the owning shard's
-// length entry (representative, envelope) plus its local and global ids.
-type scanUnit struct {
-	entry  *rspace.LengthEntry
-	local  int
-	global int
-}
-
-// NewScatter assembles the executor. global must hold the full dataset and,
-// per indexed length, the complete global group vector (Groups[k].ID == k);
-// the shard views must cover every global group exactly once through their
-// Owned tables.
-func NewScatter(global *rspace.Base, opts Options, shards []ShardView) (*Scatter, error) {
+// NewScatter assembles the executor over the shard transports. global must
+// hold the full dataset and, per indexed length, the complete global group
+// vector (Groups[k].ID == k); the transports must partition the series and
+// cover every global group's scan exactly once (Info().Owned).
+func NewScatter(global *rspace.Base, opts Options, transports []ShardTransport) (*Scatter, error) {
 	gp, err := New(global, opts)
 	if err != nil {
 		return nil, err
 	}
 	s := &Scatter{
-		global: gp,
-		shards: shards,
-		units:  make(map[int][]scanUnit, len(global.Lengths)),
+		global:     gp,
+		transports: transports,
+		infos:      make([]ShardInfo, len(transports)),
+		route:      make(map[int]int, global.Dataset.N()),
+	}
+	for i, t := range transports {
+		s.infos[i] = t.Info()
+		for _, sid := range s.infos[i].Series {
+			if prev, dup := s.route[sid]; dup {
+				return nil, fmt.Errorf("query: series %d held by shards %d and %d",
+					sid, s.infos[prev].Shard, s.infos[i].Shard)
+			}
+			s.route[sid] = i
+		}
+	}
+	if len(s.route) != global.Dataset.N() {
+		return nil, fmt.Errorf("query: shards hold %d of %d series", len(s.route), global.Dataset.N())
 	}
 	for _, l := range global.Lengths {
 		e := global.Entry(l)
 		if e == nil {
 			return nil, fmt.Errorf("query: scatter length %d has no global entry", l)
 		}
-		units := make([]scanUnit, 0, len(e.Groups))
-		for _, sv := range shards {
-			se := sv.Proc.base.Entry(l)
-			if se == nil {
-				return nil, fmt.Errorf("query: shard is missing length %d", l)
-			}
-			owned, gids := sv.Owned[l], sv.GlobalIDs[l]
-			if len(owned) != len(se.Groups) || len(gids) != len(se.Groups) {
-				return nil, fmt.Errorf("query: shard tables for length %d cover %d/%d of %d groups",
-					l, len(owned), len(gids), len(se.Groups))
-			}
-			for local, own := range owned {
-				if own {
-					units = append(units, scanUnit{entry: se, local: local, global: gids[local]})
+		counts := make([]int, len(e.Groups))
+		for i := range transports {
+			for _, gid := range s.infos[i].Owned[l] {
+				if gid < 0 || gid >= len(counts) {
+					return nil, fmt.Errorf("query: length %d: owned group %d outside %d global groups",
+						l, gid, len(counts))
 				}
+				counts[gid]++
 			}
 		}
-		sort.Slice(units, func(a, b int) bool { return units[a].global < units[b].global })
-		if len(units) != len(e.Groups) {
-			return nil, fmt.Errorf("query: length %d: %d owned units for %d global groups", l, len(units), len(e.Groups))
-		}
-		for k, u := range units {
-			if u.global != k {
+		for k, c := range counts {
+			if c != 1 {
 				return nil, fmt.Errorf("query: length %d: global group %d owned %s", l,
-					k, map[bool]string{true: "more than once", false: "by no shard"}[u.global < k])
+					k, map[bool]string{true: "more than once", false: "by no shard"}[c > 1])
 			}
 		}
-		s.units[l] = units
 	}
 	return s, nil
 }
@@ -140,25 +127,68 @@ func (s *Scatter) withWorkers(w int) *Scatter {
 	return &cp
 }
 
-// BestMatch answers Q1 across the shards — the same search the monolithic
-// Processor.BestMatch runs, with the per-length representative scan
-// scattered over the shard-owned units.
-func (s *Scatter) BestMatch(q []float64, mode MatchMode) (Match, error) {
-	return s.BestMatchObserved(q, mode, nil)
+// fanShards runs one call per transport — concurrently past one shard,
+// inline for a single shard — and gathers the responses in transport order.
+// With a non-nil rec every shard call is recorded as its own span (obs.Trace
+// is safe for concurrent span starts), annotated by the caller; the spans
+// are what makes `explain` show where a distributed query spent its time.
+// The first shard error aborts the query (transport errors are already
+// retried below this seam; see internal/shardrpc).
+func fanShards[R any](ctx context.Context, s *Scatter, rec *obs.Trace, span string,
+	call func(context.Context, ShardTransport) (R, error),
+	annotate func(sc obs.SpanScope, r R) obs.SpanScope) ([]R, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]R, len(s.transports))
+	errs := make([]error, len(s.transports))
+	one := func(i int) {
+		var sc obs.SpanScope
+		if rec != nil {
+			sc = rec.StartSpan(span)
+		}
+		r, err := call(ctx, s.transports[i])
+		out[i], errs[i] = r, err
+		if rec != nil {
+			annotate(sc.Attr("shard", int64(s.infos[i].Shard)), r).End()
+		}
+	}
+	if len(s.transports) == 1 {
+		one(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(s.transports))
+		for i := range s.transports {
+			go func(i int) { defer wg.Done(); one(i) }(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
-// BestMatchObserved is BestMatch with optional span recording (per-length
-// scan/refine spans plus the query's work totals on a non-nil rec).
-// Tracing only observes — answers are bit-identical either way.
-func (s *Scatter) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
+// BestMatch answers Q1 across the shards — the same search the monolithic
+// Processor.BestMatch runs, with the per-length representative scan
+// scattered over the shard transports.
+func (s *Scatter) BestMatch(ctx context.Context, q []float64, mode MatchMode) (Match, error) {
+	return s.BestMatchObserved(ctx, q, mode, nil)
+}
+
+// BestMatchObserved is BestMatch with optional span recording (per-shard
+// scan spans, per-length refine spans, plus the query's work totals on a
+// non-nil rec). Tracing only observes — answers are bit-identical either
+// way. A canceled ctx stops the fan-out between lengths and rounds.
+func (s *Scatter) BestMatchObserved(ctx context.Context, q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
 	var tr Trace
 	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {
 		return Match{}, err
 	}
-	ws := s.global.pool.Get()
-	defer s.global.pool.Put(ws)
-	order := dist.QueryOrder(q)
 
 	switch mode {
 	case MatchExact:
@@ -167,7 +197,9 @@ func (s *Scatter) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace)
 			return Match{}, fmt.Errorf("query: length %d not indexed", len(q))
 		}
 		best := Match{Dist: math.Inf(1)}
-		s.searchLength(q, order, e, ws, &best, &tr, rec)
+		if _, err := s.searchLength(ctx, q, e, &best, &tr, rec); err != nil {
+			return Match{}, err
+		}
 		if !best.Found() {
 			return Match{}, fmt.Errorf("query: no candidate found (empty length entry)")
 		}
@@ -179,8 +211,14 @@ func (s *Scatter) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace)
 		}
 		best := Match{Dist: math.Inf(1)}
 		for _, l := range lengths {
+			if err := ctx.Err(); err != nil {
+				return Match{}, err
+			}
 			tr.LengthsVisited++
-			repNorm := s.searchLength(q, order, s.global.base.Entry(l), ws, &best, &tr, rec)
+			repNorm, err := s.searchLength(ctx, q, s.global.base.Entry(l), &best, &tr, rec)
+			if err != nil {
+				return Match{}, err
+			}
 			// Sec. 5.3 stop rule, on the globally best representative.
 			if !s.global.opts.DisableEarlyStop && repNorm <= s.global.base.ST/2 {
 				break
@@ -195,153 +233,247 @@ func (s *Scatter) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace)
 	}
 }
 
-// searchLength scatters one length's representative scan across the shard
-// units, then mines the winning global group's full (global) member list —
-// the same compareRep + getKSim sequence as the monolithic searchLength.
-// Work accumulates into the caller-owned tr (folded once per query).
-func (s *Scatter) searchLength(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, best *Match, tr *Trace, rec *obs.Trace) float64 {
+// searchLength scatters one length's representative scan across the shards,
+// then mines the winning global group's full (global) member list through
+// per-round EvalMembers calls — the same compareRep + getKSim sequence as
+// the monolithic searchLength. Work accumulates into the caller-owned tr
+// (folded once per query).
+//
+// The scan request pins its bound hint to +Inf: Q1 needs the exact argmin
+// representative (it seeds the pivot walk and the Sec. 5.3 early-stop
+// rule), so an external bound could prune the very representative the
+// search is after. Each shard still early-abandons against its own
+// tightening bound, and the (distance, global id) merge reproduces the
+// monolithic tie rule.
+func (s *Scatter) searchLength(ctx context.Context, q []float64, e *rspace.LengthEntry,
+	best *Match, tr *Trace, rec *obs.Trace) (float64, error) {
 
 	if e == nil || len(e.Groups) == 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	req := ScanBestRequest{
+		Length:   e.Length,
+		Query:    q,
+		HintBits: math.Float64bits(math.Inf(1)),
+		Workers:  s.global.workers,
+	}
+	resps, err := fanShards(ctx, s, rec, "shard-scan",
+		func(ctx context.Context, t ShardTransport) (ScanBestResponse, error) {
+			return t.ScanBest(ctx, req)
+		},
+		func(sc obs.SpanScope, r ScanBestResponse) obs.SpanScope {
+			return spanWork(sc.Attr("length", int64(e.Length)), Trace{}, r.Trace)
+		})
+	if err != nil {
+		return 0, err
+	}
+	bestID, bestRaw := -1, math.Inf(1)
+	for _, resp := range resps {
+		tr.add(resp.Trace)
+		if !resp.Found {
+			continue
+		}
+		raw := math.Float64frombits(resp.BestBits)
+		if raw < bestRaw || (raw == bestRaw && resp.GroupID < bestID) {
+			bestID, bestRaw = resp.GroupID, raw
+		}
+	}
+	if bestID < 0 {
+		return math.Inf(1), nil
+	}
 	var sc obs.SpanScope
 	var pre Trace
 	if rec != nil {
 		pre = *tr
-		sc = rec.StartSpan("scan")
-	}
-	bestID, bestRaw := s.scanUnits(q, order, e.Length, s.units[e.Length], tr)
-	if rec != nil {
-		spanWork(sc.Attr("length", int64(e.Length)).Attr("shards", int64(len(s.shards))), pre, *tr).End()
-	}
-	if bestID < 0 {
-		return math.Inf(1)
-	}
-	if rec != nil {
-		pre = *tr
 		sc = rec.StartSpan("refine")
 	}
-	s.global.mineGroup(q, e, bestID, bestRaw/divisor, ws, best, tr)
+	err = s.mineGroupScattered(ctx, q, e, bestID, bestRaw/divisor, best, tr)
 	if rec != nil {
 		spanWork(sc.Attr("length", int64(e.Length)).Attr("group", int64(bestID)), pre, *tr).End()
 	}
-	return bestRaw / divisor
+	if err != nil {
+		return 0, err
+	}
+	return bestRaw / divisor, nil
 }
 
-// scanUnits computes the argmin representative over the shard-owned units
-// under the LB_Kim → LB_Keogh → early-abandoning-DTW cascade, with a shared
-// atomic bound across workers. The scan is exact: pruning is strict
-// (> cutoff), so every minimum-achieving representative is computed fully
-// and the (distance, global id) reduce is deterministic at every worker
-// count — ties on bit-equal distances resolve to the smallest global group
-// id.
-//
-// This is the tightening-bound twin of Processor.scanReps' parallel branch
-// (query.go) with the median-order stride replaced by the unit list; any
-// change to either cascade's pruning inequalities or cutoff arithmetic must
-// mirror the other, or layout equivalence breaks — the internal/shard
-// property suite enforces this.
-func (s *Scatter) scanUnits(q []float64, order []int, length int, units []scanUnit, tr *Trace) (int, float64) {
-	n := len(units)
+// evalRoundScattered is Processor.evalRound over the transport seam: the
+// round's members partition by home shard, each shard evaluates its slice
+// against the same bound snapshot (LB_Kim plus early-abandoning DTW depend
+// only on (query, member, bound), so the partition cannot change a single
+// bit), and the results scatter back positionally. Returns how many DTWs
+// actually ran shard-side (Trace accounting).
+func (s *Scatter) evalRoundScattered(ctx context.Context, q []float64, length int,
+	batch []grouping.Member, bound float64, lbs, ds []float64) (int, error) {
+
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	type part struct {
+		transport int
+		items     []MemberRef
+		pos       []int
+		resp      EvalMembersResponse
+		err       error
+	}
+	parts := make([]*part, 0, 2)
+	byTransport := make(map[int]*part, 2)
+	for i, m := range batch {
+		ti, ok := s.route[m.SeriesIdx]
+		if !ok {
+			return 0, fmt.Errorf("query: member series %d not routed to any shard", m.SeriesIdx)
+		}
+		p := byTransport[ti]
+		if p == nil {
+			p = &part{transport: ti}
+			byTransport[ti] = p
+			parts = append(parts, p)
+		}
+		p.items = append(p.items, MemberRef{Series: m.SeriesIdx, Start: m.Start})
+		p.pos = append(p.pos, i)
+	}
+	call := func(p *part) {
+		p.resp, p.err = s.transports[p.transport].EvalMembers(ctx, EvalMembersRequest{
+			Length:    length,
+			Query:     q,
+			BoundBits: math.Float64bits(bound),
+			Workers:   s.global.workers,
+			Items:     p.items,
+		})
+	}
+	if len(parts) == 1 {
+		call(parts[0])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(parts))
+		for _, p := range parts {
+			go func(p *part) { defer wg.Done(); call(p) }(p)
+		}
+		wg.Wait()
+	}
+	dtws := 0
+	for _, p := range parts {
+		if p.err != nil {
+			return 0, p.err
+		}
+		if len(p.resp.LbBits) != len(p.items) || len(p.resp.DsBits) != len(p.items) {
+			return 0, fmt.Errorf("query: shard %d answered %d/%d of %d member evals",
+				s.infos[p.transport].Shard, len(p.resp.LbBits), len(p.resp.DsBits), len(p.items))
+		}
+		for j, pos := range p.pos {
+			lbs[pos] = math.Float64frombits(p.resp.LbBits[j])
+			ds[pos] = math.Float64frombits(p.resp.DsBits[j])
+		}
+		dtws += p.resp.DTWComputed
+	}
+	return dtws, nil
+}
+
+// mineGroupScattered is Processor.mineGroup with every DTW shipped to the
+// members' home shards: the pivot walk, patience bookkeeping and best
+// updates replay at the coordinator in fixed-size rounds, each round's
+// members evaluated shard-side against the best-so-far snapshot taken at
+// the round boundary. The round replay reaches exactly the sequential
+// walk's decisions for ANY batch partition (a member abandoned at the round
+// bound is provably non-improving at its replay position — the running best
+// only tightens within a round), so the scattered miner always runs the
+// round path; worker count and shard layout change only which DTWs run to
+// completion, never the match.
+func (s *Scatter) mineGroupScattered(ctx context.Context, q []float64, e *rspace.LengthEntry,
+	k int, repNormDTW float64, best *Match, tr *Trace) error {
+
+	g := e.Groups[k]
+	n := g.Count()
 	if n == 0 {
-		return -1, math.Inf(1)
+		return nil
 	}
-	sameLen := length == len(q)
-	type hit struct {
-		raw float64
-		pos int
+	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
+	limit := s.global.opts.CandidateLimit
+	if limit <= 0 || limit > n {
+		limit = n
 	}
-	scan := func(lws *dist.Workspace, start, stride int, shared *parallel.MinBound, local *hit, ltr *Trace) {
-		for pos := start; pos < n; pos += stride {
-			u := units[pos]
-			ltr.RepsExamined++
-			cutoff := local.raw
-			if shared != nil {
-				if sb := shared.Load(); sb < cutoff {
-					cutoff = sb
-				}
-			}
-			rep := u.entry.Groups[u.local].Rep
-			if !s.global.opts.DisableLowerBounds {
-				if dist.LBKim(q, rep) > cutoff {
-					ltr.PrunedByKim++
-					continue
-				}
-				if sameLen {
-					env := u.entry.Envelopes[u.local]
-					if lb := dist.LBKeoghOrdered(q, env.Upper, env.Lower, order, cutoff); lb > cutoff {
-						ltr.PrunedByKeogh++
-						continue
-					}
-				}
-			}
-			ltr.DTWComputed++
-			d := lws.DTWEarlyAbandon(q, rep, dist.Unconstrained, cutoff)
-			if d < local.raw {
-				local.raw, local.pos = d, pos
-				if shared != nil {
-					shared.Relax(d)
-				}
-			}
+	patience := s.global.opts.Patience
+	if patience == 0 {
+		patience = DefaultPatience
+	}
+	walk := newPivotWalk(g.Members, repNormDTW)
+	bestRaw := best.Dist * divisor // +Inf-safe: Inf*x = Inf
+
+	record := func(m grouping.Member, d float64) {
+		bestRaw = d
+		*best = Match{
+			SeriesID: m.SeriesIdx,
+			Start:    m.Start,
+			Length:   e.Length,
+			Dist:     d / divisor,
+			RawDTW:   d,
+			GroupID:  k,
 		}
 	}
 
-	workers := s.global.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < scanParallelMin {
-		lws := s.global.pool.Get()
-		defer s.global.pool.Put(lws)
-		local := hit{raw: math.Inf(1), pos: -1}
-		scan(lws, 0, 1, nil, &local, tr)
-		if local.pos < 0 {
-			return -1, math.Inf(1)
+	batch := make([]grouping.Member, 0, mineBatchSize)
+	lbs := make([]float64, mineBatchSize)
+	ds := make([]float64, mineBatchSize)
+	sinceImprove := 0
+	tested := 0
+	for tested < limit {
+		if patience > 0 && sinceImprove >= patience {
+			return nil
 		}
-		return units[local.pos].global, local.raw
-	}
-	shared := parallel.NewMinBound(math.Inf(1))
-	locals := make([]hit, workers)
-	traces := make([]Trace, workers)
-	parallel.ForEach(workers, workers, func(w int) {
-		lws := s.global.pool.Get()
-		defer s.global.pool.Put(lws)
-		locals[w] = hit{raw: math.Inf(1), pos: -1}
-		scan(lws, w, workers, shared, &locals[w], &traces[w])
-	})
-	for _, t := range traces {
-		tr.add(t)
-	}
-	win := hit{raw: math.Inf(1), pos: -1}
-	for _, l := range locals {
-		if l.pos < 0 {
-			continue
+		// Collect the next round of members in walk order.
+		batch = batch[:0]
+		for len(batch) < mineBatchSize && tested+len(batch) < limit {
+			idx := walk.next()
+			if idx < 0 {
+				break
+			}
+			batch = append(batch, g.Members[idx])
 		}
-		if l.raw < win.raw || (l.raw == win.raw && l.pos < win.pos) {
-			win = l
+		if len(batch) == 0 {
+			return nil
+		}
+		dtws, err := s.evalRoundScattered(ctx, q, e.Length, batch, bestRaw, lbs, ds)
+		if err != nil {
+			return err
+		}
+		tr.DTWComputed += dtws
+		// Replay the bookkeeping sequentially in walk order.
+		for i, m := range batch {
+			if patience > 0 && sinceImprove >= patience {
+				return nil
+			}
+			tr.MembersTested++
+			tested++
+			if !s.global.opts.DisableLowerBounds && lbs[i] >= bestRaw {
+				sinceImprove++
+				continue
+			}
+			if d := ds[i]; d < bestRaw {
+				sinceImprove = 0
+				record(m, d)
+			} else {
+				sinceImprove++
+			}
 		}
 	}
-	if win.pos < 0 {
-		return -1, math.Inf(1)
-	}
-	return units[win.pos].global, win.raw
+	return nil
 }
 
 // BestKMatches answers k-NN across the shards: per length, the fixed-cutoff
-// representative scan scatters over the shard units, then the groups are
-// verified in increasing rep-DTW order against the global member lists —
+// representative scan scatters over the shard transports, then the groups
+// are verified in increasing rep-DTW order against the global member lists —
 // the same procedure as the monolithic searchLengthK, heap bookkeeping
 // included.
-func (s *Scatter) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
-	return s.BestKMatchesObserved(q, mode, k, nil)
+func (s *Scatter) BestKMatches(ctx context.Context, q []float64, mode MatchMode, k int) ([]Match, error) {
+	return s.BestKMatchesObserved(ctx, q, mode, k, nil)
 }
 
 // BestKMatchesObserved is BestKMatches with optional span recording. The
-// scan cutoff is fixed per length, so the work counters are identical at
-// every worker count and shard layout for the decision-level fields.
-func (s *Scatter) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+// scan cutoff is fixed per length (and travels in the request as the bound
+// hint), so the candidate set is identical at every worker count and shard
+// layout.
+func (s *Scatter) BestKMatchesObserved(ctx context.Context, q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
 	var tr Trace
 	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if k < 1 {
@@ -350,9 +482,6 @@ func (s *Scatter) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
-	ws := s.global.pool.Get()
-	defer s.global.pool.Put(ws)
-	order := dist.QueryOrder(q)
 	heap := newTopK(k)
 
 	var lengths []int
@@ -372,10 +501,15 @@ func (s *Scatter) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *
 	}
 
 	for _, l := range lengths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if mode == MatchAny {
 			tr.LengthsVisited++
 		}
-		s.searchLengthK(q, order, s.global.base.Entry(l), ws, heap, &tr, rec)
+		if err := s.searchLengthK(ctx, q, s.global.base.Entry(l), heap, &tr, rec); err != nil {
+			return nil, err
+		}
 	}
 	out := heap.sorted()
 	if len(out) == 0 {
@@ -386,97 +520,128 @@ func (s *Scatter) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *
 
 // searchLengthK is the scattered form of Processor.searchLengthK: the rep
 // scan's cutoff is fixed for the whole length (no heap pushes can happen
-// during it), so fanning it across the shard units is answer-preserving;
-// member verification then replays on the global member lists through the
-// shared verifyGroupK.
-func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
-	ws *dist.Workspace, heap *topK, tr *Trace, rec *obs.Trace) {
+// during it), so fanning it across the shards is answer-preserving; member
+// verification then replays at the coordinator with per-round EvalMembers
+// calls.
+func (s *Scatter) searchLengthK(ctx context.Context, q []float64, e *rspace.LengthEntry,
+	heap *topK, tr *Trace, rec *obs.Trace) error {
 
 	if e == nil || len(e.Groups) == 0 {
-		return
+		return nil
 	}
-	units := s.units[e.Length]
 	divisor := dist.NormalizedDTWDivisor(len(q), e.Length)
-	sameLen := e.Length == len(q)
 	radiusRaw := s.global.base.ST / 2 * math.Sqrt(float64(e.Length))
 
-	scanCutoff := heap.kth()*divisor + radiusRaw
-	scanOne := func(lws *dist.Workspace, u scanUnit, ltr *Trace) (float64, bool) {
-		return s.global.scanRepFixed(lws, q, order,
-			u.entry.Groups[u.local].Rep, u.entry.Envelopes[u.local], sameLen, scanCutoff, ltr)
+	// No heap pushes happen during the rep scan, so the cutoff is fixed for
+	// the whole length and the fan-out cannot change answers — or counters.
+	req := ScanFixedRequest{
+		Length:     e.Length,
+		Query:      q,
+		CutoffBits: math.Float64bits(heap.kth()*divisor + radiusRaw),
+		Workers:    s.global.workers,
 	}
-
-	var sc obs.SpanScope
-	var pre Trace
-	if rec != nil {
-		pre = *tr
-		sc = rec.StartSpan("scan")
+	resps, err := fanShards(ctx, s, rec, "shard-scan",
+		func(ctx context.Context, t ShardTransport) (ScanFixedResponse, error) {
+			return t.ScanFixed(ctx, req)
+		},
+		func(sc obs.SpanScope, r ScanFixedResponse) obs.SpanScope {
+			return spanWork(sc.Attr("length", int64(e.Length)), Trace{}, r.Trace)
+		})
+	if err != nil {
+		return err
 	}
 	type repDist struct {
 		global int
 		d      float64
 	}
-	n := len(units)
 	var reps []repDist
-	workers := s.global.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < scanParallelMin {
-		reps = make([]repDist, 0, n)
-		for _, u := range units {
-			if d, ok := scanOne(ws, u, tr); ok {
-				reps = append(reps, repDist{global: u.global, d: d})
-			}
-		}
-	} else {
-		found := make([]repDist, n)
-		kept := make([]bool, n)
-		traces := make([]Trace, workers)
-		parallel.ForEach(workers, workers, func(w int) {
-			lws := s.global.pool.Get()
-			defer s.global.pool.Put(lws)
-			for i := w; i < n; i += workers {
-				if d, ok := scanOne(lws, units[i], &traces[w]); ok {
-					found[i] = repDist{global: units[i].global, d: d}
-					kept[i] = true
-				}
-			}
-		})
-		for _, t := range traces {
-			tr.add(t)
-		}
-		reps = make([]repDist, 0, n)
-		for i, ok := range kept {
-			if ok {
-				reps = append(reps, found[i])
-			}
+	for _, resp := range resps {
+		tr.add(resp.Trace)
+		for _, h := range resp.Hits {
+			reps = append(reps, repDist{global: h.GroupID, d: h.Dist})
 		}
 	}
-	if rec != nil {
-		spanWork(sc.Attr("length", int64(e.Length)).Attr("shards", int64(len(s.shards))), pre, *tr).End()
-	}
-	// Stable tie order: by distance, then by global group id (units are in
-	// global-id order, so stability gives exactly that).
+	// Monolithic tie order: ascending global id (each shard's hits already
+	// are; the shards partition the ids), then stable by distance.
+	sort.Slice(reps, func(a, b int) bool { return reps[a].global < reps[b].global })
 	sort.SliceStable(reps, func(a, b int) bool { return reps[a].d < reps[b].d })
 
+	var sc obs.SpanScope
+	var pre Trace
 	if rec != nil {
 		pre = *tr
 		sc = rec.StartSpan("refine")
 	}
 	groups := 0
 	var bufs knnBufs
+	var verr error
 	for _, rd := range reps {
 		// Re-check against the (possibly tightened) k-th distance.
 		if rd.d > heap.kth()*divisor+radiusRaw {
 			break
 		}
 		groups++
-		s.global.verifyGroupK(q, e.Groups[rd.global], rd.global, e.Length, divisor, heap, ws, &bufs, tr)
+		if verr = s.verifyGroupKScattered(ctx, q, e.Groups[rd.global], rd.global, e.Length, divisor, heap, &bufs, tr); verr != nil {
+			break
+		}
 	}
 	if rec != nil {
 		spanWork(sc.Attr("length", int64(e.Length)).Attr("groups", int64(groups)), pre, *tr).End()
 	}
+	return verr
+}
+
+// verifyGroupKScattered is Processor.verifyGroupK with each round's DTWs
+// shipped to the members' home shards. The heap replay is verbatim (same
+// inequalities, same push order), so the scattered heap passes through
+// exactly the monolithic states; like the scattered miner it always runs
+// the round path, which is answer-equal to the sequential branch for any
+// round size.
+func (s *Scatter) verifyGroupKScattered(ctx context.Context, q []float64, g *grouping.Group,
+	gid, length int, divisor float64, heap *topK, bufs *knnBufs, tr *Trace) error {
+
+	if bufs.ds == nil {
+		bufs.ds = make([]float64, mineBatchSize)
+		bufs.lbs = make([]float64, mineBatchSize)
+	}
+	for off := 0; off < g.Count(); off += mineBatchSize {
+		end := off + mineBatchSize
+		if end > g.Count() {
+			end = g.Count()
+		}
+		batch := g.Members[off:end]
+		roundCutoff := heap.kth() * divisor
+		dtws, err := s.evalRoundScattered(ctx, q, length, batch, roundCutoff, bufs.lbs, bufs.ds)
+		if err != nil {
+			return err
+		}
+		tr.DTWComputed += dtws
+		// Replay pushes in member order: a distance abandoned at the
+		// round cutoff is ≥ the (only-tightening) running k-th and could
+		// never enter the heap.
+		for i, m := range batch {
+			cutoff := heap.kth() * divisor
+			tr.MembersTested++
+			if !s.global.opts.DisableLowerBounds && bufs.lbs[i] >= cutoff {
+				tr.PrunedByKim++
+				continue
+			}
+			if d := bufs.ds[i]; !math.IsInf(d, 1) && d < roundCutoff {
+				if d >= cutoff {
+					continue
+				}
+				heap.push(Match{
+					SeriesID: m.SeriesIdx,
+					Start:    m.Start,
+					Length:   length,
+					Dist:     d / divisor,
+					RawDTW:   d,
+					GroupID:  gid,
+				})
+			}
+		}
+	}
+	return nil
 }
 
 // RangeSearch scatters a range query: each shard answers it over its
@@ -485,22 +650,23 @@ func (s *Scatter) searchLengthK(q []float64, order []int, e *rspace.LengthEntry,
 // result SET equals the monolithic one exactly (admission and verification
 // decide per member against the shared global representative); only the
 // slice order differs, and range results are documented as unordered.
-func (s *Scatter) RangeSearch(q []float64, length int, radius float64) ([]RangeResult, error) {
-	return s.RangeSearchObserved(q, length, radius, false, nil)
+func (s *Scatter) RangeSearch(ctx context.Context, q []float64, length int, radius float64) ([]RangeResult, error) {
+	return s.RangeSearchObserved(ctx, q, length, radius, false, nil)
 }
 
 // RangeSearchExact is RangeSearch with exact distances on the Lemma 2
 // guaranteed path, scattered the same way.
-func (s *Scatter) RangeSearchExact(q []float64, length int, radius float64) ([]RangeResult, error) {
-	return s.RangeSearchObserved(q, length, radius, true, nil)
+func (s *Scatter) RangeSearchExact(ctx context.Context, q []float64, length int, radius float64) ([]RangeResult, error) {
+	return s.RangeSearchObserved(ctx, q, length, radius, true, nil)
 }
 
 // RangeSearchObserved is the scattered range search with work accounting:
-// one shared trace accumulates across the shard passes and folds into the
-// GLOBAL counters exactly once (the shard processors' own counters are not
-// touched — the scatter executor owns the tally). With a non-nil rec each
-// shard pass gets a "shard-range" span.
-func (s *Scatter) RangeSearchObserved(q []float64, length int, radius float64,
+// the per-shard traces fold into one query trace and into the GLOBAL
+// counters exactly once (the shard indexes' own counters are not touched —
+// the scatter executor owns the tally). With a non-nil rec each shard call
+// gets a "shard-range" span. Shards run concurrently: unlike the in-process
+// engine, remote shards spend their worker budgets on separate hosts.
+func (s *Scatter) RangeSearchObserved(ctx context.Context, q []float64, length int, radius float64,
 	exact bool, rec *obs.Trace) ([]RangeResult, error) {
 
 	var tr Trace
@@ -514,31 +680,38 @@ func (s *Scatter) RangeSearchObserved(q []float64, length int, radius float64,
 	if s.global.base.Entry(length) == nil {
 		return nil, fmt.Errorf("query: length %d not indexed", length)
 	}
-	// Shards run sequentially here: each shard's own range search already
-	// fans its groups across the worker pool, so the budget is spent at the
-	// inner level and the concatenation order stays shard order.
+	req := RangeRequest{
+		Length:  length,
+		Query:   q,
+		Radius:  radius,
+		Exact:   exact,
+		Workers: s.global.workers,
+	}
+	resps, err := fanShards(ctx, s, rec, "shard-range",
+		func(ctx context.Context, t ShardTransport) (RangeResponse, error) {
+			return t.Range(ctx, req)
+		},
+		func(sc obs.SpanScope, r RangeResponse) obs.SpanScope {
+			return spanWork(sc.Attr("results", int64(len(r.Results))), Trace{}, r.Trace)
+		})
+	if err != nil {
+		return nil, err
+	}
 	var out []RangeResult
-	for i, sv := range s.shards {
-		var sc obs.SpanScope
-		var pre Trace
-		if rec != nil {
-			pre = tr
-			sc = rec.StartSpan("shard-range")
-		}
-		// rec is nil on the inner call: the per-shard span above already
-		// covers it, and the shard's work lands in the shared tr.
-		rs, err := sv.Proc.rangeSearch(q, length, radius, exact, &tr, nil)
-		if err != nil {
-			return nil, err
-		}
-		gids := sv.GlobalIDs[length]
-		for j := range rs {
-			rs[j].SeriesID = sv.Series[rs[j].SeriesID]
-			rs[j].GroupID = gids[rs[j].GroupID]
-		}
-		out = append(out, rs...)
-		if rec != nil {
-			spanWork(sc.Attr("shard", int64(i)).Attr("results", int64(len(rs))), pre, tr).End()
+	for _, resp := range resps {
+		tr.add(resp.Trace)
+		for _, h := range resp.Results {
+			out = append(out, RangeResult{
+				Match: Match{
+					SeriesID: h.Series,
+					Start:    h.Start,
+					Length:   length,
+					Dist:     h.Dist,
+					RawDTW:   h.RawDTW,
+					GroupID:  h.GroupID,
+				},
+				Guaranteed: h.Guaranteed,
+			})
 		}
 	}
 	return out, nil

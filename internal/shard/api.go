@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/fnv"
@@ -13,66 +14,74 @@ import (
 )
 
 // ---- queries -----------------------------------------------------------
+//
+// Query methods take a context: a sharded engine fans per-shard work out
+// through its ShardTransports (goroutines in-process, HTTP calls when the
+// layout is remote), and a canceled or timed-out ctx stops the remaining
+// fan-out between rounds. Cancellation only ever abandons work — an answer
+// returned despite a racing cancel is still exact. The unsharded backend
+// answers synchronously in-process and ignores ctx. Seasonal queries read
+// the global grouping at the coordinator and take no ctx.
 
 // BestMatch answers Q1 — scattered across shards when the layout is sharded,
 // on the embedded single engine otherwise. Answers are identical either way.
-func (e *Engine) BestMatch(q []float64, mode query.MatchMode) (query.Match, error) {
+func (e *Engine) BestMatch(ctx context.Context, q []float64, mode query.MatchMode) (query.Match, error) {
 	if e.mono != nil {
 		return e.mono.Proc.BestMatch(q, mode)
 	}
-	return e.scatter.BestMatch(q, mode)
+	return e.scatter.BestMatch(ctx, q, mode)
 }
 
 // BestMatchObserved is BestMatch with optional span/work recording on a
 // non-nil rec (nil rec adds no overhead; answers are identical either way).
-func (e *Engine) BestMatchObserved(q []float64, mode query.MatchMode, rec *obs.Trace) (query.Match, error) {
+func (e *Engine) BestMatchObserved(ctx context.Context, q []float64, mode query.MatchMode, rec *obs.Trace) (query.Match, error) {
 	if e.mono != nil {
 		m, _, err := e.mono.Proc.BestMatchObserved(q, mode, rec)
 		return m, err
 	}
-	return e.scatter.BestMatchObserved(q, mode, rec)
+	return e.scatter.BestMatchObserved(ctx, q, mode, rec)
 }
 
 // BestMatchBatch answers many Q1 queries positionally with per-query errors.
-func (e *Engine) BestMatchBatch(qs [][]float64, mode query.MatchMode) []query.BatchResult {
+func (e *Engine) BestMatchBatch(ctx context.Context, qs [][]float64, mode query.MatchMode) []query.BatchResult {
 	if e.mono != nil {
 		return e.mono.Proc.BestMatchBatch(qs, mode)
 	}
-	return e.scatter.BestMatchBatch(qs, mode)
+	return e.scatter.BestMatchBatch(ctx, qs, mode)
 }
 
 // BestKMatches answers the k-NN generalization of Q1.
-func (e *Engine) BestKMatches(q []float64, mode query.MatchMode, k int) ([]query.Match, error) {
+func (e *Engine) BestKMatches(ctx context.Context, q []float64, mode query.MatchMode, k int) ([]query.Match, error) {
 	if e.mono != nil {
 		return e.mono.Proc.BestKMatches(q, mode, k)
 	}
-	return e.scatter.BestKMatches(q, mode, k)
+	return e.scatter.BestKMatches(ctx, q, mode, k)
 }
 
 // BestKMatchesObserved is BestKMatches with optional span/work recording.
-func (e *Engine) BestKMatchesObserved(q []float64, mode query.MatchMode, k int, rec *obs.Trace) ([]query.Match, error) {
+func (e *Engine) BestKMatchesObserved(ctx context.Context, q []float64, mode query.MatchMode, k int, rec *obs.Trace) ([]query.Match, error) {
 	if e.mono != nil {
 		return e.mono.Proc.BestKMatchesObserved(q, mode, k, rec)
 	}
-	return e.scatter.BestKMatchesObserved(q, mode, k, rec)
+	return e.scatter.BestKMatchesObserved(ctx, q, mode, k, rec)
 }
 
 // BestKMatchesBatch answers many k-NN queries positionally with per-query
 // errors; each item equals the corresponding BestKMatches call.
-func (e *Engine) BestKMatchesBatch(qs []query.KNNQuery) []query.KNNBatchResult {
+func (e *Engine) BestKMatchesBatch(ctx context.Context, qs []query.KNNQuery) []query.KNNBatchResult {
 	if e.mono != nil {
 		return e.mono.Proc.BestKMatchesBatch(qs)
 	}
-	return e.scatter.BestKMatchesBatch(qs)
+	return e.scatter.BestKMatchesBatch(ctx, qs)
 }
 
 // RangeSearchBatch answers many range queries positionally with per-query
 // errors; each item equals the corresponding RangeSearch(Exact) call.
-func (e *Engine) RangeSearchBatch(qs []query.RangeQuery) []query.RangeBatchResult {
+func (e *Engine) RangeSearchBatch(ctx context.Context, qs []query.RangeQuery) []query.RangeBatchResult {
 	if e.mono != nil {
 		return e.mono.Proc.RangeSearchBatch(qs)
 	}
-	return e.scatter.RangeSearchBatch(qs)
+	return e.scatter.RangeSearchBatch(ctx, qs)
 }
 
 // SeasonalBatch answers many seasonal queries positionally with per-query
@@ -95,28 +104,28 @@ func (e *Engine) QueryCounters() query.CountersSnapshot {
 
 // RangeSearch answers a range query (ST-upper-bound distances on the
 // guaranteed path).
-func (e *Engine) RangeSearch(q []float64, length int, radius float64) ([]query.RangeResult, error) {
+func (e *Engine) RangeSearch(ctx context.Context, q []float64, length int, radius float64) ([]query.RangeResult, error) {
 	if e.mono != nil {
 		return e.mono.Proc.RangeSearch(q, length, radius)
 	}
-	return e.scatter.RangeSearch(q, length, radius)
+	return e.scatter.RangeSearch(ctx, q, length, radius)
 }
 
 // RangeSearchExact answers a range query with exact distances everywhere.
-func (e *Engine) RangeSearchExact(q []float64, length int, radius float64) ([]query.RangeResult, error) {
+func (e *Engine) RangeSearchExact(ctx context.Context, q []float64, length int, radius float64) ([]query.RangeResult, error) {
 	if e.mono != nil {
 		return e.mono.Proc.RangeSearchExact(q, length, radius)
 	}
-	return e.scatter.RangeSearchExact(q, length, radius)
+	return e.scatter.RangeSearchExact(ctx, q, length, radius)
 }
 
 // RangeSearchObserved answers a range query with optional span/work
 // recording; exact selects the RangeSearchExact distance semantics.
-func (e *Engine) RangeSearchObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]query.RangeResult, error) {
+func (e *Engine) RangeSearchObserved(ctx context.Context, q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]query.RangeResult, error) {
 	if e.mono != nil {
 		return e.mono.Proc.RangeSearchObserved(q, length, radius, exact, rec)
 	}
-	return e.scatter.RangeSearchObserved(q, length, radius, exact, rec)
+	return e.scatter.RangeSearchObserved(ctx, q, length, radius, exact, rec)
 }
 
 // SeasonalSample answers the user-driven class II query.
@@ -329,7 +338,7 @@ func (e *Engine) SizeBytes() int64 {
 	}
 	var total int64
 	for _, p := range e.parts {
-		total += p.base.SizeBytes()
+		total += p.transport.Stats().IndexBytes
 	}
 	return total
 }
@@ -391,15 +400,45 @@ func (e *Engine) ShardStats() []Stat {
 	}
 	out := make([]Stat, len(e.parts))
 	for s, p := range e.parts {
+		st := p.transport.Stats()
 		out[s] = Stat{
 			Shard:        s,
-			Series:       len(p.series),
-			Groups:       p.base.TotalGroups(),
-			Subsequences: p.base.TotalSubseq,
-			IndexBytes:   p.base.SizeBytes(),
+			Series:       st.Series,
+			Groups:       st.Groups,
+			Subsequences: st.Subsequences,
+			IndexBytes:   st.IndexBytes,
 		}
 	}
 	return out
+}
+
+// WorkerURLs reports the remote worker processes serving the layout (a
+// fresh slice; empty for in-process layouts).
+func (e *Engine) WorkerURLs() []string {
+	if e.mono != nil {
+		return nil
+	}
+	return append([]string(nil), e.workerURLs...)
+}
+
+// Close releases the engine's transport resources (idle worker
+// connections). Maintenance steps share unaffected parts — and their
+// transports — between engine incarnations, so close only the final engine
+// of a lineage, at shutdown.
+func (e *Engine) Close() error {
+	if e.mono != nil {
+		return nil
+	}
+	var first error
+	for _, p := range e.parts {
+		if p.transport == nil {
+			continue
+		}
+		if err := p.transport.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // LayoutSignature fingerprints the serving layout — shard count plus each
@@ -422,7 +461,7 @@ func (e *Engine) LayoutSignature() uint64 {
 	}
 	for _, p := range e.parts {
 		put(uint64(len(p.series)))
-		put(uint64(p.base.TotalSubseq))
+		put(uint64(p.transport.Stats().Subsequences))
 	}
 	put(uint64(e.shards))
 	return h.Sum64()

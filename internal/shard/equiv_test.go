@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -92,8 +93,8 @@ func compareEngines(t *testing.T, ctx string, mono, sharded *Engine, queries [][
 	for qi, q := range queries {
 		for _, mode := range []query.MatchMode{query.MatchAny, query.MatchExact} {
 			mctx := fmt.Sprintf("%s q%d mode%d", ctx, qi, mode)
-			am, aerr := mono.BestMatch(q, mode)
-			bm, berr := sharded.BestMatch(q, mode)
+			am, aerr := mono.BestMatch(context.Background(), q, mode)
+			bm, berr := sharded.BestMatch(context.Background(), q, mode)
 			if (aerr == nil) != (berr == nil) {
 				t.Fatalf("%s: BestMatch error diverged: %v vs %v", mctx, aerr, berr)
 			}
@@ -101,8 +102,8 @@ func compareEngines(t *testing.T, ctx string, mono, sharded *Engine, queries [][
 				matchesEqual(t, mctx+" best", am, bm)
 			}
 
-			ak, aerr := mono.BestKMatches(q, mode, 4)
-			bk, berr := sharded.BestKMatches(q, mode, 4)
+			ak, aerr := mono.BestKMatches(context.Background(), q, mode, 4)
+			bk, berr := sharded.BestKMatches(context.Background(), q, mode, 4)
 			if (aerr == nil) != (berr == nil) {
 				t.Fatalf("%s: BestKMatches error diverged: %v vs %v", mctx, aerr, berr)
 			}
@@ -132,11 +133,11 @@ func compareEngines(t *testing.T, ctx string, mono, sharded *Engine, queries [][
 				var ar, br []query.RangeResult
 				var aerr, berr error
 				if exact {
-					ar, aerr = mono.RangeSearchExact(rq, length, radius)
-					br, berr = sharded.RangeSearchExact(rq, length, radius)
+					ar, aerr = mono.RangeSearchExact(context.Background(), rq, length, radius)
+					br, berr = sharded.RangeSearchExact(context.Background(), rq, length, radius)
 				} else {
-					ar, aerr = mono.RangeSearch(rq, length, radius)
-					br, berr = sharded.RangeSearch(rq, length, radius)
+					ar, aerr = mono.RangeSearch(context.Background(), rq, length, radius)
+					br, berr = sharded.RangeSearch(context.Background(), rq, length, radius)
 				}
 				if (aerr == nil) != (berr == nil) {
 					t.Fatalf("%s: error diverged: %v vs %v", rctx, aerr, berr)
@@ -202,8 +203,8 @@ func compareEngines(t *testing.T, ctx string, mono, sharded *Engine, queries [][
 
 	// Batch answers must equal their single-query counterparts across both
 	// engines.
-	amb := mono.BestMatchBatch(queries, query.MatchAny)
-	bmb := sharded.BestMatchBatch(queries, query.MatchAny)
+	amb := mono.BestMatchBatch(context.Background(), queries, query.MatchAny)
+	bmb := sharded.BestMatchBatch(context.Background(), queries, query.MatchAny)
 	for i := range amb {
 		if (amb[i].Err == nil) != (bmb[i].Err == nil) {
 			t.Fatalf("%s: batch[%d] error diverged: %v vs %v", ctx, i, amb[i].Err, bmb[i].Err)
@@ -256,11 +257,11 @@ func TestShardEquivalence(t *testing.T) {
 						Workers: parallelism,
 						Query:   query.Options{Parallelism: parallelism},
 					}
-					mono, err := Build(d, cfg, 1)
+					mono, err := Build(d, cfg, 1, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
-					sharded, err := Build(d, cfg, shards)
+					sharded, err := Build(d, cfg, shards, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -292,11 +293,11 @@ func TestShardEquivalenceMaintenance(t *testing.T) {
 					RebuildDrift: 0.2, // make some steps rebuild
 					Query:        query.Options{Parallelism: parallelism},
 				}
-				mono, err := Build(d, cfg, 1)
+				mono, err := Build(d, cfg, 1, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
-				sharded, err := Build(d, cfg, 3)
+				sharded, err := Build(d, cfg, 3, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

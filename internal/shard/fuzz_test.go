@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -37,7 +38,7 @@ func FuzzShardRouting(f *testing.F) {
 		lengths := []int{5, 8}
 		cfg := core.BuildConfig{ST: 0.4, Lengths: lengths, Seed: seed, RebuildDrift: -1}
 
-		e, err := Build(d, cfg, shards)
+		e, err := Build(d, cfg, shards, nil)
 		if shards < 0 {
 			if err == nil {
 				t.Fatalf("shards=%d: want error", shards)
@@ -114,7 +115,7 @@ func FuzzShardRouting(f *testing.F) {
 			x += r.NormFloat64() * 0.2
 			q[j] = x
 		}
-		m, err := e.BestMatch(q, query.MatchAny)
+		m, err := e.BestMatch(context.Background(), q, query.MatchAny)
 		if err != nil {
 			t.Fatalf("post-op BestMatch: %v", err)
 		}

@@ -118,7 +118,8 @@ func (e *Engine) maintainOrRebuild(work *ts.Dataset, newCount int64, homes []int
 	rebuild := core.RebuildDue(e.cfg.RebuildDrift, e.grouped.TotalSubseq, e.grouped.IncrementalMembers, newCount)
 	start := time.Now()
 	next := &Engine{
-		shards: e.shards, cfg: e.cfg, normMin: e.normMin, normMax: e.normMax,
+		shards: e.shards, workerURLs: e.workerURLs,
+		cfg: e.cfg, normMin: e.normMin, normMax: e.normMax,
 		data: work, rebuilds: e.rebuilds, lastRebuild: e.lastRebuild,
 	}
 	if rebuild {

@@ -34,12 +34,17 @@ func (e *Engine) Save(w io.Writer) error {
 // engines) load as a plain single engine, sharded snapshots re-derive their
 // per-shard index layers from the stored global payload and answer
 // identically to the saved engine.
-func Load(r io.Reader) (*Engine, error) {
+//
+// workers is serving-time configuration, never persisted: a non-empty list
+// re-ships the re-derived shard state to remote worker processes (fresh
+// generations — a coordinator restart is exactly the worker-restart path in
+// reverse), so the same snapshot serves in-process or distributed.
+func Load(r io.Reader, workers []string) (*Engine, error) {
 	snap, err := core.DecodeSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	if snap.Shards <= 1 {
+	if snap.Shards <= 1 && len(workers) == 0 {
 		mono, err := core.FromSnapshot(snap)
 		if err != nil {
 			return nil, err
@@ -47,17 +52,21 @@ func Load(r io.Reader) (*Engine, error) {
 		return &Engine{mono: mono}, nil
 	}
 	shards := snap.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	if shards > snap.Dataset.N() {
 		shards = snap.Dataset.N() // defensive: Build clamps the same way
 	}
 	e := &Engine{
-		shards:  shards,
-		cfg:     snap.Cfg,
-		normMin: snap.NormMin,
-		normMax: snap.NormMax,
-		data:    snap.Dataset,
-		grouped: snap.Grouped,
-		savedAt: snap.SavedAt,
+		shards:     shards,
+		workerURLs: append([]string(nil), workers...),
+		cfg:        snap.Cfg,
+		normMin:    snap.NormMin,
+		normMax:    snap.NormMax,
+		data:       snap.Dataset,
+		grouped:    snap.Grouped,
+		savedAt:    snap.SavedAt,
 	}
 	start := time.Now()
 	if err := e.assemble(nil, nil, nil); err != nil {

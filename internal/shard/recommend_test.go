@@ -29,7 +29,7 @@ func TestRecommendExactAcrossShards(t *testing.T) {
 	d := randomDataset(r, 18, 32)
 	cfg := core.BuildConfig{ST: st, Lengths: lengths, Seed: 1, Query: query.Options{}}
 
-	mono, err := Build(d, cfg, 1)
+	mono, err := Build(d, cfg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestRecommendExactAcrossShards(t *testing.T) {
 
 	for _, shards := range []int{2, 3, 5} {
 		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
-			sharded, err := Build(d, cfg, shards)
+			sharded, err := Build(d, cfg, shards, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,11 +108,11 @@ func TestDegreeOfPopulatedThresholds(t *testing.T) {
 	d := randomDataset(r, 14, 30)
 	cfg := core.BuildConfig{ST: st, Lengths: lengths, Seed: 2, Query: query.Options{}}
 
-	mono, err := Build(d, cfg, 1)
+	mono, err := Build(d, cfg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := Build(d, cfg, 3)
+	sharded, err := Build(d, cfg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,9 +56,11 @@ import (
 
 	"onex/internal/core"
 	"onex/internal/grouping"
+	"onex/internal/obs"
 	"onex/internal/parallel"
 	"onex/internal/query"
 	"onex/internal/rspace"
+	"onex/internal/shardrpc"
 	"onex/internal/ts"
 )
 
@@ -71,7 +73,11 @@ type Engine struct {
 	// forwards to it and no sharded state exists.
 	mono *core.Engine
 
-	shards           int
+	shards int
+	// workerURLs, when non-empty, places every shard on a remote worker
+	// process (shard s on workerURLs[s%len]); empty keeps shards in-process.
+	// The list is serving-time configuration, not persisted state.
+	workerURLs       []string
 	cfg              core.BuildConfig
 	normMin, normMax float64
 	// data is the global normalized dataset; shard sub-datasets share its
@@ -99,13 +105,23 @@ type Engine struct {
 	lastRebuild time.Duration
 }
 
-// part is one shard: its series, the restricted base and its processor,
-// plus the local↔global translation tables.
+// part is one shard: its series and local↔global translation tables, plus
+// the transport the coordinator drives it through. Local parts additionally
+// hold the restricted base and its processor (the state behind the
+// transport); remote parts hold only the tables — their index lives in the
+// worker process, reachable through the transport.
 type part struct {
 	// series maps local series index → global series id (ascending).
 	series []int
-	base   *rspace.Base
-	proc   *query.Processor
+	// base/proc back an in-process part; nil when the shard is remote.
+	base *rspace.Base
+	proc *query.Processor
+	// transport is how the scatter coordinator reaches the shard
+	// (query.LocalShard in-process, shardrpc.Client remote).
+	transport query.ShardTransport
+	// gen is the generation nonce of the shipped state (remote parts only):
+	// the idempotency key component workers key resident state by.
+	gen string
 	// globalIDs maps, per length, local group index → global group id. A
 	// fresh derivation orders locals by global id; an incremental refresh
 	// preserves the previous local order (so index state can be reused) and
@@ -145,25 +161,35 @@ func ShardOf(seriesID, shards int) int {
 }
 
 // Build constructs an engine over the dataset with the requested shard
-// count. Shards ≤ 1 selects the unsharded path (a plain core.Engine —
-// bit-compatible with previous releases); counts above the series count
-// clamp to it (a shard needs at least a chance of holding a series);
-// negative counts error. The global grouping runs once on cfg.Workers
-// exactly as the unsharded build would, then the per-shard index layers are
-// derived concurrently on the same pool.
-func Build(d *ts.Dataset, cfg core.BuildConfig, shards int) (*Engine, error) {
+// count. Shards ≤ 1 with no workers selects the unsharded path (a plain
+// core.Engine — bit-compatible with previous releases); counts above the
+// series count clamp to it (a shard needs at least a chance of holding a
+// series); negative counts error. The global grouping runs once on
+// cfg.Workers exactly as the unsharded build would, then the per-shard
+// index layers are derived concurrently on the same pool.
+//
+// A non-empty workers list places every shard on a remote worker process
+// (shard s on workers[s%len(workers)]): the engine ships each shard's
+// series and grouping restriction to its worker at assembly and queries it
+// over the shardrpc transport. Answers are bit-identical to the in-process
+// layout (the workers rebuild the exact per-shard index from the shipped
+// spec); Build fails fast if a worker is unreachable.
+func Build(d *ts.Dataset, cfg core.BuildConfig, shards int, workers []string) (*Engine, error) {
 	if shards < 0 {
 		return nil, fmt.Errorf("shard: shard count must be ≥ 0, got %d", shards)
 	}
-	if shards > 1 && d != nil && d.N() > 0 && shards > d.N() {
-		shards = d.N()
-	}
-	if shards <= 1 {
+	if shards <= 1 && len(workers) == 0 {
 		mono, err := core.Build(d, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return &Engine{mono: mono}, nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if d != nil && d.N() > 0 && shards > d.N() {
+		shards = d.N()
 	}
 	work, normMin, normMax, err := core.PrepareDataset(d, cfg.Normalize)
 	if err != nil {
@@ -182,7 +208,8 @@ func Build(d *ts.Dataset, cfg core.BuildConfig, shards int) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		shards: shards, cfg: cfg, normMin: normMin, normMax: normMax,
+		shards: shards, workerURLs: append([]string(nil), workers...),
+		cfg: cfg, normMin: normMin, normMax: normMax,
 		data: work, grouped: gr,
 	}
 	if err := e.assemble(nil, nil, nil); err != nil {
@@ -217,11 +244,26 @@ func (e *Engine) assemble(prevE *Engine, affected []bool, delta *grouping.Delta)
 			parts[s] = prev[s]
 			return
 		}
-		if prev != nil && delta != nil {
-			parts[s], errs[s] = refreshPart(e.data, e.grouped, e.shards, s, e.cfg, prev[s], delta)
+		if len(e.workerURLs) > 0 {
+			// Remote shards ship a fresh generation whenever they change:
+			// the worker rebuilds the restricted index from the spec, so no
+			// incremental-refresh path exists (or is needed) across the wire.
+			parts[s], errs[s] = e.buildRemotePart(s)
 			return
 		}
-		parts[s], errs[s] = buildPart(e.data, e.grouped, e.shards, s, e.cfg)
+		var (
+			p   *part
+			err error
+		)
+		if prev != nil && delta != nil {
+			p, err = refreshPart(e.data, e.grouped, e.shards, s, e.cfg, prev[s], delta)
+		} else {
+			p, err = buildPart(e.data, e.grouped, e.shards, s, e.cfg)
+		}
+		if err == nil {
+			p.transport, err = query.NewLocalShard(p.proc, s, p.series, p.globalIDs, p.owned)
+		}
+		parts[s], errs[s] = p, err
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -259,14 +301,9 @@ func (e *Engine) assemble(prevE *Engine, affected []bool, delta *grouping.Delta)
 			e.globalSTFinal = finals[i]
 		}
 	}
-	views := make([]query.ShardView, e.shards)
+	transports := make([]query.ShardTransport, e.shards)
 	for s, p := range parts {
-		views[s] = query.ShardView{
-			Proc:      p.proc,
-			Series:    p.series,
-			GlobalIDs: p.globalIDs,
-			Owned:     p.owned,
-		}
+		transports[s] = p.transport
 	}
 	globalBase := &rspace.Base{
 		Dataset:     e.data,
@@ -278,7 +315,7 @@ func (e *Engine) assemble(prevE *Engine, affected []bool, delta *grouping.Delta)
 	for _, l := range e.grouped.Lengths {
 		globalBase.Entries[l] = &rspace.LengthEntry{Length: l, Groups: e.grouped.ByLength[l].Groups}
 	}
-	sc, err := query.NewScatter(globalBase, e.cfg.Query, views)
+	sc, err := query.NewScatter(globalBase, e.cfg.Query, transports)
 	if err != nil {
 		return err
 	}
@@ -338,6 +375,114 @@ func buildPart(data *ts.Dataset, gr *grouping.Result, shards, s int, cfg core.Bu
 		return nil, err
 	}
 	return p.finish(base, cfg.Query)
+}
+
+// buildRemotePart derives one remote shard: the same series routing and
+// grouping restriction buildPart computes — but with global series ids, as
+// a wire ShardSpec — shipped to the shard's worker under a fresh generation
+// nonce. The worker rebuilds the exact restricted index from the spec
+// (query.BuildLocalShard runs the constructors buildPart runs, on
+// bit-identical inputs), so the remote transport answers bit-identically to
+// the in-process one. A shard the hash leaves empty stays in-process (there
+// is nothing to ship, and the empty local transport costs nothing).
+func (e *Engine) buildRemotePart(s int) (*part, error) {
+	p := &part{
+		gen:       obs.NewRequestID(),
+		globalIDs: make(map[int][]int, len(e.grouped.Lengths)),
+		sortedIDs: make(map[int][]int, len(e.grouped.Lengths)),
+		owned:     make(map[int][]bool, len(e.grouped.Lengths)),
+	}
+	p.collectSeries(e.data, e.shards, s)
+	if len(p.series) == 0 {
+		return e.buildLocalPart(s)
+	}
+	name := e.data.Name
+	if name == "" {
+		name = "dataset"
+	}
+	spec := query.ShardSpec{
+		Dataset:    name,
+		Generation: p.gen,
+		Shard:      s,
+		Shards:     e.shards,
+		ST:         e.grouped.ST,
+		DcTopK:     e.cfg.DcTopK,
+		Opts:       e.cfg.Query,
+		Series:     make([]query.SpecSeries, 0, len(p.series)),
+		Lengths:    make([]query.SpecLength, 0, len(e.grouped.Lengths)),
+	}
+	for _, id := range p.series {
+		spec.Series = append(spec.Series, query.SpecSeries{
+			ID:     id,
+			Label:  e.data.Series[id].Label,
+			Values: e.data.Series[id].Values,
+		})
+	}
+	for _, l := range e.grouped.Lengths {
+		src := e.grouped.ByLength[l]
+		sl := query.SpecLength{Length: l}
+		gids := make([]int, 0, len(src.Groups))
+		owned := make([]bool, 0, len(src.Groups))
+		for k, g := range src.Groups {
+			members := restrictMembersGlobal(g, e.shards, s)
+			if len(members) == 0 {
+				continue
+			}
+			own := ShardOf(g.Members[0].SeriesIdx, e.shards) == s
+			sl.Groups = append(sl.Groups, query.SpecGroup{
+				GlobalID: k,
+				Owned:    own,
+				Rep:      g.Rep,
+				Members:  members,
+			})
+			gids = append(gids, k)
+			owned = append(owned, own)
+		}
+		spec.Lengths = append(spec.Lengths, sl)
+		p.globalIDs[l] = gids
+		p.sortedIDs[l] = gids // global iteration order is ascending
+		p.owned[l] = owned
+	}
+	worker := e.workerURLs[s%len(e.workerURLs)]
+	client, err := shardrpc.NewClient(worker, spec, shardrpc.ClientOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("shard: ship shard %d to worker %s: %w", s, worker, err)
+	}
+	p.transport = client
+	return p, nil
+}
+
+// buildLocalPart is buildPart plus the transport wrap (the fallback for
+// hash-empty shards of a remote layout).
+func (e *Engine) buildLocalPart(s int) (*part, error) {
+	p, err := buildPart(e.data, e.grouped, e.shards, s, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.transport, err = query.NewLocalShard(p.proc, s, p.series, p.globalIDs, p.owned)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// restrictMembersGlobal is restrictMembers on the wire: the restriction of
+// one global group's member list to the shard's series, keeping global
+// series ids (the worker remaps to its local order, which equals the
+// coordinator's — both ascend the same id set).
+func restrictMembersGlobal(g *grouping.Group, shards, s int) []query.SpecMember {
+	var members []query.SpecMember
+	for _, m := range g.Members {
+		if ShardOf(m.SeriesIdx, shards) != s {
+			continue
+		}
+		members = append(members, query.SpecMember{
+			Series:  m.SeriesIdx,
+			Start:   m.Start,
+			EDToRep: m.EDToRep,
+		})
+	}
+	return members
 }
 
 // collectSeries fills p.series with the shard's series (ascending global

@@ -41,11 +41,11 @@ func TestBuildValidation(t *testing.T) {
 	d := randomDataset(r, 6, 24)
 	cfg := core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}
 
-	if _, err := Build(d, cfg, -1); err == nil {
+	if _, err := Build(d, cfg, -1, nil); err == nil {
 		t.Error("negative shard count: want error")
 	}
 	for _, shards := range []int{0, 1} {
-		e, err := Build(d, cfg, shards)
+		e, err := Build(d, cfg, shards, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func TestBuildValidation(t *testing.T) {
 		}
 	}
 	// Counts above the series count clamp to it.
-	e, err := Build(d, cfg, 100)
+	e, err := Build(d, cfg, 100, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRestrictionIntegrity(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	d := randomDataset(r, 16, 30)
 	cfg := core.BuildConfig{ST: 0.3, Lengths: []int{6, 10, 14}, Seed: 2}
-	e, err := Build(d, cfg, 4)
+	e, err := Build(d, cfg, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +160,11 @@ search:
 	r := rand.New(rand.NewSource(3))
 	d := randomDataset(r, n, 26)
 	cfg := core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}
-	e, err := Build(d, cfg, shards)
+	e, err := Build(d, cfg, shards, nil)
 	if err != nil {
 		t.Fatalf("build with empty shard: %v", err)
 	}
-	mono, err := Build(d, cfg, 1)
+	mono, err := Build(d, cfg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,14 +176,14 @@ func TestWithThresholdSharded(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	d := randomDataset(r, 8, 24)
 	cfg := core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}
-	mono, err := Build(d, cfg, 1)
+	mono, err := Build(d, cfg, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := mono.WithThreshold(0.5); err != nil {
 		t.Errorf("unsharded WithThreshold: %v", err)
 	}
-	sharded, err := Build(d, cfg, 3)
+	sharded, err := Build(d, cfg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestLayoutSignature(t *testing.T) {
 	cfg := core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}
 	sigs := make(map[uint64]int)
 	for _, shards := range []int{1, 2, 3, 4} {
-		e, err := Build(d, cfg, shards)
+		e, err := Build(d, cfg, shards, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +208,7 @@ func TestLayoutSignature(t *testing.T) {
 		sigs[e.LayoutSignature()] = shards
 	}
 	// Growing a shard's population changes the signature too.
-	e, err := Build(d, cfg, 3)
+	e, err := Build(d, cfg, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestPersistRoundTrip(t *testing.T) {
 		Query: query.Options{Parallelism: 2}}
 	for _, shards := range []int{1, 4} {
 		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
-			e, err := Build(d, cfg, shards)
+			e, err := Build(d, cfg, shards, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -245,7 +245,7 @@ func TestPersistRoundTrip(t *testing.T) {
 			if err := e.Save(&buf); err != nil {
 				t.Fatal(err)
 			}
-			loaded, err := Load(bytes.NewReader(buf.Bytes()))
+			loaded, err := Load(bytes.NewReader(buf.Bytes()), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -266,7 +266,7 @@ func TestPersistRoundTrip(t *testing.T) {
 func TestCoreLoadRefusesSharded(t *testing.T) {
 	r := rand.New(rand.NewSource(17))
 	d := randomDataset(r, 8, 24)
-	e, err := Build(d, core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}, 3)
+	e, err := Build(d, core.BuildConfig{ST: 0.3, Lengths: []int{6, 10}, Seed: 1}, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestRefreshPartBitIdentical(t *testing.T) {
 	r := rand.New(rand.NewSource(23))
 	d := randomDataset(r, 14, 26)
 	cfg := core.BuildConfig{ST: 0.35, Lengths: []int{6, 10}, Seed: 3, RebuildDrift: -1}
-	e, err := Build(d, cfg, 4)
+	e, err := Build(d, cfg, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,353 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"onex/internal/obs"
+	"onex/internal/query"
+)
+
+// ErrUnavailable marks a worker call that exhausted its retries: the worker
+// is down, unreachable, or persistently failing. The API layer maps it to
+// 503/unavailable.
+var ErrUnavailable = errors.New("shardrpc: worker unavailable")
+
+// DefaultTimeout bounds one worker call attempt.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultRetries is how many times a failed attempt is retried (so a call
+// makes at most 1+DefaultRetries attempts).
+const DefaultRetries = 3
+
+// retryBackoff is the base backoff before retry n (doubles each retry).
+const retryBackoff = 50 * time.Millisecond
+
+// ClientOptions tune a worker client; zero values select the defaults.
+type ClientOptions struct {
+	// Timeout bounds each call attempt (default DefaultTimeout).
+	Timeout time.Duration
+	// Retries caps retry attempts after the first (default DefaultRetries;
+	// negative disables retries).
+	Retries int
+	// HTTPClient overrides the transport (tests); default http.Client.
+	HTTPClient *http.Client
+}
+
+// Client drives one shard resident on a remote worker, implementing
+// query.ShardTransport over the worker REST protocol. It retains the
+// shipped ShardSpec so it can re-ship after a worker restart: a query call
+// that answers 404/unknown_generation re-PUTs the spec (idempotent — the
+// key is the spec's (dataset, generation, shard)) and retries, which is
+// what makes mid-query worker restarts invisible to the coordinator.
+//
+// Safe for concurrent use; re-shipping is serialized so a burst of
+// unknown_generation answers after a restart ships the state once.
+type Client struct {
+	base    string
+	http    *http.Client
+	timeout time.Duration
+	retries int
+
+	spec  query.ShardSpec
+	info  query.ShardInfo
+	paths struct {
+		ship, scan, scanFixed, members, rng string
+	}
+
+	shipMu sync.Mutex // serializes re-ship after a worker restart
+
+	mu    sync.Mutex // guards stats
+	stats query.ShardStats
+}
+
+// NewClient ships spec to the worker at baseURL (e.g. "http://host:port")
+// and returns a transport over it. Construction fails fast if the worker is
+// unreachable after the configured retries or rejects the spec.
+func NewClient(baseURL string, spec query.ShardSpec, opts ClientOptions) (*Client, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if base == "" {
+		return nil, fmt.Errorf("shardrpc: empty worker URL")
+	}
+	if spec.Dataset == "" || spec.Generation == "" {
+		return nil, fmt.Errorf("shardrpc: shard spec needs a dataset name and generation")
+	}
+	c := &Client{
+		base:    base,
+		http:    opts.HTTPClient,
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		spec:    spec,
+		info:    specInfo(spec),
+	}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	if c.timeout <= 0 {
+		c.timeout = DefaultTimeout
+	}
+	if c.retries == 0 {
+		c.retries = DefaultRetries
+	} else if c.retries < 0 {
+		c.retries = 0
+	}
+	root := fmt.Sprintf("%s/worker/v1/shards/%s/%s/%d", base,
+		url.PathEscape(spec.Dataset), url.PathEscape(spec.Generation), spec.Shard)
+	c.paths.ship = root
+	c.paths.scan = root + "/scan"
+	c.paths.scanFixed = root + "/scanfixed"
+	c.paths.members = root + "/members"
+	c.paths.rng = root + "/range"
+
+	if err := c.shipWithRetry(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// specInfo derives the shard's layout slice from its spec (series are
+// shipped ascending; owned global ids per length are collected ascending).
+func specInfo(spec query.ShardSpec) query.ShardInfo {
+	info := query.ShardInfo{
+		Shard:  spec.Shard,
+		Series: make([]int, 0, len(spec.Series)),
+		Owned:  make(map[int][]int, len(spec.Lengths)),
+	}
+	for _, s := range spec.Series {
+		info.Series = append(info.Series, s.ID)
+	}
+	for _, sl := range spec.Lengths {
+		gids := make([]int, 0, len(sl.Groups))
+		for _, g := range sl.Groups {
+			if g.Owned {
+				gids = append(gids, g.GlobalID)
+			}
+		}
+		sort.Ints(gids)
+		info.Owned[sl.Length] = gids
+	}
+	return info
+}
+
+// Info implements query.ShardTransport.
+func (c *Client) Info() query.ShardInfo { return c.info }
+
+// Stats implements query.ShardTransport (the stats the worker reported at
+// the last successful ship).
+func (c *Client) Stats() query.ShardStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close implements query.ShardTransport.
+func (c *Client) Close() error {
+	c.http.CloseIdleConnections()
+	return nil
+}
+
+// Generation exposes the shipped state's generation nonce (tests,
+// observability).
+func (c *Client) Generation() string { return c.spec.Generation }
+
+// httpError is a non-2xx worker answer.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("shardrpc: worker answered %d (%s): %s", e.status, e.code, e.msg)
+}
+
+// unknownGeneration reports whether err is the worker's re-ship signal.
+func unknownGeneration(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.code == "unknown_generation"
+}
+
+// once runs one bounded HTTP attempt, propagating the request id.
+func (c *Client) once(ctx context.Context, method, path string, in, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("shardrpc: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(actx, method, path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("shardrpc: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("shardrpc: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return fmt.Errorf("shardrpc: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.Unmarshal(raw, &we)
+		if we.Code == "" {
+			we.Code = "http_" + fmt.Sprint(resp.StatusCode)
+			we.Error = strings.TrimSpace(string(raw))
+		}
+		return &httpError{status: resp.StatusCode, code: we.Code, msg: we.Error}
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("shardrpc: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// shipOnce PUTs the retained spec and refreshes the cached stats.
+func (c *Client) shipOnce(ctx context.Context) error {
+	var resp struct {
+		Stats query.ShardStats `json:"stats"`
+	}
+	if err := c.once(ctx, http.MethodPut, c.paths.ship, c.spec, &resp); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats = resp.Stats
+	c.mu.Unlock()
+	return nil
+}
+
+// shipWithRetry ships the spec with the standard retry/backoff loop.
+func (c *Client) shipWithRetry(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, retryBackoff<<(attempt-1)); err != nil {
+				return err
+			}
+		}
+		err := c.shipOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var he *httpError
+		if errors.As(err, &he) && he.status >= 400 && he.status < 500 && he.status != http.StatusRequestTimeout {
+			// The worker rejected the spec itself; retrying won't help.
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w: ship %s: %v", ErrUnavailable, c.paths.ship, lastErr)
+}
+
+// reship re-PUTs the spec after an unknown_generation answer (worker
+// restart or retention eviction), serialized so concurrent queries ship
+// once. The PUT is idempotent on (dataset, generation, shard), so losing
+// the serialization race costs one cheap cache-hit round trip.
+func (c *Client) reship(ctx context.Context) error {
+	c.shipMu.Lock()
+	defer c.shipMu.Unlock()
+	return c.shipOnce(ctx)
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// call POSTs one transport request with bounded retry/backoff. Transient
+// failures (network errors, 5xx) back off and retry; unknown_generation
+// re-ships the shard state and retries immediately — together these make a
+// worker restart mid-query invisible, because every worker request is
+// idempotent: scans and member evaluations are pure functions of
+// (generation state, request), so a duplicate attempt after an ambiguous
+// failure returns the same bits. Non-retryable answers (4xx protocol
+// errors) and context cancellation surface immediately; exhausted retries
+// wrap ErrUnavailable.
+func (c *Client) call(ctx context.Context, path string, in, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, retryBackoff<<(attempt-1)); err != nil {
+				return err
+			}
+		}
+		err := c.once(ctx, http.MethodPost, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if unknownGeneration(err) {
+			// Worker lost our state (restart/eviction): re-ship and burn
+			// no backoff — the next attempt hits a freshly built shard.
+			if serr := c.reship(ctx); serr != nil {
+				lastErr = serr
+				continue
+			}
+			lastErr = err
+			continue
+		}
+		var he *httpError
+		if errors.As(err, &he) && he.status >= 400 && he.status < 500 && he.status != http.StatusRequestTimeout {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %s: %v", ErrUnavailable, path, lastErr)
+}
+
+// ScanBest implements query.ShardTransport.
+func (c *Client) ScanBest(ctx context.Context, req query.ScanBestRequest) (query.ScanBestResponse, error) {
+	var resp query.ScanBestResponse
+	err := c.call(ctx, c.paths.scan, req, &resp)
+	return resp, err
+}
+
+// ScanFixed implements query.ShardTransport.
+func (c *Client) ScanFixed(ctx context.Context, req query.ScanFixedRequest) (query.ScanFixedResponse, error) {
+	var resp query.ScanFixedResponse
+	err := c.call(ctx, c.paths.scanFixed, req, &resp)
+	return resp, err
+}
+
+// EvalMembers implements query.ShardTransport.
+func (c *Client) EvalMembers(ctx context.Context, req query.EvalMembersRequest) (query.EvalMembersResponse, error) {
+	var resp query.EvalMembersResponse
+	err := c.call(ctx, c.paths.members, req, &resp)
+	return resp, err
+}
+
+// Range implements query.ShardTransport.
+func (c *Client) Range(ctx context.Context, req query.RangeRequest) (query.RangeResponse, error) {
+	var resp query.RangeResponse
+	err := c.call(ctx, c.paths.rng, req, &resp)
+	return resp, err
+}

@@ -1,0 +1,430 @@
+// Package shardrpc is the remote ShardTransport of the scatter-gather
+// engine: a Worker serves one or more shards' indexes over the REST idiom
+// of cmd/onex-server (`-role worker`), and a Client drives one shard on
+// such a worker from the coordinator, implementing query.ShardTransport.
+//
+// # Protocol
+//
+// Shard state is keyed by (dataset, generation, shard) — the idempotency
+// key. The generation is a random nonce the coordinator mints per shipped
+// incarnation of a shard's state, so re-shipping the same generation is a
+// no-op (the worker answers with the cached stats) and two coordinators,
+// or one coordinator before and after a maintenance step, can never alias
+// each other's state. Workers retain the two newest generations per
+// (dataset, shard), so queries racing a maintenance swap still answer.
+//
+//	GET  /worker/v1/healthz
+//	PUT  /worker/v1/shards/{dataset}/{gen}/{shard}            ship a ShardSpec
+//	POST /worker/v1/shards/{dataset}/{gen}/{shard}/scan       ScanBestRequest
+//	POST /worker/v1/shards/{dataset}/{gen}/{shard}/scanfixed  ScanFixedRequest
+//	POST /worker/v1/shards/{dataset}/{gen}/{shard}/members    EvalMembersRequest
+//	POST /worker/v1/shards/{dataset}/{gen}/{shard}/range      RangeRequest
+//
+// Query calls against an unknown key answer 404 with code
+// "unknown_generation" — the signal that the worker restarted (or expired
+// the generation) and the client must re-ship the spec and retry. Bound
+// hints, cutoffs and distances that can be ±Inf travel as math.Float64bits
+// (see query.ShardTransport for the bit-exactness contract).
+//
+// The X-Request-Id header propagates from the coordinator and tags every
+// worker-side log line, so a distributed query is greppable end to end.
+package shardrpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"onex/internal/obs"
+	"onex/internal/query"
+)
+
+// maxSpecBytes bounds a shipped shard spec (1 GiB — specs carry the shard's
+// series values and grouping restriction).
+const maxSpecBytes = 1 << 30
+
+// maxRequestBytes bounds a query request body (64 MiB).
+const maxRequestBytes = 64 << 20
+
+// gensRetained is how many generations a worker keeps per (dataset, shard).
+// Two covers the swap window of one maintenance step: the coordinator ships
+// the new generation, then stops querying the old one.
+const gensRetained = 2
+
+// shardKey is the idempotency key of one shipped shard incarnation.
+type shardKey struct {
+	dataset string
+	gen     string
+	shard   int
+}
+
+// datasetShard identifies a shard slot across generations (retention).
+type datasetShard struct {
+	dataset string
+	shard   int
+}
+
+// entry is one resident (or building) shard index. ready closes when the
+// build finishes; ls/err are valid only after that.
+type entry struct {
+	ready chan struct{}
+	ls    *query.LocalShard
+	stats query.ShardStats
+	err   error
+}
+
+// Worker serves shard indexes shipped by coordinators. Safe for concurrent
+// use; shard builds are single-flighted per key (a re-shipped PUT of a
+// building generation waits for the in-flight build instead of repeating
+// it), and a failed build is forgotten so a retry rebuilds.
+type Worker struct {
+	logger *slog.Logger
+
+	mu     sync.Mutex
+	shards map[shardKey]*entry
+	// gens tracks the build order of generations per shard slot, oldest
+	// first, for retention.
+	gens map[datasetShard][]string
+}
+
+// NewWorker returns a worker with no resident shards. logger may be nil
+// (discards are replaced by slog.Default()).
+func NewWorker(logger *slog.Logger) *Worker {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Worker{
+		logger: logger,
+		shards: make(map[shardKey]*entry),
+		gens:   make(map[datasetShard][]string),
+	}
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /worker/v1/healthz", w.handleHealthz)
+	mux.HandleFunc("PUT /worker/v1/shards/{dataset}/{gen}/{shard}", w.timed("put_shard", w.handleShip))
+	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/scan", w.timed("scan", w.handleScan))
+	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/scanfixed", w.timed("scanfixed", w.handleScanFixed))
+	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/members", w.timed("members", w.handleMembers))
+	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/range", w.timed("range", w.handleRange))
+	return mux
+}
+
+// ShardCount reports the resident shard incarnations (observability/tests).
+func (w *Worker) ShardCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.shards)
+}
+
+// timed wraps a worker route with the request-id plumbing and one
+// structured log line per request — the worker-side half of the
+// coordinator's request tracing (satellite of the X-Request-Id contract).
+func (w *Worker) timed(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if reqID != "" {
+			rw.Header().Set("X-Request-Id", reqID)
+			r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
+		}
+		rec := &statusWriter{ResponseWriter: rw}
+		h(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.logger.Info("worker request",
+			"requestId", reqID,
+			"op", op,
+			"dataset", r.PathValue("dataset"),
+			"gen", r.PathValue("gen"),
+			"shard", r.PathValue("shard"),
+			"status", status,
+			"durMs", float64(time.Since(start).Microseconds())/1e3,
+		)
+	}
+}
+
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// wireError is the JSON error shape of the worker surface (mirrors the
+// coordinator API's {"error", "code"}).
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, wireError{Error: msg, Code: code})
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	w.mu.Lock()
+	n := len(w.shards)
+	w.mu.Unlock()
+	writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "shards": n})
+}
+
+// pathKey parses the shard key from the route.
+func pathKey(r *http.Request) (shardKey, error) {
+	shard, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || shard < 0 {
+		return shardKey{}, fmt.Errorf("shardrpc: bad shard index %q", r.PathValue("shard"))
+	}
+	k := shardKey{dataset: r.PathValue("dataset"), gen: r.PathValue("gen"), shard: shard}
+	if k.dataset == "" || k.gen == "" {
+		return shardKey{}, fmt.Errorf("shardrpc: empty dataset or generation")
+	}
+	return k, nil
+}
+
+// handleShip builds (or returns the already-built) shard index for the
+// shipped spec. Idempotent per (dataset, gen, shard): a concurrent or
+// repeated PUT of the same key waits on the single in-flight build and
+// answers with its stats; a failed build is forgotten so retrying re-ships.
+func (w *Worker) handleShip(rw http.ResponseWriter, r *http.Request) {
+	key, err := pathKey(r)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", "read spec: "+err.Error())
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeErr(rw, http.StatusRequestEntityTooLarge, "too_large", "shard spec exceeds size limit")
+		return
+	}
+
+	// Protocol errors (malformed JSON, spec key disagreeing with the route)
+	// are 400s and never create an entry — only a well-keyed spec reaches
+	// the singleflighted build, whose failures are 422 and retryable.
+	var spec query.ShardSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", "shardrpc: decode spec: "+err.Error())
+		return
+	}
+	if spec.Dataset != key.dataset || spec.Generation != key.gen || spec.Shard != key.shard {
+		writeErr(rw, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("shardrpc: spec key %s/%s/%d does not match route %s/%s/%d",
+				spec.Dataset, spec.Generation, spec.Shard, key.dataset, key.gen, key.shard))
+		return
+	}
+
+	w.mu.Lock()
+	if e, ok := w.shards[key]; ok {
+		w.mu.Unlock()
+		w.respondReady(rw, r, e)
+		return
+	}
+	e := &entry{ready: make(chan struct{})}
+	w.shards[key] = e
+	w.mu.Unlock()
+
+	e.ls, e.err = query.BuildLocalShard(spec)
+	if e.err == nil {
+		e.stats = e.ls.Stats()
+	}
+	close(e.ready)
+
+	w.mu.Lock()
+	if e.err != nil {
+		// Forget failed builds: the key must stay retryable.
+		delete(w.shards, key)
+	} else {
+		w.retain(key)
+	}
+	w.mu.Unlock()
+
+	if e.err != nil {
+		w.logger.Error("shard build failed", "dataset", key.dataset, "gen", key.gen,
+			"shard", key.shard, "error", e.err)
+		writeErr(rw, http.StatusUnprocessableEntity, "build_failed", e.err.Error())
+		return
+	}
+	w.logger.Info("shard resident", "dataset", key.dataset, "gen", key.gen,
+		"shard", key.shard, "series", e.stats.Series, "groups", e.stats.Groups,
+		"subsequences", e.stats.Subsequences)
+	writeJSON(rw, http.StatusOK, map[string]any{"stats": e.stats})
+}
+
+// retain records key's generation and evicts generations beyond the
+// retention window for its shard slot. Caller holds w.mu.
+func (w *Worker) retain(key shardKey) {
+	slot := datasetShard{dataset: key.dataset, shard: key.shard}
+	gens := w.gens[slot]
+	for _, g := range gens {
+		if g == key.gen {
+			return // re-ship of a retained generation
+		}
+	}
+	gens = append(gens, key.gen)
+	for len(gens) > gensRetained {
+		delete(w.shards, shardKey{dataset: key.dataset, gen: gens[0], shard: key.shard})
+		gens = gens[1:]
+	}
+	w.gens[slot] = append([]string(nil), gens...)
+}
+
+// respondReady waits for an in-flight build of e and answers like the
+// original PUT would.
+func (w *Worker) respondReady(rw http.ResponseWriter, r *http.Request, e *entry) {
+	select {
+	case <-e.ready:
+	case <-r.Context().Done():
+		writeErr(rw, http.StatusServiceUnavailable, "canceled", r.Context().Err().Error())
+		return
+	}
+	if e.err != nil {
+		writeErr(rw, http.StatusUnprocessableEntity, "build_failed", e.err.Error())
+		return
+	}
+	writeJSON(rw, http.StatusOK, map[string]any{"stats": e.stats})
+}
+
+// lookup resolves the route's shard, waiting out an in-flight build.
+// A missing key answers 404/unknown_generation — the re-ship signal.
+func (w *Worker) lookup(rw http.ResponseWriter, r *http.Request) *query.LocalShard {
+	key, err := pathKey(r)
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", err.Error())
+		return nil
+	}
+	w.mu.Lock()
+	e := w.shards[key]
+	w.mu.Unlock()
+	if e == nil {
+		writeErr(rw, http.StatusNotFound, "unknown_generation",
+			fmt.Sprintf("shardrpc: no resident state for %s/%s/%d", key.dataset, key.gen, key.shard))
+		return nil
+	}
+	select {
+	case <-e.ready:
+	case <-r.Context().Done():
+		writeErr(rw, http.StatusServiceUnavailable, "canceled", r.Context().Err().Error())
+		return nil
+	}
+	if e.err != nil {
+		writeErr(rw, http.StatusNotFound, "unknown_generation", "shardrpc: shard build failed; re-ship")
+		return nil
+	}
+	return e.ls
+}
+
+// decodeReq decodes a bounded JSON request body.
+func decodeReq(rw http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", "read request: "+err.Error())
+		return false
+	}
+	if len(body) > maxRequestBytes {
+		writeErr(rw, http.StatusRequestEntityTooLarge, "too_large", "request exceeds size limit")
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeErr(rw, http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// answer writes a transport response, mapping query-layer validation
+// errors to 400 (the coordinator validated already, so these indicate a
+// protocol bug, not a flaky worker) and cancellations to 503.
+func answer(rw http.ResponseWriter, r *http.Request, v any, err error) {
+	switch {
+	case err == nil:
+		writeJSON(rw, http.StatusOK, v)
+	case r.Context().Err() != nil:
+		writeErr(rw, http.StatusServiceUnavailable, "canceled", r.Context().Err().Error())
+	default:
+		writeErr(rw, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+func (w *Worker) handleScan(rw http.ResponseWriter, r *http.Request) {
+	ls := w.lookup(rw, r)
+	if ls == nil {
+		return
+	}
+	var req query.ScanBestRequest
+	if !decodeReq(rw, r, &req) {
+		return
+	}
+	resp, err := ls.ScanBest(r.Context(), req)
+	answer(rw, r, resp, err)
+}
+
+func (w *Worker) handleScanFixed(rw http.ResponseWriter, r *http.Request) {
+	ls := w.lookup(rw, r)
+	if ls == nil {
+		return
+	}
+	var req query.ScanFixedRequest
+	if !decodeReq(rw, r, &req) {
+		return
+	}
+	resp, err := ls.ScanFixed(r.Context(), req)
+	answer(rw, r, resp, err)
+}
+
+func (w *Worker) handleMembers(rw http.ResponseWriter, r *http.Request) {
+	ls := w.lookup(rw, r)
+	if ls == nil {
+		return
+	}
+	var req query.EvalMembersRequest
+	if !decodeReq(rw, r, &req) {
+		return
+	}
+	resp, err := ls.EvalMembers(r.Context(), req)
+	answer(rw, r, resp, err)
+}
+
+func (w *Worker) handleRange(rw http.ResponseWriter, r *http.Request) {
+	ls := w.lookup(rw, r)
+	if ls == nil {
+		return
+	}
+	var req query.RangeRequest
+	if !decodeReq(rw, r, &req) {
+		return
+	}
+	resp, err := ls.Range(r.Context(), req)
+	answer(rw, r, resp, err)
+}

@@ -1,6 +1,7 @@
 package onex
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -31,7 +32,7 @@ func TestObservedEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				bm, err := base.BestMatchObserved(q, MatchAny, tr)
+				bm, err := base.BestMatchObserved(context.Background(), q, MatchAny, tr)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -47,7 +48,7 @@ func TestObservedEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				tr = obs.NewTrace("t-knn")
-				bk, err := base.BestKMatchesObserved(q, MatchAny, 3, tr)
+				bk, err := base.BestKMatchesObserved(context.Background(), q, MatchAny, 3, tr)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -74,7 +75,7 @@ func TestObservedEquivalence(t *testing.T) {
 						t.Fatal(err)
 					}
 					tr = obs.NewTrace("t-range")
-					br, err := base.RangeSearchObserved(q, 16, 0.3, exact, tr)
+					br, err := base.RangeSearchObserved(context.Background(), q, 16, 0.3, exact, tr)
 					if err != nil {
 						t.Fatal(err)
 					}

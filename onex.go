@@ -24,6 +24,7 @@
 package onex
 
 import (
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -65,7 +66,7 @@ func buildDataset(d *ts.Dataset, opts Options) (*Base, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := shard.Build(d, cfg, opts.Shards)
+	eng, err := shard.Build(d, cfg, opts.Shards, opts.ShardWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +117,16 @@ func (b *Base) Lengths() []int {
 // MatchAny searches every indexed length with the paper's length-ordering
 // and early-stop optimizations.
 func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
-	m, err := b.eng.BestMatch(q, query.MatchMode(mode))
+	return b.BestMatchContext(context.Background(), q, mode)
+}
+
+// BestMatchContext is BestMatch under a context: a canceled or expired ctx
+// stops the per-shard fan-out of a sharded (or distributed) base between
+// rounds and returns ctx's error. Cancellation only abandons work — any
+// answer returned is still exact. Unsharded bases answer synchronously and
+// ignore ctx.
+func (b *Base) BestMatchContext(ctx context.Context, q []float64, mode MatchMode) (Match, error) {
+	m, err := b.eng.BestMatch(ctx, q, query.MatchMode(mode))
 	if err != nil {
 		return Match{}, err
 	}
@@ -124,11 +134,13 @@ func (b *Base) BestMatch(q []float64, mode MatchMode) (Match, error) {
 }
 
 // BestMatchObserved is BestMatch with optional tracing: a non-nil rec
-// records per-stage spans (scan, refine) and the query's work counters.
-// Tracing only observes — the answer is bit-identical to BestMatch, and a
-// nil rec adds no overhead on the search hot path.
-func (b *Base) BestMatchObserved(q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
-	m, err := b.eng.BestMatchObserved(q, query.MatchMode(mode), rec)
+// records per-stage spans (scan, refine — per-shard spans when the layout
+// is sharded) and the query's work counters. Tracing only observes — the
+// answer is bit-identical to BestMatch, and a nil rec adds no overhead on
+// the search hot path. ctx carries cancellation and the request id that
+// tags distributed per-shard work (see BestMatchContext).
+func (b *Base) BestMatchObserved(ctx context.Context, q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
+	m, err := b.eng.BestMatchObserved(ctx, q, query.MatchMode(mode), rec)
 	if err != nil {
 		return Match{}, err
 	}
@@ -160,8 +172,8 @@ type BatchResult struct {
 // qs[i] — and each equals what BestMatch(qs[i], mode) would return, errors
 // included. Malformed queries never panic; a nil or empty batch returns an
 // empty slice.
-func (b *Base) BestMatchBatch(qs [][]float64, mode MatchMode) []BatchResult {
-	rs := b.eng.BestMatchBatch(qs, query.MatchMode(mode))
+func (b *Base) BestMatchBatch(ctx context.Context, qs [][]float64, mode MatchMode) []BatchResult {
+	rs := b.eng.BestMatchBatch(ctx, qs, query.MatchMode(mode))
 	out := make([]BatchResult, len(rs))
 	for i, r := range rs {
 		if r.Err != nil {
@@ -193,12 +205,12 @@ type KNNBatchResult struct {
 // worker-split scaffold as BestMatchBatch. Results are positional — out[i]
 // answers qs[i] and equals what BestKMatches(qs[i].Query, qs[i].Mode,
 // qs[i].K) would return, errors included.
-func (b *Base) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
+func (b *Base) BestKMatchesBatch(ctx context.Context, qs []KNNQuery) []KNNBatchResult {
 	in := make([]query.KNNQuery, len(qs))
 	for i, q := range qs {
 		in[i] = query.KNNQuery{Query: q.Query, Mode: query.MatchMode(q.Mode), K: q.K}
 	}
-	rs := b.eng.BestKMatchesBatch(in)
+	rs := b.eng.BestKMatchesBatch(ctx, in)
 	out := make([]KNNBatchResult, len(rs))
 	for i, r := range rs {
 		if r.Err != nil {
@@ -218,7 +230,7 @@ func (b *Base) BestKMatchesBatch(qs []KNNQuery) []KNNBatchResult {
 // best first. Fewer than k results are returned only when the base holds
 // fewer candidates.
 func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error) {
-	ms, err := b.eng.BestKMatches(q, query.MatchMode(mode), k)
+	ms, err := b.eng.BestKMatches(context.Background(), q, query.MatchMode(mode), k)
 	if err != nil {
 		return nil, err
 	}
@@ -229,10 +241,10 @@ func (b *Base) BestKMatches(q []float64, mode MatchMode, k int) ([]Match, error)
 	return out, nil
 }
 
-// BestKMatchesObserved is BestKMatches with optional tracing (see
-// BestMatchObserved).
-func (b *Base) BestKMatchesObserved(q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
-	ms, err := b.eng.BestKMatchesObserved(q, query.MatchMode(mode), k, rec)
+// BestKMatchesObserved is BestKMatches with optional tracing and context
+// (see BestMatchObserved).
+func (b *Base) BestKMatchesObserved(ctx context.Context, q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+	ms, err := b.eng.BestKMatchesObserved(ctx, q, query.MatchMode(mode), k, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +271,7 @@ type RangeMatch struct {
 // whole groups are admitted through the Lemma 2 triangle inequality without
 // per-member DTW computations.
 func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatch, error) {
-	rs, err := b.eng.RangeSearch(q, length, radius)
+	rs, err := b.eng.RangeSearch(context.Background(), q, length, radius)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +289,7 @@ func (b *Base) RangeSearch(q []float64, length int, radius float64) ([]RangeMatc
 // the subsequences within radius, independent of the base's grouping, so
 // Distance is always safe to sort or re-threshold on.
 func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]RangeMatch, error) {
-	rs, err := b.eng.RangeSearchExact(q, length, radius)
+	rs, err := b.eng.RangeSearchExact(context.Background(), q, length, radius)
 	if err != nil {
 		return nil, err
 	}
@@ -289,10 +301,10 @@ func (b *Base) RangeSearchExact(q []float64, length int, radius float64) ([]Rang
 }
 
 // RangeSearchObserved is RangeSearch/RangeSearchExact with optional tracing
-// (see BestMatchObserved); exact selects the RangeSearchExact distance
-// semantics.
-func (b *Base) RangeSearchObserved(q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]RangeMatch, error) {
-	rs, err := b.eng.RangeSearchObserved(q, length, radius, exact, rec)
+// and context (see BestMatchObserved); exact selects the RangeSearchExact
+// distance semantics.
+func (b *Base) RangeSearchObserved(ctx context.Context, q []float64, length int, radius float64, exact bool, rec *obs.Trace) ([]RangeMatch, error) {
+	rs, err := b.eng.RangeSearchObserved(ctx, q, length, radius, exact, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -322,12 +334,12 @@ type RangeBatchResult struct {
 // worker-split scaffold as BestMatchBatch. Results are positional and each
 // equals the corresponding RangeSearch or RangeSearchExact call, errors
 // included.
-func (b *Base) RangeSearchBatch(qs []RangeQuery) []RangeBatchResult {
+func (b *Base) RangeSearchBatch(ctx context.Context, qs []RangeQuery) []RangeBatchResult {
 	in := make([]query.RangeQuery, len(qs))
 	for i, q := range qs {
 		in[i] = query.RangeQuery{Query: q.Query, Length: q.Length, Radius: q.Radius, Exact: q.Exact}
 	}
-	rs := b.eng.RangeSearchBatch(in)
+	rs := b.eng.RangeSearchBatch(ctx, in)
 	out := make([]RangeBatchResult, len(rs))
 	for i, r := range rs {
 		if r.Err != nil {
@@ -524,11 +536,20 @@ func (b *Base) Save(w io.Writer) error {
 // Load reopens a base written by Save. The derived index layers are rebuilt
 // from the stored groups; queries answer identically to the saved base.
 func Load(r io.Reader) (*Base, error) {
-	eng, err := shard.Load(r)
+	return LoadDistributed(r, nil)
+}
+
+// LoadDistributed is Load with a serving-time worker list: a non-empty
+// workers slice re-derives the snapshot's shards and ships them to the
+// given worker processes (shard s to workers[s%len(workers)]), so the same
+// snapshot serves in-process or distributed. Worker URLs are never
+// persisted — they are this process's deployment, not the base's state.
+func LoadDistributed(r io.Reader, workers []string) (*Base, error) {
+	eng, err := shard.Load(r, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Base{eng: eng}, nil
+	return &Base{eng: eng, opts: Options{ShardWorkers: append([]string(nil), workers...)}}, nil
 }
 
 // SaveFile snapshots the base to path atomically: the stream is written to
@@ -564,13 +585,31 @@ func (b *Base) SaveFile(path string) error {
 
 // LoadFile reopens a base snapshotted with SaveFile.
 func LoadFile(path string) (*Base, error) {
+	return LoadFileDistributed(path, nil)
+}
+
+// LoadFileDistributed is LoadFile with a serving-time worker list (see
+// LoadDistributed).
+func LoadFileDistributed(path string, workers []string) (*Base, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadDistributed(f, workers)
 }
+
+// ShardWorkers reports the remote worker processes serving the base's
+// shards (empty for in-process layouts; a fresh slice).
+func (b *Base) ShardWorkers() []string { return b.eng.WorkerURLs() }
+
+// Close releases the base's transport resources — idle connections to
+// remote shard workers; in-process bases hold none and Close is a no-op.
+// Maintenance steps (Append, Extend) share unchanged shard state between
+// base incarnations, so close only the final base of a lineage, at
+// shutdown. Closing never touches worker-side state: the workers retain
+// their shipped shards and a later LoadDistributed re-ships idempotently.
+func (b *Base) Close() error { return b.eng.Close() }
 
 // Stats reports the size and construction cost of the base (Table 4), plus
 // the maintenance and shard-layout observability counters.

@@ -50,6 +50,18 @@ type Options struct {
 	// count. The one exception, outside the query classes: threshold
 	// adaptation (WithThreshold) requires an unsharded base.
 	Shards int
+	// ShardWorkers lists remote worker base URLs (e.g. "http://host:9102")
+	// serving the shards instead of this process: shard s is shipped to and
+	// queried on ShardWorkers[s%len(ShardWorkers)] over the worker REST
+	// protocol (see internal/shardrpc and the "Distributed serving" section
+	// of the package documentation). Empty keeps every shard in-process.
+	// With workers set, Shards ≤ 1 serves as one remote shard. Answers are
+	// bit-identical to the in-process layout — workers rebuild the exact
+	// per-shard index from the shipped state — so, like Shards, this is a
+	// deployment knob, not a semantics knob. Worker URLs are serving-time
+	// configuration: never persisted by Save, supplied again at load time
+	// via LoadDistributed/LoadFileDistributed.
+	ShardWorkers []string
 	// DcTopK bounds how many nearest-neighbor inter-representative distance
 	// (Dc) entries each representative retains per indexed length: the index
 	// keeps, per representative, only the k smallest entries of its Dc row

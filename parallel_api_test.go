@@ -1,6 +1,7 @@
 package onex
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -20,7 +21,7 @@ func TestBestMatchBatchAPI(t *testing.T) {
 		sineSeries(1, 48)[0].Values[:24],
 	}
 	for _, mode := range []MatchMode{MatchExact, MatchAny} {
-		rs := b.BestMatchBatch(qs, mode)
+		rs := b.BestMatchBatch(context.Background(), qs, mode)
 		if len(rs) != len(qs) {
 			t.Fatalf("mode %d: %d results for %d queries", mode, len(rs), len(qs))
 		}
@@ -39,7 +40,7 @@ func TestBestMatchBatchAPI(t *testing.T) {
 			}
 		}
 	}
-	if rs := b.BestMatchBatch(nil, MatchAny); len(rs) != 0 {
+	if rs := b.BestMatchBatch(context.Background(), nil, MatchAny); len(rs) != 0 {
 		t.Fatalf("nil batch: %d results", len(rs))
 	}
 }
@@ -64,7 +65,7 @@ func TestConcurrentBatchExtendSeasonal(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				rs := b.BestMatchBatch(qs, MatchAny)
+				rs := b.BestMatchBatch(context.Background(), qs, MatchAny)
 				if len(rs) != len(qs) {
 					t.Errorf("short batch: %d", len(rs))
 					return
@@ -162,7 +163,7 @@ func FuzzBestMatchBatch(f *testing.F) {
 			}
 			qs = append(qs, q)
 		}
-		rs := base.BestMatchBatch(qs, mode)
+		rs := base.BestMatchBatch(context.Background(), qs, mode)
 		if len(rs) != len(qs) {
 			t.Fatalf("%d results for %d queries", len(rs), len(qs))
 		}
@@ -223,7 +224,7 @@ func FuzzParallelismOption(f *testing.F) {
 			got.Length != want.Length || math.Abs(got.Distance-want.Distance) > 1e-12 {
 			t.Fatalf("Parallelism=%d Workers=%d: %+v, want %+v", p, w, got, want)
 		}
-		rs := b.BestMatchBatch([][]float64{q, nil}, MatchAny)
+		rs := b.BestMatchBatch(context.Background(), [][]float64{q, nil}, MatchAny)
 		if len(rs) != 2 || rs[0].Err != nil || rs[1].Err == nil {
 			t.Fatalf("Parallelism=%d: batch shape wrong: %+v", p, rs)
 		}
