@@ -128,6 +128,8 @@ func main() {
 			"log requests at or above this duration at warn level with a slowQuery marker (0 = off)")
 		pprofFlag = flag.Bool("pprof", false,
 			"mount net/http/pprof under /debug/pprof/ (profiles expose memory contents; opt-in)")
+		healthProbe = flag.Duration("health-probe", 0,
+			"background shard-worker health-probe interval (0 = 1s default; only probes workers already contacted)")
 	)
 	flag.Parse()
 
@@ -175,6 +177,7 @@ func main() {
 		BuildWorkers: *buildWorkers, MaxBody: *maxBody, AllowFS: *allowFS,
 		Legacy: *legacy, JobWorkers: *jobWorkers, MaxJobs: *maxJobs, JobTTL: *jobTTL,
 		Logger: logger, SlowQuery: *slowQuery, Pprof: *pprofFlag,
+		HealthProbe: *healthProbe,
 	})
 	if err != nil {
 		logger.Error("onex-server: startup", "error", err)

@@ -36,6 +36,7 @@ import (
 	"onex/internal/jobs"
 	"onex/internal/metrics"
 	"onex/internal/obs"
+	"onex/internal/shardrpc"
 )
 
 // DefaultMaxBody caps request bodies at 8 MiB: ~1M-point query vectors.
@@ -93,6 +94,11 @@ type Config struct {
 	// Pprof mounts the net/http/pprof profiling endpoints under
 	// /debug/pprof/. Off by default: profiles expose memory contents.
 	Pprof bool
+	// HealthProbe sets the background shard-worker health-probe interval
+	// (0 = shardrpc.DefaultProbeInterval). Probes only contact workers the
+	// fleet registry already knows about, so local-only deployments pay
+	// nothing beyond an idle ticker.
+	HealthProbe time.Duration
 }
 
 // Server is the HTTP face of a hub. Handlers are safe for concurrent use.
@@ -113,6 +119,10 @@ type Server struct {
 
 	reqMu     sync.Mutex
 	reqCounts map[reqKey]uint64
+
+	// stopProbes releases this server's hold on the shared shard-worker
+	// health-probe loop (see shardrpc.FleetHealth.StartProbes).
+	stopProbes func()
 }
 
 // New starts a hub, registers the default dataset per cfg and waits for it
@@ -145,6 +155,8 @@ func New(cfg Config) (*Server, error) {
 		pprof:     cfg.Pprof,
 		slow:      obs.NewSlowLog(slowLogCap),
 	}
+	shardrpc.Fleet().SetLogger(logger)
+	s.stopProbes = shardrpc.Fleet().StartProbes(cfg.HealthProbe)
 
 	spec := hub.Spec{
 		Scale: cfg.Scale,
@@ -176,6 +188,9 @@ func New(cfg Config) (*Server, error) {
 // Close aborts in-flight jobs and builds and releases the server's
 // resources. Safe to call more than once.
 func (s *Server) Close() {
+	if s.stopProbes != nil {
+		s.stopProbes()
+	}
 	s.jobs.Close()
 	s.hub.Close()
 }

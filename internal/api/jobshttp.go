@@ -146,10 +146,10 @@ func (s *Server) handleMatchJob(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSlow(route, ds.Name(), "match", jc.JobID(), tr)
+			s.recordSlow(route, ds, "match", jc.JobID(), tr)
 			out := matchResult(kq.K, ms, withValues)
 			if explain {
-				out = explained(out, tr)
+				out = explained(out, tr, ds)
 			}
 			return out, nil
 		})
@@ -200,10 +200,10 @@ func (s *Server) handleRangeJob(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSlow(route, ds.Name(), "range", jc.JobID(), tr)
+			s.recordSlow(route, ds, "range", jc.JobID(), tr)
 			out := rangeResult(ms)
 			if explain {
-				out = explained(out, tr)
+				out = explained(out, tr, ds)
 			}
 			return out, nil
 		})
@@ -253,10 +253,10 @@ func (s *Server) handleSeasonalJob(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSlow(route, ds.Name(), "seasonal", jc.JobID(), tr)
+			s.recordSlow(route, ds, "seasonal", jc.JobID(), tr)
 			out := seasonalResult(patterns)
 			if explain {
-				out = explained(out, tr)
+				out = explained(out, tr, ds)
 			}
 			return out, nil
 		})

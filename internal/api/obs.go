@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"time"
 
+	"onex/internal/hub"
 	"onex/internal/metrics"
 	"onex/internal/obs"
+	"onex/internal/shardrpc"
 )
 
 // slowLogCap bounds the slow-query buffer behind GET /v1/debug/slow.
@@ -140,22 +142,48 @@ func explainRequested(r *http.Request) bool {
 	return false
 }
 
+// transportOf classifies how a dataset's shards are reached: "remote" with
+// the worker address set when the base fans out over shardrpc, "local"
+// otherwise. A nil dataset (job entries recorded after a drop) is local.
+func transportOf(ds *hub.Dataset) (string, []string) {
+	if ds != nil {
+		if workers := ds.Workers(); len(workers) > 0 {
+			return "remote", workers
+		}
+	}
+	return "local", nil
+}
+
 // explained wraps a query result with its trace for explain-enabled
-// requests: {"result": <the normal response body>, "trace": {...}}.
-func explained(result any, tr *obs.Trace) any {
-	return map[string]any{"result": result, "trace": tr.Snapshot()}
+// requests: {"result": <the normal response body>, "trace": {...},
+// "transport": "local"|"remote"} plus the shard-worker address set when the
+// dataset is served over shardrpc.
+func explained(result any, tr *obs.Trace, ds *hub.Dataset) any {
+	kind, workers := transportOf(ds)
+	body := map[string]any{"result": result, "trace": tr.Snapshot(), "transport": kind}
+	if len(workers) > 0 {
+		body["workers"] = workers
+	}
+	return body
 }
 
 // recordSlow feeds one finished query into the slow-query buffer (which
 // keeps only the slowest slowLogCap entries; recording is always cheap).
-func (s *Server) recordSlow(route, dataset, family, jobID string, tr *obs.Trace) {
+func (s *Server) recordSlow(route string, ds *hub.Dataset, family, jobID string, tr *obs.Trace) {
 	v := tr.Snapshot()
+	kind, workers := transportOf(ds)
+	var dataset string
+	if ds != nil {
+		dataset = ds.Name()
+	}
 	s.slow.Record(obs.SlowEntry{
 		RequestID:      v.RequestID,
 		Route:          route,
 		Dataset:        dataset,
 		Family:         family,
 		JobID:          jobID,
+		Transport:      kind,
+		Workers:        workers,
 		Time:           time.Now(),
 		DurationMicros: v.DurationMicros,
 		Trace:          v,
@@ -279,6 +307,9 @@ func metricsWriter(w io.Writer, s *Server) *metrics.PromWriter {
 	} {
 		pw.Sample("onex_jobs_total", []metrics.Label{{Name: "event", Value: kv.event}}, float64(kv.v))
 	}
+
+	// Shard-worker fleet health (empty unless remote transports are in use).
+	shardrpc.Fleet().WriteProm(pw)
 
 	// Go runtime basics.
 	var mem runtime.MemStats

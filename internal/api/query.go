@@ -8,6 +8,7 @@ import (
 
 	"onex"
 	"onex/internal/obs"
+	"onex/internal/shardrpc"
 )
 
 // matchItem is one match/k-NN query — the body of the single endpoint and
@@ -101,10 +102,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.recordSlow(r.URL.Path, ds.Name(), "match", "", tr)
+	s.recordSlow(r.URL.Path, ds, "match", "", tr)
 	body := matchResult(kq.K, ms, withValues)
 	if req.Explain || explainRequested(r) {
-		body = explained(body, tr)
+		body = explained(body, tr, ds)
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -153,10 +154,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.recordSlow(r.URL.Path, ds.Name(), "range", "", tr)
+	s.recordSlow(r.URL.Path, ds, "range", "", tr)
 	body := rangeResult(ms)
 	if req.Explain || explainRequested(r) {
-		body = explained(body, tr)
+		body = explained(body, tr, ds)
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -209,10 +210,10 @@ func (s *Server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	s.recordSlow(r.URL.Path, ds.Name(), "seasonal", "", tr)
+	s.recordSlow(r.URL.Path, ds, "seasonal", "", tr)
 	body := seasonalResult(patterns)
 	if explainRequested(r) {
-		body = explained(body, tr)
+		body = explained(body, tr, ds)
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -276,13 +277,19 @@ func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
 // per-dataset query work tallies including bound-pruning counts), the job
 // manager's lifecycle counters, and one latency histogram per route.
 func (s *Server) handleHubStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"hub":            s.hub.Stats(),
 		"jobs":           s.jobs.Stats(),
 		"latency":        s.metrics.Snapshot(),
 		"defaultDataset": s.defaultName,
 		"uptimeSeconds":  time.Since(s.started).Seconds(),
-	})
+	}
+	// Fleet health only appears once at least one shard worker has been
+	// contacted, so local-only deployments keep the historical shape.
+	if workers := shardrpc.Fleet().Snapshot(); len(workers) > 0 {
+		body["workers"] = workers
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleLegacyStats preserves the pre-hub /stats response shape for the

@@ -74,6 +74,16 @@ type DistPoint struct {
 	QueryOverhead float64 `json:"queryOverhead"`
 	BatchOverhead float64 `json:"batchOverhead"`
 	KNNOverhead   float64 `json:"knnOverhead"`
+	// RPCAttempts / RPCRetries count the shardrpc HTTP attempts (and the
+	// retries among them) issued during this point's query measurements —
+	// fleet-registry deltas, zero for local points. MeanWireMillis and
+	// MeanWorkerMillis split the mean per-call wall time into time on the
+	// wire (serialization + HTTP + merge-side decode) and time inside the
+	// worker's handler, using the worker wall clock every response carries.
+	RPCAttempts      uint64  `json:"rpcAttempts,omitempty"`
+	RPCRetries       uint64  `json:"rpcRetries,omitempty"`
+	MeanWireMillis   float64 `json:"meanWireMillis,omitempty"`
+	MeanWorkerMillis float64 `json:"meanWorkerMillis,omitempty"`
 }
 
 // distWorkers boots n shardrpc workers on loopback listeners and returns
@@ -254,12 +264,30 @@ func RunDistSweep(cfg Config) (*DistReport, []Table, error) {
 				eng = e
 			}
 
+			before := shardrpc.Fleet().Totals()
 			q, b, k, single, batch, knn, err := measure(eng)
 			eng.Close()
 			if err != nil {
 				return nil, nil, err
 			}
 			pt.QueryMillis, pt.BatchMillis, pt.KNNMillis = q, b, k
+			if transport == "remote" {
+				// Fleet-registry deltas around the measurements: how many HTTP
+				// attempts the queries cost and how the per-call wall time
+				// splits between wire and worker (the worker wall clock rides
+				// on every response, traced or not).
+				after := shardrpc.Fleet().Totals()
+				pt.RPCAttempts = after.Attempts - before.Attempts
+				pt.RPCRetries = after.Retries - before.Retries
+				if calls := after.QueryCalls - before.QueryCalls; calls > 0 {
+					wall := after.CallWallMicros - before.CallWallMicros
+					worker := after.WorkerMicros - before.WorkerMicros
+					pt.MeanWorkerMillis = float64(worker) / float64(calls) / 1e3
+					if wall > worker {
+						pt.MeanWireMillis = float64(wall-worker) / float64(calls) / 1e3
+					}
+				}
+			}
 
 			if transport == "local" {
 				localPt = pt

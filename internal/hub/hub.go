@@ -529,6 +529,18 @@ func (d *Dataset) Err() error {
 	return d.err
 }
 
+// Workers returns the shard-worker addresses the dataset's base fans out
+// to, or nil for in-process (local-transport) datasets and datasets that
+// are not ready yet. The slice is fresh; callers may retain it.
+func (d *Dataset) Workers() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.base == nil {
+		return nil
+	}
+	return d.base.ShardWorkers()
+}
+
 // Generation returns the swap counter: 0 until ready, then incremented by
 // every Extend. Cache keys embed it, so a bump orphans stale results.
 func (d *Dataset) Generation() uint64 {

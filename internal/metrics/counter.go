@@ -1,0 +1,38 @@
+package metrics
+
+import "sync"
+
+// CounterMap is a small labeled counter family: a mutex-guarded map from a
+// comparable label key to a monotone count. It complements Histogram for
+// the low-rate exposition counters (op×status, ship outcomes, request
+// totals) where a mutex is cheaper than per-key atomics and the key space
+// is tiny. The zero value is ready to use; all methods are safe for
+// concurrent use.
+type CounterMap[K comparable] struct {
+	mu sync.Mutex
+	m  map[K]uint64
+}
+
+// Add increments key by one.
+func (c *CounterMap[K]) Add(key K) { c.AddN(key, 1) }
+
+// AddN increments key by n.
+func (c *CounterMap[K]) AddN(key K, n uint64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]uint64, 8)
+	}
+	c.m[key] += n
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current counts.
+func (c *CounterMap[K]) Snapshot() map[K]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[K]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

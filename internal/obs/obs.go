@@ -88,6 +88,29 @@ func (t *Trace) Add(key string, v int64) {
 	t.mu.Unlock()
 }
 
+// ElapsedMicros returns microseconds elapsed since the trace started (0 on
+// nil) — the rebasing anchor when folding span payloads recorded in a
+// remote process's own timebase (see AddSpan).
+func (t *Trace) ElapsedMicros() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Microseconds()
+}
+
+// AddSpan appends a fully-formed span. StartMicros must already be an
+// offset in this trace's timebase: callers folding a remote payload rebase
+// each span by the ElapsedMicros anchor captured when the remote call
+// began. The trace takes ownership of the span's Attrs slice. No-op on nil.
+func (t *Trace) AddSpan(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
 // SpanScope annotates and ends one open span. The zero value is inert.
 type SpanScope struct {
 	t   *Trace

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 	"time"
@@ -113,6 +114,43 @@ func TestSlowLogNilAndTinyCap(t *testing.T) {
 	got := l2.Snapshot()
 	if len(got) != 1 || got[0].DurationMicros != 9 {
 		t.Fatalf("cap-1 snapshot = %+v", got)
+	}
+}
+
+func TestAddSpanAndElapsed(t *testing.T) {
+	var nilTr *Trace
+	nilTr.AddSpan(Span{Name: "x"}) // must not panic
+	if got := nilTr.ElapsedMicros(); got != 0 {
+		t.Fatalf("nil ElapsedMicros = %d", got)
+	}
+
+	tr := NewTrace("r")
+	time.Sleep(time.Millisecond)
+	if e := tr.ElapsedMicros(); e <= 0 {
+		t.Fatalf("ElapsedMicros = %d after sleeping", e)
+	}
+	tr.AddSpan(Span{Name: "worker-scan", StartMicros: 5, DurMicros: 9,
+		Attrs: []Attr{{Key: "dtwComputed", Value: 3}}})
+	v := tr.Snapshot()
+	if len(v.Spans) != 1 || v.Spans[0].Name != "worker-scan" || v.Spans[0].DurMicros != 9 {
+		t.Fatalf("spans = %+v", v.Spans)
+	}
+	if len(v.Spans[0].Attrs) != 1 || v.Spans[0].Attrs[0] != (Attr{"dtwComputed", 3}) {
+		t.Fatalf("attrs = %+v", v.Spans[0].Attrs)
+	}
+}
+
+func TestContextWithTrace(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceFromContext(ctx); got != nil {
+		t.Fatalf("empty ctx trace = %v", got)
+	}
+	if got := ContextWithTrace(ctx, nil); got != ctx {
+		t.Fatal("nil trace should return ctx unchanged")
+	}
+	tr := NewTrace("r")
+	if got := TraceFromContext(ContextWithTrace(ctx, tr)); got != tr {
+		t.Fatalf("round-tripped trace = %v, want %v", got, tr)
 	}
 }
 

@@ -9,7 +9,27 @@ import (
 // ctxKey is the private context-key namespace for request-scoped values.
 type ctxKey int
 
-const requestIDKey ctxKey = iota
+const (
+	requestIDKey ctxKey = iota
+	traceKey
+)
+
+// ContextWithTrace returns a context carrying the live trace recorder, for
+// layers below the rec-threading seam (shard transports) that only see a
+// context. A nil trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFromContext returns the trace stored by ContextWithTrace, or nil
+// when the request is untraced.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
 
 // ContextWithRequestID returns a context carrying the request id, for
 // propagation across API boundaries (HTTP middleware → engine → shard

@@ -9,11 +9,16 @@ import (
 // SlowEntry is one retained slow query: where it ran, how long it took,
 // and the full trace explaining why.
 type SlowEntry struct {
-	RequestID      string    `json:"requestId"`
-	Route          string    `json:"route"`
-	Dataset        string    `json:"dataset,omitempty"`
-	Family         string    `json:"family"`
-	JobID          string    `json:"jobId,omitempty"`
+	RequestID string `json:"requestId"`
+	Route     string `json:"route"`
+	Dataset   string `json:"dataset,omitempty"`
+	Family    string `json:"family"`
+	JobID     string `json:"jobId,omitempty"`
+	// Transport is the dataset's shard transport kind ("local" or
+	// "remote"); Workers lists the shard-worker addresses when remote — so
+	// distributed entries are distinguishable at a glance.
+	Transport      string    `json:"transport,omitempty"`
+	Workers        []string  `json:"workers,omitempty"`
 	Time           time.Time `json:"time"`
 	DurationMicros int64     `json:"durationMicros"`
 	Trace          View      `json:"trace"`

@@ -42,6 +42,31 @@ func spanWork(sc obs.SpanScope, pre, post Trace) obs.SpanScope {
 	return sc
 }
 
+// WorkAttrs returns tr's non-zero cascade counters as span attributes, in
+// the same key order spanWork emits. Shard workers use it to annotate the
+// span payloads they return over the wire, so a folded worker span carries
+// exactly the counters its response Trace contributes to the request's
+// "work" roll-up (the delta-agreement invariant extends across processes).
+func WorkAttrs(tr Trace) []obs.Attr {
+	attrs := make([]obs.Attr, 0, 5)
+	if tr.RepsExamined > 0 {
+		attrs = append(attrs, obs.Attr{Key: "repsExamined", Value: int64(tr.RepsExamined)})
+	}
+	if tr.PrunedByKim > 0 {
+		attrs = append(attrs, obs.Attr{Key: "prunedByKim", Value: int64(tr.PrunedByKim)})
+	}
+	if tr.PrunedByKeogh > 0 {
+		attrs = append(attrs, obs.Attr{Key: "prunedByKeogh", Value: int64(tr.PrunedByKeogh)})
+	}
+	if tr.DTWComputed > 0 {
+		attrs = append(attrs, obs.Attr{Key: "dtwComputed", Value: int64(tr.DTWComputed)})
+	}
+	if tr.MembersTested > 0 {
+		attrs = append(attrs, obs.Attr{Key: "membersTested", Value: int64(tr.MembersTested)})
+	}
+	return attrs
+}
+
 // observe folds a finished query's Trace into the recorder's trace-level
 // work totals — the same Trace the caller folds into Counters.
 func observe(rec *obs.Trace, tr Trace) {

@@ -184,6 +184,13 @@ func (s *Scatter) BestMatch(ctx context.Context, q []float64, mode MatchMode) (M
 // non-nil rec). Tracing only observes — answers are bit-identical either
 // way. A canceled ctx stops the fan-out between lengths and rounds.
 func (s *Scatter) BestMatchObserved(ctx context.Context, q []float64, mode MatchMode, rec *obs.Trace) (Match, error) {
+	// Remote transports discover the recorder through the context (the rec
+	// parameter stops at the coordinator; rpc spans are recorded below the
+	// fan-out, including EvalMembers rounds that never see rec). Untraced
+	// queries skip the WithValue so the hot path stays allocation-free.
+	if rec != nil {
+		ctx = obs.ContextWithTrace(ctx, rec)
+	}
 	var tr Trace
 	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {
@@ -474,6 +481,9 @@ func (s *Scatter) BestKMatches(ctx context.Context, q []float64, mode MatchMode,
 // hint), so the candidate set is identical at every worker count and shard
 // layout.
 func (s *Scatter) BestKMatchesObserved(ctx context.Context, q []float64, mode MatchMode, k int, rec *obs.Trace) ([]Match, error) {
+	if rec != nil {
+		ctx = obs.ContextWithTrace(ctx, rec)
+	}
 	var tr Trace
 	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if k < 1 {
@@ -669,6 +679,9 @@ func (s *Scatter) RangeSearchExact(ctx context.Context, q []float64, length int,
 func (s *Scatter) RangeSearchObserved(ctx context.Context, q []float64, length int, radius float64,
 	exact bool, rec *obs.Trace) ([]RangeResult, error) {
 
+	if rec != nil {
+		ctx = obs.ContextWithTrace(ctx, rec)
+	}
 	var tr Trace
 	defer func() { s.global.counters.tick(); s.global.counters.fold(tr); observe(rec, tr) }()
 	if err := validateQuery(q); err != nil {

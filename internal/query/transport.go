@@ -1,6 +1,10 @@
 package query
 
-import "context"
+import (
+	"context"
+
+	"onex/internal/obs"
+)
 
 // ShardTransport is the seam between the scatter-gather coordinator
 // (Scatter) and one shard's index. Every shard interaction of a sharded
@@ -72,6 +76,31 @@ type ShardStats struct {
 	IndexBytes int64 `json:"indexBytes"`
 }
 
+// WorkerObs is the worker-side observability payload riding in each query
+// response. WallMicros is always populated by remote workers (one integer,
+// cheap enough to pay untraced) so the coordinator can passively attribute
+// call wall time to worker compute vs wire overhead. Spans carry the
+// worker's own recorded spans — present only when the coordinator asked
+// for tracing (the X-Onex-Trace request header) — with StartMicros offsets
+// in the worker handler's timebase; the coordinator rebases them into the
+// request trace.
+//
+// The payload is strictly observational: LocalShard leaves Obs nil, and no
+// coordinator decision reads it, so answers stay bit-identical across
+// transports.
+type WorkerObs struct {
+	WallMicros int64      `json:"wallMicros"`
+	Spans      []obs.Span `json:"spans,omitempty"`
+}
+
+// ObsPayload returns the response's worker observability payload (nil for
+// local transports). Each query response implements it so transport
+// clients can extract the payload generically.
+func (r *ScanBestResponse) ObsPayload() *WorkerObs    { return r.Obs }
+func (r *ScanFixedResponse) ObsPayload() *WorkerObs   { return r.Obs }
+func (r *EvalMembersResponse) ObsPayload() *WorkerObs { return r.Obs }
+func (r *RangeResponse) ObsPayload() *WorkerObs       { return r.Obs }
+
 // MemberRef addresses one group member on the wire: the global series id
 // and window start (the window length is the request's Length). The member
 // values are reconstructed shard-side from the shipped series, bit-exact.
@@ -100,10 +129,11 @@ type ScanBestRequest struct {
 // (unnormalized) DTW as Float64bits; ties on bit-equal distances resolve
 // to the smallest global group id, matching the monolithic scan order.
 type ScanBestResponse struct {
-	Found    bool   `json:"found"`
-	GroupID  int    `json:"groupId"`
-	BestBits uint64 `json:"bestBits"`
-	Trace    Trace  `json:"trace"`
+	Found    bool       `json:"found"`
+	GroupID  int        `json:"groupId"`
+	BestBits uint64     `json:"bestBits"`
+	Trace    Trace      `json:"trace"`
+	Obs      *WorkerObs `json:"obs,omitempty"`
 }
 
 // ScanFixedRequest asks for the fixed-cutoff k-NN representative cascade
@@ -130,6 +160,7 @@ type FixedHit struct {
 type ScanFixedResponse struct {
 	Hits  []FixedHit `json:"hits"`
 	Trace Trace      `json:"trace"`
+	Obs   *WorkerObs `json:"obs,omitempty"`
 }
 
 // EvalMembersRequest asks for one round of member evaluations against a
@@ -149,9 +180,10 @@ type EvalMembersRequest struct {
 // the lower bound already proves the member hopeless or the DTW abandons).
 // DTWComputed counts the DTWs that actually ran (Trace accounting).
 type EvalMembersResponse struct {
-	LbBits      []uint64 `json:"lbBits"`
-	DsBits      []uint64 `json:"dsBits"`
-	DTWComputed int      `json:"dtwComputed"`
+	LbBits      []uint64   `json:"lbBits"`
+	DsBits      []uint64   `json:"dsBits"`
+	DTWComputed int        `json:"dtwComputed"`
+	Obs         *WorkerObs `json:"obs,omitempty"`
 }
 
 // RangeRequest asks for a range search over the shard's restriction.
@@ -178,6 +210,7 @@ type RangeHit struct {
 type RangeResponse struct {
 	Results []RangeHit `json:"results"`
 	Trace   Trace      `json:"trace"`
+	Obs     *WorkerObs `json:"obs,omitempty"`
 }
 
 // ---- shard shipping -----------------------------------------------------

@@ -33,6 +33,13 @@ const DefaultRetries = 3
 // retryBackoff is the base backoff before retry n (doubles each retry).
 const retryBackoff = 50 * time.Millisecond
 
+// traceHeader is the coordinator's opt-in for worker-side span recording:
+// when a live obs.Trace rides the call context, the client sets it and the
+// worker returns its spans in the response's obs payload. Keeping the
+// opt-in out of the request structs leaves the wire shapes unchanged for
+// untraced queries.
+const traceHeader = "X-Onex-Trace"
+
 // ClientOptions tune a worker client; zero values select the defaults.
 type ClientOptions struct {
 	// Timeout bounds each call attempt (default DefaultTimeout).
@@ -177,13 +184,28 @@ func unknownGeneration(err error) bool {
 	return errors.As(err, &he) && he.code == "unknown_generation"
 }
 
-// once runs one bounded HTTP attempt, propagating the request id.
-func (c *Client) once(ctx context.Context, method, path string, in, out any) error {
+// callStats accumulates one call's attempt roll-up for the rpc span and
+// the fleet-health counters.
+type callStats struct {
+	attempts  int
+	reships   int
+	backoff   time.Duration
+	reqBytes  int64
+	respBytes int64
+}
+
+// once runs one bounded HTTP attempt, propagating the request id and
+// feeding the attempt's outcome into the fleet-health registry. cs (may be
+// nil) accumulates the bytes moved.
+func (c *Client) once(ctx context.Context, method, path string, in, out any, cs *callStats) error {
 	actx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("shardrpc: encode request: %w", err)
+	}
+	if cs != nil {
+		cs.reqBytes += int64(len(body))
 	}
 	req, err := http.NewRequestWithContext(actx, method, path, bytes.NewReader(body))
 	if err != nil {
@@ -193,15 +215,33 @@ func (c *Client) once(ctx context.Context, method, path string, in, out any) err
 	if id := obs.RequestIDFromContext(ctx); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
+	if obs.TraceFromContext(ctx) != nil {
+		req.Header.Set(traceHeader, "1")
+	}
+	// From here the attempt counts against the worker's health: the timeout
+	// marker distinguishes our per-attempt deadline firing from the parent
+	// context being canceled.
+	start := time.Now()
+	timedOut := func() bool {
+		return errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		Fleet().observeAttempt(c.base, time.Since(start), true, timedOut())
 		return fmt.Errorf("shardrpc: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
 	if err != nil {
+		Fleet().observeAttempt(c.base, time.Since(start), true, timedOut())
 		return fmt.Errorf("shardrpc: read response: %w", err)
 	}
+	if cs != nil {
+		cs.respBytes += int64(len(raw))
+	}
+	// Any complete HTTP answer below 5xx means the worker is alive and
+	// serving — unknown_generation (404) is protocol-normal after a restart.
+	Fleet().observeAttempt(c.base, time.Since(start), resp.StatusCode >= 500, false)
 	if resp.StatusCode != http.StatusOK {
 		var we wireError
 		_ = json.Unmarshal(raw, &we)
@@ -224,7 +264,7 @@ func (c *Client) shipOnce(ctx context.Context) error {
 	var resp struct {
 		Stats query.ShardStats `json:"stats"`
 	}
-	if err := c.once(ctx, http.MethodPut, c.paths.ship, c.spec, &resp); err != nil {
+	if err := c.once(ctx, http.MethodPut, c.paths.ship, c.spec, &resp, nil); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -281,6 +321,10 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// obsCarrier extracts the worker observability payload from any transport
+// response.
+type obsCarrier interface{ ObsPayload() *query.WorkerObs }
+
 // call POSTs one transport request with bounded retry/backoff. Transient
 // failures (network errors, 5xx) back off and retry; unknown_generation
 // re-ships the shard state and retries immediately — together these make a
@@ -290,24 +334,46 @@ func sleep(ctx context.Context, d time.Duration) error {
 // failure returns the same bits. Non-retryable answers (4xx protocol
 // errors) and context cancellation surface immediately; exhausted retries
 // wrap ErrUnavailable.
-func (c *Client) call(ctx context.Context, path string, in, out any) error {
+//
+// When the context carries a live obs.Trace, the whole call runs under an
+// "rpc-<op>" span whose attrs decompose it (attempts, retries, re-ships,
+// backoff slept, bytes moved, worker compute vs wire time), and the
+// worker's own spans from the response payload are folded into the trace
+// rebased so they nest inside the rpc span by time containment. Tracing is
+// strictly observational — the untraced path allocates nothing extra and
+// the bytes on the wire differ only by a request header.
+func (c *Client) call(ctx context.Context, op, path string, in, out any) error {
+	rec := obs.TraceFromContext(ctx)
+	var sc obs.SpanScope
+	if rec != nil {
+		sc = rec.StartSpan("rpc-" + op)
+	}
+	start := time.Now()
+	var cs callStats
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, retryBackoff<<(attempt-1)); err != nil {
+			d := retryBackoff << (attempt - 1)
+			if err := sleep(ctx, d); err != nil {
+				c.abortCall(sc, &cs)
 				return err
 			}
+			cs.backoff += d
 		}
-		err := c.once(ctx, http.MethodPost, path, in, out)
+		cs.attempts++
+		err := c.once(ctx, http.MethodPost, path, in, out, &cs)
 		if err == nil {
+			c.finishCall(rec, sc, start, &cs, out)
 			return nil
 		}
 		if ctx.Err() != nil {
+			c.abortCall(sc, &cs)
 			return ctx.Err()
 		}
 		if unknownGeneration(err) {
 			// Worker lost our state (restart/eviction): re-ship and burn
 			// no backoff — the next attempt hits a freshly built shard.
+			cs.reships++
 			if serr := c.reship(ctx); serr != nil {
 				lastErr = serr
 				continue
@@ -317,37 +383,103 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 		}
 		var he *httpError
 		if errors.As(err, &he) && he.status >= 400 && he.status < 500 && he.status != http.StatusRequestTimeout {
+			c.abortCall(sc, &cs)
 			return err
 		}
 		lastErr = err
 	}
+	c.abortCall(sc, &cs)
 	return fmt.Errorf("%w: %s: %v", ErrUnavailable, path, lastErr)
+}
+
+// finishCall closes out a successful call: the fleet model gets the
+// retry/re-ship counters and the wall-vs-worker time split, and — when
+// traced — the rpc span gets its attrs and the worker's spans are folded
+// into the trace. Worker span offsets are in the worker handler's
+// timebase; anchoring them so they END at the fold point (the handler wall
+// equals the payload's WallMicros) places them inside the rpc span with
+// the wire overhead ahead of them.
+func (c *Client) finishCall(rec *obs.Trace, sc obs.SpanScope, start time.Time, cs *callStats, out any) {
+	var wo *query.WorkerObs
+	if oc, ok := out.(obsCarrier); ok {
+		wo = oc.ObsPayload()
+	}
+	var workerMicros int64
+	if wo != nil {
+		workerMicros = wo.WallMicros
+	}
+	wall := time.Since(start)
+	Fleet().observeCall(c.base, wall, workerMicros, cs.attempts-1, cs.reships)
+	if rec == nil {
+		return
+	}
+	if wo != nil && len(wo.Spans) > 0 {
+		anchor := rec.ElapsedMicros() - workerMicros
+		if anchor < 0 {
+			anchor = 0
+		}
+		for _, ws := range wo.Spans {
+			ws.StartMicros += anchor
+			rec.AddSpan(ws)
+		}
+	}
+	wire := wall.Microseconds() - workerMicros
+	if wire < 0 {
+		wire = 0
+	}
+	sc.Attr("shard", int64(c.spec.Shard)).
+		Attr("attempts", int64(cs.attempts)).
+		Attr("retries", int64(cs.attempts-1)).
+		Attr("reships", int64(cs.reships)).
+		Attr("backoffMs", cs.backoff.Milliseconds()).
+		Attr("reqBytes", cs.reqBytes).
+		Attr("respBytes", cs.respBytes).
+		Attr("workerMicros", workerMicros).
+		Attr("wireMicros", wire).
+		End()
+}
+
+// abortCall closes the rpc span on a failed call and folds its retry and
+// re-ship counters into the fleet model (the attempts themselves were
+// recorded individually by once).
+func (c *Client) abortCall(sc obs.SpanScope, cs *callStats) {
+	retries := cs.attempts - 1
+	if retries < 0 {
+		retries = 0
+	}
+	Fleet().observeCallFailed(c.base, retries, cs.reships)
+	sc.Attr("shard", int64(c.spec.Shard)).
+		Attr("attempts", int64(cs.attempts)).
+		Attr("reships", int64(cs.reships)).
+		Attr("backoffMs", cs.backoff.Milliseconds()).
+		Attr("error", 1).
+		End()
 }
 
 // ScanBest implements query.ShardTransport.
 func (c *Client) ScanBest(ctx context.Context, req query.ScanBestRequest) (query.ScanBestResponse, error) {
 	var resp query.ScanBestResponse
-	err := c.call(ctx, c.paths.scan, req, &resp)
+	err := c.call(ctx, "scan", c.paths.scan, req, &resp)
 	return resp, err
 }
 
 // ScanFixed implements query.ShardTransport.
 func (c *Client) ScanFixed(ctx context.Context, req query.ScanFixedRequest) (query.ScanFixedResponse, error) {
 	var resp query.ScanFixedResponse
-	err := c.call(ctx, c.paths.scanFixed, req, &resp)
+	err := c.call(ctx, "scanfixed", c.paths.scanFixed, req, &resp)
 	return resp, err
 }
 
 // EvalMembers implements query.ShardTransport.
 func (c *Client) EvalMembers(ctx context.Context, req query.EvalMembersRequest) (query.EvalMembersResponse, error) {
 	var resp query.EvalMembersResponse
-	err := c.call(ctx, c.paths.members, req, &resp)
+	err := c.call(ctx, "members", c.paths.members, req, &resp)
 	return resp, err
 }
 
 // Range implements query.ShardTransport.
 func (c *Client) Range(ctx context.Context, req query.RangeRequest) (query.RangeResponse, error) {
 	var resp query.RangeResponse
-	err := c.call(ctx, c.paths.rng, req, &resp)
+	err := c.call(ctx, "range", c.paths.rng, req, &resp)
 	return resp, err
 }

@@ -1,0 +1,398 @@
+package shardrpc
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"onex/internal/metrics"
+)
+
+// The coordinator fleet-health model: a process-global registry of every
+// worker this process has talked to, maintained passively from each call
+// attempt (Client feeds it from once/call) plus an optional background
+// healthz probe loop. It is process-global because clients are constructed
+// deep inside engine assembly (shard.Build) while fleet health is a
+// property of the whole coordinator process — the API layer surfaces it on
+// /v1/stats and /metrics and owns the probe loop's lifetime.
+
+// downAfter is the consecutive-failure streak (calls + probes) that flips
+// a worker to down. With the default 1s probe interval a dead worker is
+// detected within a few seconds even when no queries are in flight.
+const downAfter = 3
+
+// healthWindow sizes the rolling per-worker outcome window behind the
+// reported rolling error rate.
+const healthWindow = 128
+
+// probeTimeout bounds one background healthz probe.
+const probeTimeout = 2 * time.Second
+
+// DefaultProbeInterval is the probe cadence when the caller passes 0.
+const DefaultProbeInterval = time.Second
+
+// workerHealth is one worker's health state. The histogram is updated with
+// lock-free atomics; everything else is guarded by FleetHealth.mu.
+type workerHealth struct {
+	url         string
+	up          bool
+	consec      int
+	lastSuccess time.Time
+
+	attempts uint64 // lifetime call attempts (probes not included)
+	errors   uint64 // attempts that failed (transport error, timeout, 5xx)
+	timeouts uint64
+	retries  uint64 // call-level retry attempts beyond the first
+	reships  uint64 // unknown_generation re-ships
+
+	// Rolling outcome ring (true = failure), fed by attempts AND probes.
+	window [healthWindow]bool
+	wpos   int
+	wlen   int
+
+	// Wire-split accumulation over successful query calls: total call wall
+	// vs worker-reported compute (WorkerObs.WallMicros).
+	queryCalls     uint64
+	callWallMicros int64
+	workerMicros   int64
+
+	hist metrics.Histogram // per-attempt latency
+}
+
+// FleetHealth tracks per-worker health for the whole process. All methods
+// are safe for concurrent use. Obtain the instance via Fleet().
+type FleetHealth struct {
+	mu      sync.Mutex
+	logger  *slog.Logger
+	workers map[string]*workerHealth
+
+	probeMu   sync.Mutex
+	probeRefs int
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	probeHTTP *http.Client
+}
+
+var fleet = &FleetHealth{
+	workers:   make(map[string]*workerHealth),
+	probeHTTP: &http.Client{Timeout: probeTimeout},
+}
+
+// Fleet returns the process-global fleet-health registry.
+func Fleet() *FleetHealth { return fleet }
+
+// SetLogger directs the worker up/down transition warnings (nil silences
+// them, the initial state).
+func (f *FleetHealth) SetLogger(l *slog.Logger) {
+	f.mu.Lock()
+	f.logger = l
+	f.mu.Unlock()
+}
+
+// get returns (creating if needed) url's health record. Caller holds f.mu.
+// A never-observed worker starts up: the first contact decides.
+func (f *FleetHealth) get(url string) *workerHealth {
+	wh := f.workers[url]
+	if wh == nil {
+		wh = &workerHealth{url: url, up: true}
+		f.workers[url] = wh
+	}
+	return wh
+}
+
+// outcome pushes one success/failure into the rolling window and runs the
+// up/down transition rule. Caller holds f.mu.
+func (f *FleetHealth) outcome(wh *workerHealth, failed bool) {
+	wh.window[wh.wpos] = failed
+	wh.wpos = (wh.wpos + 1) % healthWindow
+	if wh.wlen < healthWindow {
+		wh.wlen++
+	}
+	if failed {
+		wh.consec++
+		if wh.up && wh.consec >= downAfter {
+			wh.up = false
+			if f.logger != nil {
+				f.logger.Warn("worker down", "worker", wh.url,
+					"consecutiveFailures", wh.consec)
+			}
+		}
+		return
+	}
+	wh.consec = 0
+	wh.lastSuccess = time.Now()
+	if !wh.up {
+		wh.up = true
+		if f.logger != nil {
+			f.logger.Warn("worker up", "worker", wh.url)
+		}
+	}
+}
+
+// observeAttempt records one HTTP attempt against url. failed marks
+// transport errors, timeouts and 5xx answers (a 4xx is a healthy worker
+// disagreeing); timeout additionally bumps the timeout counter.
+func (f *FleetHealth) observeAttempt(url string, d time.Duration, failed, timeout bool) {
+	f.mu.Lock()
+	wh := f.get(url)
+	wh.attempts++
+	if failed {
+		wh.errors++
+	}
+	if timeout {
+		wh.timeouts++
+	}
+	f.outcome(wh, failed)
+	f.mu.Unlock()
+	wh.hist.Observe(d)
+}
+
+// observeCall records a successful query call's roll-up: retry/re-ship
+// counters plus the call-wall vs worker-compute split (workerMicros 0 when
+// the response carried no payload).
+func (f *FleetHealth) observeCall(url string, wall time.Duration, workerMicros int64, retries, reships int) {
+	f.mu.Lock()
+	wh := f.get(url)
+	wh.retries += uint64(retries)
+	wh.reships += uint64(reships)
+	wh.queryCalls++
+	wh.callWallMicros += wall.Microseconds()
+	wh.workerMicros += workerMicros
+	f.mu.Unlock()
+}
+
+// observeCallFailed folds a failed call's retry/re-ship counters (the
+// attempts themselves were already recorded individually).
+func (f *FleetHealth) observeCallFailed(url string, retries, reships int) {
+	if retries == 0 && reships == 0 {
+		return
+	}
+	f.mu.Lock()
+	wh := f.get(url)
+	wh.retries += uint64(retries)
+	wh.reships += uint64(reships)
+	f.mu.Unlock()
+}
+
+// observeProbe records one background healthz probe outcome. Probes feed
+// the rolling window and the up/down rule but not the call latency
+// histogram or attempt counters.
+func (f *FleetHealth) observeProbe(url string, ok bool) {
+	f.mu.Lock()
+	f.outcome(f.get(url), !ok)
+	f.mu.Unlock()
+}
+
+// StartProbes starts (or joins) the background healthz probe loop at the
+// given interval (0 = DefaultProbeInterval; the first active caller's
+// interval wins). The returned stop function is idempotent; the loop exits
+// when every caller has stopped.
+func (f *FleetHealth) StartProbes(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	f.probeMu.Lock()
+	f.probeRefs++
+	if f.probeRefs == 1 {
+		f.stopCh = make(chan struct{})
+		f.doneCh = make(chan struct{})
+		go f.probeLoop(interval, f.stopCh, f.doneCh)
+	}
+	stopCh, doneCh := f.stopCh, f.doneCh
+	f.probeMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			f.probeMu.Lock()
+			f.probeRefs--
+			last := f.probeRefs == 0
+			f.probeMu.Unlock()
+			if last {
+				close(stopCh)
+				<-doneCh
+			}
+		})
+	}
+}
+
+func (f *FleetHealth) probeLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+// probeAll probes every known worker's healthz once.
+func (f *FleetHealth) probeAll() {
+	f.mu.Lock()
+	urls := make([]string, 0, len(f.workers))
+	for u := range f.workers {
+		urls = append(urls, u)
+	}
+	f.mu.Unlock()
+	for _, u := range urls {
+		req, err := http.NewRequest(http.MethodGet, u+"/worker/v1/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := f.probeHTTP.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		f.observeProbe(u, ok)
+	}
+}
+
+// WorkerStatus is one worker's health snapshot, shaped for the /v1/stats
+// "workers" section.
+type WorkerStatus struct {
+	URL                 string  `json:"url"`
+	Up                  bool    `json:"up"`
+	ConsecutiveFailures int     `json:"consecutiveFailures"`
+	LastSuccess         string  `json:"lastSuccess,omitempty"`
+	Attempts            uint64  `json:"attempts"`
+	Errors              uint64  `json:"errors"`
+	RollingErrorRate    float64 `json:"rollingErrorRate"`
+	P50Millis           float64 `json:"p50Millis"`
+	P99Millis           float64 `json:"p99Millis"`
+	Retries             uint64  `json:"retries"`
+	Reships             uint64  `json:"reships"`
+	Timeouts            uint64  `json:"timeouts"`
+}
+
+// statusLocked summarizes wh. Caller holds f.mu.
+func (wh *workerHealth) statusLocked() WorkerStatus {
+	st := WorkerStatus{
+		URL:                 wh.url,
+		Up:                  wh.up,
+		ConsecutiveFailures: wh.consec,
+		Attempts:            wh.attempts,
+		Errors:              wh.errors,
+		Retries:             wh.retries,
+		Reships:             wh.reships,
+		Timeouts:            wh.timeouts,
+	}
+	if !wh.lastSuccess.IsZero() {
+		st.LastSuccess = wh.lastSuccess.UTC().Format(time.RFC3339Nano)
+	}
+	if wh.wlen > 0 {
+		fails := 0
+		for i := 0; i < wh.wlen; i++ {
+			if wh.window[i] {
+				fails++
+			}
+		}
+		st.RollingErrorRate = float64(fails) / float64(wh.wlen)
+	}
+	st.P50Millis = float64(wh.hist.Quantile(0.50)) / 1e6
+	st.P99Millis = float64(wh.hist.Quantile(0.99)) / 1e6
+	return st
+}
+
+// Snapshot summarizes every known worker, sorted by URL. Empty when the
+// process has never talked to a worker.
+func (f *FleetHealth) Snapshot() []WorkerStatus {
+	f.mu.Lock()
+	out := make([]WorkerStatus, 0, len(f.workers))
+	for _, wh := range f.workers {
+		out = append(out, wh.statusLocked())
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// FleetTotals aggregates the registry across workers — the diffable
+// roll-up bench sweeps use to decompose remote overhead.
+type FleetTotals struct {
+	Attempts, Errors, Retries, Reships, Timeouts uint64
+	// QueryCalls counts successful query calls; CallWallMicros/WorkerMicros
+	// accumulate their coordinator-side wall vs worker-reported compute.
+	QueryCalls     uint64
+	CallWallMicros int64
+	WorkerMicros   int64
+}
+
+// Totals aggregates every worker's lifetime counters.
+func (f *FleetHealth) Totals() FleetTotals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t FleetTotals
+	for _, wh := range f.workers {
+		t.Attempts += wh.attempts
+		t.Errors += wh.errors
+		t.Retries += wh.retries
+		t.Reships += wh.reships
+		t.Timeouts += wh.timeouts
+		t.QueryCalls += wh.queryCalls
+		t.CallWallMicros += wh.callWallMicros
+		t.WorkerMicros += wh.workerMicros
+	}
+	return t
+}
+
+// WriteProm renders the onex_worker_* families. Writes nothing when the
+// process has never talked to a worker, so local-only deployments keep a
+// clean /metrics.
+func (f *FleetHealth) WriteProm(pw *metrics.PromWriter) {
+	type row struct {
+		st   WorkerStatus
+		hist *metrics.Histogram
+	}
+	f.mu.Lock()
+	rows := make([]row, 0, len(f.workers))
+	for _, wh := range f.workers {
+		rows = append(rows, row{st: wh.statusLocked(), hist: &wh.hist})
+	}
+	f.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.URL < rows[j].st.URL })
+
+	label := func(u string) []metrics.Label { return []metrics.Label{{Name: "worker", Value: u}} }
+	pw.Header("onex_worker_up", "Whether the worker is considered up (fleet-health model).", "gauge")
+	for _, r := range rows {
+		v := 0.0
+		if r.st.Up {
+			v = 1.0
+		}
+		pw.Sample("onex_worker_up", label(r.st.URL), v)
+	}
+	pw.Header("onex_worker_call_duration_seconds", "Worker call attempt latency.", "histogram")
+	for _, r := range rows {
+		pw.Hist("onex_worker_call_duration_seconds", label(r.st.URL), r.hist)
+	}
+	pw.Header("onex_worker_call_attempts_total", "Worker call attempts.", "counter")
+	for _, r := range rows {
+		pw.Sample("onex_worker_call_attempts_total", label(r.st.URL), float64(r.st.Attempts))
+	}
+	pw.Header("onex_worker_call_errors_total", "Worker call attempts that failed (transport error, timeout, 5xx).", "counter")
+	for _, r := range rows {
+		pw.Sample("onex_worker_call_errors_total", label(r.st.URL), float64(r.st.Errors))
+	}
+	pw.Header("onex_worker_call_timeouts_total", "Worker call attempts that timed out.", "counter")
+	for _, r := range rows {
+		pw.Sample("onex_worker_call_timeouts_total", label(r.st.URL), float64(r.st.Timeouts))
+	}
+	pw.Header("onex_worker_retries_total", "Worker call retries beyond the first attempt.", "counter")
+	for _, r := range rows {
+		pw.Sample("onex_worker_retries_total", label(r.st.URL), float64(r.st.Retries))
+	}
+	pw.Header("onex_worker_reships_total", "Shard state re-ships after unknown_generation answers.", "counter")
+	for _, r := range rows {
+		pw.Sample("onex_worker_reships_total", label(r.st.URL), float64(r.st.Reships))
+	}
+}

@@ -14,6 +14,7 @@
 // (dataset, shard), so queries racing a maintenance swap still answer.
 //
 //	GET  /worker/v1/healthz
+//	GET  /worker/v1/metrics                                   Prometheus text 0.0.4
 //	PUT  /worker/v1/shards/{dataset}/{gen}/{shard}            ship a ShardSpec
 //	POST /worker/v1/shards/{dataset}/{gen}/{shard}/scan       ScanBestRequest
 //	POST /worker/v1/shards/{dataset}/{gen}/{shard}/scanfixed  ScanFixedRequest
@@ -31,15 +32,20 @@
 package shardrpc
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"onex/internal/metrics"
 	"onex/internal/obs"
 	"onex/internal/query"
 )
@@ -83,13 +89,25 @@ type entry struct {
 // building generation waits for the in-flight build instead of repeating
 // it), and a failed build is forgotten so a retry rebuilds.
 type Worker struct {
-	logger *slog.Logger
+	logger  *slog.Logger
+	started time.Time
+
+	// Exposition state for GET /worker/v1/metrics.
+	ops      metrics.Registry             // per-op latency histograms
+	opCounts metrics.CounterMap[opStatus] // op × HTTP status counters
+	ships    metrics.CounterMap[string]   // ship outcomes: built/cached/failed
 
 	mu     sync.Mutex
 	shards map[shardKey]*entry
 	// gens tracks the build order of generations per shard slot, oldest
 	// first, for retention.
 	gens map[datasetShard][]string
+}
+
+// opStatus keys the op×status request counters.
+type opStatus struct {
+	op     string
+	status int
 }
 
 // NewWorker returns a worker with no resident shards. logger may be nil
@@ -99,16 +117,18 @@ func NewWorker(logger *slog.Logger) *Worker {
 		logger = slog.Default()
 	}
 	return &Worker{
-		logger: logger,
-		shards: make(map[shardKey]*entry),
-		gens:   make(map[datasetShard][]string),
+		logger:  logger,
+		started: time.Now(),
+		shards:  make(map[shardKey]*entry),
+		gens:    make(map[datasetShard][]string),
 	}
 }
 
 // Handler returns the worker's HTTP surface.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /worker/v1/healthz", w.handleHealthz)
+	mux.HandleFunc("GET /worker/v1/healthz", w.timed("healthz", w.handleHealthz))
+	mux.HandleFunc("GET /worker/v1/metrics", w.timed("metrics", w.handleMetrics))
 	mux.HandleFunc("PUT /worker/v1/shards/{dataset}/{gen}/{shard}", w.timed("put_shard", w.handleShip))
 	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/scan", w.timed("scan", w.handleScan))
 	mux.HandleFunc("POST /worker/v1/shards/{dataset}/{gen}/{shard}/scanfixed", w.timed("scanfixed", w.handleScanFixed))
@@ -124,9 +144,13 @@ func (w *Worker) ShardCount() int {
 	return len(w.shards)
 }
 
-// timed wraps a worker route with the request-id plumbing and one
-// structured log line per request — the worker-side half of the
-// coordinator's request tracing (satellite of the X-Request-Id contract).
+// timed wraps a worker route with the request-id plumbing, panic
+// recovery, per-op metrics, and one structured log line per request — the
+// worker-side half of the coordinator's request tracing (satellite of the
+// X-Request-Id contract). A panicking op answers 500 with the standard
+// {"error","code":"internal"} envelope (when nothing was written yet) and
+// leaves an error log line with the request id instead of tearing down the
+// connection silently.
 func (w *Worker) timed(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -136,19 +160,45 @@ func (w *Worker) timed(op string, h http.HandlerFunc) http.HandlerFunc {
 			r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
 		}
 		rec := &statusWriter{ResponseWriter: rw}
-		h(rec, r)
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				w.logger.Error("worker panic",
+					"requestId", reqID,
+					"op", op,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()),
+				)
+				if rec.status == 0 {
+					writeErr(rec, http.StatusInternalServerError, "internal", "internal worker error")
+				}
+			}()
+			h(rec, r)
+		}()
 		status := rec.status
 		if status == 0 {
 			status = http.StatusOK
 		}
-		w.logger.Info("worker request",
+		dur := time.Since(start)
+		w.ops.Observe(op, dur)
+		w.opCounts.Add(opStatus{op: op, status: status})
+		// Probe/scrape chatter (healthz every second per coordinator) logs
+		// at debug so shard traffic stays greppable; failures still surface.
+		logf := w.logger.Info
+		if (op == "healthz" || op == "metrics") && status < 400 {
+			logf = w.logger.Debug
+		}
+		logf("worker request",
 			"requestId", reqID,
 			"op", op,
 			"dataset", r.PathValue("dataset"),
 			"gen", r.PathValue("gen"),
 			"shard", r.PathValue("shard"),
 			"status", status,
-			"durMs", float64(time.Since(start).Microseconds())/1e3,
+			"durMs", float64(dur.Microseconds())/1e3,
 		)
 	}
 }
@@ -195,6 +245,86 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	n := len(w.shards)
 	w.mu.Unlock()
 	writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "shards": n})
+}
+
+// handleMetrics serves the worker's Prometheus text 0.0.4 exposition:
+// per-op latency histograms, op×status and ship-outcome counters, and
+// resident-state gauges. Gauges are computed at scrape time under w.mu.
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	w.mu.Lock()
+	resident := len(w.shards)
+	var residentBytes int64
+	retained := 0
+	for _, e := range w.shards {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				residentBytes += e.stats.IndexBytes
+			}
+		default: // build in flight; counts as resident, no size yet
+		}
+	}
+	for _, gens := range w.gens {
+		retained += len(gens)
+	}
+	w.mu.Unlock()
+
+	var buf bytes.Buffer
+	pw := metrics.NewPromWriter(&buf)
+
+	pw.Header("onex_worker_op_duration_seconds", "Worker request latency by op.", "histogram")
+	w.ops.Each(func(name string, h *metrics.Histogram) {
+		pw.Hist("onex_worker_op_duration_seconds", []metrics.Label{{Name: "op", Value: name}}, h)
+	})
+
+	pw.Header("onex_worker_ops_total", "Worker requests by op and HTTP status.", "counter")
+	ops := w.opCounts.Snapshot()
+	opKeys := make([]opStatus, 0, len(ops))
+	for k := range ops {
+		opKeys = append(opKeys, k)
+	}
+	sort.Slice(opKeys, func(i, j int) bool {
+		if opKeys[i].op != opKeys[j].op {
+			return opKeys[i].op < opKeys[j].op
+		}
+		return opKeys[i].status < opKeys[j].status
+	})
+	for _, k := range opKeys {
+		pw.Sample("onex_worker_ops_total", []metrics.Label{
+			{Name: "op", Value: k.op},
+			{Name: "status", Value: strconv.Itoa(k.status)},
+		}, float64(ops[k]))
+	}
+
+	pw.Header("onex_worker_ships_total", "Shard ship requests by outcome (built, cached, failed).", "counter")
+	ships := w.ships.Snapshot()
+	outcomes := make([]string, 0, len(ships))
+	for k := range ships {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+	for _, k := range outcomes {
+		pw.Sample("onex_worker_ships_total", []metrics.Label{{Name: "outcome", Value: k}}, float64(ships[k]))
+	}
+
+	pw.Header("onex_worker_resident_shards", "Resident shard incarnations (including builds in flight).", "gauge")
+	pw.Sample("onex_worker_resident_shards", nil, float64(resident))
+	pw.Header("onex_worker_resident_bytes", "Estimated bytes of resident shard indexes.", "gauge")
+	pw.Sample("onex_worker_resident_bytes", nil, float64(residentBytes))
+	pw.Header("onex_worker_retained_generations", "Built generations retained across shard slots.", "gauge")
+	pw.Sample("onex_worker_retained_generations", nil, float64(retained))
+	pw.Header("onex_worker_uptime_seconds", "Seconds since the worker started.", "gauge")
+	pw.Sample("onex_worker_uptime_seconds", nil, time.Since(w.started).Seconds())
+	pw.Header("onex_worker_goroutines", "Current goroutine count.", "gauge")
+	pw.Sample("onex_worker_goroutines", nil, float64(runtime.NumGoroutine()))
+
+	if err := pw.Err(); err != nil {
+		writeErr(rw, http.StatusInternalServerError, "internal", "render metrics: "+err.Error())
+		return
+	}
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(buf.Bytes())
 }
 
 // pathKey parses the shard key from the route.
@@ -248,6 +378,7 @@ func (w *Worker) handleShip(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	if e, ok := w.shards[key]; ok {
 		w.mu.Unlock()
+		w.ships.Add("cached")
 		w.respondReady(rw, r, e)
 		return
 	}
@@ -271,11 +402,13 @@ func (w *Worker) handleShip(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Unlock()
 
 	if e.err != nil {
+		w.ships.Add("failed")
 		w.logger.Error("shard build failed", "dataset", key.dataset, "gen", key.gen,
 			"shard", key.shard, "error", e.err)
 		writeErr(rw, http.StatusUnprocessableEntity, "build_failed", e.err.Error())
 		return
 	}
+	w.ships.Add("built")
 	w.logger.Info("shard resident", "dataset", key.dataset, "gen", key.gen,
 		"shard", key.shard, "series", e.stats.Series, "groups", e.stats.Groups,
 		"subsequences", e.stats.Subsequences)
@@ -377,7 +510,24 @@ func answer(rw http.ResponseWriter, r *http.Request, v any, err error) {
 	}
 }
 
+// workerObs builds a query response's observability payload. The wall time
+// (handler entry → answer, i.e. lookup + decode + op) is always returned —
+// one integer, and it is what lets the coordinator split call wall into
+// worker compute vs wire overhead even untraced. A span (offsets in this
+// handler's timebase) is attached only when the coordinator opted in via
+// the X-Onex-Trace header; attrs is evaluated lazily so untraced requests
+// never build the attribute slice.
+func workerObs(r *http.Request, start time.Time, op string, attrs func() []obs.Attr) *query.WorkerObs {
+	wall := time.Since(start).Microseconds()
+	wo := &query.WorkerObs{WallMicros: wall}
+	if r.Header.Get(traceHeader) != "" {
+		wo.Spans = []obs.Span{{Name: "worker-" + op, DurMicros: wall, Attrs: attrs()}}
+	}
+	return wo
+}
+
 func (w *Worker) handleScan(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	ls := w.lookup(rw, r)
 	if ls == nil {
 		return
@@ -387,10 +537,17 @@ func (w *Worker) handleScan(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := ls.ScanBest(r.Context(), req)
+	if err == nil {
+		resp.Obs = workerObs(r, start, "scan", func() []obs.Attr {
+			return append(query.WorkAttrs(resp.Trace),
+				obs.Attr{Key: "length", Value: int64(req.Length)})
+		})
+	}
 	answer(rw, r, resp, err)
 }
 
 func (w *Worker) handleScanFixed(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	ls := w.lookup(rw, r)
 	if ls == nil {
 		return
@@ -400,10 +557,18 @@ func (w *Worker) handleScanFixed(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := ls.ScanFixed(r.Context(), req)
+	if err == nil {
+		resp.Obs = workerObs(r, start, "scanfixed", func() []obs.Attr {
+			return append(query.WorkAttrs(resp.Trace),
+				obs.Attr{Key: "length", Value: int64(req.Length)},
+				obs.Attr{Key: "hits", Value: int64(len(resp.Hits))})
+		})
+	}
 	answer(rw, r, resp, err)
 }
 
 func (w *Worker) handleMembers(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	ls := w.lookup(rw, r)
 	if ls == nil {
 		return
@@ -413,10 +578,24 @@ func (w *Worker) handleMembers(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := ls.EvalMembers(r.Context(), req)
+	if err == nil {
+		resp.Obs = workerObs(r, start, "members", func() []obs.Attr {
+			return []obs.Attr{
+				{Key: "length", Value: int64(req.Length)},
+				// The worker evaluates the full shipped batch; the coordinator's
+				// membersTested counter can stop short of it at the patience
+				// cutoff during its sequential replay, so this is a distinct
+				// (≥) quantity under a distinct name.
+				{Key: "membersEvaluated", Value: int64(len(req.Items))},
+				{Key: "dtwComputed", Value: int64(resp.DTWComputed)},
+			}
+		})
+	}
 	answer(rw, r, resp, err)
 }
 
 func (w *Worker) handleRange(rw http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	ls := w.lookup(rw, r)
 	if ls == nil {
 		return
@@ -426,5 +605,12 @@ func (w *Worker) handleRange(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := ls.Range(r.Context(), req)
+	if err == nil {
+		resp.Obs = workerObs(r, start, "range", func() []obs.Attr {
+			return append(query.WorkAttrs(resp.Trace),
+				obs.Attr{Key: "length", Value: int64(req.Length)},
+				obs.Attr{Key: "results", Value: int64(len(resp.Results))})
+		})
+	}
 	answer(rw, r, resp, err)
 }

@@ -72,7 +72,7 @@ MONO_PID=$!
 "$BIN" -addr "$LOCAL_ADDR" $DATASET_FLAGS -shards 3 >"$LOGDIR/local.log" 2>&1 &
 LOCAL_PID=$!
 # shellcheck disable=SC2086
-"$BIN" -addr "$DIST_ADDR" $DATASET_FLAGS -shards 3 \
+"$BIN" -addr "$DIST_ADDR" $DATASET_FLAGS -shards 3 -health-probe 250ms \
     -shard-workers "http://$W1_ADDR,http://$W2_ADDR" >"$LOGDIR/dist.log" 2>&1 &
 DIST_PID=$!
 wait_healthz "$MONO_ADDR" "$MONO_PID"
@@ -126,12 +126,69 @@ run_mix() {
 echo "== query mix: distributed vs local-sharded and unsharded references"
 run_mix
 
-echo "== kill worker 1, restart it empty at the same address, re-query"
+echo "== distributed explain carries rpc and worker spans"
+# A query run_mix has not cached, so the cascade actually reaches the workers.
+QX='[0.9,0.4,0.1,0.4,0.9,0.4]'
+EXPLAIN=$(curl -sf -X POST -d "{\"query\":$QX,\"explain\":true}" \
+    "http://$DIST_ADDR/v1/datasets/ItalyPower/match")
+echo "$EXPLAIN" | grep -q '"transport":"remote"' \
+    || { echo "FAIL: distributed explain not tagged remote: $EXPLAIN" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q '"name":"rpc-scan"' \
+    || { echo "FAIL: distributed explain has no rpc-scan span: $EXPLAIN" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q '"name":"worker-scan"' \
+    || { echo "FAIL: distributed explain has no folded worker-scan span: $EXPLAIN" >&2; exit 1; }
+echo "ok: distributed explain decomposes into rpc + worker spans"
+
+echo "== worker metrics exposition"
+WMETRICS=$(curl -sf "http://$W2_ADDR/worker/v1/metrics")
+for fam in onex_worker_op_duration_seconds onex_worker_ops_total \
+    onex_worker_ships_total onex_worker_resident_shards \
+    onex_worker_retained_generations onex_worker_uptime_seconds; do
+    echo "$WMETRICS" | grep -q "^# TYPE $fam " \
+        || { echo "FAIL: worker /metrics missing family $fam" >&2; exit 1; }
+done
+echo "$WMETRICS" | awk '
+    /^onex_worker_op_duration_seconds_bucket\{op="scan",/ {
+        n++; v = $NF + 0
+        if (v < prev) { print "bucket decreased: " $0; exit 1 }
+        prev = v
+    }
+    END { if (n == 0) { print "no scan buckets"; exit 1 } }' \
+    || { echo "FAIL: worker scan histogram buckets not monotone" >&2; exit 1; }
+echo "ok: worker metrics families present, scan buckets monotone"
+
+echo "== coordinator surfaces fleet health"
+curl -sf "http://$DIST_ADDR/metrics" | grep -q '^onex_worker_up{' \
+    || { echo "FAIL: coordinator /metrics has no onex_worker_up" >&2; exit 1; }
+curl -sf "http://$DIST_ADDR/v1/stats" | grep -q "\"url\":\"http://$W1_ADDR\",\"up\":true" \
+    || { echo "FAIL: /v1/stats workers section missing or W1 not up" >&2; exit 1; }
+echo "ok: onex_worker_up exposed, workers section reports W1 up"
+
+wait_worker_state() { # addr want(true|false)
+    addr=$1; want=$2
+    for i in $(seq 1 40); do
+        if curl -sf "http://$DIST_ADDR/v1/stats" \
+            | grep -q "\"url\":\"http://$addr\",\"up\":$want"; then
+            return 0
+        fi
+        sleep 0.3
+    done
+    echo "FAIL: worker $addr never reported up=$want" >&2
+    exit 1
+}
+
+echo "== kill worker 1: fleet health flips it down"
 kill "$W1_PID"
 wait "$W1_PID" 2>/dev/null || true
+wait_worker_state "$W1_ADDR" false
+echo "ok: W1 reported down after kill"
+
+echo "== restart worker 1 empty at the same address, re-query"
 "$BIN" -role worker -addr "$W1_ADDR" >"$LOGDIR/w1b.log" 2>&1 &
 W1_PID=$!
 wait_healthz "$W1_ADDR" "$W1_PID"
+wait_worker_state "$W1_ADDR" true
+echo "ok: W1 reported up after restart"
 run_mix
 
 echo "== request id propagated to worker log lines"
